@@ -1,0 +1,353 @@
+(* ptsto — command-line front door to the reproduction.
+
+     ptsto stats prog.mj                     PAG and call-graph statistics
+     ptsto ir prog.mj                        dump the lowered IR
+     ptsto query prog.mj -m Main.main -v s1  answer one points-to query
+     ptsto client prog.mj -c safecast        run a client's query set
+     ptsto compare prog.mj                   all engines x all clients
+     ptsto gen soot-c -o prog.mj             emit a generated benchmark
+
+   Every subcommand accepts --bench NAME instead of a file to run on a
+   generated benchmark directly. *)
+
+open Cmdliner
+
+module Table = Pts_util.Table
+module Pipeline = Pts_clients.Pipeline
+module Client = Pts_clients.Client
+
+let clients =
+  [
+    ("safecast", ("SafeCast", Pts_clients.Safecast.queries));
+    ("nullderef", ("NullDeref", Pts_clients.Nullderef.queries));
+    ("factorym", ("FactoryM", Pts_clients.Factorym.queries));
+    ("devirt", ("Devirt", Pts_clients.Devirt.queries));
+  ]
+
+(* ----------------------------- arguments ---------------------------- *)
+
+let file_arg =
+  Arg.(value & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"MiniJava source file.")
+
+let bench_arg =
+  Arg.(
+    value
+    & opt (some (enum (List.map (fun n -> (n, n)) Pts_workload.Suite.names))) None
+    & info [ "bench" ] ~docv:"NAME" ~doc:"Use a generated benchmark instead of a file.")
+
+let engine_arg =
+  Arg.(
+    value
+    & opt (enum [ ("norefine", `Norefine); ("refinepts", `Refinepts); ("dynsum", `Dynsum); ("stasum", `Stasum) ]) `Dynsum
+    & info [ "engine"; "e" ] ~docv:"ENGINE" ~doc:"Analysis engine (norefine|refinepts|dynsum|stasum).")
+
+let budget_arg =
+  Arg.(
+    value & opt int Engine.default_conf.Engine.budget_limit
+    & info [ "budget" ] ~docv:"N" ~doc:"Per-query traversal budget.")
+
+(* ------------------------------ commands ---------------------------- *)
+
+let with_pipeline file bench f =
+  match (file, bench) with
+  | _, Some name -> f (Pts_workload.Suite.pipeline name)
+  | Some path, None -> (
+    match Frontend.compile_file path with
+    | prog -> f (Pipeline.of_program prog)
+    | exception Frontend.Error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      exit 1)
+  | None, None ->
+    Printf.eprintf "error: either FILE or --bench NAME is required\n";
+    exit 1
+
+let stats_cmd file bench =
+  with_pipeline file bench (fun pl ->
+      let pag = pl.Pipeline.pag in
+      let c = Pag.edge_counts pag in
+      let o, v, g = Pag.touched_counts pag in
+      let t = Table.create ~title:"PAG statistics" [ ("metric", Table.Left); ("value", Table.Right) ] in
+      List.iter
+        (fun (k, n) -> Table.add_row t [ k; string_of_int n ])
+        [
+          ("reachable methods", List.length (Pts_andersen.Solver.reachable_methods pl.Pipeline.solver));
+          ("objects (O)", o);
+          ("locals (V)", v);
+          ("globals (G)", g);
+          ("new edges", c.Pag.n_new);
+          ("assign edges", c.Pag.n_assign);
+          ("load edges", c.Pag.n_load);
+          ("store edges", c.Pag.n_store);
+          ("entry edges", c.Pag.n_entry);
+          ("exit edges", c.Pag.n_exit);
+          ("assignglobal edges", c.Pag.n_assign_global);
+          ("call-graph edges", Callgraph.edge_count pl.Pipeline.callgraph);
+        ];
+      Table.add_row t [ "locality"; Table.fmt_pct (Pag.locality pag) ];
+      Table.print t)
+
+let ir_cmd file bench =
+  with_pipeline file bench (fun pl -> Format.printf "%a@." Ir.pp_program pl.Pipeline.prog)
+
+let make_engine kind conf pag =
+  match kind with
+  | `Norefine -> Sb.engine (Sb.create ~conf Sb.No_refine pag) ~name:"norefine"
+  | `Refinepts -> Sb.engine (Sb.create ~conf Sb.Refine pag) ~name:"refinepts"
+  | `Dynsum -> Dynsum.engine (Dynsum.create ~conf pag)
+  | `Stasum -> Stasum.engine (Stasum.create ~conf pag)
+
+let query_cmd file bench meth var engine_kind budget =
+  with_pipeline file bench (fun pl ->
+      let conf = Engine.conf ~budget_limit:budget () in
+      let engine = make_engine engine_kind conf pl.Pipeline.pag in
+      match Pipeline.find_local pl ~meth_pretty:meth ~var with
+      | exception Not_found ->
+        Printf.eprintf "error: no variable %s in method %s\n" var meth;
+        exit 1
+      | node -> (
+        let outcome, dt = Pts_util.Stats.time (fun () -> engine.Engine.points_to node) in
+        match outcome with
+        | Query.Exceeded -> Printf.printf "budget exceeded (%d steps)\n" budget
+        | Query.Resolved ts ->
+          let prog = pl.Pipeline.prog in
+          Printf.printf "%s points to %d object(s) [%s, %.3fs, %d steps]:\n"
+            (Pag.node_name pl.Pipeline.pag node)
+            (List.length (Query.sites ts))
+            engine.Engine.name dt
+            (Budget.total_steps engine.Engine.budget);
+          List.iter
+            (fun site ->
+              let a = prog.Ir.allocs.(site) in
+              Printf.printf "  %-24s allocated in %s (line %d)\n" (Ir.alloc_name prog site)
+                prog.Ir.methods.(a.Ir.alloc_meth).Ir.pretty a.Ir.alloc_pos.Ast.line)
+            (Query.sites ts)))
+
+let client_cmd file bench client_key engine_kind budget cache_file =
+  with_pipeline file bench (fun pl ->
+      let cname, queries_of = List.assoc client_key clients in
+      let conf = Engine.conf ~budget_limit:budget () in
+      (* with --cache, a DYNSUM session persists its summaries across runs *)
+      let dynsum_session =
+        match cache_file with
+        | Some path when engine_kind = `Dynsum ->
+          let d = Dynsum.create ~conf pl.Pipeline.pag in
+          (if Sys.file_exists path then
+             match Dynsum.load_cache d path with
+             | Ok n -> Printf.printf "loaded %d summaries from %s\n" n path
+             | Error e -> Printf.printf "ignoring cache %s: %s\n" path e);
+          Some (d, path)
+        | Some _ ->
+          Printf.eprintf "warning: --cache only applies to the dynsum engine\n";
+          None
+        | None -> None
+      in
+      let engine =
+        match dynsum_session with
+        | Some (d, _) -> Dynsum.engine d
+        | None -> make_engine engine_kind conf pl.Pipeline.pag
+      in
+      let queries = queries_of pl in
+      let r = Client.run engine queries in
+      Printf.printf "%s with %s: %d queries in %.3fs (%d steps)\n" cname engine.Engine.name
+        (List.length queries) r.Client.seconds r.Client.steps;
+      Format.printf "  %a@." Client.pp_tally r.Client.tally;
+      (* list refuted/unknown queries for actionability *)
+      List.iter
+        (fun q ->
+          match
+            Client.verdict_of q.Client.q_pred
+              (engine.Engine.points_to ~satisfy:q.Client.q_pred q.Client.q_node)
+          with
+          | Client.Refuted -> Printf.printf "  REFUTED %s\n" q.Client.q_desc
+          | Client.Unknown -> Printf.printf "  UNKNOWN %s\n" q.Client.q_desc
+          | Client.Proved -> ())
+        queries;
+      match dynsum_session with
+      | Some (d, path) ->
+        Dynsum.save_cache d path;
+        Printf.printf "saved %d summaries to %s\n" (Dynsum.summary_count d) path
+      | None -> ())
+
+let compare_cmd file bench budget =
+  with_pipeline file bench (fun pl ->
+      let conf = Engine.conf ~budget_limit:budget () in
+      let t =
+        Table.create
+          [
+            ("client", Table.Left);
+            ("engine", Table.Left);
+            ("proved", Table.Right);
+            ("refuted", Table.Right);
+            ("unknown", Table.Right);
+            ("seconds", Table.Right);
+            ("steps", Table.Right);
+            ("summaries", Table.Right);
+          ]
+      in
+      List.iter
+        (fun (_, (cname, queries_of)) ->
+          let queries = queries_of pl in
+          List.iter
+            (fun (engine : Engine.engine) ->
+              let r = Client.run engine queries in
+              Table.add_row t
+                [
+                  cname;
+                  engine.Engine.name;
+                  string_of_int r.Client.tally.Client.proved;
+                  string_of_int r.Client.tally.Client.refuted;
+                  string_of_int r.Client.tally.Client.unknown;
+                  Printf.sprintf "%.3f" r.Client.seconds;
+                  string_of_int r.Client.steps;
+                  string_of_int r.Client.summaries_after;
+                ])
+            (Pipeline.engines ~conf pl);
+          Table.add_sep t)
+        clients;
+      Table.print t)
+
+let alias_cmd file bench meth var1 var2 engine_kind budget =
+  with_pipeline file bench (fun pl ->
+      let conf = Engine.conf ~budget_limit:budget () in
+      let engine = make_engine engine_kind conf pl.Pipeline.pag in
+      let node v =
+        match Pipeline.find_local pl ~meth_pretty:meth ~var:v with
+        | n -> n
+        | exception Not_found ->
+          Printf.eprintf "error: no variable %s in method %s\n" v meth;
+          exit 1
+      in
+      let x = node var1 and y = node var2 in
+      let show = function
+        | Alias.Must_not -> "must-not-alias"
+        | Alias.May -> "may-alias"
+        | Alias.Unknown -> "unknown (budget exceeded)"
+      in
+      Printf.printf "%s ~ %s: %s (with heap contexts), %s (sites only)\n" var1 var2
+        (show (Alias.may_alias engine x y))
+        (show (Alias.may_alias_sites engine x y)))
+
+let why_cmd file bench meth var site =
+  with_pipeline file bench (fun pl ->
+      let pag = pl.Pipeline.pag in
+      match Pipeline.find_local pl ~meth_pretty:meth ~var with
+      | exception Not_found ->
+        Printf.eprintf "error: no variable %s in method %s\n" var meth;
+        exit 1
+      | node -> (
+        match Witness.explain pag node ~site with
+        | None -> Printf.printf "o%d is not in the points-to set of %s (or budget exceeded)\n" site var
+        | Some steps ->
+          Printf.printf "%s may point to %s because:\n" (Pag.node_name pag node)
+            (Ir.alloc_name pl.Pipeline.prog site);
+          List.iter print_endline (Witness.render pag steps)))
+
+let dot_cmd file bench what out =
+  with_pipeline file bench (fun pl ->
+      let src =
+        match what with
+        | `Pag -> Dot.pag pl.Pipeline.pag
+        | `Callgraph -> Dot.callgraph pl.Pipeline.prog pl.Pipeline.callgraph
+      in
+      match out with
+      | None -> print_string src
+      | Some path ->
+        let oc = open_out path in
+        output_string oc src;
+        close_out oc;
+        Printf.printf "wrote %s\n" path)
+
+let gen_cmd bench out =
+  let src = Pts_workload.Suite.source bench in
+  match out with
+  | None -> print_string src
+  | Some path ->
+    let oc = open_out path in
+    output_string oc src;
+    close_out oc;
+    Printf.printf "wrote %s (%d lines, config %s)\n" path
+      (List.length (String.split_on_char '\n' src))
+      (Pts_workload.Genprog.describe (Pts_workload.Suite.config bench))
+
+(* ------------------------------- wiring ----------------------------- *)
+
+let stats_t =
+  Cmd.v (Cmd.info "stats" ~doc:"PAG and call-graph statistics")
+    Term.(const stats_cmd $ file_arg $ bench_arg)
+
+let ir_t = Cmd.v (Cmd.info "ir" ~doc:"Dump the lowered IR") Term.(const ir_cmd $ file_arg $ bench_arg)
+
+let query_t =
+  let meth =
+    Arg.(required & opt (some string) None & info [ "method"; "m" ] ~docv:"M" ~doc:"Method, e.g. Main.main.")
+  in
+  let var = Arg.(required & opt (some string) None & info [ "var"; "v" ] ~docv:"V" ~doc:"Variable name.") in
+  Cmd.v (Cmd.info "query" ~doc:"Answer one points-to query")
+    Term.(const query_cmd $ file_arg $ bench_arg $ meth $ var $ engine_arg $ budget_arg)
+
+let client_t =
+  let client =
+    Arg.(
+      value
+      & opt (enum (List.map (fun (k, _) -> (k, k)) clients)) "safecast"
+      & info [ "client"; "c" ] ~docv:"CLIENT" ~doc:"Client (safecast|nullderef|factorym|devirt).")
+  in
+  let cache =
+    Arg.(
+      value & opt (some string) None
+      & info [ "cache" ] ~docv:"FILE"
+          ~doc:"Persist the dynsum summary cache across runs (load before, save after).")
+  in
+  Cmd.v (Cmd.info "client" ~doc:"Run a client's query set")
+    Term.(const client_cmd $ file_arg $ bench_arg $ client $ engine_arg $ budget_arg $ cache)
+
+let compare_t =
+  Cmd.v (Cmd.info "compare" ~doc:"All engines on all clients")
+    Term.(const compare_cmd $ file_arg $ bench_arg $ budget_arg)
+
+let gen_t =
+  let bench =
+    Arg.(
+      required
+      & pos 0 (some (enum (List.map (fun n -> (n, n)) Pts_workload.Suite.names))) None
+      & info [] ~docv:"BENCH" ~doc:"Benchmark name.")
+  in
+  let out = Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output file.") in
+  Cmd.v (Cmd.info "gen" ~doc:"Emit a generated benchmark program") Term.(const gen_cmd $ bench $ out)
+
+let alias_t =
+  let meth =
+    Arg.(required & opt (some string) None & info [ "method"; "m" ] ~docv:"M" ~doc:"Method, e.g. Main.main.")
+  in
+  let var1 = Arg.(required & opt (some string) None & info [ "x" ] ~docv:"X" ~doc:"First variable.") in
+  let var2 = Arg.(required & opt (some string) None & info [ "y" ] ~docv:"Y" ~doc:"Second variable.") in
+  Cmd.v (Cmd.info "alias" ~doc:"May two variables alias?")
+    Term.(const alias_cmd $ file_arg $ bench_arg $ meth $ var1 $ var2 $ engine_arg $ budget_arg)
+
+let why_t =
+  let meth =
+    Arg.(required & opt (some string) None & info [ "method"; "m" ] ~docv:"M" ~doc:"Method, e.g. Main.main.")
+  in
+  let var = Arg.(required & opt (some string) None & info [ "var"; "v" ] ~docv:"V" ~doc:"Variable name.") in
+  let site = Arg.(required & opt (some int) None & info [ "site"; "s" ] ~docv:"N" ~doc:"Allocation site id.") in
+  Cmd.v (Cmd.info "why" ~doc:"Explain why a variable points to a site")
+    Term.(const why_cmd $ file_arg $ bench_arg $ meth $ var $ site)
+
+let dot_t =
+  let what =
+    Arg.(
+      value
+      & opt (enum [ ("pag", `Pag); ("callgraph", `Callgraph) ]) `Pag
+      & info [ "graph"; "g" ] ~docv:"WHAT" ~doc:"Which graph (pag|callgraph).")
+  in
+  let out = Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output file.") in
+  Cmd.v (Cmd.info "dot" ~doc:"Export the PAG or call graph as Graphviz DOT")
+    Term.(const dot_cmd $ file_arg $ bench_arg $ what $ out)
+
+let () =
+  let doc = "demand-driven summary-based points-to analysis (DYNSUM reproduction)" in
+  exit
+    (Cmd.eval
+       (Cmd.group
+          (Cmd.info "ptsto" ~version:"1.0.0" ~doc)
+          [ stats_t; ir_t; query_t; client_t; compare_t; gen_t; alias_t; why_t; dot_t ]))

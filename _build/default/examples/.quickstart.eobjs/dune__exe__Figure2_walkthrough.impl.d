@@ -1,0 +1,1 @@
+examples/figure2_walkthrough.ml: Budget Dynsum Engine Ir List Printf Pts_andersen Pts_clients Pts_util Pts_workload Query String

@@ -1,0 +1,1 @@
+examples/ide_batch.ml: Dynsum List Printf Pts_clients Pts_workload Sys

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Dynsum Ir List Pag Printf Pts_andersen Pts_clients Pts_util Query String Types

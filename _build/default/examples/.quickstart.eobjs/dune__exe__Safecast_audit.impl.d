@@ -1,0 +1,1 @@
+examples/safecast_audit.ml: Array Ast Dynsum Frontend Ir List Printf Pts_clients Pts_workload Query Sys Types Unix

@@ -1,0 +1,1 @@
+examples/safecast_audit.mli:

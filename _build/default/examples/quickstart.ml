@@ -1,0 +1,67 @@
+(* Quickstart: compile a MiniJava program, build its PAG, and answer
+   demand points-to queries with DYNSUM.
+
+     dune exec examples/quickstart.exe *)
+
+let program =
+  {|
+class Animal { Animal() {} String speak() { return "..."; } }
+class Dog extends Animal { Dog() {} String speak() { return "woof"; } }
+class Cat extends Animal { Cat() {} String speak() { return "meow"; } }
+
+class Kennel {
+  Animal resident;
+  Kennel() {}
+  void admit(Animal a) { this.resident = a; }
+  Animal release() { return this.resident; }
+}
+
+class Main {
+  static void main() {
+    Kennel k1 = new Kennel();
+    k1.admit(new Dog());
+    Kennel k2 = new Kennel();
+    k2.admit(new Cat());
+    Animal who1 = k1.release();
+    Animal who2 = k2.release();
+  }
+}
+|}
+
+let () =
+  (* 1. compile: parse, check, lower to the three-address IR *)
+  let pipeline = Pts_clients.Pipeline.of_source program in
+  let pag = pipeline.Pts_clients.Pipeline.pag in
+  let prog = pipeline.Pts_clients.Pipeline.prog in
+  Printf.printf "compiled: %d methods, %d allocation sites, locality %.0f%%\n\n"
+    (Array.length prog.Ir.methods) (Array.length prog.Ir.allocs)
+    (100.0 *. Pag.locality pag);
+
+  (* 2. create a DYNSUM engine; its summary cache persists across queries *)
+  let dynsum = Dynsum.create pag in
+
+  (* 3. issue demand queries *)
+  List.iter
+    (fun var ->
+      let node = Pts_clients.Pipeline.find_local pipeline ~meth_pretty:"Main.main" ~var in
+      match Dynsum.points_to dynsum node with
+      | Query.Exceeded -> Printf.printf "%s: budget exceeded\n" var
+      | Query.Resolved targets ->
+        Printf.printf "%s may point to: %s\n" var
+          (String.concat ", "
+             (List.map
+                (fun site -> Types.class_name prog.Ir.ctable prog.Ir.allocs.(site).Ir.alloc_cls)
+                (Query.sites targets))))
+    [ "who1"; "who2" ];
+
+  (* 4. the context-sensitive answer separates the two kennels — an
+     Andersen-style whole-program analysis cannot: *)
+  let who1 = Pts_clients.Pipeline.find_local pipeline ~meth_pretty:"Main.main" ~var:"who1" in
+  let andersen = Pts_andersen.Solver.points_to pipeline.Pts_clients.Pipeline.solver who1 in
+  Printf.printf "\n(Andersen merges both kennels: who1 -> {%s})\n"
+    (String.concat ", "
+       (List.map
+          (fun site -> Types.class_name prog.Ir.ctable prog.Ir.allocs.(site).Ir.alloc_cls)
+          (Pts_util.Bitset.to_list andersen)));
+  Printf.printf "summaries cached: %d (reused by any later query, in any context)\n"
+    (Dynsum.summary_count dynsum)

@@ -1,0 +1,55 @@
+(* A small cast-auditing tool built on the public API: runs the SafeCast
+   client over a program and reports every downcast with a verdict and,
+   for refuted casts, the offending allocation sites.
+
+     dune exec examples/safecast_audit.exe              (javac benchmark)
+     dune exec examples/safecast_audit.exe -- prog.mj   (your program) *)
+
+let () =
+  let pl =
+    match Sys.argv with
+    | [| _; path |] -> (
+      match Frontend.compile_file path with
+      | prog -> Pts_clients.Pipeline.of_program prog
+      | exception Frontend.Error msg ->
+        Printf.eprintf "error: %s\n" msg;
+        exit 1)
+    | _ -> Pts_workload.Suite.pipeline "javac"
+  in
+  let prog = pl.Pts_clients.Pipeline.prog in
+  let dynsum = Dynsum.create pl.Pts_clients.Pipeline.pag in
+  let queries = Pts_clients.Safecast.queries pl in
+  Printf.printf "auditing %d non-trivial downcasts...\n\n" (List.length queries);
+  let verdictn = ref (0, 0, 0) in
+  let t0 = Unix.gettimeofday () in
+  List.iter
+    (fun q ->
+      let outcome = Dynsum.points_to dynsum q.Pts_clients.Client.q_node in
+      match Pts_clients.Client.verdict_of q.Pts_clients.Client.q_pred outcome with
+      | Pts_clients.Client.Proved ->
+        let p, r, u = !verdictn in
+        verdictn := (p + 1, r, u)
+      | Pts_clients.Client.Unknown ->
+        let p, r, u = !verdictn in
+        verdictn := (p, r, u + 1);
+        Printf.printf "UNKNOWN %s (budget exceeded)\n" q.Pts_clients.Client.q_desc
+      | Pts_clients.Client.Refuted ->
+        let p, r, u = !verdictn in
+        verdictn := (p, r + 1, u);
+        Printf.printf "UNSAFE  %s\n" q.Pts_clients.Client.q_desc;
+        (match outcome with
+        | Query.Resolved ts ->
+          List.iter
+            (fun site ->
+              let a = prog.Ir.allocs.(site) in
+              if not a.Ir.alloc_is_null then
+                Printf.printf "        may hold %-20s (allocated in %s, line %d)\n"
+                  (Types.class_name prog.Ir.ctable a.Ir.alloc_cls)
+                  prog.Ir.methods.(a.Ir.alloc_meth).Ir.pretty a.Ir.alloc_pos.Ast.line)
+            (Query.sites ts)
+        | Query.Exceeded -> ()))
+    queries;
+  let p, r, u = !verdictn in
+  Printf.printf "\n%d safe, %d unsafe, %d unknown in %.3fs (%d summaries cached)\n" p r u
+    (Unix.gettimeofday () -. t0)
+    (Dynsum.summary_count dynsum)

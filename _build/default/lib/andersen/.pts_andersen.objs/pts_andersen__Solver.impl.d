@@ -1,0 +1,1 @@
+lib/andersen/solver.ml: Array Builder Bytes Callgraph Hashtbl Ir List Pag Pts_util Queue Types

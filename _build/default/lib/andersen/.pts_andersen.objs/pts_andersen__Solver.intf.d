@@ -1,0 +1,1 @@
+lib/andersen/solver.mli: Callgraph Ir Pag Pts_util

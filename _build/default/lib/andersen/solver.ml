@@ -1,0 +1,234 @@
+module Bitset = Pts_util.Bitset
+module Stats = Pts_util.Stats
+
+type t = {
+  prog : Ir.program;
+  pag : Pag.t;
+  cg : Callgraph.t;
+  n_fields : int;
+  (* Units are PAG nodes first, then dynamically-created (object, field)
+     cells. All growable arrays are indexed by unit id. *)
+  mutable pts : Bitset.t array;
+  mutable dyn_copy : int list array;
+  mutable n_units : int;
+  copy_dedup : (int * int, unit) Hashtbl.t;
+  cells : (int, int) Hashtbl.t; (* site * n_fields + fld -> unit *)
+  (* objects already subscribed (loads/stores/dispatch) per base node *)
+  base_done : (int, Bitset.t) Hashtbl.t;
+  virtuals_at : (int, Builder.call_desc list ref) Hashtbl.t;
+  connected : (int * int, unit) Hashtbl.t; (* (site, target method) *)
+  reachable : bool array;
+  queue : int Queue.t;
+  mutable queued : Bytes.t;
+  stats : Stats.t;
+}
+
+let grow_units t needed =
+  let cap = Array.length t.pts in
+  if needed > cap then begin
+    let ncap = max (2 * cap) needed in
+    let pts = Array.make ncap (Bitset.create ~capacity:1 ()) in
+    Array.blit t.pts 0 pts 0 t.n_units;
+    for i = t.n_units to ncap - 1 do
+      pts.(i) <- Bitset.create ~capacity:16 ()
+    done;
+    t.pts <- pts;
+    let dyn = Array.make ncap [] in
+    Array.blit t.dyn_copy 0 dyn 0 t.n_units;
+    t.dyn_copy <- dyn;
+    let queued = Bytes.make ncap '\000' in
+    Bytes.blit t.queued 0 queued 0 (Bytes.length t.queued);
+    t.queued <- queued
+  end
+
+let push t u =
+  if Bytes.get t.queued u = '\000' then begin
+    Bytes.set t.queued u '\001';
+    Queue.add u t.queue
+  end
+
+let cell t site fld =
+  let key = (site * t.n_fields) + fld in
+  match Hashtbl.find_opt t.cells key with
+  | Some u -> u
+  | None ->
+    let u = t.n_units in
+    grow_units t (u + 1);
+    t.n_units <- u + 1;
+    Hashtbl.add t.cells key u;
+    Stats.bump t.stats "cells";
+    u
+
+let add_copy t src dst =
+  if not (Hashtbl.mem t.copy_dedup (src, dst)) then begin
+    Hashtbl.add t.copy_dedup (src, dst) ();
+    t.dyn_copy.(src) <- dst :: t.dyn_copy.(src);
+    Stats.bump t.stats "copy_edges";
+    if Bitset.union_into ~dst:t.pts.(dst) t.pts.(src) then push t dst
+  end
+
+let seed_obj t site dst_node =
+  let obj = Pag.obj_node t.pag site in
+  ignore (Bitset.add t.pts.(obj) site);
+  if Bitset.add t.pts.(dst_node) site then push t dst_node
+
+(* Connect one call edge: wire PAG entry/exit edges, record the call-graph
+   edge, activate the callee, and requeue every populated source endpoint so
+   the new edges are (re)propagated. *)
+let rec connect t (cd : Builder.call_desc) target_mid =
+  if not (Hashtbl.mem t.connected (cd.Builder.cd_site, target_mid)) then begin
+    Hashtbl.add t.connected (cd.Builder.cd_site, target_mid) ();
+    activate t target_mid;
+    let target = t.prog.Ir.methods.(target_mid) in
+    Builder.connect_call t.pag cd ~target;
+    ignore (Callgraph.add_edge t.cg ~site:cd.Builder.cd_site ~caller:cd.Builder.cd_caller ~target:target_mid);
+    (match Builder.receiver_node t.pag cd with Some r -> push t r | None -> ());
+    (match cd.Builder.cd_kind with
+    | Ir.Ctor { recv; _ } -> push t (Pag.local_node t.pag ~meth:cd.Builder.cd_caller ~var:recv)
+    | Ir.Virtual _ | Ir.Static _ -> ());
+    List.iter (fun a -> push t a) cd.Builder.cd_args;
+    List.iter (fun r -> push t r) (Builder.return_nodes t.pag target)
+  end
+
+and activate t mid =
+  if not t.reachable.(mid) then begin
+    t.reachable.(mid) <- true;
+    Stats.bump t.stats "reachable_methods";
+    let descs = Builder.add_method_body t.pag mid in
+    (* seed allocations and requeue accessed globals *)
+    let m = t.prog.Ir.methods.(mid) in
+    List.iter
+      (fun instr ->
+        match instr with
+        | Ir.Alloc { dst; site; _ } -> seed_obj t site (Pag.local_node t.pag ~meth:mid ~var:dst)
+        | Ir.Load_global { glb; _ } -> push t (Pag.global_node t.pag glb)
+        | Ir.Move _ | Ir.Load _ | Ir.Store _ | Ir.Store_global _ | Ir.Call _ | Ir.Return _
+        | Ir.Cast_move _ ->
+          ())
+      m.Ir.body;
+    List.iter
+      (fun (cd : Builder.call_desc) ->
+        match cd.Builder.cd_kind with
+        | Ir.Static { target } -> connect t cd target.Types.ms_id
+        | Ir.Ctor { ctor; _ } -> connect t cd ctor.Types.ms_id
+        | Ir.Virtual _ -> (
+          match Builder.receiver_node t.pag cd with
+          | Some recv ->
+            (match Hashtbl.find_opt t.virtuals_at recv with
+            | Some r -> r := cd :: !r
+            | None -> Hashtbl.add t.virtuals_at recv (ref [ cd ]));
+            push t recv
+          | None -> assert false))
+      descs
+  end
+
+let dispatch t recv_node site_id cd =
+  ignore recv_node;
+  let ctable = t.prog.Ir.ctable in
+  let cls = (t.prog.Ir.allocs.(site_id)).Ir.alloc_cls in
+  if cls <> Types.null_class ctable then begin
+    match cd.Builder.cd_kind with
+    | Ir.Virtual { mname; _ } -> (
+      match Types.lookup_method ctable cls mname with
+      | Some target -> connect t cd target.Types.ms_id
+      | None -> () (* receiver class cannot answer: statically dead combination *))
+    | Ir.Static _ | Ir.Ctor _ -> ()
+  end
+
+let process t u =
+  Stats.bump t.stats "propagations";
+  let pts_u = t.pts.(u) in
+  let propagate dst = if Bitset.union_into ~dst:t.pts.(dst) pts_u then push t dst in
+  if u < Pag.node_count t.pag then begin
+    (* static copy edges from the PAG *)
+    List.iter propagate (Pag.assign_out t.pag u);
+    List.iter propagate (Pag.global_out t.pag u);
+    List.iter (fun (_, w) -> propagate w) (Pag.entry_out t.pag u);
+    List.iter (fun (_, w) -> propagate w) (Pag.exit_out t.pag u);
+    (* complex constraints: u as a load/store base or virtual receiver *)
+    let loads = Pag.load_out t.pag u in
+    let stores = Pag.store_in t.pag u in
+    let virtuals =
+      match Hashtbl.find_opt t.virtuals_at u with Some r -> !r | None -> []
+    in
+    if loads <> [] || stores <> [] || virtuals <> [] then begin
+      let processed =
+        match Hashtbl.find_opt t.base_done u with
+        | Some s -> s
+        | None ->
+          let s = Bitset.create ~capacity:16 () in
+          Hashtbl.add t.base_done u s;
+          s
+      in
+      Bitset.iter pts_u (fun o ->
+          if Bitset.add processed o then begin
+            List.iter (fun (f, dst) -> add_copy t (cell t o f) dst) loads;
+            List.iter (fun (f, src) -> add_copy t src (cell t o f)) stores;
+            List.iter (fun cd -> dispatch t u o cd) virtuals
+          end)
+    end
+  end;
+  (* dynamic copy edges (field cells and subscriptions) *)
+  List.iter propagate t.dyn_copy.(u)
+
+let run ?roots (prog : Ir.program) =
+  let pag = Pag.create prog in
+  let cg = Callgraph.create prog in
+  let n_nodes = Pag.node_count pag in
+  let t =
+    {
+      prog;
+      pag;
+      cg;
+      n_fields = max 1 (Types.field_count prog.Ir.ctable);
+      pts = Array.init (max n_nodes 1) (fun _ -> Bitset.create ~capacity:16 ());
+      dyn_copy = Array.make (max n_nodes 1) [];
+      n_units = n_nodes;
+      copy_dedup = Hashtbl.create 4096;
+      cells = Hashtbl.create 1024;
+      base_done = Hashtbl.create 1024;
+      virtuals_at = Hashtbl.create 256;
+      connected = Hashtbl.create 1024;
+      reachable = Array.make (Array.length prog.Ir.methods) false;
+      queue = Queue.create ();
+      queued = Bytes.make (max n_nodes 1) '\000';
+      stats = Stats.create ();
+    }
+  in
+  let roots =
+    match roots with
+    | Some rs -> rs
+    | None -> (
+      match prog.Ir.entry with
+      | Some e -> [ e ]
+      | None -> List.init (Array.length prog.Ir.methods) (fun i -> i))
+  in
+  List.iter (fun r -> activate t r) roots;
+  while not (Queue.is_empty t.queue) do
+    let u = Queue.pop t.queue in
+    Bytes.set t.queued u '\000';
+    process t u
+  done;
+  let sccs = Callgraph.mark_recursion t.cg t.pag in
+  Stats.add t.stats "recursive_sccs" sccs;
+  Stats.add t.stats "cg_edges" (Callgraph.edge_count t.cg);
+  Pag.freeze t.pag;
+  t
+
+let pag t = t.pag
+let callgraph t = t.cg
+let program t = t.prog
+
+let points_to t node =
+  if node < Array.length t.pts then t.pts.(node) else Bitset.create ~capacity:1 ()
+
+let points_to_var t ~meth ~var = points_to t (Pag.local_node t.pag ~meth ~var)
+
+let is_reachable t mid = mid >= 0 && mid < Array.length t.reachable && t.reachable.(mid)
+
+let reachable_methods t =
+  let acc = ref [] in
+  Array.iteri (fun i r -> if r then acc := i :: !acc) t.reachable;
+  List.rev !acc
+
+let stats t = t.stats

@@ -1,0 +1,1 @@
+lib/clients/client.ml: Budget Engine Format List Pag Pts_util Query

@@ -1,0 +1,1 @@
+lib/clients/client.mli: Engine Format Pag Query

@@ -1,0 +1,1 @@
+lib/clients/devirt.ml: Array Cha Client Int Ir List Pag Pipeline Printf Pts_andersen Query Types

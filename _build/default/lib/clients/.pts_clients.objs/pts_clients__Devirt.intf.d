@@ -1,0 +1,1 @@
+lib/clients/devirt.mli: Client Pipeline

@@ -1,0 +1,1 @@
+lib/clients/factorym.ml: Array Ast Callgraph Client Ir List Pag Pipeline Printf Pts_andersen Query Types

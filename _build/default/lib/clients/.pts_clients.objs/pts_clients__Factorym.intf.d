@@ -1,0 +1,1 @@
+lib/clients/factorym.mli: Client Pipeline

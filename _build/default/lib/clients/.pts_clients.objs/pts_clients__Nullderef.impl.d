@@ -1,0 +1,1 @@
+lib/clients/nullderef.ml: Array Client Ir List Pag Pipeline Printf Pts_andersen Query

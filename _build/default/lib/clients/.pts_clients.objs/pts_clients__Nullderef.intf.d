@@ -1,0 +1,1 @@
+lib/clients/nullderef.mli: Client Pipeline

@@ -1,0 +1,1 @@
+lib/clients/pipeline.ml: Array Callgraph Dynsum Frontend Ir Pag Pts_andersen Sb Stasum String

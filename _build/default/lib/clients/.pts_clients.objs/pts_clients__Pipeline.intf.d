@@ -1,0 +1,1 @@
+lib/clients/pipeline.mli: Callgraph Engine Ir Pag Pts_andersen

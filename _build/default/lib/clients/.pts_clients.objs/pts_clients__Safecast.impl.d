@@ -1,0 +1,1 @@
+lib/clients/safecast.ml: Array Ast Client Format Ir List Pag Pipeline Printf Pts_andersen Query Types

@@ -1,0 +1,1 @@
+lib/clients/safecast.mli: Client Pipeline

@@ -1,0 +1,59 @@
+type verdict = Proved | Refuted | Unknown
+
+type query = {
+  q_node : Pag.node;
+  q_desc : string;
+  q_pred : Query.Target_set.t -> bool;
+}
+
+type tally = { proved : int; refuted : int; unknown : int }
+
+let total t = t.proved + t.refuted + t.unknown
+
+let add_tally a b =
+  { proved = a.proved + b.proved; refuted = a.refuted + b.refuted; unknown = a.unknown + b.unknown }
+
+type run_result = { tally : tally; seconds : float; steps : int; summaries_after : int }
+
+let verdict_of pred = function
+  | Query.Exceeded -> Unknown
+  | Query.Resolved ts -> if pred ts then Proved else Refuted
+
+let run (engine : Engine.engine) queries =
+  let steps_before = Budget.total_steps engine.Engine.budget in
+  let tally, seconds =
+    Pts_util.Stats.time (fun () ->
+        List.fold_left
+          (fun acc q ->
+            let outcome = engine.Engine.points_to ~satisfy:q.q_pred q.q_node in
+            match verdict_of q.q_pred outcome with
+            | Proved -> { acc with proved = acc.proved + 1 }
+            | Refuted -> { acc with refuted = acc.refuted + 1 }
+            | Unknown -> { acc with unknown = acc.unknown + 1 })
+          { proved = 0; refuted = 0; unknown = 0 }
+          queries)
+  in
+  {
+    tally;
+    seconds;
+    steps = Budget.total_steps engine.Engine.budget - steps_before;
+    summaries_after = engine.Engine.summary_count ();
+  }
+
+let run_batches engine queries ~batches =
+  if batches <= 0 then invalid_arg "Client.run_batches";
+  let n = List.length queries in
+  let size = max 1 (n / batches) in
+  let rec split i acc rest =
+    if i = batches - 1 || rest = [] then List.rev (rest :: acc)
+    else begin
+      let batch = List.filteri (fun j _ -> j < size) rest in
+      let rest' = List.filteri (fun j _ -> j >= size) rest in
+      split (i + 1) (batch :: acc) rest'
+    end
+  in
+  let groups = split 0 [] queries in
+  List.map (fun batch -> run engine batch) groups
+
+let pp_tally fmt t =
+  Format.fprintf fmt "proved=%d refuted=%d unknown=%d" t.proved t.refuted t.unknown

@@ -1,0 +1,42 @@
+(** Client framework: queries, verdicts, batching.
+
+    A client turns program points into points-to queries, each with an
+    anti-monotone predicate ("every object in the set is benign"), so that
+    REFINEPTS may stop refining as soon as an over-approximate answer
+    already satisfies it — exactly the paper's [satisfyClient]. *)
+
+type verdict =
+  | Proved  (** property holds *)
+  | Refuted  (** exact answer violates the property *)
+  | Unknown  (** budget exceeded *)
+
+type query = {
+  q_node : Pag.node;
+  q_desc : string; (** e.g. ["cast@14 Main.main"] *)
+  q_pred : Query.Target_set.t -> bool; (** must be anti-monotone *)
+}
+
+type tally = { proved : int; refuted : int; unknown : int }
+
+val total : tally -> int
+val add_tally : tally -> tally -> tally
+
+type run_result = {
+  tally : tally;
+  seconds : float;
+  steps : int; (** deterministic budget steps consumed *)
+  summaries_after : int; (** engine's summary-cache size after the run *)
+}
+
+val run : Engine.engine -> query list -> run_result
+(** Issue the queries in order against the engine. *)
+
+val run_batches : Engine.engine -> query list -> batches:int -> run_result list
+(** Split the query sequence into [batches] consecutive batches (the first
+    [batches-1] of size [n/batches], the last taking the remainder, as in
+    §5.3) and report per-batch results. The engine is shared, so caches
+    persist across batches. *)
+
+val verdict_of : (Query.Target_set.t -> bool) -> Query.outcome -> verdict
+
+val pp_tally : Format.formatter -> tally -> unit

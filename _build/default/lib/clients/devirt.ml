@@ -1,0 +1,54 @@
+let name = "Devirt"
+
+let queries (pl : Pipeline.t) =
+  let prog = pl.Pipeline.prog in
+  let ctable = prog.Ir.ctable in
+  let null_cls = Types.null_class ctable in
+  let acc = ref [] in
+  Array.iter
+    (fun (m : Ir.meth) ->
+      if Pts_andersen.Solver.is_reachable pl.Pipeline.solver m.Ir.id then
+        List.iter
+          (fun instr ->
+            match instr with
+            | Ir.Call { kind = Ir.Virtual { recv; mname }; site; _ } -> (
+              match Types.class_of_typ ctable m.Ir.var_types.(recv) with
+              | None -> ()
+              | Some recv_cls ->
+                let cha_targets = Cha.dispatch_targets prog ~recv_cls ~mname in
+                if List.length cha_targets >= 2 then begin
+                  let pred ts =
+                    (* every non-null object must dispatch to one target *)
+                    let impls =
+                      List.filter_map
+                        (fun obj_site ->
+                          let a = prog.Ir.allocs.(obj_site) in
+                          if a.Ir.alloc_cls = null_cls then None
+                          else
+                            match Types.lookup_method ctable a.Ir.alloc_cls mname with
+                            | Some ms -> Some ms.Types.ms_id
+                            | None -> None)
+                        (Query.sites ts)
+                    in
+                    match List.sort_uniq Int.compare impls with
+                    | [] | [ _ ] -> true
+                    | _ :: _ :: _ -> false
+                  in
+                  acc :=
+                    {
+                      Client.q_node = Pag.local_node pl.Pipeline.pag ~meth:m.Ir.id ~var:recv;
+                      q_desc =
+                        Printf.sprintf "call@site%d %s.%s (%d CHA targets) in %s" site
+                          (Types.class_name ctable recv_cls) mname (List.length cha_targets)
+                          m.Ir.pretty;
+                      q_pred = pred;
+                    }
+                    :: !acc
+                end)
+            | Ir.Call { kind = Ir.Static _ | Ir.Ctor _; _ }
+            | Ir.Alloc _ | Ir.Move _ | Ir.Load _ | Ir.Store _ | Ir.Load_global _
+            | Ir.Store_global _ | Ir.Return _ | Ir.Cast_move _ ->
+              ())
+          m.Ir.body)
+    prog.Ir.methods;
+  List.rev !acc

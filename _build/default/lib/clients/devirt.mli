@@ -1,0 +1,14 @@
+(** The Devirt client: can a virtual call site be devirtualised?
+
+    The paper motivates demand-driven analysis with JIT compilers; this is
+    the canonical JIT client. A virtual call site is devirtualisable when
+    the receiver's points-to set dispatches every abstract object to the
+    {e same} implementation — then the JIT can inline or emit a direct
+    call. Only sites that CHA leaves polymorphic (≥ 2 hierarchy-feasible
+    targets) are queried: monomorphic-by-hierarchy sites need no points-to
+    analysis, so these queries measure precisely the value the
+    context-sensitive analysis adds over CHA. *)
+
+val queries : Pipeline.t -> Client.query list
+
+val name : string

@@ -1,0 +1,59 @@
+let name = "FactoryM"
+
+let is_reference = function Ast.Tclass _ | Ast.Tarray _ -> true | Ast.Tint | Ast.Tbool | Ast.Tvoid -> false
+
+(* A factory candidate must both return a reference and allocate something
+   itself — accessors like [Vector.get] are not factories. *)
+let allocates prog (m : Ir.meth) =
+  List.exists
+    (function
+      | Ir.Alloc { site; _ } -> not prog.Ir.allocs.(site).Ir.alloc_is_null
+      | Ir.Move _ | Ir.Load _ | Ir.Store _ | Ir.Load_global _ | Ir.Store_global _ | Ir.Call _
+      | Ir.Return _ | Ir.Cast_move _ ->
+        false)
+    m.Ir.body
+
+let queries (pl : Pipeline.t) =
+  let prog = pl.Pipeline.prog in
+  let cg = pl.Pipeline.callgraph in
+  let acc = ref [] in
+  Array.iter
+    (fun (m : Ir.meth) ->
+      if Pts_andersen.Solver.is_reachable pl.Pipeline.solver m.Ir.id then
+        List.iter
+          (fun instr ->
+            match instr with
+            | Ir.Call { dst = Some dst; site; kind; _ } -> (
+              let targets = Callgraph.targets cg site in
+              let candidates =
+                List.filter
+                  (fun t ->
+                    is_reference prog.Ir.methods.(t).Ir.msig.Types.ms_ret
+                    && allocates prog prog.Ir.methods.(t))
+                  targets
+              in
+              match (candidates, kind) with
+              | [], _ | _, Ir.Ctor _ -> ()
+              | _ :: _, (Ir.Virtual _ | Ir.Static _) ->
+                let pred ts =
+                  List.for_all
+                    (fun obj_site ->
+                      let a = prog.Ir.allocs.(obj_site) in
+                      a.Ir.alloc_is_null || List.mem a.Ir.alloc_meth targets)
+                    (Query.sites ts)
+                in
+                acc :=
+                  {
+                    Client.q_node = Pag.local_node pl.Pipeline.pag ~meth:m.Ir.id ~var:dst;
+                    q_desc =
+                      Printf.sprintf "factory-call@site%d in %s" site m.Ir.pretty;
+                    q_pred = pred;
+                  }
+                  :: !acc)
+            | Ir.Call { dst = None; _ }
+            | Ir.Alloc _ | Ir.Move _ | Ir.Load _ | Ir.Store _ | Ir.Load_global _
+            | Ir.Store_global _ | Ir.Return _ | Ir.Cast_move _ ->
+              ())
+          m.Ir.body)
+    prog.Ir.methods;
+  List.rev !acc

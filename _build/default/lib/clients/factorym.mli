@@ -1,0 +1,13 @@
+(** The FactoryM client (§5.2): does a factory method return a
+    newly-allocated object for each call?
+
+    Candidate factories are reachable methods with a reference return
+    type. For each reachable call site that may dispatch to a candidate,
+    the client queries the call's result variable and proves the factory
+    property when every abstract object flowing out was allocated inside
+    one of the site's callees (rather than, say, fetched from a cache or
+    a static field). *)
+
+val queries : Pipeline.t -> Client.query list
+
+val name : string

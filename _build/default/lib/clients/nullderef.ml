@@ -1,0 +1,37 @@
+let name = "NullDeref"
+
+let queries (pl : Pipeline.t) =
+  let prog = pl.Pipeline.prog in
+  let acc = ref [] in
+  let n = ref 0 in
+  Array.iter
+    (fun (m : Ir.meth) ->
+      if Pts_andersen.Solver.is_reachable pl.Pipeline.solver m.Ir.id then
+        List.iter
+          (fun instr ->
+            let base =
+              match instr with
+              | Ir.Load { base; _ } | Ir.Store { base; _ } -> Some base
+              | Ir.Call { kind = Ir.Virtual { recv; _ }; _ } -> Some recv
+              | Ir.Call { kind = Ir.Static _ | Ir.Ctor _; _ }
+              | Ir.Alloc _ | Ir.Move _ | Ir.Load_global _ | Ir.Store_global _ | Ir.Return _
+              | Ir.Cast_move _ ->
+                None
+            in
+            match base with
+            | None -> ()
+            | Some base ->
+              incr n;
+              let pred ts =
+                List.for_all (fun site -> not prog.Ir.allocs.(site).Ir.alloc_is_null) (Query.sites ts)
+              in
+              acc :=
+                {
+                  Client.q_node = Pag.local_node pl.Pipeline.pag ~meth:m.Ir.id ~var:base;
+                  q_desc = Printf.sprintf "deref#%d of %s in %s" !n (Ir.var_name m base) m.Ir.pretty;
+                  q_pred = pred;
+                }
+                :: !acc)
+          m.Ir.body)
+    prog.Ir.methods;
+  List.rev !acc

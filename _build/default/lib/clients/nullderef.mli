@@ -1,0 +1,12 @@
+(** The NullDeref client (§5.2): may a dereference observe null?
+
+    For every field load, field store, array access and virtual-call
+    receiver in a reachable method, the client queries the base variable
+    and proves the dereference safe when no null pseudo-allocation reaches
+    it. This is the paper's precision-hungry client: field-based
+    approximations smear nulls across unrelated heap locations, so
+    REFINEPTS rarely terminates early on it. *)
+
+val queries : Pipeline.t -> Client.query list
+
+val name : string

@@ -1,0 +1,40 @@
+type t = {
+  prog : Ir.program;
+  solver : Pts_andersen.Solver.t;
+  pag : Pag.t;
+  callgraph : Callgraph.t;
+}
+
+let of_program prog =
+  let solver = Pts_andersen.Solver.run prog in
+  {
+    prog;
+    solver;
+    pag = Pts_andersen.Solver.pag solver;
+    callgraph = Pts_andersen.Solver.callgraph solver;
+  }
+
+let of_source source = of_program (Frontend.compile source)
+
+let find_local t ~meth_pretty ~var =
+  let found = ref None in
+  Array.iter
+    (fun (m : Ir.meth) ->
+      if String.equal m.Ir.pretty meth_pretty then
+        Array.iteri
+          (fun v name -> if String.equal name var then found := Some (m.Ir.id, v))
+          m.Ir.var_names)
+    t.prog.Ir.methods;
+  match !found with
+  | Some (meth, v) -> Pag.local_node t.pag ~meth ~var:v
+  | None -> raise Not_found
+
+let engines ?conf ?(with_stasum = false) t =
+  let base =
+    [
+      Sb.engine (Sb.create ?conf Sb.No_refine t.pag) ~name:"norefine";
+      Sb.engine (Sb.create ?conf Sb.Refine t.pag) ~name:"refinepts";
+      Dynsum.engine (Dynsum.create ?conf t.pag);
+    ]
+  in
+  if with_stasum then base @ [ Stasum.engine (Stasum.create ?conf t.pag) ] else base

@@ -1,0 +1,26 @@
+(** End-to-end driver: MiniJava source to an analysed program.
+
+    Bundles the artefacts every client and benchmark needs: the IR, the
+    Andersen solution (call graph + soundness oracle) and the frozen PAG. *)
+
+type t = {
+  prog : Ir.program;
+  solver : Pts_andersen.Solver.t;
+  pag : Pag.t;
+  callgraph : Callgraph.t;
+}
+
+val of_source : string -> t
+(** Compile (with prelude), run the on-the-fly Andersen construction,
+    freeze the PAG. @raise Frontend.Error on bad source. *)
+
+val of_program : Ir.program -> t
+
+val find_local : t -> meth_pretty:string -> var:string -> Pag.node
+(** Look up a variable node by method pretty-name (e.g. ["Main.main"]) and
+    source variable name. @raise Not_found. *)
+
+val engines :
+  ?conf:Engine.conf -> ?with_stasum:bool -> t -> Engine.engine list
+(** Fresh [norefine; refinepts; dynsum] engines (plus [stasum] when
+    requested — its eager offline phase is costly). *)

@@ -1,0 +1,33 @@
+let name = "SafeCast"
+
+let queries (pl : Pipeline.t) =
+  let prog = pl.Pipeline.prog in
+  let ctable = prog.Ir.ctable in
+  let null_cls = Types.null_class ctable in
+  Array.to_list prog.Ir.casts
+  |> List.filter_map (fun (c : Ir.cast_site) ->
+         if c.Ir.cast_trivial then None
+         else if not (Pts_andersen.Solver.is_reachable pl.Pipeline.solver c.Ir.cast_meth) then None
+         else
+           match Types.class_of_typ ctable c.Ir.cast_target with
+           | None -> None
+           | Some target_cls ->
+             let node =
+               Pag.local_node pl.Pipeline.pag ~meth:c.Ir.cast_meth ~var:c.Ir.cast_src
+             in
+             let pred ts =
+               List.for_all
+                 (fun site ->
+                   let cls = prog.Ir.allocs.(site).Ir.alloc_cls in
+                   cls = null_cls || Types.subclass ctable cls target_cls)
+                 (Query.sites ts)
+             in
+             Some
+               {
+                 Client.q_node = node;
+                 q_desc =
+                   Printf.sprintf "cast@%d (%s) in %s" c.Ir.cast_pos.Ast.line
+                     (Format.asprintf "%a" Ast.pp_typ c.Ir.cast_target)
+                     prog.Ir.methods.(c.Ir.cast_meth).Ir.pretty;
+                 q_pred = pred;
+               })

@@ -1,0 +1,11 @@
+(** The SafeCast client (§5.2): is every downcast in the program safe?
+
+    For each non-trivial reference cast [(C) e] in a reachable method, the
+    client queries the points-to set of the operand and proves the cast
+    safe when every abstract object's allocation class is a subtype of
+    [C]. Null pseudo-objects are benign (casting null always succeeds). *)
+
+val queries : Pipeline.t -> Client.query list
+(** One query per reachable non-trivial cast, in cast-site order. *)
+
+val name : string

@@ -1,0 +1,1 @@
+lib/core/alias.ml: Engine List Query

@@ -1,0 +1,1 @@
+lib/core/dynsum.ml: Budget Engine Fun Hashtbl List Marshal Pag Ppta Pts_util Query Queue

@@ -1,0 +1,1 @@
+lib/core/dynsum.mli: Budget Engine Pag Ppta Pts_util Query

@@ -1,0 +1,1 @@
+lib/core/engine.ml: Budget Pag Pts_util Query

@@ -1,0 +1,1 @@
+lib/core/engine.mli: Budget Pag Pts_util Query

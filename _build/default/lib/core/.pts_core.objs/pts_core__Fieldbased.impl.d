@@ -1,0 +1,1 @@
+lib/core/fieldbased.ml: Array Hashtbl List Pag Pts_util

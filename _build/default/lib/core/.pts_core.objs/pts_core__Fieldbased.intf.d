@@ -1,0 +1,1 @@
+lib/core/fieldbased.mli: Pag

@@ -1,0 +1,1 @@
+lib/core/fstack.ml: Budget Engine List Pts_util

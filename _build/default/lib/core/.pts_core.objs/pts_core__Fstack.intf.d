@@ -1,0 +1,1 @@
+lib/core/fstack.mli: Engine Pts_util

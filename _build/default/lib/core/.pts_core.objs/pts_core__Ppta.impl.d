@@ -1,0 +1,1 @@
+lib/core/ppta.ml: Budget Format Fstack Hashtbl List Pag Pts_util

@@ -1,0 +1,1 @@
+lib/core/ppta.mli: Budget Engine Format Pag Pts_util

@@ -1,0 +1,1 @@
+lib/core/query.ml: Format Int Pts_util Set

@@ -1,0 +1,1 @@
+lib/core/sb.ml: Budget Engine Fieldbased Hashtbl Int List Pag Pts_util Query Set

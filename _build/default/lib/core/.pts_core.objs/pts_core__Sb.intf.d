@@ -1,0 +1,1 @@
+lib/core/sb.mli: Budget Engine Pag Pts_util Query

@@ -1,0 +1,1 @@
+lib/core/stasum.ml: Budget Dynsum Engine Hashtbl List Pag Ppta Pts_util Query Queue

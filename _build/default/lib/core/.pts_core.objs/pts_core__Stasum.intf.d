@@ -1,0 +1,1 @@
+lib/core/stasum.mli: Budget Engine Pag Pts_util Query

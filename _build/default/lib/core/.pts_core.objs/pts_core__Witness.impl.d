@@ -1,0 +1,1 @@
+lib/core/witness.ml: Budget Engine Fstack Hashtbl Ir List Pag Ppta Printf Pts_util Queue String Types

@@ -1,0 +1,20 @@
+type verdict = Must_not | May | Unknown
+
+let overlap a b = not (Query.Target_set.is_empty (Query.Target_set.inter a b))
+
+let with_sets (engine : Engine.engine) x y k =
+  match (engine.Engine.points_to x, engine.Engine.points_to y) with
+  | Query.Resolved a, Query.Resolved b -> k a b
+  | Query.Exceeded, _ | _, Query.Exceeded -> Unknown
+
+let may_alias engine x y =
+  if x = y then May
+  else with_sets engine x y (fun a b -> if overlap a b then May else Must_not)
+
+let sites_overlap a b =
+  let sa = Query.sites a and sb = Query.sites b in
+  List.exists (fun s -> List.mem s sb) sa
+
+let may_alias_sites engine x y =
+  if x = y then May
+  else with_sets engine x y (fun a b -> if sites_overlap a b then May else Must_not)

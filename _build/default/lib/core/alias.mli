@@ -1,0 +1,23 @@
+(** Demand alias queries on top of the points-to engines.
+
+    In the CFL formulation, [x alias y] iff some abstract object flows to
+    both ([x flowsTo-bar o flowsTo y], §3.2): two variables may alias
+    exactly when their points-to sets share a target. Heap contexts
+    participate in the comparison — two allocations of the same site under
+    provably different calling contexts do not alias — with a
+    site-granularity fallback for clients that want the conservative
+    answer. *)
+
+type verdict =
+  | Must_not  (** target sets are disjoint: never aliases *)
+  | May  (** sets intersect: possible alias *)
+  | Unknown  (** a budget ran out *)
+
+val may_alias : Engine.engine -> Pag.node -> Pag.node -> verdict
+(** Full-precision comparison on (site, heap-context) targets. *)
+
+val may_alias_sites : Engine.engine -> Pag.node -> Pag.node -> verdict
+(** Coarser comparison on allocation sites only (ignores heap contexts);
+    never more precise than {!may_alias}, useful as a sanity oracle. *)
+
+val overlap : Query.Target_set.t -> Query.Target_set.t -> bool

@@ -1,0 +1,20 @@
+exception Out_of_budget
+
+type t = { lim : int; mutable in_query : int; mutable total : int }
+
+let create ~limit =
+  if limit <= 0 then invalid_arg "Budget.create: limit must be positive";
+  { lim = limit; in_query = 0; total = 0 }
+
+let unlimited () = { lim = max_int; in_query = 0; total = 0 }
+
+let start_query t = t.in_query <- 0
+
+let step t =
+  t.in_query <- t.in_query + 1;
+  t.total <- t.total + 1;
+  if t.in_query > t.lim then raise Out_of_budget
+
+let steps_this_query t = t.in_query
+let total_steps t = t.total
+let limit t = t.lim

@@ -1,0 +1,28 @@
+(** Per-query traversal budgets.
+
+    The paper caps every query at 75,000 PAG edge traversals; a query that
+    exhausts its budget is answered conservatively ({!Query.Exceeded}).
+    The cumulative step count across queries doubles as a deterministic,
+    machine-independent cost measure for the benchmark harness. *)
+
+exception Out_of_budget
+
+type t
+
+val create : limit:int -> t
+
+val unlimited : unit -> t
+
+val start_query : t -> unit
+(** Reset the per-query allowance (cumulative counters keep running). *)
+
+val step : t -> unit
+(** Count one edge traversal. @raise Out_of_budget when the per-query
+    allowance is exhausted. *)
+
+val steps_this_query : t -> int
+
+val total_steps : t -> int
+(** Across all queries, including exceeded ones. *)
+
+val limit : t -> int

@@ -1,0 +1,240 @@
+module Hstack = Pts_util.Hstack
+module Stats = Pts_util.Stats
+
+module Cache_key = struct
+  type t = int * int * int (* node, field-stack id, state *)
+
+  let equal (a : t) (b : t) = a = b
+  let hash ((n, f, s) : t) = (((n * 31) + f) * 31) + s
+end
+
+module Cache = Hashtbl.Make (Cache_key)
+
+type t = {
+  pag : Pag.t;
+  conf : Engine.conf;
+  budget : Budget.t;
+  stats : Stats.t;
+  cache : Ppta.summary Cache.t;
+  key_stacks : Pts_util.Hstack.t Cache.t; (* key -> its field stack, for persistence *)
+}
+
+let create ?(conf = Engine.default_conf) pag =
+  {
+    pag;
+    conf;
+    budget = Budget.create ~limit:conf.Engine.budget_limit;
+    stats = Stats.create ();
+    cache = Cache.create 4096;
+    key_stacks = Cache.create 4096;
+  }
+
+let summary_count t = Cache.length t.cache
+
+let summary_points t =
+  let pts = Hashtbl.create 256 in
+  Cache.iter (fun (n, _f, s) _ -> Hashtbl.replace pts (n, s) ()) t.cache;
+  Hashtbl.length pts
+
+let clear_cache t =
+  Cache.reset t.cache;
+  Cache.reset t.key_stacks
+
+let budget t = t.budget
+let stats t = t.stats
+
+(* ------------------------- cache persistence ------------------------ *)
+
+(* Structural image of one cache entry: hash-cons ids are process-local,
+   so stacks travel as symbol lists. *)
+type entry_image = int * int list * int * int list * (int * int list * int) list
+
+let magic = "ptsto-dynsum-cache-v1"
+
+let fingerprint pag =
+  let c = Pag.edge_counts pag in
+  ( Pag.node_count pag,
+    c.Pag.n_new,
+    c.Pag.n_assign,
+    c.Pag.n_load,
+    c.Pag.n_store,
+    c.Pag.n_entry,
+    c.Pag.n_exit,
+    c.Pag.n_assign_global )
+
+let save_cache t path =
+  (* the cache key holds only the process-local hash-cons id of the field
+     stack; the parallel key_stacks table provides the structural stack *)
+  let images = ref [] in
+  Cache.iter
+    (fun ((node, _fid, state) as key) summary ->
+      match Cache.find_opt t.key_stacks key with
+      | None -> ()
+      | Some stack ->
+        let tuples =
+          List.map
+            (fun (n, f, s) -> (n, Hstack.to_list f, Ppta.state_to_int s))
+            summary.Ppta.tuples
+        in
+        images :=
+          ((node, Hstack.to_list stack, state, summary.Ppta.objs, tuples) : entry_image)
+          :: !images)
+    t.cache;
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> Marshal.to_channel oc (magic, fingerprint t.pag, !images) [])
+
+let state_of_int = function 1 -> Ppta.S1 | _ -> Ppta.S2
+
+let load_cache t path =
+  match open_in_bin path with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        match (Marshal.from_channel ic : string * 'a * entry_image list) with
+        | exception _ -> Error "corrupt cache file"
+        | file_magic, fp, images ->
+          if file_magic <> magic then Error "not a dynsum cache file"
+          else if fp <> fingerprint t.pag then Error "cache was built for a different PAG"
+          else begin
+            let n = ref 0 in
+            List.iter
+              (fun (node, syms, state, objs, tuples) ->
+                let key = (node, Hstack.id (Hstack.of_list syms), state) in
+                if not (Cache.mem t.cache key) then begin
+                  incr n;
+                  Cache.add t.cache key
+                    {
+                      Ppta.objs;
+                      tuples =
+                        List.map
+                          (fun (tn, tf, ts) -> (tn, Hstack.of_list tf, state_of_int ts))
+                          tuples;
+                    };
+                  Cache.add t.key_stacks key (Hstack.of_list syms)
+                end)
+              images;
+            Ok !n
+          end)
+
+type summary_source = Pag.node -> Hstack.t -> Ppta.state -> Ppta.summary
+
+module Seen = Hashtbl.Make (struct
+  type t = int * int * int * int (* node, fstack id, state, ctx id *)
+
+  let equal (a : t) (b : t) = a = b
+  let hash ((n, f, s, c) : t) = (((((n * 31) + f) * 31) + s) * 31) + c
+end)
+
+(* Algorithm 4's worklist: PPTA summaries handle local edges; this loop
+   handles the global edges under the RRP context machine. *)
+let solve pag budget (summarise : summary_source) v c0 =
+  let results = ref Query.Target_set.empty in
+  let seen = Seen.create 256 in
+  let work = Queue.create () in
+  let propagate u f s c =
+    let key = (u, Hstack.id f, Ppta.state_to_int s, Hstack.id c) in
+    if not (Seen.mem seen key) then begin
+      Seen.add seen key ();
+      Queue.add (u, f, s, c) work
+    end
+  in
+  propagate v Hstack.empty Ppta.S1 c0;
+  while not (Queue.is_empty work) do
+    let u, f, s, c = Queue.pop work in
+    Budget.step budget;
+    let summary = summarise u f s in
+    List.iter
+      (fun site -> results := Query.Target_set.add { Query.Target.site; hctx = c } !results)
+      summary.Ppta.objs;
+    List.iter
+      (fun (x, f1, s1) ->
+        match s1 with
+        | Ppta.S1 ->
+          (* traversing backwards: exit descends into a callee (push),
+             entry returns to a caller (pop) *)
+          List.iter
+            (fun (i, y) ->
+              Budget.step budget;
+              propagate y f1 Ppta.S1 (Engine.push_ctx pag c i))
+            (Pag.exit_in pag x);
+          List.iter
+            (fun (i, y) ->
+              Budget.step budget;
+              match Engine.pop_ctx pag c i with
+              | Some c' -> propagate y f1 Ppta.S1 c'
+              | None -> ())
+            (Pag.entry_in pag x);
+          List.iter
+            (fun y ->
+              Budget.step budget;
+              propagate y f1 Ppta.S1 Hstack.empty)
+            (Pag.global_in pag x)
+        | Ppta.S2 ->
+          (* traversing forwards: entry enters a callee (push), exit
+             returns to a caller (pop) *)
+          List.iter
+            (fun (i, y) ->
+              Budget.step budget;
+              match Engine.pop_ctx pag c i with
+              | Some c' -> propagate y f1 Ppta.S2 c'
+              | None -> ())
+            (Pag.exit_out pag x);
+          List.iter
+            (fun (i, y) ->
+              Budget.step budget;
+              propagate y f1 Ppta.S2 (Engine.push_ctx pag c i))
+            (Pag.entry_out pag x);
+          List.iter
+            (fun y ->
+              Budget.step budget;
+              propagate y f1 Ppta.S2 Hstack.empty)
+            (Pag.global_out pag x))
+      summary.Ppta.tuples
+  done;
+  !results
+
+(* Summary lookup with the paper's fast path: a node without local edges
+   needs no PPTA — its only continuation is itself as a frontier tuple. *)
+let summarise t u f s =
+  if not (Pag.has_local_edges t.pag u) then begin
+    Stats.bump t.stats "no_local_fastpath";
+    { Ppta.objs = []; tuples = [ (u, f, s) ] }
+  end
+  else begin
+    let key = (u, Hstack.id f, Ppta.state_to_int s) in
+    match Cache.find_opt t.cache key with
+    | Some summary ->
+      Stats.bump t.stats "cache_hits";
+      summary
+    | None ->
+      Stats.bump t.stats "cache_misses";
+      let summary = Ppta.compute t.pag t.conf t.budget u f s in
+      Cache.add t.cache key summary;
+      Cache.add t.key_stacks key f;
+      summary
+  end
+
+let points_to_in t v c0 =
+  Stats.bump t.stats "queries";
+  Budget.start_query t.budget;
+  try Query.Resolved (solve t.pag t.budget (summarise t) v c0)
+  with Budget.Out_of_budget ->
+    Stats.bump t.stats "exceeded";
+    Query.Exceeded
+
+let points_to t ?satisfy v =
+  ignore satisfy;
+  points_to_in t v Hstack.empty
+
+let engine t =
+  {
+    Engine.name = "dynsum";
+    points_to = (fun ?satisfy v -> points_to t ?satisfy v);
+    budget = t.budget;
+    stats = t.stats;
+    summary_count = (fun () -> summary_count t);
+  }

@@ -1,0 +1,79 @@
+(** DYNSUM — Algorithm 4 of the paper, this reproduction's core
+    contribution.
+
+    A worklist propagates query states [(u, f, s, c)] across the
+    context-dependent {e global} edges according to the RRP machine of
+    Figure 3(b), while all work along {e local} edges is delegated to the
+    context-independent {!Ppta} and cached in a summary table keyed by
+    [(u, f, s)]. Summaries therefore accumulate {e across} queries and are
+    reused under arbitrary calling contexts without precision loss, which
+    is what makes DYNSUM outperform REFINEPTS on query-heavy clients.
+
+    The cache persists for the lifetime of the engine; clearing between
+    batches (for ablations) is explicit via {!clear_cache}. As the paper's
+    implementation note prescribes, nodes without local edges bypass the
+    PPTA (and the cache) entirely. *)
+
+module Cache_key : sig
+  type t = int * int * int (** node, field-stack id, state *)
+
+  val equal : t -> t -> bool
+  val hash : t -> int
+end
+
+type t
+
+val create : ?conf:Engine.conf -> Pag.t -> t
+
+val points_to : t -> ?satisfy:(Query.Target_set.t -> bool) -> Pag.node -> Query.outcome
+(** Demand query with the empty initial context; [satisfy] is ignored
+    (DYNSUM always resolves fully). *)
+
+val points_to_in : t -> Pag.node -> Pts_util.Hstack.t -> Query.outcome
+(** Query under a given initial calling context. *)
+
+val summary_count : t -> int
+(** Number of cached PPTA summaries (the size of [Cache] in Algorithm 4 —
+    the quantity Figure 5 compares against STASUM). *)
+
+val summary_points : t -> int
+(** Distinct (node, direction) pairs covered by the cache — a coarser
+    count, comparable to per-boundary-node summary units as in Yan et
+    al.'s STASUM, reported alongside the raw cache size in Figure 5. *)
+
+val clear_cache : t -> unit
+
+(** {2 Cache persistence}
+
+    The summary cache is the analysis session's accumulated knowledge; an
+    IDE wants it to survive restarts. Summaries are serialised
+    structurally (field stacks as symbol lists — hash-cons ids are
+    process-local) together with a fingerprint of the PAG (node and
+    per-kind edge counts), and a load against a differently-shaped PAG is
+    refused. *)
+
+val save_cache : t -> string -> unit
+(** Write the cache to a file. @raise Sys_error on IO failure. *)
+
+val load_cache : t -> string -> (int, string) result
+(** Merge a saved cache into this engine; returns the number of entries
+    loaded, or an error for a missing/corrupt file or a PAG-fingerprint
+    mismatch. *)
+
+val budget : t -> Budget.t
+val stats : t -> Pts_util.Stats.t
+(** Counters: ["queries"], ["exceeded"], ["cache_hits"],
+    ["cache_misses"], ["worklist_pops"], ["no_local_fastpath"]. *)
+
+val engine : t -> Engine.engine
+
+(** {2 Shared worklist core}
+
+    STASUM answers queries with exactly this propagation loop over a
+    precomputed cache, so the loop is exposed to it. *)
+
+type summary_source = Pag.node -> Pts_util.Hstack.t -> Ppta.state -> Ppta.summary
+
+val solve :
+  Pag.t -> Budget.t -> summary_source -> Pag.node -> Pts_util.Hstack.t -> Query.Target_set.t
+(** @raise Budget.Out_of_budget *)

@@ -1,0 +1,37 @@
+module Hstack = Pts_util.Hstack
+
+type overflow = Abort | Widen
+
+type conf = {
+  budget_limit : int;
+  max_field_repeat : int;
+  max_field_depth : int;
+  overflow : overflow;
+}
+
+let default_conf =
+  { budget_limit = 75_000; max_field_repeat = 2; max_field_depth = 64; overflow = Widen }
+
+let conf ?(budget_limit = default_conf.budget_limit)
+    ?(max_field_repeat = default_conf.max_field_repeat)
+    ?(max_field_depth = default_conf.max_field_depth) ?(overflow = default_conf.overflow) () =
+  { budget_limit; max_field_repeat; max_field_depth; overflow }
+
+let push_ctx pag c i = if Pag.is_recursive_site pag i then c else Hstack.push c i
+
+let pop_ctx pag c i =
+  if Pag.is_recursive_site pag i then Some c
+  else
+    match Hstack.peek c with
+    | None -> Some c (* partially balanced: fall off into an unknown caller *)
+    | Some top -> if top = i then Some (Hstack.pop_exn c) else None
+
+type points_to_fn = ?satisfy:(Query.Target_set.t -> bool) -> Pag.node -> Query.outcome
+
+type engine = {
+  name : string;
+  points_to : points_to_fn;
+  budget : Budget.t;
+  stats : Pts_util.Stats.t;
+  summary_count : unit -> int;
+}

@@ -1,0 +1,57 @@
+(** Configuration and traversal helpers shared by all demand-driven
+    engines.
+
+    The context helpers implement the RRP recursive state machine of
+    Figure 3(b) of the paper, including the recursion-collapsing rule of
+    §5.1: entry/exit edges of a call site inside a call-graph cycle are
+    traversed context-insensitively (no push, any pop allowed). The
+    realizability rule allows an empty stack to pop (partially balanced
+    paths may start and end in different methods). *)
+
+type overflow =
+  | Abort  (** overflow fails the query conservatively (paper behaviour) *)
+  | Widen  (** k-limit the access path: sound over-approximation *)
+
+type conf = {
+  budget_limit : int; (** max PAG edge traversals per query (paper: 75,000) *)
+  max_field_repeat : int;
+      (** max occurrences of one field in a field stack; a push beyond it
+          is cut — the stack-world analogue of Algorithm 1's visited-set
+          cycle cut around recursive heap structures (see {!Fstack}) *)
+  max_field_depth : int; (** hard stack cap, a backstop (see {!Fstack}) *)
+  overflow : overflow;
+}
+
+val default_conf : conf
+(** [{ budget_limit = 75_000; max_field_repeat = 2; max_field_depth = 64;
+       overflow = Widen }]. *)
+
+val conf :
+  ?budget_limit:int -> ?max_field_repeat:int -> ?max_field_depth:int -> ?overflow:overflow ->
+  unit -> conf
+
+(** {2 Context stacks (call-site ids)} *)
+
+val push_ctx : Pag.t -> Pts_util.Hstack.t -> int -> Pts_util.Hstack.t
+(** Enter a method through call site [i] (no-op for recursive sites). *)
+
+val pop_ctx : Pag.t -> Pts_util.Hstack.t -> int -> Pts_util.Hstack.t option
+(** Leave a method through call site [i]: [None] when the path is
+    unrealizable (stack top differs from [i]); [Some] of the popped stack
+    when the top matches, the stack is empty, or the site is recursive. *)
+
+(** {2 The common engine interface} *)
+
+type points_to_fn = ?satisfy:(Query.Target_set.t -> bool) -> Pag.node -> Query.outcome
+(** [satisfy] is the client's early-termination predicate; only REFINEPTS
+    consults it (its refinement loop stops as soon as the — possibly still
+    over-approximate — answer satisfies the client). Other engines compute
+    the full answer and ignore it. *)
+
+type engine = {
+  name : string;
+  points_to : points_to_fn;
+  budget : Budget.t;
+  stats : Pts_util.Stats.t;
+  summary_count : unit -> int; (** cached summaries (0 for non-summary engines) *)
+}

@@ -1,0 +1,114 @@
+module Bitset = Pts_util.Bitset
+module Digraph = Pts_util.Digraph
+
+type t = {
+  pag : Pag.t;
+  mutable pts : Bitset.t array; (* node -> sites; valid once solved *)
+  mutable reach : Bitset.t array; (* SCC component -> reachable nodes *)
+  mutable comp : int array; (* node -> component *)
+  mutable solved : bool;
+  field_pts : (int, int list) Hashtbl.t;
+  field_flows : (int, int list) Hashtbl.t;
+}
+
+let create pag =
+  {
+    pag;
+    pts = [||];
+    reach = [||];
+    comp = [||];
+    solved = false;
+    field_pts = Hashtbl.create 16;
+    field_flows = Hashtbl.create 16;
+  }
+
+(* Field-based successors: plain copies, calls/returns without context,
+   and store(f) jumping to every load of f. *)
+let successors pag load_dsts n =
+  let stores =
+    List.concat_map (fun (f, _base) -> load_dsts f) (Pag.store_out pag n)
+  in
+  Pag.assign_out pag n
+  @ Pag.global_out pag n
+  @ List.map snd (Pag.entry_out pag n)
+  @ List.map snd (Pag.exit_out pag n)
+  @ stores
+
+let solve t =
+  if not t.solved then begin
+    t.solved <- true;
+    let pag = t.pag in
+    let n = Pag.node_count pag in
+    let load_dsts_cache = Hashtbl.create 16 in
+    let load_dsts f =
+      match Hashtbl.find_opt load_dsts_cache f with
+      | Some l -> l
+      | None ->
+        let l = List.map snd (Pag.loads_of_field pag f) in
+        Hashtbl.add load_dsts_cache f l;
+        l
+    in
+    (* build the field-based flow graph once *)
+    let g = Digraph.create ~capacity:n () in
+    if n > 0 then Digraph.ensure_node g (n - 1);
+    for v = 0 to n - 1 do
+      List.iter (fun w -> Digraph.add_edge g v w) (successors pag load_dsts v)
+    done;
+    (* forward reachability per SCC component, in reverse topological
+       order (Digraph.scc numbers components so successors come first) *)
+    let comp, n_comps = Digraph.scc g in
+    let reach = Array.init n_comps (fun _ -> Bitset.create ~capacity:n ()) in
+    let comp_succs = Array.make n_comps [] in
+    Digraph.iter_edges g (fun u v ->
+        if comp.(u) <> comp.(v) then comp_succs.(comp.(u)) <- comp.(v) :: comp_succs.(comp.(u)));
+    for v = 0 to n - 1 do
+      ignore (Bitset.add reach.(comp.(v)) v)
+    done;
+    for c = 0 to n_comps - 1 do
+      List.iter (fun c' -> ignore (Bitset.union_into ~dst:reach.(c) reach.(c'))) comp_succs.(c)
+    done;
+    t.comp <- comp;
+    t.reach <- reach;
+    (* field-based points-to: each allocation site reaches everything its
+       destination variable reaches *)
+    let pts = Array.init (max n 1) (fun _ -> Bitset.create ~capacity:16 ()) in
+    for node = 0 to n - 1 do
+      if Pag.is_obj pag node then begin
+        let site = Pag.obj_site pag node in
+        List.iter
+          (fun dst ->
+            ignore (Bitset.add pts.(dst) site);
+            Bitset.iter t.reach.(comp.(dst)) (fun w -> ignore (Bitset.add pts.(w) site)))
+          (Pag.new_out pag node)
+      end
+    done;
+    t.pts <- pts
+  end
+
+let pts_of_field t f =
+  match Hashtbl.find_opt t.field_pts f with
+  | Some sites -> sites
+  | None ->
+    solve t;
+    let acc = Bitset.create ~capacity:64 () in
+    List.iter
+      (fun (_base, src) -> ignore (Bitset.union_into ~dst:acc t.pts.(src)))
+      (Pag.stores_of_field t.pag f);
+    let sites = Bitset.to_list acc in
+    Hashtbl.add t.field_pts f sites;
+    sites
+
+let flows_of_field t f =
+  match Hashtbl.find_opt t.field_flows f with
+  | Some nodes -> nodes
+  | None ->
+    solve t;
+    let acc = Bitset.create ~capacity:64 () in
+    List.iter
+      (fun (_base, dst) ->
+        ignore (Bitset.add acc dst);
+        ignore (Bitset.union_into ~dst:acc t.reach.(t.comp.(dst))))
+      (Pag.loads_of_field t.pag f);
+    let nodes = Bitset.to_list acc in
+    Hashtbl.add t.field_flows f nodes;
+    nodes

@@ -1,0 +1,31 @@
+(** The whole-program {e field-based} approximation that REFINEPTS's match
+    edges denote.
+
+    Field-based means every field is collapsed to one abstract location
+    program-wide: a store [q.f = p] may be observed by {e any} load
+    [v = u.f], and calls/returns between them are skipped (the paper: "the
+    state of RRP is cleared"). Operationally this is a single regular
+    (non-CFL) flow relation; computing its fixpoint once per engine and
+    letting each match edge look the answer up keeps the early refinement
+    passes linear, exactly as a production implementation would, while the
+    refined (field-sensitive) segments of a pass still run the precise
+    CFL traversal.
+
+    Everything here is a sound over-approximation of the exact
+    CFL-reachability answer, which is all the refinement loop needs from
+    its unrefined edges. *)
+
+type t
+
+val create : Pag.t -> t
+(** Cheap; fixpoints run lazily on first use. *)
+
+val pts_of_field : t -> Pag.fld -> int list
+(** Allocation sites that may be stored into field [f] anywhere — the
+    union the match edge [v -match-> p] family denotes for a load of [f].
+    Memoised per field. *)
+
+val flows_of_field : t -> Pag.fld -> Pag.node list
+(** Nodes any value stored into field [f] may subsequently flow to
+    (the load destinations of [f] and their field-based forward closure).
+    Memoised per field. *)

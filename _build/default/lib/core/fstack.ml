@@ -1,0 +1,37 @@
+module Hstack = Pts_util.Hstack
+
+let unknown_tail = -1
+
+let load_sym f = 2 * f
+let store_sym f = (2 * f) + 1
+let sym_field sym = sym / 2
+let sym_is_load sym = sym land 1 = 0
+
+let rec take n = function [] -> [] | x :: tl -> if n <= 0 then [] else x :: take (n - 1) tl
+
+(* the marker only ever sits at the bottom, so a linear scan suffices *)
+let is_widened f = List.exists (fun x -> x = unknown_tail) (Hstack.to_list f)
+
+let occurrences g f = List.length (List.filter (fun x -> x = g) (Hstack.to_list f))
+
+let push conf f g =
+  if occurrences g f >= conf.Engine.max_field_repeat then None
+  else if Hstack.depth f < conf.Engine.max_field_depth then Some (Hstack.push f g)
+  else
+    match conf.Engine.overflow with
+    | Engine.Abort -> raise Budget.Out_of_budget
+    | Engine.Widen ->
+      let real = List.filter (fun x -> x <> unknown_tail) (Hstack.to_list f) in
+      let kept = take (conf.Engine.max_field_depth - 2) real in
+      Some (Hstack.of_list ((g :: kept) @ [ unknown_tail ]))
+
+let pop_match f g =
+  match Hstack.peek f with
+  | Some top when top = g -> Some (Hstack.pop_exn f)
+  | Some top when top = unknown_tail -> Some f
+  | Some _ | None -> None
+
+let may_be_empty f =
+  match Hstack.peek f with
+  | None -> true
+  | Some top -> top = unknown_tail && Hstack.depth f = 1

@@ -1,0 +1,43 @@
+module Hstack = Pts_util.Hstack
+
+module Target = struct
+  type t = { site : int; hctx : Hstack.t }
+
+  let compare a b =
+    let c = Int.compare a.site b.site in
+    if c <> 0 then c else Int.compare (Hstack.id a.hctx) (Hstack.id b.hctx)
+
+  let pp fmt { site; hctx } =
+    Format.fprintf fmt "o%d@%a" site (Hstack.pp Format.pp_print_int) hctx
+end
+
+module Target_set = Set.Make (Target)
+
+type outcome = Resolved of Target_set.t | Exceeded
+
+module Int_set = Set.Make (Int)
+
+let sites ts =
+  Target_set.fold (fun t acc -> Int_set.add t.Target.site acc) ts Int_set.empty
+  |> Int_set.elements
+
+let singleton ~site ~hctx = Target_set.singleton { Target.site; hctx }
+
+let pp_outcome fmt = function
+  | Exceeded -> Format.pp_print_string fmt "<budget exceeded>"
+  | Resolved ts ->
+    Format.fprintf fmt "{%a}"
+      (Format.pp_print_list ~pp_sep:(fun f () -> Format.fprintf f ", ") Target.pp)
+      (Target_set.elements ts)
+
+let equal_outcome a b =
+  match (a, b) with
+  | Exceeded, Exceeded -> true
+  | Resolved x, Resolved y -> Target_set.equal x y
+  | (Exceeded | Resolved _), _ -> false
+
+let equal_sites a b =
+  match (a, b) with
+  | Exceeded, Exceeded -> true
+  | Resolved x, Resolved y -> sites x = sites y
+  | (Exceeded | Resolved _), _ -> false

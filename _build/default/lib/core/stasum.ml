@@ -1,0 +1,124 @@
+module Hstack = Pts_util.Hstack
+module Stats = Pts_util.Stats
+module Tbl = Hashtbl.Make (Dynsum.Cache_key)
+
+type t = {
+  pag : Pag.t;
+  conf : Engine.conf;
+  budget : Budget.t; (* per-query budget for the online phase *)
+  offline_budget : Budget.t;
+  stats : Stats.t;
+  cache : Ppta.summary Tbl.t;
+  mutable truncated : bool;
+}
+
+let summary_count t = Tbl.length t.cache
+
+let summary_points t =
+  let pts = Hashtbl.create 256 in
+  Tbl.iter (fun (n, _f, s) _ -> Hashtbl.replace pts (n, s) ()) t.cache;
+  Hashtbl.length pts
+let truncated t = t.truncated
+let budget t = t.budget
+let stats t = t.stats
+let offline_steps t = Budget.total_steps t.offline_budget
+
+let key u f s = (u, Hstack.id f, Ppta.state_to_int s)
+
+(* Frontier expansion, context-free: the summary keys a worklist could
+   request next, regardless of calling context. *)
+let successors pag (x, f1, s1) =
+  match s1 with
+  | Ppta.S1 ->
+    List.map (fun (_, y) -> (y, f1, Ppta.S1)) (Pag.exit_in pag x)
+    @ List.map (fun (_, y) -> (y, f1, Ppta.S1)) (Pag.entry_in pag x)
+    @ List.map (fun y -> (y, f1, Ppta.S1)) (Pag.global_in pag x)
+  | Ppta.S2 ->
+    List.map (fun (_, y) -> (y, f1, Ppta.S2)) (Pag.exit_out pag x)
+    @ List.map (fun (_, y) -> (y, f1, Ppta.S2)) (Pag.entry_out pag x)
+    @ List.map (fun y -> (y, f1, Ppta.S2)) (Pag.global_out pag x)
+
+let offline t max_summaries =
+  let pag = t.pag in
+  let queue = Queue.create () in
+  let seen : unit Tbl.t = Tbl.create 4096 in
+  (* [visit] dedups every key encountered; keys whose node has local edges
+     are queued for PPTA, the others take Algorithm 4's fast path and their
+     global-edge successors are chased transitively (cycles are cut by
+     [seen]). *)
+  let rec visit (u, f, s) =
+    if not (Tbl.mem seen (key u f s)) then begin
+      Tbl.add seen (key u f s) ();
+      if Pag.has_local_edges pag u then Queue.add (u, f, s) queue
+      else List.iter visit (successors pag (u, f, s))
+    end
+  in
+  (* seeds: every queryable node (vars and globals touched by any edge) *)
+  for n = 0 to Pag.node_count pag - 1 do
+    if (not (Pag.is_obj pag n)) && Pag.has_local_edges pag n then
+      visit (n, Hstack.empty, Ppta.S1)
+  done;
+  let depth_aborts = ref 0 in
+  while (not (Queue.is_empty queue)) && not t.truncated do
+    let u, f, s = Queue.pop queue in
+    if Tbl.length t.cache >= max_summaries then t.truncated <- true
+    else begin
+      match Ppta.compute pag t.conf t.offline_budget u f s with
+      | summary ->
+        Tbl.replace t.cache (key u f s) summary;
+        List.iter
+          (fun tuple -> List.iter visit (successors pag tuple))
+          summary.Ppta.tuples
+      | exception Budget.Out_of_budget ->
+        (* field-depth overflow on this seed: drop it, note the loss *)
+        incr depth_aborts
+    end
+  done;
+  Stats.add t.stats "offline_depth_aborts" !depth_aborts
+
+let create ?(conf = Engine.default_conf) ?(max_summaries = 300_000) pag =
+  let t =
+    {
+      pag;
+      conf;
+      budget = Budget.create ~limit:conf.Engine.budget_limit;
+      offline_budget = Budget.unlimited ();
+      stats = Stats.create ();
+      cache = Tbl.create 4096;
+      truncated = false;
+    }
+  in
+  offline t max_summaries;
+  t
+
+(* Online: Algorithm 4's worklist over the precomputed cache. *)
+let summarise t u f s =
+  if not (Pag.has_local_edges t.pag u) then { Ppta.objs = []; tuples = [ (u, f, s) ] }
+  else
+    match Tbl.find_opt t.cache (key u f s) with
+    | Some summary ->
+      Stats.bump t.stats "online_hits";
+      summary
+    | None ->
+      Stats.bump t.stats "online_misses";
+      let summary = Ppta.compute t.pag t.conf t.budget u f s in
+      Tbl.replace t.cache (key u f s) summary;
+      summary
+
+let points_to t ?satisfy v =
+  ignore satisfy;
+  Stats.bump t.stats "queries";
+  Budget.start_query t.budget;
+  try Query.Resolved (Dynsum.solve t.pag t.budget (summarise t) v Hstack.empty)
+  with Budget.Out_of_budget ->
+    Stats.bump t.stats "exceeded";
+    Query.Exceeded
+
+let engine t =
+  {
+    Engine.name = "stasum";
+    points_to = (fun ?satisfy v -> points_to t ?satisfy v);
+    budget = t.budget;
+    stats = t.stats;
+    summary_count = (fun () -> summary_count t);
+  }

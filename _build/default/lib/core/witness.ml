@@ -1,0 +1,112 @@
+module Hstack = Pts_util.Hstack
+
+type step = {
+  w_node : Pag.node;
+  w_fstack : Hstack.t;
+  w_state : Ppta.state;
+  w_ctx : Hstack.t;
+}
+
+module Key = struct
+  type t = int * int * int * int
+
+  let equal (a : t) (b : t) = a = b
+  let hash = Hashtbl.hash
+end
+
+module Tbl = Hashtbl.Make (Key)
+
+let key (s : step) =
+  (s.w_node, Hstack.id s.w_fstack, Ppta.state_to_int s.w_state, Hstack.id s.w_ctx)
+
+(* A re-run of Algorithm 4's worklist that records each state's parent.
+   Kept separate from the production loop so the hot path stays lean. *)
+let explain ?(conf = Engine.default_conf) pag v ~site =
+  let budget = Budget.create ~limit:conf.Engine.budget_limit in
+  let cache = Hashtbl.create 256 in
+  let summarise u f s =
+    if not (Pag.has_local_edges pag u) then { Ppta.objs = []; tuples = [ (u, f, s) ] }
+    else begin
+      let k = (u, Hstack.id f, Ppta.state_to_int s) in
+      match Hashtbl.find_opt cache k with
+      | Some summary -> summary
+      | None ->
+        let summary = Ppta.compute pag conf budget u f s in
+        Hashtbl.add cache k summary;
+        summary
+    end
+  in
+  let parents : step option Tbl.t = Tbl.create 256 in
+  let work = Queue.create () in
+  let found = ref None in
+  let propagate parent st =
+    if not (Tbl.mem parents (key st)) then begin
+      Tbl.add parents (key st) parent;
+      Queue.add st work
+    end
+  in
+  propagate None { w_node = v; w_fstack = Hstack.empty; w_state = Ppta.S1; w_ctx = Hstack.empty };
+  (try
+     while (not (Queue.is_empty work)) && !found = None do
+       let st = Queue.pop work in
+       Budget.step budget;
+       let summary = summarise st.w_node st.w_fstack st.w_state in
+       if List.mem site summary.Ppta.objs then found := Some st
+       else
+         List.iter
+           (fun (x, f1, s1) ->
+             let go node fstack state ctx =
+               propagate (Some st) { w_node = node; w_fstack = fstack; w_state = state; w_ctx = ctx }
+             in
+             match s1 with
+             | Ppta.S1 ->
+               List.iter
+                 (fun (i, y) -> go y f1 Ppta.S1 (Engine.push_ctx pag st.w_ctx i))
+                 (Pag.exit_in pag x);
+               List.iter
+                 (fun (i, y) ->
+                   match Engine.pop_ctx pag st.w_ctx i with
+                   | Some c' -> go y f1 Ppta.S1 c'
+                   | None -> ())
+                 (Pag.entry_in pag x);
+               List.iter (fun y -> go y f1 Ppta.S1 Hstack.empty) (Pag.global_in pag x)
+             | Ppta.S2 ->
+               List.iter
+                 (fun (i, y) ->
+                   match Engine.pop_ctx pag st.w_ctx i with
+                   | Some c' -> go y f1 Ppta.S2 c'
+                   | None -> ())
+                 (Pag.exit_out pag x);
+               List.iter
+                 (fun (i, y) -> go y f1 Ppta.S2 (Engine.push_ctx pag st.w_ctx i))
+                 (Pag.entry_out pag x);
+               List.iter (fun y -> go y f1 Ppta.S2 Hstack.empty) (Pag.global_out pag x))
+           summary.Ppta.tuples
+     done
+   with Budget.Out_of_budget -> found := None);
+  match !found with
+  | None -> None
+  | Some last ->
+    (* walk parent links back to the query; result is query-first *)
+    let rec chain acc st =
+      match Tbl.find_opt parents (key st) with
+      | Some (Some parent) -> chain (st :: acc) parent
+      | Some None | None -> st :: acc
+    in
+    Some (chain [] last)
+
+let render pag steps =
+  let prog = Pag.program pag in
+  List.mapi
+    (fun i (s : step) ->
+      let fields =
+        Hstack.to_list s.w_fstack
+        |> List.map (fun sym ->
+               let name = (Types.field_info prog.Ir.ctable (Fstack.sym_field sym)).Types.fld_name in
+               if Fstack.sym_is_load sym then name else name ^ "!")
+      in
+      Printf.sprintf "%2d. %-32s %-4s fields=[%s] ctx=[%s]" (i + 1) (Pag.node_name pag s.w_node)
+        (match s.w_state with Ppta.S1 -> "S1" | Ppta.S2 -> "S2")
+        (String.concat ";" fields)
+        (String.concat ";" (List.map string_of_int (Hstack.to_list s.w_ctx))))
+    steps

@@ -1,0 +1,25 @@
+(** Provenance for demand answers: {e why} does a variable point to an
+    allocation site?
+
+    Replays DYNSUM's worklist with parent tracking and reconstructs, for a
+    chosen target, the chain of worklist states that led to it — each step
+    a method-boundary crossing (entry/exit/global edge, with the call site
+    and the context stack in force) or a method-local summary application.
+    This is the explanation a tool user needs to audit an alarm such as an
+    unsafe cast: which call path smuggles the offending object in. *)
+
+type step = {
+  w_node : Pag.node;
+  w_fstack : Pts_util.Hstack.t;
+  w_state : Ppta.state;
+  w_ctx : Pts_util.Hstack.t;
+}
+
+val explain :
+  ?conf:Engine.conf -> Pag.t -> Pag.node -> site:int -> step list option
+(** The chain of worklist states from the query (first element) to the
+    state whose local summary exposed [site] (last element). [None] when
+    the site is not in the answer (or the budget runs out). *)
+
+val render : Pag.t -> step list -> string list
+(** Human-readable lines, one per step. *)

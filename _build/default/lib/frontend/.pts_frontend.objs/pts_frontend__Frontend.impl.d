@@ -1,0 +1,1 @@
+lib/frontend/frontend.ml: Ast Fun Lazy Lexer Lower Parser Prelude Printf Types

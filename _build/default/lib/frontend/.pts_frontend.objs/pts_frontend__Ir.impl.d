@@ -1,0 +1,1 @@
+lib/frontend/ir.ml: Array Ast Format Printf Types

@@ -1,0 +1,1 @@
+lib/frontend/lower.ml: Array Ast Format Hashtbl Ir List Printf Types

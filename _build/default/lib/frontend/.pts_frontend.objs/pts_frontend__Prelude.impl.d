@@ -1,0 +1,1 @@
+lib/frontend/prelude.ml: Ast Lazy Parser

@@ -1,0 +1,1 @@
+lib/frontend/pretty.ml: Ast Buffer Format List Printf String

@@ -1,0 +1,1 @@
+lib/frontend/types.ml: Array Ast Format Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/frontend/types.mli: Ast

@@ -1,0 +1,108 @@
+(** Abstract syntax of MiniJava, the frontend language of the reproduction.
+
+    MiniJava covers the Java features that matter to a points-to analysis —
+    classes with single inheritance, instance and static fields, virtual and
+    static methods, constructors, object and array allocation, field loads
+    and stores, casts, [null], and string literals — and parses a familiar
+    Java-like concrete syntax. Arithmetic, booleans and control flow are
+    parsed and type-checked but are irrelevant to the (flow-insensitive)
+    analyses, exactly as in §2 of the paper. *)
+
+type pos = { line : int; col : int }
+
+let dummy_pos = { line = 0; col = 0 }
+
+let pp_pos fmt { line; col } = Format.fprintf fmt "%d:%d" line col
+
+type typ =
+  | Tint
+  | Tbool
+  | Tvoid (* return type only *)
+  | Tclass of string
+  | Tarray of typ
+
+let rec pp_typ fmt = function
+  | Tint -> Format.pp_print_string fmt "int"
+  | Tbool -> Format.pp_print_string fmt "boolean"
+  | Tvoid -> Format.pp_print_string fmt "void"
+  | Tclass c -> Format.pp_print_string fmt c
+  | Tarray t -> Format.fprintf fmt "%a[]" pp_typ t
+
+let rec typ_equal a b =
+  match (a, b) with
+  | Tint, Tint | Tbool, Tbool | Tvoid, Tvoid -> true
+  | Tclass c, Tclass d -> String.equal c d
+  | Tarray t, Tarray u -> typ_equal t u
+  | (Tint | Tbool | Tvoid | Tclass _ | Tarray _), _ -> false
+
+type binop = Add | Sub | Mul | Div | Mod | Eq | Neq | Lt | Gt | Le | Ge | And | Or
+
+type unop = Not | Neg
+
+type expr = { desc : expr_desc; pos : pos }
+
+and expr_desc =
+  | Null
+  | Int_lit of int
+  | Bool_lit of bool
+  | Str_lit of string
+  | Ident of string (* local, parameter, field of [this], or class name (resolved later) *)
+  | This
+  | Field_access of expr * string
+  | Array_index of expr * expr
+  | New_object of string * expr list
+  | New_array of typ * expr
+  | Cast of typ * expr
+  | Instanceof of expr * typ
+  | Method_call of expr option * string * expr list
+  | Super_call of string * expr list
+      (** [super.m(args)]: statically dispatched to the superclass's
+          implementation *)
+  | Binop of binop * expr * expr
+  | Unop of unop * expr
+
+type stmt =
+  | Local_decl of { typ : typ; name : string; init : expr option; pos : pos }
+  | Assign of { lhs : expr; rhs : expr; pos : pos }
+  | Expr_stmt of expr
+  | Return of expr option * pos
+  | If of expr * stmt list * stmt list * pos
+  | While of expr * stmt list * pos
+  | For of { init : stmt option; cond : expr option; step : stmt option; body : stmt list; pos : pos }
+      (** [for (init; cond; step) body]; flow-insensitively, just its pieces *)
+  | Block of stmt list
+
+type method_decl = {
+  m_static : bool;
+  m_ret : typ;
+  m_name : string;
+  m_params : (typ * string) list;
+  m_body : stmt list;
+  m_pos : pos;
+  m_is_ctor : bool;
+}
+
+type field_decl = {
+  f_static : bool;
+  f_typ : typ;
+  f_name : string;
+  f_init : expr option;
+  f_pos : pos;
+}
+
+type class_decl = {
+  c_name : string;
+  c_super : string option;
+  c_fields : field_decl list;
+  c_methods : method_decl list;
+  c_pos : pos;
+}
+
+type program = class_decl list
+
+(** Names of classes every program implicitly knows (see {!Prelude}). *)
+let object_class = "Object"
+
+let string_class = "String"
+
+let null_class = "$Null" (* pseudo-class of null pseudo-allocations *)

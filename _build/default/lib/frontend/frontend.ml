@@ -1,0 +1,29 @@
+exception Error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+let wrap f =
+  try f () with
+  | Lexer.Error (msg, pos) -> fail "%d:%d: lexical error: %s" pos.Ast.line pos.Ast.col msg
+  | Parser.Error (msg, pos) -> fail "%d:%d: syntax error: %s" pos.Ast.line pos.Ast.col msg
+  | Lower.Error (msg, pos) -> fail "%d:%d: error: %s" pos.Ast.line pos.Ast.col msg
+  | Types.Error (msg, pos) -> fail "%d:%d: error: %s" pos.Ast.line pos.Ast.col msg
+
+let compile source =
+  wrap (fun () ->
+      let user = Parser.parse_program source in
+      Lower.lower_program (Lazy.force Prelude.ast @ user))
+
+let compile_no_prelude source =
+  wrap (fun () -> Lower.lower_program (Parser.parse_program source))
+
+let compile_file path =
+  let source =
+    try
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    with Sys_error msg -> fail "cannot read %s: %s" path msg
+  in
+  compile source

@@ -1,0 +1,19 @@
+(** Frontend driver: source text to {!Ir.program}.
+
+    Prepends the {!Prelude} classes, parses, checks and lowers. All frontend
+    failure modes are funnelled into a single {!Error} exception so callers
+    need one handler. *)
+
+exception Error of string
+(** Message already includes the source position. *)
+
+val compile : string -> Ir.program
+(** Compile one MiniJava compilation unit (plus the prelude).
+    @raise Error on any lexical, syntactic or semantic error. *)
+
+val compile_file : string -> Ir.program
+(** Read a file and {!compile} it. @raise Error also on IO failure. *)
+
+val compile_no_prelude : string -> Ir.program
+(** For tests that define their own [Object]; ordinary callers want
+    {!compile}. *)

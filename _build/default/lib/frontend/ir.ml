@@ -1,0 +1,130 @@
+(** Three-address intermediate representation.
+
+    Lowering normalises every allocation, call, load and store so that each
+    operand is a method-local variable. Two invariants matter to the
+    analyses downstream:
+
+    - every allocation site has a {e unique} destination variable (a fresh
+      temporary), which makes the [new n̄ew] direction flip of the paper's
+      Algorithms 1 and 3 sound;
+    - calls and allocations carry dense program-wide site ids; call-site
+      ids are the context elements of the CFL analyses and allocation-site
+      ids name abstract objects. *)
+
+type var = int
+
+type call_kind =
+  | Virtual of { recv : var; mname : string }
+      (** dispatched on the dynamic class of [recv] *)
+  | Static of { target : Types.method_sig }
+  | Ctor of { recv : var; ctor : Types.method_sig }
+      (** statically-bound instance calls: constructor invocations and
+          [super.m(...)] calls *)
+
+type instr =
+  | Alloc of { dst : var; cls : Types.cls; site : int }
+  | Move of { dst : var; src : var }
+  | Load of { dst : var; base : var; fld : int }
+  | Store of { base : var; fld : int; src : var }
+  | Load_global of { dst : var; glb : int }
+  | Store_global of { glb : int; src : var }
+  | Call of { dst : var option; kind : call_kind; args : var list; site : int }
+  | Return of { src : var option }
+  | Cast_move of { dst : var; src : var; cast : int }
+
+type meth = {
+  id : int; (** = [Types.method_sig.ms_id] *)
+  msig : Types.method_sig;
+  pretty : string;
+  this_var : var option;
+  param_vars : var list; (** excluding [this] *)
+  body : instr list;
+  nvars : int;
+  var_names : string array;
+  var_types : Ast.typ array;
+}
+
+type alloc_site = {
+  site_id : int;
+  alloc_cls : Types.cls;
+  alloc_meth : int;
+  alloc_pos : Ast.pos;
+  alloc_is_null : bool; (** a lowered [null] pseudo-allocation *)
+}
+
+type call_site = { cs_id : int; cs_meth : int; cs_pos : Ast.pos }
+
+type cast_site = {
+  cast_id : int;
+  cast_meth : int;
+  cast_target : Ast.typ;
+  cast_src : var;
+  cast_dst : var;
+  cast_pos : Ast.pos;
+  cast_trivial : bool; (** statically guaranteed (upcast): not queried *)
+}
+
+type program = {
+  ctable : Types.t;
+  methods : meth array; (** indexed by method id *)
+  allocs : alloc_site array;
+  calls : call_site array;
+  casts : cast_site array;
+  entry : int option; (** synthetic entry method id *)
+}
+
+let method_of_program p id = p.methods.(id)
+
+let alloc_name p site =
+  let a = p.allocs.(site) in
+  if a.alloc_is_null then Printf.sprintf "null@%d" a.alloc_pos.Ast.line
+  else Printf.sprintf "o%d:%s" site (Types.class_name p.ctable a.alloc_cls)
+
+let var_name (m : meth) v =
+  if v >= 0 && v < Array.length m.var_names then m.var_names.(v) else Printf.sprintf "v%d" v
+
+let pp_instr ctable m fmt instr =
+  let pv fmt v = Format.pp_print_string fmt (var_name m v) in
+  match instr with
+  | Alloc { dst; cls; site } ->
+    Format.fprintf fmt "%a = new %s  /* site %d */" pv dst (Types.class_name ctable cls) site
+  | Move { dst; src } -> Format.fprintf fmt "%a = %a" pv dst pv src
+  | Load { dst; base; fld } ->
+    Format.fprintf fmt "%a = %a.%s" pv dst pv base (Types.field_info ctable fld).Types.fld_name
+  | Store { base; fld; src } ->
+    Format.fprintf fmt "%a.%s = %a" pv base (Types.field_info ctable fld).Types.fld_name pv src
+  | Load_global { dst; glb } ->
+    let g = Types.global_info ctable glb in
+    Format.fprintf fmt "%a = %s.%s" pv dst (Types.class_name ctable g.Types.glb_class) g.Types.glb_name
+  | Store_global { glb; src } ->
+    let g = Types.global_info ctable glb in
+    Format.fprintf fmt "%s.%s = %a" (Types.class_name ctable g.Types.glb_class) g.Types.glb_name pv src
+  | Call { dst; kind; args; site } ->
+    let pp_args fmt args =
+      Format.pp_print_list ~pp_sep:(fun f () -> Format.fprintf f ", ") pv fmt args
+    in
+    let pp_dst fmt = function Some d -> Format.fprintf fmt "%a = " pv d | None -> () in
+    (match kind with
+    | Virtual { recv; mname } ->
+      Format.fprintf fmt "%a%a.%s(%a)  /* site %d */" pp_dst dst pv recv mname pp_args args site
+    | Static { target } ->
+      Format.fprintf fmt "%a%s(%a)  /* site %d */" pp_dst dst (Types.method_pretty ctable target)
+        pp_args args site
+    | Ctor { recv; ctor } ->
+      Format.fprintf fmt "%a.%s(%a)  /* ctor, site %d */" pv recv
+        (Types.method_pretty ctable ctor) pp_args args site)
+  | Return { src = Some v } -> Format.fprintf fmt "return %a" pv v
+  | Return { src = None } -> Format.fprintf fmt "return"
+  | Cast_move { dst; src; cast } -> Format.fprintf fmt "%a = (cast %d) %a" pv dst cast pv src
+
+let pp_method ctable fmt (m : meth) =
+  Format.fprintf fmt "@[<v 2>%s(%a) {@,%a@]@,}"
+    m.pretty
+    (Format.pp_print_list ~pp_sep:(fun f () -> Format.fprintf f ", ") (fun f v ->
+         Format.pp_print_string f (var_name m v)))
+    m.param_vars
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut (pp_instr ctable m))
+    m.body
+
+let pp_program fmt p =
+  Array.iter (fun m -> Format.fprintf fmt "%a@.@." (pp_method p.ctable) m) p.methods

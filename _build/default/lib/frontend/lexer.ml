@@ -1,0 +1,204 @@
+exception Error of string * Ast.pos
+
+type state = {
+  src : string;
+  mutable idx : int;
+  mutable line : int;
+  mutable bol : int; (* index of beginning of current line *)
+}
+
+let pos st = { Ast.line = st.line; col = st.idx - st.bol + 1 }
+
+let peek st = if st.idx < String.length st.src then Some st.src.[st.idx] else None
+
+let peek2 st =
+  if st.idx + 1 < String.length st.src then Some st.src.[st.idx + 1] else None
+
+let advance st =
+  (match peek st with
+  | Some '\n' ->
+    st.line <- st.line + 1;
+    st.bol <- st.idx + 1
+  | Some _ | None -> ());
+  st.idx <- st.idx + 1
+
+let is_digit c = c >= '0' && c <= '9'
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = '$'
+
+let is_ident_char c = is_ident_start c || is_digit c
+
+let keyword = function
+  | "class" -> Some Token.CLASS
+  | "extends" -> Some Token.EXTENDS
+  | "static" -> Some Token.STATIC
+  | "new" -> Some Token.NEW
+  | "return" -> Some Token.RETURN
+  | "if" -> Some Token.IF
+  | "else" -> Some Token.ELSE
+  | "while" -> Some Token.WHILE
+  | "for" -> Some Token.FOR
+  | "instanceof" -> Some Token.INSTANCEOF
+  | "super" -> Some Token.SUPER
+  | "this" -> Some Token.THIS
+  | "null" -> Some Token.NULL
+  | "true" -> Some Token.TRUE
+  | "false" -> Some Token.FALSE
+  | "int" -> Some Token.INT
+  | "boolean" -> Some Token.BOOLEAN
+  | "void" -> Some Token.VOID
+  | _ -> None
+
+let rec skip_trivia st =
+  match peek st with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+    advance st;
+    skip_trivia st
+  | Some '/' when peek2 st = Some '/' ->
+    let rec to_eol () =
+      match peek st with
+      | Some '\n' | None -> ()
+      | Some _ ->
+        advance st;
+        to_eol ()
+    in
+    to_eol ();
+    skip_trivia st
+  | Some '/' when peek2 st = Some '*' ->
+    let start = pos st in
+    advance st;
+    advance st;
+    let rec to_close () =
+      match peek st with
+      | None -> raise (Error ("unterminated block comment", start))
+      | Some '*' when peek2 st = Some '/' ->
+        advance st;
+        advance st
+      | Some _ ->
+        advance st;
+        to_close ()
+    in
+    to_close ();
+    skip_trivia st
+  | Some _ | None -> ()
+
+let lex_ident st =
+  let start = st.idx in
+  while match peek st with Some c -> is_ident_char c | None -> false do
+    advance st
+  done;
+  String.sub st.src start (st.idx - start)
+
+let lex_int st =
+  let start = st.idx in
+  while match peek st with Some c -> is_digit c | None -> false do
+    advance st
+  done;
+  int_of_string (String.sub st.src start (st.idx - start))
+
+let lex_string st =
+  let start_pos = pos st in
+  advance st;
+  (* opening quote *)
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek st with
+    | None -> raise (Error ("unterminated string literal", start_pos))
+    | Some '"' -> advance st
+    | Some '\\' -> (
+      advance st;
+      match peek st with
+      | Some 'n' ->
+        Buffer.add_char buf '\n';
+        advance st;
+        go ()
+      | Some 't' ->
+        Buffer.add_char buf '\t';
+        advance st;
+        go ()
+      | Some '\\' ->
+        Buffer.add_char buf '\\';
+        advance st;
+        go ()
+      | Some '"' ->
+        Buffer.add_char buf '"';
+        advance st;
+        go ()
+      | Some c -> raise (Error (Printf.sprintf "invalid escape '\\%c'" c, pos st))
+      | None -> raise (Error ("unterminated string literal", start_pos)))
+    | Some c ->
+      Buffer.add_char buf c;
+      advance st;
+      go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let next_token st : Token.t * Ast.pos =
+  skip_trivia st;
+  let p = pos st in
+  match peek st with
+  | None -> (Token.EOF, p)
+  | Some c when is_ident_start c ->
+    let name = lex_ident st in
+    let tok = match keyword name with Some kw -> kw | None -> Token.IDENT name in
+    (tok, p)
+  | Some c when is_digit c -> (Token.INT_LIT (lex_int st), p)
+  | Some '"' -> (Token.STR_LIT (lex_string st), p)
+  | Some c ->
+    let simple tok =
+      advance st;
+      (tok, p)
+    in
+    let two_char ~second ~double ~single =
+      advance st;
+      if peek st = Some second then begin
+        advance st;
+        (double, p)
+      end
+      else (single, p)
+    in
+    (match c with
+    | '{' -> simple Token.LBRACE
+    | '}' -> simple Token.RBRACE
+    | '(' -> simple Token.LPAREN
+    | ')' -> simple Token.RPAREN
+    | '[' -> simple Token.LBRACKET
+    | ']' -> simple Token.RBRACKET
+    | ';' -> simple Token.SEMI
+    | ',' -> simple Token.COMMA
+    | '.' -> simple Token.DOT
+    | '+' -> simple Token.PLUS
+    | '-' -> simple Token.MINUS
+    | '*' -> simple Token.STAR
+    | '/' -> simple Token.SLASH
+    | '%' -> simple Token.PERCENT
+    | '=' -> two_char ~second:'=' ~double:Token.EQ ~single:Token.ASSIGN
+    | '!' -> two_char ~second:'=' ~double:Token.NEQ ~single:Token.BANG
+    | '<' -> two_char ~second:'=' ~double:Token.LE ~single:Token.LT
+    | '>' -> two_char ~second:'=' ~double:Token.GE ~single:Token.GT
+    | '&' ->
+      advance st;
+      if peek st = Some '&' then begin
+        advance st;
+        (Token.ANDAND, p)
+      end
+      else raise (Error ("expected '&&'", p))
+    | '|' ->
+      advance st;
+      if peek st = Some '|' then begin
+        advance st;
+        (Token.OROR, p)
+      end
+      else raise (Error ("expected '||'", p))
+    | _ -> raise (Error (Printf.sprintf "unexpected character %C" c, p)))
+
+let tokenize src =
+  let st = { src; idx = 0; line = 1; bol = 0 } in
+  let rec go acc =
+    let tok, p = next_token st in
+    match tok with
+    | Token.EOF -> List.rev ((Token.EOF, p) :: acc)
+    | _ -> go ((tok, p) :: acc)
+  in
+  go []

@@ -1,0 +1,12 @@
+(** Hand-written lexer for MiniJava.
+
+    Menhir/ocamllex are deliberately not used: the container has no menhir,
+    and a direct lexer keeps the frontend dependency-free. Supports [//]
+    line comments and [/* ... */] block comments, decimal integers, and
+    double-quoted strings with backslash escapes (n, t, backslash, quote). *)
+
+exception Error of string * Ast.pos
+
+val tokenize : string -> (Token.t * Ast.pos) list
+(** Whole-input tokenization, ending with [EOF]. @raise Error on an
+    unexpected character, unterminated string or comment. *)

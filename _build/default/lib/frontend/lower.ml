@@ -1,0 +1,790 @@
+exception Error of string * Ast.pos
+
+let err msg pos = raise (Error (msg, pos))
+
+(* [null] has its own type during checking: assignable to any reference. *)
+let null_typ = Ast.Tclass Ast.null_class
+
+let is_reference = function
+  | Ast.Tclass _ | Ast.Tarray _ -> true
+  | Ast.Tint | Ast.Tbool | Ast.Tvoid -> false
+
+type ctx = {
+  ctable : Types.t;
+  mutable allocs : Ir.alloc_site list; (* reversed *)
+  mutable n_allocs : int;
+  mutable call_sites : Ir.call_site list; (* reversed *)
+  mutable n_calls : int;
+  mutable casts : Ir.cast_site list; (* reversed *)
+  mutable n_casts : int;
+  mutable lowered : Ir.meth list; (* any order; indexed later by id *)
+}
+
+type menv = {
+  ctx : ctx;
+  cls : Types.cls;
+  msig : Types.method_sig;
+  this_var : Ir.var option;
+  mutable scopes : (string, Ir.var * Ast.typ) Hashtbl.t list;
+  mutable nvars : int;
+  mutable names : string list; (* reversed *)
+  mutable typs : Ast.typ list; (* reversed *)
+  mutable code : Ir.instr list; (* reversed *)
+}
+
+let ctable env = env.ctx.ctable
+
+let fresh_var env name typ =
+  let v = env.nvars in
+  env.nvars <- v + 1;
+  env.names <- name :: env.names;
+  env.typs <- typ :: env.typs;
+  v
+
+let fresh_tmp env typ = fresh_var env (Printf.sprintf "$t%d" env.nvars) typ
+
+let emit env instr = env.code <- instr :: env.code
+
+let fresh_alloc_site env cls pos ~is_null =
+  let site = env.ctx.n_allocs in
+  env.ctx.n_allocs <- site + 1;
+  env.ctx.allocs <-
+    { Ir.site_id = site; alloc_cls = cls; alloc_meth = env.msig.Types.ms_id; alloc_pos = pos;
+      alloc_is_null = is_null }
+    :: env.ctx.allocs;
+  site
+
+let fresh_call_site env pos =
+  let site = env.ctx.n_calls in
+  env.ctx.n_calls <- site + 1;
+  env.ctx.call_sites <-
+    { Ir.cs_id = site; cs_meth = env.msig.Types.ms_id; cs_pos = pos } :: env.ctx.call_sites;
+  site
+
+let fresh_cast_site env ~target ~src ~dst ~trivial pos =
+  let id = env.ctx.n_casts in
+  env.ctx.n_casts <- id + 1;
+  env.ctx.casts <-
+    { Ir.cast_id = id; cast_meth = env.msig.Types.ms_id; cast_target = target; cast_src = src;
+      cast_dst = dst; cast_pos = pos; cast_trivial = trivial }
+    :: env.ctx.casts;
+  id
+
+(* Validate that a surface type only mentions declared classes. *)
+let rec check_typ env typ pos =
+  match typ with
+  | Ast.Tint | Ast.Tbool | Ast.Tvoid -> ()
+  | Ast.Tclass name ->
+    if Types.find_class (ctable env) name = None then err (Printf.sprintf "unknown class %s" name) pos
+  | Ast.Tarray elem ->
+    check_typ env elem pos;
+    if Ast.typ_equal elem Ast.Tvoid then err "array of void" pos
+
+let assignable env ~src ~dst =
+  if Ast.typ_equal src null_typ then is_reference dst else Types.subtype (ctable env) src dst
+
+let check_assignable env ~src ~dst pos =
+  if not (assignable env ~src ~dst) then
+    err
+      (Format.asprintf "type mismatch: cannot assign %a to %a" Ast.pp_typ src Ast.pp_typ dst)
+      pos
+
+let lookup_scopes env name =
+  let rec go = function
+    | [] -> None
+    | scope :: rest -> ( match Hashtbl.find_opt scope name with Some b -> Some b | None -> go rest)
+  in
+  go env.scopes
+
+let declare_local env name typ pos =
+  (match env.scopes with
+  | scope :: _ ->
+    if Hashtbl.mem scope name then err (Printf.sprintf "variable %s is already declared" name) pos
+  | [] -> assert false);
+  (match lookup_scopes env name with
+  | Some _ -> err (Printf.sprintf "variable %s shadows an enclosing declaration" name) pos
+  | None -> ());
+  let v = fresh_var env name typ in
+  (match env.scopes with scope :: _ -> Hashtbl.add scope name (v, typ) | [] -> assert false);
+  v
+
+let in_new_scope env f =
+  env.scopes <- Hashtbl.create 8 :: env.scopes;
+  let r = f () in
+  (env.scopes <- match env.scopes with _ :: rest -> rest | [] -> assert false);
+  r
+
+let require_this env pos =
+  match env.this_var with
+  | Some v -> v
+  | None -> err "cannot reference 'this' in a static method" pos
+
+(* An identifier used as a receiver may denote a class name for static
+   access; a plain identifier never does. *)
+let class_receiver env (e : Ast.expr) =
+  match e.Ast.desc with
+  | Ast.Ident name when lookup_scopes env name = None -> (
+    match Types.find_class (ctable env) name with
+    | Some c when c <> Types.null_class (ctable env) -> Some c
+    | Some _ | None -> None)
+  | _ -> None
+
+let class_of_reference env typ pos =
+  match Types.class_of_typ (ctable env) typ with
+  | Some c -> c
+  | None -> err (Format.asprintf "expected an object but found a value of type %a" Ast.pp_typ typ) pos
+
+(* ------------------------------------------------------------------ *)
+(* Expressions                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let rec lower_expr env (e : Ast.expr) : Ir.var * Ast.typ =
+  let pos = e.Ast.pos in
+  match e.Ast.desc with
+  | Ast.Null ->
+    let dst = fresh_tmp env null_typ in
+    let site = fresh_alloc_site env (Types.null_class (ctable env)) pos ~is_null:true in
+    emit env (Ir.Alloc { dst; cls = Types.null_class (ctable env); site });
+    (dst, null_typ)
+  | Ast.Int_lit _ -> (fresh_tmp env Ast.Tint, Ast.Tint)
+  | Ast.Bool_lit _ -> (fresh_tmp env Ast.Tbool, Ast.Tbool)
+  | Ast.Str_lit _ ->
+    let typ = Ast.Tclass Ast.string_class in
+    let dst = fresh_tmp env typ in
+    let cls = Types.string_class (ctable env) in
+    let site = fresh_alloc_site env cls pos ~is_null:false in
+    emit env (Ir.Alloc { dst; cls; site });
+    (dst, typ)
+  | Ast.This ->
+    let v = require_this env pos in
+    (v, Ast.Tclass (Types.class_name (ctable env) env.cls))
+  | Ast.Ident name -> lower_ident env name pos
+  | Ast.Field_access (recv, fname) -> lower_field_load env recv fname pos
+  | Ast.Array_index (arr, idx) ->
+    let base, base_typ = lower_expr env arr in
+    let _ = lower_int env idx in
+    let elem =
+      match base_typ with
+      | Ast.Tarray elem -> elem
+      | t -> err (Format.asprintf "cannot index a value of type %a" Ast.pp_typ t) pos
+    in
+    let dst = fresh_tmp env elem in
+    emit env (Ir.Load { dst; base; fld = (Types.arr_field (ctable env)).Types.fld_id });
+    (dst, elem)
+  | Ast.New_object (cname, args) ->
+    let cls = Types.find_class_exn (ctable env) cname pos in
+    let typ = Ast.Tclass cname in
+    let dst = fresh_tmp env typ in
+    let site = fresh_alloc_site env cls pos ~is_null:false in
+    emit env (Ir.Alloc { dst; cls; site });
+    (match Types.constructor (ctable env) cls (List.length args) with
+    | Some ctor ->
+      let arg_vars = lower_args env args ctor.Types.ms_params pos in
+      let call = fresh_call_site env pos in
+      emit env (Ir.Call { dst = None; kind = Ir.Ctor { recv = dst; ctor }; args = arg_vars; site = call })
+    | None ->
+      err
+        (Printf.sprintf "class %s has no %d-argument constructor" cname (List.length args))
+        pos);
+    (dst, typ)
+  | Ast.New_array (elem, len) ->
+    check_typ env elem pos;
+    let _ = lower_int env len in
+    let typ = Ast.Tarray elem in
+    let cls = Types.array_class (ctable env) elem in
+    let dst = fresh_tmp env typ in
+    let site = fresh_alloc_site env cls pos ~is_null:false in
+    emit env (Ir.Alloc { dst; cls; site });
+    (dst, typ)
+  | Ast.Cast (target, operand) ->
+    check_typ env target pos;
+    let src, src_typ = lower_expr env operand in
+    if not (is_reference target) then begin
+      (* primitive casts are identities in MiniJava *)
+      if not (Ast.typ_equal target src_typ) then
+        err (Format.asprintf "cannot cast %a to %a" Ast.pp_typ src_typ Ast.pp_typ target) pos;
+      (src, target)
+    end
+    else begin
+      if not (is_reference src_typ || Ast.typ_equal src_typ null_typ) then
+        err (Format.asprintf "cannot cast %a to %a" Ast.pp_typ src_typ Ast.pp_typ target) pos;
+      let trivial =
+        Ast.typ_equal src_typ null_typ || Types.subtype (ctable env) src_typ target
+      in
+      let dst = fresh_tmp env target in
+      let cast = fresh_cast_site env ~target ~src ~dst ~trivial pos in
+      emit env (Ir.Cast_move { dst; src; cast });
+      (dst, target)
+    end
+  | Ast.Instanceof (operand, target) ->
+    check_typ env target pos;
+    if not (is_reference target) then err "instanceof requires a reference type" pos;
+    let _, t = lower_expr env operand in
+    if not (is_reference t || Ast.typ_equal t null_typ) then
+      err "operand of instanceof must be a reference" pos;
+    (fresh_tmp env Ast.Tbool, Ast.Tbool)
+  | Ast.Method_call (recv, mname, args) -> lower_call env recv mname args pos
+  | Ast.Super_call (mname, args) -> lower_super_call env mname args pos
+  | Ast.Binop (op, a, b) -> lower_binop env op a b pos
+  | Ast.Unop (op, a) -> (
+    match op with
+    | Ast.Not ->
+      let v, t = lower_expr env a in
+      if not (Ast.typ_equal t Ast.Tbool) then err "operand of '!' must be boolean" pos;
+      (v, Ast.Tbool)
+    | Ast.Neg ->
+      let v, t = lower_expr env a in
+      if not (Ast.typ_equal t Ast.Tint) then err "operand of unary '-' must be int" pos;
+      (v, Ast.Tint))
+
+and lower_int env e =
+  let v, t = lower_expr env e in
+  if not (Ast.typ_equal t Ast.Tint) then
+    err (Format.asprintf "expected int but found %a" Ast.pp_typ t) e.Ast.pos;
+  v
+
+and lower_binop env op a b pos =
+  let va, ta = lower_expr env a in
+  let _vb, tb = lower_expr env b in
+  ignore va;
+  let string_typ = Ast.Tclass Ast.string_class in
+  match op with
+  | Ast.Add when Ast.typ_equal ta string_typ && Ast.typ_equal tb string_typ ->
+    (* string concatenation allocates a fresh String, as in Java *)
+    let dst = fresh_tmp env string_typ in
+    let cls = Types.string_class (ctable env) in
+    let site = fresh_alloc_site env cls pos ~is_null:false in
+    emit env (Ir.Alloc { dst; cls; site });
+    (dst, string_typ)
+  | Ast.Add | Ast.Sub | Ast.Mul | Ast.Div | Ast.Mod ->
+    if not (Ast.typ_equal ta Ast.Tint && Ast.typ_equal tb Ast.Tint) then
+      err "arithmetic operands must be int" pos;
+    (fresh_tmp env Ast.Tint, Ast.Tint)
+  | Ast.Lt | Ast.Gt | Ast.Le | Ast.Ge ->
+    if not (Ast.typ_equal ta Ast.Tint && Ast.typ_equal tb Ast.Tint) then
+      err "comparison operands must be int" pos;
+    (fresh_tmp env Ast.Tbool, Ast.Tbool)
+  | Ast.And | Ast.Or ->
+    if not (Ast.typ_equal ta Ast.Tbool && Ast.typ_equal tb Ast.Tbool) then
+      err "logical operands must be boolean" pos;
+    (fresh_tmp env Ast.Tbool, Ast.Tbool)
+  | Ast.Eq | Ast.Neq ->
+    let both_int = Ast.typ_equal ta Ast.Tint && Ast.typ_equal tb Ast.Tint in
+    let both_bool = Ast.typ_equal ta Ast.Tbool && Ast.typ_equal tb Ast.Tbool in
+    let both_ref =
+      (is_reference ta || Ast.typ_equal ta null_typ) && (is_reference tb || Ast.typ_equal tb null_typ)
+    in
+    if not (both_int || both_bool || both_ref) then err "incomparable operand types" pos;
+    (fresh_tmp env Ast.Tbool, Ast.Tbool)
+
+and lower_ident env name pos =
+  match lookup_scopes env name with
+  | Some (v, typ) -> (v, typ)
+  | None -> (
+    match Types.lookup_field (ctable env) env.cls name with
+    | Some (`Instance f) ->
+      let this = require_this env pos in
+      let dst = fresh_tmp env f.Types.fld_typ in
+      emit env (Ir.Load { dst; base = this; fld = f.Types.fld_id });
+      (dst, f.Types.fld_typ)
+    | Some (`Static g) ->
+      let dst = fresh_tmp env g.Types.glb_typ in
+      emit env (Ir.Load_global { dst; glb = g.Types.glb_id });
+      (dst, g.Types.glb_typ)
+    | None -> err (Printf.sprintf "unknown identifier %s" name) pos)
+
+and lower_field_load env recv fname pos =
+  match class_receiver env recv with
+  | Some c -> (
+    match Types.lookup_field (ctable env) c fname with
+    | Some (`Static g) ->
+      let dst = fresh_tmp env g.Types.glb_typ in
+      emit env (Ir.Load_global { dst; glb = g.Types.glb_id });
+      (dst, g.Types.glb_typ)
+    | Some (`Instance _) ->
+      err (Printf.sprintf "field %s.%s is not static" (Types.class_name (ctable env) c) fname) pos
+    | None ->
+      err (Printf.sprintf "unknown static field %s.%s" (Types.class_name (ctable env) c) fname) pos)
+  | None -> (
+    let base, base_typ = lower_expr env recv in
+    match (base_typ, fname) with
+    | Ast.Tarray _, "length" -> (fresh_tmp env Ast.Tint, Ast.Tint)
+    | _ -> (
+      let c = class_of_reference env base_typ pos in
+      match Types.lookup_field (ctable env) c fname with
+      | Some (`Instance f) ->
+        let dst = fresh_tmp env f.Types.fld_typ in
+        emit env (Ir.Load { dst; base; fld = f.Types.fld_id });
+        (dst, f.Types.fld_typ)
+      | Some (`Static g) ->
+        let dst = fresh_tmp env g.Types.glb_typ in
+        emit env (Ir.Load_global { dst; glb = g.Types.glb_id });
+        (dst, g.Types.glb_typ)
+      | None ->
+        err
+          (Printf.sprintf "class %s has no field %s" (Types.class_name (ctable env) c) fname)
+          pos))
+
+and lower_args env args params pos =
+  if List.length args <> List.length params then
+    err
+      (Printf.sprintf "wrong number of arguments: expected %d, found %d" (List.length params)
+         (List.length args))
+      pos;
+  List.map2
+    (fun arg param_typ ->
+      let v, t = lower_expr env arg in
+      check_assignable env ~src:t ~dst:param_typ arg.Ast.pos;
+      v)
+    args params
+
+and lower_call env recv mname args pos =
+  let finish ~kind ~(target : Types.method_sig) =
+    let arg_vars = lower_args env args target.Types.ms_params pos in
+    let site = fresh_call_site env pos in
+    let ret = target.Types.ms_ret in
+    let dst = if Ast.typ_equal ret Ast.Tvoid then None else Some (fresh_tmp env ret) in
+    emit env (Ir.Call { dst; kind = kind arg_vars; args = arg_vars; site });
+    match dst with Some d -> (d, ret) | None -> (fresh_tmp env Ast.Tvoid, Ast.Tvoid)
+  in
+  let virtual_call recv_var target =
+    finish ~kind:(fun _ -> Ir.Virtual { recv = recv_var; mname }) ~target
+  in
+  let static_call target = finish ~kind:(fun _ -> Ir.Static { target }) ~target in
+  match recv with
+  | Some r -> (
+    match class_receiver env r with
+    | Some c -> (
+      match Types.lookup_method (ctable env) c mname with
+      | Some target when target.Types.ms_static -> static_call target
+      | Some _ ->
+        err
+          (Printf.sprintf "method %s.%s is not static" (Types.class_name (ctable env) c) mname)
+          pos
+      | None ->
+        err (Printf.sprintf "unknown method %s.%s" (Types.class_name (ctable env) c) mname) pos)
+    | None -> (
+      let recv_var, recv_typ = lower_expr env r in
+      let c = class_of_reference env recv_typ pos in
+      match Types.lookup_method (ctable env) c mname with
+      | Some target when target.Types.ms_static -> static_call target
+      | Some target -> virtual_call recv_var target
+      | None ->
+        err (Printf.sprintf "class %s has no method %s" (Types.class_name (ctable env) c) mname) pos))
+  | None -> (
+    match Types.lookup_method (ctable env) env.cls mname with
+    | Some target when target.Types.ms_static -> static_call target
+    | Some target ->
+      let this = require_this env pos in
+      virtual_call this target
+    | None ->
+      err
+        (Printf.sprintf "class %s has no method %s" (Types.class_name (ctable env) env.cls) mname)
+        pos)
+
+(* [super.m(args)]: statically bound to the superclass's implementation,
+   with [this] as the receiver — lowered like a constructor invocation
+   (the other statically-bound instance call). *)
+and lower_super_call env mname args pos =
+  let this = require_this env pos in
+  let super_cls =
+    match Types.super (ctable env) env.cls with
+    | Some s -> s
+    | None -> err "class has no superclass" pos
+  in
+  match Types.lookup_method (ctable env) super_cls mname with
+  | Some target when not target.Types.ms_static ->
+    let arg_vars = lower_args env args target.Types.ms_params pos in
+    let site = fresh_call_site env pos in
+    let ret = target.Types.ms_ret in
+    let dst = if Ast.typ_equal ret Ast.Tvoid then None else Some (fresh_tmp env ret) in
+    emit env (Ir.Call { dst; kind = Ir.Ctor { recv = this; ctor = target }; args = arg_vars; site });
+    (match dst with Some d -> (d, ret) | None -> (fresh_tmp env Ast.Tvoid, Ast.Tvoid))
+  | Some _ ->
+    err (Printf.sprintf "super.%s is static" mname) pos
+  | None ->
+    err
+      (Printf.sprintf "class %s has no method %s" (Types.class_name (ctable env) super_cls) mname)
+      pos
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let rec lower_stmt env (s : Ast.stmt) =
+  match s with
+  | Ast.Local_decl { typ; name; init; pos } ->
+    check_typ env typ pos;
+    if Ast.typ_equal typ Ast.Tvoid then err "variable of type void" pos;
+    let rhs =
+      match init with
+      | None -> None
+      | Some e ->
+        let v, t = lower_expr env e in
+        check_assignable env ~src:t ~dst:typ pos;
+        Some v
+    in
+    let dst = declare_local env name typ pos in
+    (match rhs with Some src -> emit env (Ir.Move { dst; src }) | None -> ())
+  | Ast.Assign { lhs; rhs; pos } -> lower_assign env lhs rhs pos
+  | Ast.Expr_stmt e -> ignore (lower_expr env e)
+  | Ast.Return (eo, pos) -> (
+    let ret_typ = env.msig.Types.ms_ret in
+    match eo with
+    | None ->
+      if not (Ast.typ_equal ret_typ Ast.Tvoid) then err "missing return value" pos;
+      emit env (Ir.Return { src = None })
+    | Some e ->
+      if Ast.typ_equal ret_typ Ast.Tvoid then err "cannot return a value from a void method" pos;
+      let v, t = lower_expr env e in
+      check_assignable env ~src:t ~dst:ret_typ pos;
+      emit env (Ir.Return { src = Some v }))
+  | Ast.If (cond, then_, else_, pos) ->
+    let _, t = lower_expr env cond in
+    if not (Ast.typ_equal t Ast.Tbool) then err "condition must be boolean" pos;
+    in_new_scope env (fun () -> List.iter (lower_stmt env) then_);
+    in_new_scope env (fun () -> List.iter (lower_stmt env) else_)
+  | Ast.While (cond, body, pos) ->
+    let _, t = lower_expr env cond in
+    if not (Ast.typ_equal t Ast.Tbool) then err "condition must be boolean" pos;
+    in_new_scope env (fun () -> List.iter (lower_stmt env) body)
+  | Ast.For { init; cond; step; body; pos } ->
+    (* the init declaration scopes over condition, step and body *)
+    in_new_scope env (fun () ->
+        (match init with Some s -> lower_stmt env s | None -> ());
+        (match cond with
+        | Some c ->
+          let _, t = lower_expr env c in
+          if not (Ast.typ_equal t Ast.Tbool) then err "for condition must be boolean" pos
+        | None -> ());
+        in_new_scope env (fun () -> List.iter (lower_stmt env) body);
+        match step with Some s -> lower_stmt env s | None -> ())
+  | Ast.Block body -> in_new_scope env (fun () -> List.iter (lower_stmt env) body)
+
+and lower_assign env lhs rhs pos =
+  match lhs.Ast.desc with
+  | Ast.Ident name -> (
+    match lookup_scopes env name with
+    | Some (dst, dst_typ) ->
+      let src, src_typ = lower_expr env rhs in
+      check_assignable env ~src:src_typ ~dst:dst_typ pos;
+      emit env (Ir.Move { dst; src })
+    | None -> (
+      match Types.lookup_field (ctable env) env.cls name with
+      | Some (`Instance f) ->
+        let this = require_this env pos in
+        let src, src_typ = lower_expr env rhs in
+        check_assignable env ~src:src_typ ~dst:f.Types.fld_typ pos;
+        emit env (Ir.Store { base = this; fld = f.Types.fld_id; src })
+      | Some (`Static g) ->
+        let src, src_typ = lower_expr env rhs in
+        check_assignable env ~src:src_typ ~dst:g.Types.glb_typ pos;
+        emit env (Ir.Store_global { glb = g.Types.glb_id; src })
+      | None -> err (Printf.sprintf "unknown identifier %s" name) pos))
+  | Ast.Field_access (recv, fname) -> (
+    match class_receiver env recv with
+    | Some c -> (
+      match Types.lookup_field (ctable env) c fname with
+      | Some (`Static g) ->
+        let src, src_typ = lower_expr env rhs in
+        check_assignable env ~src:src_typ ~dst:g.Types.glb_typ pos;
+        emit env (Ir.Store_global { glb = g.Types.glb_id; src })
+      | Some (`Instance _) ->
+        err (Printf.sprintf "field %s.%s is not static" (Types.class_name (ctable env) c) fname) pos
+      | None ->
+        err (Printf.sprintf "unknown static field %s.%s" (Types.class_name (ctable env) c) fname) pos)
+    | None -> (
+      let base, base_typ = lower_expr env recv in
+      let c = class_of_reference env base_typ pos in
+      match Types.lookup_field (ctable env) c fname with
+      | Some (`Instance f) ->
+        let src, src_typ = lower_expr env rhs in
+        check_assignable env ~src:src_typ ~dst:f.Types.fld_typ pos;
+        emit env (Ir.Store { base; fld = f.Types.fld_id; src })
+      | Some (`Static g) ->
+        let src, src_typ = lower_expr env rhs in
+        check_assignable env ~src:src_typ ~dst:g.Types.glb_typ pos;
+        emit env (Ir.Store_global { glb = g.Types.glb_id; src })
+      | None ->
+        err (Printf.sprintf "class %s has no field %s" (Types.class_name (ctable env) c) fname) pos))
+  | Ast.Array_index (arr, idx) ->
+    let base, base_typ = lower_expr env arr in
+    let _ = lower_int env idx in
+    let elem =
+      match base_typ with
+      | Ast.Tarray elem -> elem
+      | t -> err (Format.asprintf "cannot index a value of type %a" Ast.pp_typ t) pos
+    in
+    let src, src_typ = lower_expr env rhs in
+    check_assignable env ~src:src_typ ~dst:elem pos;
+    emit env (Ir.Store { base; fld = (Types.arr_field (ctable env)).Types.fld_id; src })
+  | _ -> err "left-hand side of assignment is not assignable" pos
+
+(* ------------------------------------------------------------------ *)
+(* Declarations                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let clinit_name = "$clinit"
+let entry_class_name = "$Entry"
+let entry_method_name = "$entry"
+
+(* Surface types must name declared classes; checked at declaration time
+   so that even unused fields and signatures are validated. *)
+let rec check_typ_decl ctable typ pos =
+  match typ with
+  | Ast.Tint | Ast.Tbool | Ast.Tvoid -> ()
+  | Ast.Tclass name ->
+    if Types.find_class ctable name = None then err (Printf.sprintf "unknown class %s" name) pos
+  | Ast.Tarray elem ->
+    check_typ_decl ctable elem pos;
+    if Ast.typ_equal elem Ast.Tvoid then err "array of void" pos
+
+(* Phase 1: declare every class, then supers, fields and method
+   signatures, so that bodies can resolve anything in any order. *)
+let declare_program ctable (prog : Ast.program) =
+  List.iter (fun (c : Ast.class_decl) -> ignore (Types.declare_class ctable c.Ast.c_name c.Ast.c_pos)) prog;
+  let obj =
+    match Types.find_class ctable Ast.object_class with
+    | Some c -> c
+    | None -> err "prelude class Object is missing" Ast.dummy_pos
+  in
+  List.iter
+    (fun (c : Ast.class_decl) ->
+      let cid = Types.find_class_exn ctable c.Ast.c_name c.Ast.c_pos in
+      match c.Ast.c_super with
+      | Some s ->
+        let sid = Types.find_class_exn ctable s c.Ast.c_pos in
+        Types.set_super ctable cid sid c.Ast.c_pos
+      | None -> if cid <> obj then Types.set_super ctable cid obj c.Ast.c_pos)
+    prog;
+  List.iter
+    (fun (c : Ast.class_decl) ->
+      let cid = Types.find_class_exn ctable c.Ast.c_name c.Ast.c_pos in
+      List.iter
+        (fun (f : Ast.field_decl) ->
+          if Ast.typ_equal f.Ast.f_typ Ast.Tvoid then err "field of type void" f.Ast.f_pos;
+          check_typ_decl ctable f.Ast.f_typ f.Ast.f_pos;
+          if f.Ast.f_static then
+            ignore
+              (Types.add_global ctable cid ~name:f.Ast.f_name ~typ:f.Ast.f_typ ~init:f.Ast.f_init
+                 f.Ast.f_pos)
+          else ignore (Types.add_field ctable cid ~name:f.Ast.f_name ~typ:f.Ast.f_typ f.Ast.f_pos))
+        c.Ast.c_fields;
+      List.iter
+        (fun (m : Ast.method_decl) ->
+          check_typ_decl ctable m.Ast.m_ret m.Ast.m_pos;
+          List.iter (fun (typ, _) -> check_typ_decl ctable typ m.Ast.m_pos) m.Ast.m_params;
+          ignore
+            (Types.add_method ctable cid ~name:m.Ast.m_name ~static:m.Ast.m_static
+               ~is_ctor:m.Ast.m_is_ctor ~ret:m.Ast.m_ret
+               ~params:(List.map fst m.Ast.m_params) m.Ast.m_pos))
+        c.Ast.c_methods;
+      (* Synthesise a default constructor signature when none is declared. *)
+      if Types.constructors ctable cid = [] then
+        ignore
+          (Types.add_method ctable cid ~name:c.Ast.c_name ~static:false ~is_ctor:true
+             ~ret:Ast.Tvoid ~params:[] c.Ast.c_pos))
+    prog
+
+let make_menv ctx cls (msig : Types.method_sig) =
+  let env =
+    { ctx; cls; msig; this_var = None; scopes = [ Hashtbl.create 8 ]; nvars = 0; names = [];
+      typs = []; code = [] }
+  in
+  env
+
+let finish_method env ~param_vars ~this_var : Ir.meth =
+  let names = Array.of_list (List.rev env.names) in
+  let typs = Array.of_list (List.rev env.typs) in
+  {
+    Ir.id = env.msig.Types.ms_id;
+    msig = env.msig;
+    pretty = Types.method_pretty env.ctx.ctable env.msig;
+    this_var;
+    param_vars;
+    body = List.rev env.code;
+    nvars = env.nvars;
+    var_names = names;
+    var_types = typs;
+  }
+
+(* Constructor prologue: implicit zero-argument superclass constructor
+   call (when the superclass has one — MiniJava has no [super(...)] syntax,
+   so parameterised superclass constructors are simply not chained), then
+   instance field initialisers. *)
+let emit_ctor_prologue env (cdecl : Ast.class_decl) =
+  let ctable = ctable env in
+  let this = match env.this_var with Some v -> v | None -> assert false in
+  (match Types.super ctable env.cls with
+  | Some s -> (
+    match Types.constructor ctable s 0 with
+    | Some ctor ->
+      let site = fresh_call_site env cdecl.Ast.c_pos in
+      emit env (Ir.Call { dst = None; kind = Ir.Ctor { recv = this; ctor }; args = []; site })
+    | None -> ())
+  | None -> ());
+  List.iter
+    (fun (f : Ast.field_decl) ->
+      match f.Ast.f_init with
+      | Some init when not f.Ast.f_static ->
+        let fi =
+          match Types.lookup_field ctable env.cls f.Ast.f_name with
+          | Some (`Instance fi) -> fi
+          | Some (`Static _) | None -> assert false
+        in
+        let src, src_typ = lower_expr env init in
+        check_assignable env ~src:src_typ ~dst:fi.Types.fld_typ f.Ast.f_pos;
+        emit env (Ir.Store { base = this; fld = fi.Types.fld_id; src })
+      | Some _ | None -> ())
+    cdecl.Ast.c_fields
+
+let lower_method ctx cls (cdecl : Ast.class_decl) (msig : Types.method_sig)
+    (mdecl : Ast.method_decl option) : Ir.meth =
+  let env = make_menv ctx cls msig in
+  let this_var =
+    if msig.Types.ms_static then None
+    else Some (fresh_var env "this" (Ast.Tclass (Types.class_name ctx.ctable cls)))
+  in
+  let env = { env with this_var } in
+  let param_vars =
+    match mdecl with
+    | Some m ->
+      List.map
+        (fun (typ, name) ->
+          check_typ env typ m.Ast.m_pos;
+          declare_local env name typ m.Ast.m_pos)
+        m.Ast.m_params
+    | None -> []
+  in
+  check_typ env msig.Types.ms_ret cdecl.Ast.c_pos;
+  if msig.Types.ms_is_ctor then emit_ctor_prologue env cdecl;
+  (match mdecl with
+  | Some m -> List.iter (lower_stmt env) m.Ast.m_body
+  | None -> ());
+  finish_method env ~param_vars ~this_var
+
+(* The per-class static initialiser, holding lowered static field
+   initialisers. Only created for classes that need one. *)
+let lower_clinit ctx cls (cdecl : Ast.class_decl) : Ir.meth option =
+  let inits =
+    List.filter (fun (f : Ast.field_decl) -> f.Ast.f_static && f.Ast.f_init <> None) cdecl.Ast.c_fields
+  in
+  if inits = [] then None
+  else begin
+    let msig =
+      Types.add_method ctx.ctable cls ~name:clinit_name ~static:true ~is_ctor:false ~ret:Ast.Tvoid
+        ~params:[] cdecl.Ast.c_pos
+    in
+    let env = make_menv ctx cls msig in
+    List.iter
+      (fun (f : Ast.field_decl) ->
+        let g =
+          match Types.lookup_field ctx.ctable cls f.Ast.f_name with
+          | Some (`Static g) -> g
+          | Some (`Instance _) | None -> assert false
+        in
+        match f.Ast.f_init with
+        | Some init ->
+          let src, src_typ = lower_expr env init in
+          check_assignable env ~src:src_typ ~dst:g.Types.glb_typ f.Ast.f_pos;
+          emit env (Ir.Store_global { glb = g.Types.glb_id; src })
+        | None -> ())
+      inits;
+    Some (finish_method env ~param_vars:[] ~this_var:None)
+  end
+
+let find_main ctable =
+  let candidates =
+    List.filter_map
+      (fun c ->
+        match Types.lookup_method ctable c "main" with
+        | Some ms when ms.Types.ms_static && ms.Types.ms_params = [] && ms.Types.ms_class = c ->
+          Some ms
+        | Some _ | None -> None)
+      (Types.classes ctable)
+  in
+  let in_main_class =
+    List.find_opt (fun ms -> Types.class_name ctable ms.Types.ms_class = "Main") candidates
+  in
+  match in_main_class with Some ms -> Some ms | None -> ( match candidates with ms :: _ -> Some ms | [] -> None)
+
+(* Synthesised program root: runs every $clinit, then main if present. *)
+let lower_entry ctx ~clinits =
+  let cls = Types.declare_class ctx.ctable entry_class_name Ast.dummy_pos in
+  (match Types.find_class ctx.ctable Ast.object_class with
+  | Some obj -> Types.set_super ctx.ctable cls obj Ast.dummy_pos
+  | None -> ());
+  let msig =
+    Types.add_method ctx.ctable cls ~name:entry_method_name ~static:true ~is_ctor:false
+      ~ret:Ast.Tvoid ~params:[] Ast.dummy_pos
+  in
+  let env = make_menv ctx cls msig in
+  List.iter
+    (fun (clinit : Types.method_sig) ->
+      let site = fresh_call_site env Ast.dummy_pos in
+      emit env (Ir.Call { dst = None; kind = Ir.Static { target = clinit }; args = []; site }))
+    clinits;
+  (match find_main ctx.ctable with
+  | Some main ->
+    let site = fresh_call_site env Ast.dummy_pos in
+    emit env (Ir.Call { dst = None; kind = Ir.Static { target = main }; args = []; site })
+  | None -> ());
+  finish_method env ~param_vars:[] ~this_var:None
+
+let lower_program (prog : Ast.program) : Ir.program =
+  let ctable = Types.create () in
+  declare_program ctable prog;
+  let ctx =
+    { ctable; allocs = []; n_allocs = 0; call_sites = []; n_calls = 0; casts = []; n_casts = 0;
+      lowered = [] }
+  in
+  let clinits = ref [] in
+  List.iter
+    (fun (cdecl : Ast.class_decl) ->
+      let cls = Types.find_class_exn ctable cdecl.Ast.c_name cdecl.Ast.c_pos in
+      (* explicit methods and constructors *)
+      List.iter
+        (fun (mdecl : Ast.method_decl) ->
+          let msig =
+            match
+              if mdecl.Ast.m_is_ctor then
+                Types.constructor ctable cls (List.length mdecl.Ast.m_params)
+              else Types.lookup_method ctable cls mdecl.Ast.m_name
+            with
+            | Some ms when ms.Types.ms_class = cls -> ms
+            | Some _ | None -> assert false
+          in
+          ctx.lowered <- lower_method ctx cls cdecl msig (Some mdecl) :: ctx.lowered)
+        cdecl.Ast.c_methods;
+      (* synthesised default constructor *)
+      (match Types.constructor ctable cls 0 with
+      | Some ms when not (List.exists (fun (m : Ast.method_decl) -> m.Ast.m_is_ctor) cdecl.Ast.c_methods)
+        -> ctx.lowered <- lower_method ctx cls cdecl ms None :: ctx.lowered
+      | Some _ | None -> ());
+      (* static initialiser *)
+      match lower_clinit ctx cls cdecl with
+      | Some m ->
+        clinits := m.Ir.msig :: !clinits;
+        ctx.lowered <- m :: ctx.lowered
+      | None -> ())
+    prog;
+  let entry = lower_entry ctx ~clinits:(List.rev !clinits) in
+  ctx.lowered <- entry :: ctx.lowered;
+  let n_methods = Types.method_count ctable in
+  let dummy = entry in
+  let methods = Array.make n_methods dummy in
+  List.iter (fun (m : Ir.meth) -> methods.(m.Ir.id) <- m) ctx.lowered;
+  (* Every declared signature must have been lowered. *)
+  Array.iteri
+    (fun i m ->
+      if m.Ir.id <> i then
+        invalid_arg (Printf.sprintf "Lower: method id %d has no body (%s)" i m.Ir.pretty))
+    methods;
+  {
+    Ir.ctable;
+    methods;
+    allocs = Array.of_list (List.rev ctx.allocs);
+    calls = Array.of_list (List.rev ctx.call_sites);
+    casts = Array.of_list (List.rev ctx.casts);
+    entry = Some entry.Ir.id;
+  }

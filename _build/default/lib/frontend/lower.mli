@@ -1,0 +1,21 @@
+(** Semantic analysis and lowering of MiniJava to the three-address {!Ir}.
+
+    This pass performs all name resolution and type checking (class
+    hierarchy well-formedness, duplicate declarations, assignability, call
+    arity, l-value shapes) and simultaneously flattens expressions into IR
+    instructions over fresh temporaries.
+
+    Lowering also synthesises the glue a JVM provides implicitly:
+    - a default constructor for every class without an explicit one (which
+      runs the implicit superclass constructor and instance field
+      initialisers; explicit constructors get the same prologue),
+    - a [$clinit] static initialiser per class with initialised static
+      fields,
+    - a [$Entry.$entry] root method that invokes all [$clinit]s and then
+      [main], used as the call-graph root. [main] is any 0-argument static
+      method named [main]; the one in class [Main] wins if several exist. *)
+
+exception Error of string * Ast.pos
+
+val lower_program : Ast.program -> Ir.program
+(** @raise Error on the first semantic error. *)

@@ -1,0 +1,519 @@
+exception Error of string * Ast.pos
+
+type state = { toks : (Token.t * Ast.pos) array; mutable cur : int }
+
+let peek st = fst st.toks.(st.cur)
+
+let peek_at st n =
+  let i = st.cur + n in
+  if i < Array.length st.toks then fst st.toks.(i) else Token.EOF
+
+let pos st = snd st.toks.(st.cur)
+
+let advance st = if st.cur < Array.length st.toks - 1 then st.cur <- st.cur + 1
+
+let error st msg = raise (Error (msg, pos st))
+
+let expect st tok =
+  if Token.equal (peek st) tok then advance st
+  else error st (Printf.sprintf "expected %s but found %s" (Token.to_string tok) (Token.to_string (peek st)))
+
+let expect_ident st =
+  match peek st with
+  | Token.IDENT name ->
+    advance st;
+    name
+  | t -> error st (Printf.sprintf "expected identifier but found %s" (Token.to_string t))
+
+let accept st tok =
+  if Token.equal (peek st) tok then begin
+    advance st;
+    true
+  end
+  else false
+
+(* type := (int | boolean | void | Ident) ('[' ']')* *)
+let rec finish_array_type st base =
+  if Token.equal (peek st) Token.LBRACKET && Token.equal (peek_at st 1) Token.RBRACKET then begin
+    advance st;
+    advance st;
+    finish_array_type st (Ast.Tarray base)
+  end
+  else base
+
+let parse_type st =
+  let base =
+    match peek st with
+    | Token.INT ->
+      advance st;
+      Ast.Tint
+    | Token.BOOLEAN ->
+      advance st;
+      Ast.Tbool
+    | Token.VOID ->
+      advance st;
+      Ast.Tvoid
+    | Token.IDENT name ->
+      advance st;
+      Ast.Tclass name
+    | t -> error st (Printf.sprintf "expected a type but found %s" (Token.to_string t))
+  in
+  finish_array_type st base
+
+(* A token that may begin a unary expression; used to disambiguate casts. *)
+let starts_expr = function
+  | Token.IDENT _ | Token.INT_LIT _ | Token.STR_LIT _ | Token.NEW | Token.THIS | Token.NULL
+  | Token.TRUE | Token.FALSE | Token.LPAREN | Token.BANG | Token.MINUS ->
+    true
+  | _ -> false
+
+let mk p desc = { Ast.desc; pos = p }
+
+let rec parse_expr st = parse_or st
+
+and parse_or st =
+  let lhs = parse_and st in
+  if accept st Token.OROR then
+    let rhs = parse_or st in
+    mk lhs.Ast.pos (Ast.Binop (Ast.Or, lhs, rhs))
+  else lhs
+
+and parse_and st =
+  let lhs = parse_equality st in
+  if accept st Token.ANDAND then
+    let rhs = parse_and st in
+    mk lhs.Ast.pos (Ast.Binop (Ast.And, lhs, rhs))
+  else lhs
+
+and parse_equality st =
+  let lhs = parse_relational st in
+  match peek st with
+  | Token.EQ ->
+    advance st;
+    let rhs = parse_relational st in
+    mk lhs.Ast.pos (Ast.Binop (Ast.Eq, lhs, rhs))
+  | Token.NEQ ->
+    advance st;
+    let rhs = parse_relational st in
+    mk lhs.Ast.pos (Ast.Binop (Ast.Neq, lhs, rhs))
+  | _ -> lhs
+
+and parse_relational st =
+  let lhs = parse_additive st in
+  let op =
+    match peek st with
+    | Token.LT -> Some Ast.Lt
+    | Token.GT -> Some Ast.Gt
+    | Token.LE -> Some Ast.Le
+    | Token.GE -> Some Ast.Ge
+    | _ -> None
+  in
+  match op with
+  | None ->
+    if accept st Token.INSTANCEOF then begin
+      let typ = parse_type st in
+      mk lhs.Ast.pos (Ast.Instanceof (lhs, typ))
+    end
+    else lhs
+  | Some op ->
+    advance st;
+    let rhs = parse_additive st in
+    mk lhs.Ast.pos (Ast.Binop (op, lhs, rhs))
+
+and parse_additive st =
+  let rec loop lhs =
+    match peek st with
+    | Token.PLUS ->
+      advance st;
+      loop (mk lhs.Ast.pos (Ast.Binop (Ast.Add, lhs, parse_multiplicative st)))
+    | Token.MINUS ->
+      advance st;
+      loop (mk lhs.Ast.pos (Ast.Binop (Ast.Sub, lhs, parse_multiplicative st)))
+    | _ -> lhs
+  in
+  loop (parse_multiplicative st)
+
+and parse_multiplicative st =
+  let rec loop lhs =
+    match peek st with
+    | Token.STAR ->
+      advance st;
+      loop (mk lhs.Ast.pos (Ast.Binop (Ast.Mul, lhs, parse_unary st)))
+    | Token.SLASH ->
+      advance st;
+      loop (mk lhs.Ast.pos (Ast.Binop (Ast.Div, lhs, parse_unary st)))
+    | Token.PERCENT ->
+      advance st;
+      loop (mk lhs.Ast.pos (Ast.Binop (Ast.Mod, lhs, parse_unary st)))
+    | _ -> lhs
+  in
+  loop (parse_unary st)
+
+and parse_unary st =
+  let p = pos st in
+  match peek st with
+  | Token.BANG ->
+    advance st;
+    mk p (Ast.Unop (Ast.Not, parse_unary st))
+  | Token.MINUS ->
+    advance st;
+    mk p (Ast.Unop (Ast.Neg, parse_unary st))
+  | Token.LPAREN when is_cast st -> begin
+    advance st;
+    let typ = parse_type st in
+    expect st Token.RPAREN;
+    let operand = parse_unary st in
+    mk p (Ast.Cast (typ, operand))
+  end
+  | _ -> parse_postfix st
+
+(* Look ahead from an LPAREN to decide cast vs parenthesised expression.
+   '(' int/boolean ... ')' is always a cast; '(' Ident ')' is a cast only if
+   followed by an expression starter other than an operator; '(' Ident '[' ']'
+   ... ')' is a cast. *)
+and is_cast st =
+  match peek_at st 1 with
+  | Token.INT | Token.BOOLEAN -> true
+  | Token.IDENT _ -> (
+    (* scan over Ident ('[' ']')* and require ')' then an expression start *)
+    let i = ref 2 in
+    while
+      Token.equal (peek_at st !i) Token.LBRACKET && Token.equal (peek_at st (!i + 1)) Token.RBRACKET
+    do
+      i := !i + 2
+    done;
+    match peek_at st !i with
+    | Token.RPAREN ->
+      if !i > 2 then true (* array type: must be a cast *)
+      else starts_expr (peek_at st (!i + 1)) && not (Token.equal (peek_at st (!i + 1)) Token.MINUS)
+    | _ -> false)
+  | _ -> false
+
+and parse_postfix st =
+  let rec loop recv =
+    match peek st with
+    | Token.DOT -> begin
+      advance st;
+      let name = expect_ident st in
+      if Token.equal (peek st) Token.LPAREN then begin
+        let args = parse_args st in
+        loop (mk recv.Ast.pos (Ast.Method_call (Some recv, name, args)))
+      end
+      else loop (mk recv.Ast.pos (Ast.Field_access (recv, name)))
+    end
+    | Token.LBRACKET ->
+      advance st;
+      let idx = parse_expr st in
+      expect st Token.RBRACKET;
+      loop (mk recv.Ast.pos (Ast.Array_index (recv, idx)))
+    | _ -> recv
+  in
+  loop (parse_primary st)
+
+and parse_args st =
+  expect st Token.LPAREN;
+  if accept st Token.RPAREN then []
+  else begin
+    let rec go acc =
+      let e = parse_expr st in
+      if accept st Token.COMMA then go (e :: acc)
+      else begin
+        expect st Token.RPAREN;
+        List.rev (e :: acc)
+      end
+    in
+    go []
+  end
+
+and parse_primary st =
+  let p = pos st in
+  match peek st with
+  | Token.NULL ->
+    advance st;
+    mk p Ast.Null
+  | Token.THIS ->
+    advance st;
+    mk p Ast.This
+  | Token.TRUE ->
+    advance st;
+    mk p (Ast.Bool_lit true)
+  | Token.FALSE ->
+    advance st;
+    mk p (Ast.Bool_lit false)
+  | Token.INT_LIT n ->
+    advance st;
+    mk p (Ast.Int_lit n)
+  | Token.STR_LIT s ->
+    advance st;
+    mk p (Ast.Str_lit s)
+  | Token.NEW -> begin
+    advance st;
+    match peek st with
+    | Token.INT | Token.BOOLEAN ->
+      let elem =
+        if accept st Token.INT then Ast.Tint
+        else begin
+          expect st Token.BOOLEAN;
+          Ast.Tbool
+        end
+      in
+      parse_new_array st p elem
+    | Token.IDENT name ->
+      advance st;
+      if Token.equal (peek st) Token.LPAREN then begin
+        let args = parse_args st in
+        mk p (Ast.New_object (name, args))
+      end
+      else parse_new_array st p (Ast.Tclass name)
+    | t -> error st (Printf.sprintf "expected a type after 'new' but found %s" (Token.to_string t))
+  end
+  | Token.LPAREN ->
+    advance st;
+    let e = parse_expr st in
+    expect st Token.RPAREN;
+    e
+  | Token.SUPER ->
+    advance st;
+    expect st Token.DOT;
+    let name = expect_ident st in
+    let args = parse_args st in
+    mk p (Ast.Super_call (name, args))
+  | Token.IDENT name ->
+    advance st;
+    if Token.equal (peek st) Token.LPAREN then
+      (* unqualified call: receiver resolved during lowering *)
+      let args = parse_args st in
+      mk p (Ast.Method_call (None, name, args))
+    else mk p (Ast.Ident name)
+  | t -> error st (Printf.sprintf "expected an expression but found %s" (Token.to_string t))
+
+(* new T [ e ] ( '[' ']' )*  — multi-dimensional allocation allocates the
+   outermost dimension only, as in Java's 'new T[n][]'. *)
+and parse_new_array st p elem =
+  expect st Token.LBRACKET;
+  let len = parse_expr st in
+  expect st Token.RBRACKET;
+  let elem = finish_array_type st elem in
+  mk p (Ast.New_array (elem, len))
+
+let is_decl_start st =
+  match peek st with
+  | Token.INT | Token.BOOLEAN -> true
+  | Token.IDENT _ -> (
+    match peek_at st 1 with
+    | Token.IDENT _ -> true
+    | Token.LBRACKET -> Token.equal (peek_at st 2) Token.RBRACKET
+    | _ -> false)
+  | _ -> false
+
+let rec parse_stmt st : Ast.stmt =
+  let p = pos st in
+  match peek st with
+  | Token.LBRACE ->
+    advance st;
+    let body = parse_stmts_until_rbrace st in
+    Ast.Block body
+  | Token.RETURN ->
+    advance st;
+    if accept st Token.SEMI then Ast.Return (None, p)
+    else begin
+      let e = parse_expr st in
+      expect st Token.SEMI;
+      Ast.Return (Some e, p)
+    end
+  | Token.IF ->
+    advance st;
+    expect st Token.LPAREN;
+    let cond = parse_expr st in
+    expect st Token.RPAREN;
+    let then_ = parse_block_or_stmt st in
+    let else_ = if accept st Token.ELSE then parse_block_or_stmt st else [] in
+    Ast.If (cond, then_, else_, p)
+  | Token.WHILE ->
+    advance st;
+    expect st Token.LPAREN;
+    let cond = parse_expr st in
+    expect st Token.RPAREN;
+    let body = parse_block_or_stmt st in
+    Ast.While (cond, body, p)
+  | Token.FOR ->
+    advance st;
+    expect st Token.LPAREN;
+    let init =
+      if accept st Token.SEMI then None
+      else begin
+        let s = parse_simple_stmt st in
+        expect st Token.SEMI;
+        Some s
+      end
+    in
+    let cond = if Token.equal (peek st) Token.SEMI then None else Some (parse_expr st) in
+    expect st Token.SEMI;
+    let step = if Token.equal (peek st) Token.RPAREN then None else Some (parse_simple_stmt st) in
+    expect st Token.RPAREN;
+    let body = parse_block_or_stmt st in
+    Ast.For { init; cond; step; body; pos = p }
+  | _ when is_decl_start st ->
+    let typ = parse_type st in
+    let name = expect_ident st in
+    let init = if accept st Token.ASSIGN then Some (parse_expr st) else None in
+    expect st Token.SEMI;
+    Ast.Local_decl { typ; name; init; pos = p }
+  | _ ->
+    let e = parse_expr st in
+    if accept st Token.ASSIGN then begin
+      let rhs = parse_expr st in
+      expect st Token.SEMI;
+      (match e.Ast.desc with
+      | Ast.Ident _ | Ast.Field_access _ | Ast.Array_index _ -> ()
+      | _ -> raise (Error ("left-hand side of assignment is not assignable", p)));
+      Ast.Assign { lhs = e; rhs; pos = p }
+    end
+    else begin
+      expect st Token.SEMI;
+      Ast.Expr_stmt e
+    end
+
+(* declaration, assignment or expression — without the trailing ';'
+   (the headers of a for loop) *)
+and parse_simple_stmt st : Ast.stmt =
+  let p = pos st in
+  if is_decl_start st then begin
+    let typ = parse_type st in
+    let name = expect_ident st in
+    let init = if accept st Token.ASSIGN then Some (parse_expr st) else None in
+    Ast.Local_decl { typ; name; init; pos = p }
+  end
+  else begin
+    let e = parse_expr st in
+    if accept st Token.ASSIGN then begin
+      let rhs = parse_expr st in
+      (match e.Ast.desc with
+      | Ast.Ident _ | Ast.Field_access _ | Ast.Array_index _ -> ()
+      | _ -> raise (Error ("left-hand side of assignment is not assignable", p)));
+      Ast.Assign { lhs = e; rhs; pos = p }
+    end
+    else Ast.Expr_stmt e
+  end
+
+and parse_block_or_stmt st =
+  if Token.equal (peek st) Token.LBRACE then begin
+    advance st;
+    parse_stmts_until_rbrace st
+  end
+  else [ parse_stmt st ]
+
+and parse_stmts_until_rbrace st =
+  let rec go acc =
+    if accept st Token.RBRACE then List.rev acc else go (parse_stmt st :: acc)
+  in
+  go []
+
+let parse_params st =
+  expect st Token.LPAREN;
+  if accept st Token.RPAREN then []
+  else begin
+    let rec go acc =
+      let typ = parse_type st in
+      let name = expect_ident st in
+      if accept st Token.COMMA then go ((typ, name) :: acc)
+      else begin
+        expect st Token.RPAREN;
+        List.rev ((typ, name) :: acc)
+      end
+    in
+    go []
+  end
+
+let parse_member st ~class_name : [ `Field of Ast.field_decl | `Method of Ast.method_decl ] =
+  let p = pos st in
+  let is_static = accept st Token.STATIC in
+  (* Constructor: Ident '(' where Ident is the class name. *)
+  match peek st with
+  | Token.IDENT name when (not is_static) && name = class_name && Token.equal (peek_at st 1) Token.LPAREN ->
+    advance st;
+    let params = parse_params st in
+    expect st Token.LBRACE;
+    let body = parse_stmts_until_rbrace st in
+    `Method
+      {
+        Ast.m_static = false;
+        m_ret = Ast.Tvoid;
+        m_name = name;
+        m_params = params;
+        m_body = body;
+        m_pos = p;
+        m_is_ctor = true;
+      }
+  | _ ->
+    let typ = parse_type st in
+    let name = expect_ident st in
+    if Token.equal (peek st) Token.LPAREN then begin
+      let params = parse_params st in
+      expect st Token.LBRACE;
+      let body = parse_stmts_until_rbrace st in
+      `Method
+        {
+          Ast.m_static = is_static;
+          m_ret = typ;
+          m_name = name;
+          m_params = params;
+          m_body = body;
+          m_pos = p;
+          m_is_ctor = false;
+        }
+    end
+    else begin
+      let init = if accept st Token.ASSIGN then Some (parse_expr st) else None in
+      expect st Token.SEMI;
+      `Field { Ast.f_static = is_static; f_typ = typ; f_name = name; f_init = init; f_pos = p }
+    end
+
+let parse_class st : Ast.class_decl =
+  let p = pos st in
+  expect st Token.CLASS;
+  let name = expect_ident st in
+  let super = if accept st Token.EXTENDS then Some (expect_ident st) else None in
+  expect st Token.LBRACE;
+  let fields = ref [] in
+  let methods = ref [] in
+  let rec members () =
+    if accept st Token.RBRACE then ()
+    else begin
+      (match parse_member st ~class_name:name with
+      | `Field f -> fields := f :: !fields
+      | `Method m -> methods := m :: !methods);
+      members ()
+    end
+  in
+  members ();
+  {
+    Ast.c_name = name;
+    c_super = super;
+    c_fields = List.rev !fields;
+    c_methods = List.rev !methods;
+    c_pos = p;
+  }
+
+let with_state src f =
+  let toks =
+    try Array.of_list (Lexer.tokenize src)
+    with Lexer.Error (msg, p) -> raise (Error ("lexical error: " ^ msg, p))
+  in
+  f { toks; cur = 0 }
+
+let parse_program src =
+  with_state src (fun st ->
+      let rec go acc =
+        match peek st with
+        | Token.EOF -> List.rev acc
+        | Token.CLASS -> go (parse_class st :: acc)
+        | t -> error st (Printf.sprintf "expected 'class' but found %s" (Token.to_string t))
+      in
+      go [])
+
+let parse_expr_string src =
+  with_state src (fun st ->
+      let e = parse_expr st in
+      expect st Token.EOF;
+      e)

@@ -1,0 +1,18 @@
+(** Recursive-descent parser for MiniJava.
+
+    Standard precedence-climbing expression grammar; the two classic
+    Java ambiguities are resolved as javac does:
+    - [(C) e] is a cast when the parenthesised name is followed by a token
+      that can begin a unary expression; otherwise it is a parenthesised
+      expression,
+    - [T x ...] at statement position is a declaration when an identifier
+      is followed by another identifier or by [\[\]]. *)
+
+exception Error of string * Ast.pos
+
+val parse_program : string -> Ast.program
+(** Parse a whole compilation unit. @raise Error with a message and source
+    position on the first syntax error. *)
+
+val parse_expr_string : string -> Ast.expr
+(** Parse a single expression (used by unit tests). *)

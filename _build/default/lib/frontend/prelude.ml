@@ -1,0 +1,36 @@
+(** The implicit classes every MiniJava program knows, playing the role of
+    the JDK classes the paper's benchmarks link against. The prelude is
+    ordinary MiniJava source, parsed and lowered together with the user
+    program so the analyses see its code like any other. *)
+
+let source =
+  {|
+class Object {
+  Object() {}
+  boolean equals(Object other) { return this == other; }
+  int hashCode() { return 0; }
+  String toString() { return "Object"; }
+}
+
+class String extends Object {
+  String() {}
+  int length() { return 0; }
+  String concat(String other) { return this; }
+}
+
+class Integer extends Object {
+  int value;
+  Integer(int v) { this.value = v; }
+  int intValue() { return this.value; }
+}
+
+class Boolean extends Object {
+  boolean value;
+  Boolean(boolean v) { this.value = v; }
+  boolean booleanValue() { return this.value; }
+}
+|}
+
+let ast : Ast.program Lazy.t = lazy (Parser.parse_program source)
+
+let class_names = [ "Object"; "String"; "Integer"; "Boolean" ]

@@ -1,0 +1,234 @@
+let typ_to_string t = Format.asprintf "%a" Ast.pp_typ t
+
+let binop_str = function
+  | Ast.Add -> "+"
+  | Ast.Sub -> "-"
+  | Ast.Mul -> "*"
+  | Ast.Div -> "/"
+  | Ast.Mod -> "%"
+  | Ast.Eq -> "=="
+  | Ast.Neq -> "!="
+  | Ast.Lt -> "<"
+  | Ast.Gt -> ">"
+  | Ast.Le -> "<="
+  | Ast.Ge -> ">="
+  | Ast.And -> "&&"
+  | Ast.Or -> "||"
+
+let escape_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* Everything is parenthesised defensively: the goal is a faithful
+   round-trip, not minimal parentheses. *)
+let rec expr_to_string (e : Ast.expr) =
+  match e.Ast.desc with
+  | Ast.Null -> "null"
+  | Ast.Int_lit n -> string_of_int n
+  | Ast.Bool_lit b -> string_of_bool b
+  | Ast.Str_lit s -> "\"" ^ escape_string s ^ "\""
+  | Ast.Ident x -> x
+  | Ast.This -> "this"
+  | Ast.Field_access (r, f) -> receiver r ^ "." ^ f
+  | Ast.Array_index (a, i) -> receiver a ^ "[" ^ expr_to_string i ^ "]"
+  | Ast.New_object (c, args) -> "new " ^ c ^ "(" ^ args_to_string args ^ ")"
+  | Ast.New_array (elem, len) ->
+    (* nested array types print as new T[len][]... *)
+    let rec split = function Ast.Tarray inner -> let b, d = split inner in (b, d + 1) | t -> (t, 0) in
+    let base, extra = split elem in
+    "new " ^ typ_to_string base ^ "[" ^ expr_to_string len ^ "]" ^ String.concat "" (List.init extra (fun _ -> "[]"))
+  | Ast.Cast (t, x) -> "((" ^ typ_to_string t ^ ") " ^ receiver x ^ ")"
+  | Ast.Instanceof (x, t) -> "(" ^ expr_to_string x ^ " instanceof " ^ typ_to_string t ^ ")"
+  | Ast.Method_call (None, m, args) -> m ^ "(" ^ args_to_string args ^ ")"
+  | Ast.Method_call (Some r, m, args) -> receiver r ^ "." ^ m ^ "(" ^ args_to_string args ^ ")"
+  | Ast.Super_call (m, args) -> "super." ^ m ^ "(" ^ args_to_string args ^ ")"
+  | Ast.Binop (op, a, b) ->
+    "(" ^ expr_to_string a ^ " " ^ binop_str op ^ " " ^ expr_to_string b ^ ")"
+  | Ast.Unop (Ast.Not, a) -> "(!" ^ expr_to_string a ^ ")"
+  | Ast.Unop (Ast.Neg, a) -> "(-" ^ expr_to_string a ^ ")"
+
+(* a receiver/postfix position needs no extra parens for postfix-shaped
+   expressions, but casts/binops must be wrapped *)
+and receiver (e : Ast.expr) =
+  match e.Ast.desc with
+  | Ast.Ident _ | Ast.This | Ast.Field_access _ | Ast.Array_index _ | Ast.Method_call _
+  | Ast.Super_call _ | Ast.New_object _ ->
+    expr_to_string e
+  | _ -> "(" ^ expr_to_string e ^ ")"
+
+and args_to_string args = String.concat ", " (List.map expr_to_string args)
+
+let rec stmt_lines indent (s : Ast.stmt) =
+  let pad = String.make indent ' ' in
+  match s with
+  | Ast.Local_decl { typ; name; init; _ } ->
+    let rhs = match init with Some e -> " = " ^ expr_to_string e | None -> "" in
+    [ pad ^ typ_to_string typ ^ " " ^ name ^ rhs ^ ";" ]
+  | Ast.Assign { lhs; rhs; _ } -> [ pad ^ expr_to_string lhs ^ " = " ^ expr_to_string rhs ^ ";" ]
+  | Ast.Expr_stmt e -> [ pad ^ expr_to_string e ^ ";" ]
+  | Ast.Return (None, _) -> [ pad ^ "return;" ]
+  | Ast.Return (Some e, _) -> [ pad ^ "return " ^ expr_to_string e ^ ";" ]
+  | Ast.If (c, t, e, _) ->
+    [ pad ^ "if (" ^ expr_to_string c ^ ") {" ]
+    @ List.concat_map (stmt_lines (indent + 2)) t
+    @ [ pad ^ "} else {" ]
+    @ List.concat_map (stmt_lines (indent + 2)) e
+    @ [ pad ^ "}" ]
+  | Ast.While (c, body, _) ->
+    [ pad ^ "while (" ^ expr_to_string c ^ ") {" ]
+    @ List.concat_map (stmt_lines (indent + 2)) body
+    @ [ pad ^ "}" ]
+  | Ast.For { init; cond; step; body; _ } ->
+    let simple = function
+      | Some s -> (
+        match stmt_lines 0 s with
+        | [ line ] -> String.sub line 0 (String.length line - 1) (* drop ';' *)
+        | _ -> invalid_arg "Pretty: non-simple for header")
+      | None -> ""
+    in
+    [
+      pad ^ "for (" ^ simple init ^ "; "
+      ^ (match cond with Some c -> expr_to_string c | None -> "")
+      ^ "; " ^ simple step ^ ") {";
+    ]
+    @ List.concat_map (stmt_lines (indent + 2)) body
+    @ [ pad ^ "}" ]
+  | Ast.Block body ->
+    [ pad ^ "{" ] @ List.concat_map (stmt_lines (indent + 2)) body @ [ pad ^ "}" ]
+
+let method_lines (m : Ast.method_decl) =
+  let params =
+    String.concat ", " (List.map (fun (t, n) -> typ_to_string t ^ " " ^ n) m.Ast.m_params)
+  in
+  let header =
+    if m.Ast.m_is_ctor then Printf.sprintf "  %s(%s) {" m.Ast.m_name params
+    else
+      Printf.sprintf "  %s%s %s(%s) {"
+        (if m.Ast.m_static then "static " else "")
+        (typ_to_string m.Ast.m_ret) m.Ast.m_name params
+  in
+  (header :: List.concat_map (stmt_lines 4) m.Ast.m_body) @ [ "  }" ]
+
+let field_line (f : Ast.field_decl) =
+  Printf.sprintf "  %s%s %s%s;"
+    (if f.Ast.f_static then "static " else "")
+    (typ_to_string f.Ast.f_typ) f.Ast.f_name
+    (match f.Ast.f_init with Some e -> " = " ^ expr_to_string e | None -> "")
+
+let class_lines (c : Ast.class_decl) =
+  let header =
+    match c.Ast.c_super with
+    | Some s -> Printf.sprintf "class %s extends %s {" c.Ast.c_name s
+    | None -> Printf.sprintf "class %s {" c.Ast.c_name
+  in
+  (header :: List.map field_line c.Ast.c_fields)
+  @ List.concat_map method_lines c.Ast.c_methods
+  @ [ "}" ]
+
+let program_to_string prog =
+  String.concat "\n" (List.concat_map (fun c -> class_lines c @ [ "" ]) prog)
+
+(* ------------------- equality modulo positions ---------------------- *)
+
+let rec equal_expr (a : Ast.expr) (b : Ast.expr) =
+  match (a.Ast.desc, b.Ast.desc) with
+  | Ast.Null, Ast.Null | Ast.This, Ast.This -> true
+  | Ast.Int_lit x, Ast.Int_lit y -> x = y
+  | Ast.Bool_lit x, Ast.Bool_lit y -> x = y
+  | Ast.Str_lit x, Ast.Str_lit y -> String.equal x y
+  | Ast.Ident x, Ast.Ident y -> String.equal x y
+  | Ast.Field_access (r1, f1), Ast.Field_access (r2, f2) -> String.equal f1 f2 && equal_expr r1 r2
+  | Ast.Array_index (a1, i1), Ast.Array_index (a2, i2) -> equal_expr a1 a2 && equal_expr i1 i2
+  | Ast.New_object (c1, a1), Ast.New_object (c2, a2) -> String.equal c1 c2 && equal_exprs a1 a2
+  | Ast.New_array (t1, l1), Ast.New_array (t2, l2) -> Ast.typ_equal t1 t2 && equal_expr l1 l2
+  | Ast.Cast (t1, e1), Ast.Cast (t2, e2) -> Ast.typ_equal t1 t2 && equal_expr e1 e2
+  | Ast.Instanceof (e1, t1), Ast.Instanceof (e2, t2) -> Ast.typ_equal t1 t2 && equal_expr e1 e2
+  | Ast.Method_call (r1, m1, a1), Ast.Method_call (r2, m2, a2) ->
+    String.equal m1 m2 && equal_exprs a1 a2
+    && (match (r1, r2) with
+       | None, None -> true
+       | Some x, Some y -> equal_expr x y
+       | None, Some _ | Some _, None -> false)
+  | Ast.Super_call (m1, a1), Ast.Super_call (m2, a2) -> String.equal m1 m2 && equal_exprs a1 a2
+  | Ast.Binop (o1, x1, y1), Ast.Binop (o2, x2, y2) -> o1 = o2 && equal_expr x1 x2 && equal_expr y1 y2
+  | Ast.Unop (o1, x1), Ast.Unop (o2, x2) -> o1 = o2 && equal_expr x1 x2
+  | _, _ -> false
+
+and equal_exprs a b = List.length a = List.length b && List.for_all2 equal_expr a b
+
+let rec equal_stmt (a : Ast.stmt) (b : Ast.stmt) =
+  match (a, b) with
+  | Ast.Local_decl d1, Ast.Local_decl d2 ->
+    Ast.typ_equal d1.typ d2.typ
+    && String.equal d1.name d2.name
+    && (match (d1.init, d2.init) with
+       | None, None -> true
+       | Some x, Some y -> equal_expr x y
+       | None, Some _ | Some _, None -> false)
+  | Ast.Assign a1, Ast.Assign a2 -> equal_expr a1.lhs a2.lhs && equal_expr a1.rhs a2.rhs
+  | Ast.Expr_stmt e1, Ast.Expr_stmt e2 -> equal_expr e1 e2
+  | Ast.Return (e1, _), Ast.Return (e2, _) -> (
+    match (e1, e2) with
+    | None, None -> true
+    | Some x, Some y -> equal_expr x y
+    | None, Some _ | Some _, None -> false)
+  | Ast.If (c1, t1, e1, _), Ast.If (c2, t2, e2, _) ->
+    equal_expr c1 c2 && equal_stmts t1 t2 && equal_stmts e1 e2
+  | Ast.While (c1, b1, _), Ast.While (c2, b2, _) -> equal_expr c1 c2 && equal_stmts b1 b2
+  | Ast.For f1, Ast.For f2 ->
+    (match (f1.init, f2.init) with
+    | None, None -> true
+    | Some x, Some y -> equal_stmt x y
+    | None, Some _ | Some _, None -> false)
+    && (match (f1.cond, f2.cond) with
+       | None, None -> true
+       | Some x, Some y -> equal_expr x y
+       | None, Some _ | Some _, None -> false)
+    && (match (f1.step, f2.step) with
+       | None, None -> true
+       | Some x, Some y -> equal_stmt x y
+       | None, Some _ | Some _, None -> false)
+    && equal_stmts f1.body f2.body
+  | Ast.Block b1, Ast.Block b2 -> equal_stmts b1 b2
+  | _, _ -> false
+
+and equal_stmts a b = List.length a = List.length b && List.for_all2 equal_stmt a b
+
+let equal_method (a : Ast.method_decl) (b : Ast.method_decl) =
+  a.Ast.m_static = b.Ast.m_static
+  && a.Ast.m_is_ctor = b.Ast.m_is_ctor
+  && Ast.typ_equal a.Ast.m_ret b.Ast.m_ret
+  && String.equal a.Ast.m_name b.Ast.m_name
+  && List.length a.Ast.m_params = List.length b.Ast.m_params
+  && List.for_all2
+       (fun (t1, n1) (t2, n2) -> Ast.typ_equal t1 t2 && String.equal n1 n2)
+       a.Ast.m_params b.Ast.m_params
+  && equal_stmts a.Ast.m_body b.Ast.m_body
+
+let equal_field (a : Ast.field_decl) (b : Ast.field_decl) =
+  a.Ast.f_static = b.Ast.f_static
+  && Ast.typ_equal a.Ast.f_typ b.Ast.f_typ
+  && String.equal a.Ast.f_name b.Ast.f_name
+  && (match (a.Ast.f_init, b.Ast.f_init) with
+     | None, None -> true
+     | Some x, Some y -> equal_expr x y
+     | None, Some _ | Some _, None -> false)
+
+let equal_class (a : Ast.class_decl) (b : Ast.class_decl) =
+  String.equal a.Ast.c_name b.Ast.c_name
+  && a.Ast.c_super = b.Ast.c_super
+  && List.length a.Ast.c_fields = List.length b.Ast.c_fields
+  && List.for_all2 equal_field a.Ast.c_fields b.Ast.c_fields
+  && List.length a.Ast.c_methods = List.length b.Ast.c_methods
+  && List.for_all2 equal_method a.Ast.c_methods b.Ast.c_methods
+
+let equal_program a b = List.length a = List.length b && List.for_all2 equal_class a b

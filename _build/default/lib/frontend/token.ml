@@ -1,0 +1,99 @@
+(** Tokens of MiniJava and their printer (used in parser error messages). *)
+
+type t =
+  | CLASS
+  | EXTENDS
+  | STATIC
+  | NEW
+  | RETURN
+  | IF
+  | ELSE
+  | WHILE
+  | FOR
+  | INSTANCEOF
+  | SUPER
+  | THIS
+  | NULL
+  | TRUE
+  | FALSE
+  | INT
+  | BOOLEAN
+  | VOID
+  | IDENT of string
+  | INT_LIT of int
+  | STR_LIT of string
+  | LBRACE
+  | RBRACE
+  | LPAREN
+  | RPAREN
+  | LBRACKET
+  | RBRACKET
+  | SEMI
+  | COMMA
+  | DOT
+  | ASSIGN (* = *)
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | PERCENT
+  | EQ (* == *)
+  | NEQ
+  | LT
+  | GT
+  | LE
+  | GE
+  | ANDAND
+  | OROR
+  | BANG
+  | EOF
+
+let to_string = function
+  | CLASS -> "class"
+  | EXTENDS -> "extends"
+  | STATIC -> "static"
+  | NEW -> "new"
+  | RETURN -> "return"
+  | IF -> "if"
+  | ELSE -> "else"
+  | WHILE -> "while"
+  | FOR -> "for"
+  | INSTANCEOF -> "instanceof"
+  | SUPER -> "super"
+  | THIS -> "this"
+  | NULL -> "null"
+  | TRUE -> "true"
+  | FALSE -> "false"
+  | INT -> "int"
+  | BOOLEAN -> "boolean"
+  | VOID -> "void"
+  | IDENT s -> Printf.sprintf "identifier %S" s
+  | INT_LIT n -> Printf.sprintf "integer %d" n
+  | STR_LIT s -> Printf.sprintf "string %S" s
+  | LBRACE -> "'{'"
+  | RBRACE -> "'}'"
+  | LPAREN -> "'('"
+  | RPAREN -> "')'"
+  | LBRACKET -> "'['"
+  | RBRACKET -> "']'"
+  | SEMI -> "';'"
+  | COMMA -> "','"
+  | DOT -> "'.'"
+  | ASSIGN -> "'='"
+  | PLUS -> "'+'"
+  | MINUS -> "'-'"
+  | STAR -> "'*'"
+  | SLASH -> "'/'"
+  | PERCENT -> "'%'"
+  | EQ -> "'=='"
+  | NEQ -> "'!='"
+  | LT -> "'<'"
+  | GT -> "'>'"
+  | LE -> "'<='"
+  | GE -> "'>='"
+  | ANDAND -> "'&&'"
+  | OROR -> "'||'"
+  | BANG -> "'!'"
+  | EOF -> "end of input"
+
+let equal (a : t) (b : t) = a = b

@@ -1,0 +1,1 @@
+lib/pag/builder.ml: Array Ir List Option Pag

@@ -1,0 +1,1 @@
+lib/pag/builder.mli: Ir Pag

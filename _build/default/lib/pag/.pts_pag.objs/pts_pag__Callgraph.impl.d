@@ -1,0 +1,1 @@
+lib/pag/callgraph.ml: Array Hashtbl Ir List Pag Pts_util

@@ -1,0 +1,1 @@
+lib/pag/callgraph.mli: Ir Pag

@@ -1,0 +1,1 @@
+lib/pag/cha.ml: Array Builder Callgraph Int Ir List Pag Types

@@ -1,0 +1,1 @@
+lib/pag/cha.mli: Callgraph Ir Pag Types

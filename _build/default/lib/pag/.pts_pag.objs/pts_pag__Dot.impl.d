@@ -1,0 +1,1 @@
+lib/pag/dot.ml: Array Buffer Callgraph Hashtbl Ir List Pag Printf String Types

@@ -1,0 +1,1 @@
+lib/pag/pag.ml: Array Bytes Hashtbl Ir List Printf Types

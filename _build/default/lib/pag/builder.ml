@@ -1,0 +1,75 @@
+type call_desc = {
+  cd_site : int;
+  cd_caller : int;
+  cd_kind : Ir.call_kind;
+  cd_args : Pag.node list;
+  cd_dst : Pag.node option;
+}
+
+let add_method_body pag mid =
+  let prog = Pag.program pag in
+  let m = prog.Ir.methods.(mid) in
+  let node v = Pag.local_node pag ~meth:mid ~var:v in
+  let calls = ref [] in
+  List.iter
+    (fun instr ->
+      match instr with
+      | Ir.Alloc { dst; cls = _; site } -> Pag.add_new pag ~obj_:(Pag.obj_node pag site) ~dst:(node dst)
+      | Ir.Move { dst; src } -> Pag.add_assign pag ~src:(node src) ~dst:(node dst)
+      | Ir.Cast_move { dst; src; cast = _ } -> Pag.add_assign pag ~src:(node src) ~dst:(node dst)
+      | Ir.Load { dst; base; fld } -> Pag.add_load pag ~base:(node base) ~fld ~dst:(node dst)
+      | Ir.Store { base; fld; src } -> Pag.add_store pag ~base:(node base) ~fld ~src:(node src)
+      | Ir.Load_global { dst; glb } ->
+        Pag.add_assign_global pag ~src:(Pag.global_node pag glb) ~dst:(node dst)
+      | Ir.Store_global { glb; src } ->
+        Pag.add_assign_global pag ~src:(node src) ~dst:(Pag.global_node pag glb)
+      | Ir.Call { dst; kind; args; site } ->
+        calls :=
+          {
+            cd_site = site;
+            cd_caller = mid;
+            cd_kind = kind;
+            cd_args = List.map node args;
+            cd_dst = Option.map node dst;
+          }
+          :: !calls
+      | Ir.Return _ -> ())
+    m.Ir.body;
+  List.rev !calls
+
+let return_nodes pag (m : Ir.meth) =
+  List.filter_map
+    (function
+      | Ir.Return { src = Some v } -> Some (Pag.local_node pag ~meth:m.Ir.id ~var:v)
+      | Ir.Return { src = None } | Ir.Alloc _ | Ir.Move _ | Ir.Load _ | Ir.Store _
+      | Ir.Load_global _ | Ir.Store_global _ | Ir.Call _ | Ir.Cast_move _ ->
+        None)
+    m.Ir.body
+
+let receiver_node pag cd =
+  match cd.cd_kind with
+  | Ir.Virtual { recv; _ } -> Some (Pag.local_node pag ~meth:cd.cd_caller ~var:recv)
+  | Ir.Static _ | Ir.Ctor _ -> None
+
+let connect_call pag cd ~target =
+  let site = cd.cd_site in
+  let formal v = Pag.local_node pag ~meth:target.Ir.id ~var:v in
+  (* receiver to [this] *)
+  (match (cd.cd_kind, target.Ir.this_var) with
+  | Ir.Virtual { recv; _ }, Some this_v ->
+    Pag.add_entry pag ~site ~actual:(Pag.local_node pag ~meth:cd.cd_caller ~var:recv)
+      ~formal:(formal this_v)
+  | Ir.Ctor { recv; _ }, Some this_v ->
+    Pag.add_entry pag ~site ~actual:(Pag.local_node pag ~meth:cd.cd_caller ~var:recv)
+      ~formal:(formal this_v)
+  | (Ir.Virtual _ | Ir.Ctor _), None -> invalid_arg "Builder.connect_call: instance target without this"
+  | Ir.Static _, _ -> ());
+  (* actuals to formals *)
+  List.iter2
+    (fun actual formal_var -> Pag.add_entry pag ~site ~actual ~formal:(formal formal_var))
+    cd.cd_args target.Ir.param_vars;
+  (* returned values to the call's destination *)
+  match cd.cd_dst with
+  | None -> ()
+  | Some dst ->
+    List.iter (fun retval -> Pag.add_exit pag ~site ~retval ~dst) (return_nodes pag target)

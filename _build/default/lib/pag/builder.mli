@@ -1,0 +1,30 @@
+(** Translation of IR method bodies into PAG edges.
+
+    Shared by the two call-graph construction strategies: the Andersen
+    solver activates methods on the fly with {!add_method_body} and wires
+    discovered call edges with {!connect_call}; the CHA path does the same
+    eagerly for every method and every hierarchy-feasible target. *)
+
+type call_desc = {
+  cd_site : int;
+  cd_caller : int; (** caller method id *)
+  cd_kind : Ir.call_kind;
+  cd_args : Pag.node list;
+  cd_dst : Pag.node option;
+}
+
+val add_method_body : Pag.t -> int -> call_desc list
+(** Add every non-call edge of the method (new/assign/load/store and the
+    assignglobal edges for static-field accesses); return the method's call
+    sites for the caller to resolve. *)
+
+val connect_call : Pag.t -> call_desc -> target:Ir.meth -> unit
+(** Add entry edges (receiver to [this], actuals to formals) and exit edges
+    (each returned variable to the call's destination). *)
+
+val return_nodes : Pag.t -> Ir.meth -> Pag.node list
+(** PAG nodes of the variables returned by the method. *)
+
+val receiver_node : Pag.t -> call_desc -> Pag.node option
+(** The receiver for virtual calls ([None] for static calls; constructor
+    calls are statically resolved so they do not need dispatch). *)

@@ -1,0 +1,51 @@
+let dispatch_targets (prog : Ir.program) ~recv_cls ~mname =
+  let ctable = prog.Ir.ctable in
+  (* the implementation the receiver's static class sees... *)
+  let base = Types.lookup_method ctable recv_cls mname in
+  (* ...plus every override in a subclass of the receiver's class *)
+  let overrides =
+    List.filter_map
+      (fun c ->
+        if Types.subclass ctable c recv_cls && c <> recv_cls then
+          match Types.lookup_method ctable c mname with
+          | Some ms when ms.Types.ms_class = c -> Some ms
+          | Some _ | None -> None
+        else None)
+      (Types.classes ctable)
+  in
+  let all = match base with Some b -> b :: overrides | None -> overrides in
+  List.sort_uniq (fun a b -> Int.compare a.Types.ms_id b.Types.ms_id) all
+
+let receiver_static_class (prog : Ir.program) meth var =
+  let m = prog.Ir.methods.(meth) in
+  if var < 0 || var >= Array.length m.Ir.var_types then None
+  else Types.class_of_typ prog.Ir.ctable m.Ir.var_types.(var)
+
+let build (prog : Ir.program) =
+  let pag = Pag.create prog in
+  let cg = Callgraph.create prog in
+  let connect (cd : Builder.call_desc) target_mid =
+    let target = prog.Ir.methods.(target_mid) in
+    Builder.connect_call pag cd ~target;
+    ignore (Callgraph.add_edge cg ~site:cd.Builder.cd_site ~caller:cd.Builder.cd_caller ~target:target_mid)
+  in
+  Array.iter
+    (fun (m : Ir.meth) ->
+      let descs = Builder.add_method_body pag m.Ir.id in
+      List.iter
+        (fun (cd : Builder.call_desc) ->
+          match cd.Builder.cd_kind with
+          | Ir.Static { target } -> connect cd target.Types.ms_id
+          | Ir.Ctor { ctor; _ } -> connect cd ctor.Types.ms_id
+          | Ir.Virtual { recv; mname } -> (
+            match receiver_static_class prog cd.Builder.cd_caller recv with
+            | None -> ()
+            | Some recv_cls ->
+              List.iter
+                (fun (ms : Types.method_sig) -> connect cd ms.Types.ms_id)
+                (dispatch_targets prog ~recv_cls ~mname)))
+        descs)
+    prog.Ir.methods;
+  ignore (Callgraph.mark_recursion cg pag);
+  Pag.freeze pag;
+  (pag, cg)

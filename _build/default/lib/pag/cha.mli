@@ -1,0 +1,22 @@
+(** Class-Hierarchy-Analysis PAG construction — the classic eager
+    baseline to the Andersen-driven on-the-fly construction.
+
+    CHA resolves a virtual call [recv.m(...)] to {e every} override of
+    [m] declared at or below the receiver's static class, and considers
+    every method reachable. The resulting PAG is a superset of the
+    on-the-fly one: same nodes, more entry/exit edges, a coarser call
+    graph. The demand engines run on it unchanged (and remain sound);
+    the bench's ablation quantifies what Spark-style on-the-fly
+    construction buys.
+
+    The receiver's static class is recovered from the IR's variable
+    types, which lowering preserved for exactly this purpose. *)
+
+val build : Ir.program -> Pag.t * Callgraph.t
+(** Eagerly translate every method and connect every
+    hierarchy-feasible call edge; recursion is collapsed and the PAG is
+    frozen, as in the on-the-fly path. *)
+
+val dispatch_targets : Ir.program -> recv_cls:Types.cls -> mname:string -> Types.method_sig list
+(** All overrides visible from [recv_cls] downwards (including the
+    inherited implementation), i.e. CHA's target set. *)

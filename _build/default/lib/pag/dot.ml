@@ -1,0 +1,84 @@
+let escape s =
+  String.concat ""
+    (List.map
+       (fun c -> match c with '"' -> "\\\"" | '\\' -> "\\\\" | c -> String.make 1 c)
+       (List.init (String.length s) (String.get s)))
+
+let touched pag n =
+  Pag.new_in pag n <> [] || Pag.new_out pag n <> [] || Pag.assign_in pag n <> []
+  || Pag.assign_out pag n <> [] || Pag.global_in pag n <> [] || Pag.global_out pag n <> []
+  || Pag.load_in pag n <> [] || Pag.load_out pag n <> [] || Pag.store_in pag n <> []
+  || Pag.store_out pag n <> [] || Pag.entry_in pag n <> [] || Pag.entry_out pag n <> []
+  || Pag.exit_in pag n <> [] || Pag.exit_out pag n <> []
+
+let pag ?(max_nodes = 400) pag_ =
+  let prog = Pag.program pag_ in
+  let buf = Buffer.create 8192 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pr "digraph pag {\n  rankdir=LR;\n  node [fontsize=9];\n";
+  let included = Hashtbl.create 256 in
+  let count = ref 0 in
+  for n = 0 to Pag.node_count pag_ - 1 do
+    if touched pag_ n && !count < max_nodes then begin
+      Hashtbl.add included n ();
+      incr count;
+      let shape, style =
+        match Pag.kind pag_ n with
+        | Pag.Obj _ -> ("box", ",style=filled,fillcolor=lightyellow")
+        | Pag.Global _ -> ("diamond", ",style=filled,fillcolor=lightblue")
+        | Pag.Local _ -> ("ellipse", "")
+      in
+      pr "  n%d [label=\"%s\",shape=%s%s];\n" n (escape (Pag.node_name pag_ n)) shape style
+    end
+  done;
+  if !count >= max_nodes then pr "  // graph truncated at %d nodes\n" max_nodes;
+  let mem n = Hashtbl.mem included n in
+  let fld_name f = (Types.field_info prog.Ir.ctable f).Types.fld_name in
+  for n = 0 to Pag.node_count pag_ - 1 do
+    if mem n then begin
+      List.iter (fun o -> if mem o then pr "  n%d -> n%d [label=\"new\",penwidth=2];\n" o n) (Pag.new_in pag_ n);
+      List.iter (fun x -> if mem x then pr "  n%d -> n%d [label=\"assign\"];\n" x n) (Pag.assign_in pag_ n);
+      List.iter
+        (fun x -> if mem x then pr "  n%d -> n%d [label=\"assignglobal\",style=dotted];\n" x n)
+        (Pag.global_in pag_ n);
+      List.iter
+        (fun (f, b) -> if mem b then pr "  n%d -> n%d [label=\"load(%s)\",color=darkgreen];\n" b n (escape (fld_name f)))
+        (Pag.load_in pag_ n);
+      List.iter
+        (fun (f, s) -> if mem s then pr "  n%d -> n%d [label=\"store(%s)\",color=brown];\n" s n (escape (fld_name f)))
+        (Pag.store_in pag_ n);
+      List.iter
+        (fun (i, a) ->
+          if mem a then
+            pr "  n%d -> n%d [label=\"entry%d\",style=dashed%s];\n" a n i
+              (if Pag.is_recursive_site pag_ i then ",color=red" else ""))
+        (Pag.entry_in pag_ n);
+      List.iter
+        (fun (i, r) ->
+          if mem r then
+            pr "  n%d -> n%d [label=\"exit%d\",style=dashed%s];\n" r n i
+              (if Pag.is_recursive_site pag_ i then ",color=red" else ""))
+        (Pag.exit_in pag_ n)
+    end
+  done;
+  pr "}\n";
+  Buffer.contents buf
+
+let callgraph prog cg =
+  let buf = Buffer.create 4096 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pr "digraph callgraph {\n  node [fontsize=10,shape=box];\n";
+  let mentioned = Hashtbl.create 64 in
+  Callgraph.iter_edges cg (fun ~site:_ ~caller ~target ->
+      Hashtbl.replace mentioned caller ();
+      Hashtbl.replace mentioned target ());
+  Hashtbl.iter
+    (fun m () -> pr "  m%d [label=\"%s\"];\n" m (escape prog.Ir.methods.(m).Ir.pretty))
+    mentioned;
+  let comp, _ = Callgraph.method_sccs cg in
+  Callgraph.iter_edges cg (fun ~site ~caller ~target ->
+      let recursive = comp.(caller) = comp.(target) in
+      pr "  m%d -> m%d [label=\"%d\"%s];\n" caller target site
+        (if recursive then ",color=red,penwidth=2" else ""));
+  pr "}\n";
+  Buffer.contents buf

@@ -1,0 +1,14 @@
+(** Graphviz export of the PAG and the call graph.
+
+    Local edges are solid (new/assign bold, load/store labelled by
+    field), global edges dashed (entry/exit labelled by call site,
+    assignglobal dotted) — mirroring the local/global split of the
+    paper's Figure 2. Nodes without any incident edge are omitted. *)
+
+val pag : ?max_nodes:int -> Pag.t -> string
+(** DOT source for the PAG; graphs larger than [max_nodes] (default
+    400 touched nodes) are truncated with a warning comment. *)
+
+val callgraph : Ir.program -> Callgraph.t -> string
+(** DOT source for the method-level call graph; recursive SCC edges are
+    highlighted. *)

@@ -1,0 +1,316 @@
+type node = int
+type fld = int
+type site = int
+
+type node_kind =
+  | Local of { meth : int; var : int }
+  | Global of int
+  | Obj of int
+
+(* Per-node adjacency, indexed by label and direction. Lists are fine: the
+   analyses iterate them, never search them. *)
+type adj = {
+  mutable new_in : node list;
+  mutable new_out : node list;
+  mutable assign_in : node list;
+  mutable assign_out : node list;
+  mutable global_in : node list;
+  mutable global_out : node list;
+  mutable load_in : (fld * node) list;
+  mutable load_out : (fld * node) list;
+  mutable store_in : (fld * node) list;
+  mutable store_out : (fld * node) list;
+  mutable entry_in : (site * node) list;
+  mutable entry_out : (site * node) list;
+  mutable exit_in : (site * node) list;
+  mutable exit_out : (site * node) list;
+}
+
+type edge_counts = {
+  n_new : int;
+  n_assign : int;
+  n_load : int;
+  n_store : int;
+  n_entry : int;
+  n_exit : int;
+  n_assign_global : int;
+}
+
+type t = {
+  prog : Ir.program;
+  var_base : int array; (* node id of var 0 of each method *)
+  global_base : int;
+  obj_base : int;
+  n_nodes : int;
+  adjs : adj array;
+  dedup : (int * int * int * int, unit) Hashtbl.t; (* (label tag, src, dst, f-or-site) *)
+  mutable recursive_sites : bool array;
+  mutable counts : edge_counts;
+  mutable frozen : bool;
+  mutable flag_local : Bytes.t; (* per-node flags, valid after freeze *)
+  mutable flag_gin : Bytes.t;
+  mutable flag_gout : Bytes.t;
+  (* per-field edge indices, memoised once frozen *)
+  loads_by_field : (fld, (node * node) list) Hashtbl.t;
+  stores_by_field : (fld, (node * node) list) Hashtbl.t;
+}
+
+let fresh_adj () =
+  {
+    new_in = []; new_out = []; assign_in = []; assign_out = []; global_in = []; global_out = [];
+    load_in = []; load_out = []; store_in = []; store_out = []; entry_in = []; entry_out = [];
+    exit_in = []; exit_out = [];
+  }
+
+let create (prog : Ir.program) =
+  let n_methods = Array.length prog.Ir.methods in
+  let var_base = Array.make n_methods 0 in
+  let acc = ref 0 in
+  Array.iteri
+    (fun i (m : Ir.meth) ->
+      var_base.(i) <- !acc;
+      acc := !acc + m.Ir.nvars)
+    prog.Ir.methods;
+  let global_base = !acc in
+  let n_globals = Types.global_count prog.Ir.ctable in
+  let obj_base = global_base + n_globals in
+  let n_nodes = obj_base + Array.length prog.Ir.allocs in
+  {
+    prog;
+    var_base;
+    global_base;
+    obj_base;
+    n_nodes;
+    adjs = Array.init (max n_nodes 1) (fun _ -> fresh_adj ());
+    dedup = Hashtbl.create 4096;
+    recursive_sites = Array.make (max 1 (Array.length prog.Ir.calls)) false;
+    counts =
+      { n_new = 0; n_assign = 0; n_load = 0; n_store = 0; n_entry = 0; n_exit = 0;
+        n_assign_global = 0 };
+    frozen = false;
+    flag_local = Bytes.empty;
+    flag_gin = Bytes.empty;
+    flag_gout = Bytes.empty;
+    loads_by_field = Hashtbl.create 64;
+    stores_by_field = Hashtbl.create 64;
+  }
+
+let program t = t.prog
+
+let node_count t = t.n_nodes
+
+let local_node t ~meth ~var =
+  let m = t.prog.Ir.methods.(meth) in
+  if var < 0 || var >= m.Ir.nvars then invalid_arg "Pag.local_node: variable out of range";
+  t.var_base.(meth) + var
+
+let global_node t g =
+  if g < 0 || g >= t.obj_base - t.global_base then invalid_arg "Pag.global_node";
+  t.global_base + g
+
+let obj_node t site =
+  if site < 0 || site >= t.n_nodes - t.obj_base then invalid_arg "Pag.obj_node";
+  t.obj_base + site
+
+let kind t n =
+  if n < 0 || n >= t.n_nodes then invalid_arg "Pag.kind: bad node";
+  if n >= t.obj_base then Obj (n - t.obj_base)
+  else if n >= t.global_base then Global (n - t.global_base)
+  else begin
+    (* binary search for the owning method *)
+    let lo = ref 0 and hi = ref (Array.length t.var_base - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi + 1) / 2 in
+      if t.var_base.(mid) <= n then lo := mid else hi := mid - 1
+    done;
+    Local { meth = !lo; var = n - t.var_base.(!lo) }
+  end
+
+let is_obj t n = n >= t.obj_base && n < t.n_nodes
+
+let obj_site t n =
+  if is_obj t n then n - t.obj_base else invalid_arg "Pag.obj_site: not an object node"
+
+let method_of_node t n =
+  match kind t n with Local { meth; _ } -> Some meth | Global _ | Obj _ -> None
+
+let node_name t n =
+  match kind t n with
+  | Local { meth; var } ->
+    let m = t.prog.Ir.methods.(meth) in
+    Printf.sprintf "%s::%s" m.Ir.pretty (Ir.var_name m var)
+  | Global g ->
+    let gi = Types.global_info t.prog.Ir.ctable g in
+    Printf.sprintf "%s.%s$static"
+      (Types.class_name t.prog.Ir.ctable gi.Types.glb_class)
+      gi.Types.glb_name
+  | Obj site -> Ir.alloc_name t.prog site
+
+let check_not_frozen t = if t.frozen then invalid_arg "Pag: graph is frozen"
+
+(* returns true when the edge is fresh *)
+let dedup_edge t tag src dst aux =
+  let key = (tag, src, dst, aux) in
+  if Hashtbl.mem t.dedup key then false
+  else begin
+    Hashtbl.add t.dedup key ();
+    true
+  end
+
+let adj t n = t.adjs.(n)
+
+let add_new t ~obj_ ~dst =
+  check_not_frozen t;
+  if dedup_edge t 0 obj_ dst 0 then begin
+    (match (adj t obj_).new_out with
+    | [] -> ()
+    | existing :: _ when existing <> dst ->
+      invalid_arg
+        (Printf.sprintf "Pag.add_new: allocation %s already flows to %s" (node_name t obj_)
+           (node_name t existing))
+    | _ :: _ -> ());
+    (adj t dst).new_in <- obj_ :: (adj t dst).new_in;
+    (adj t obj_).new_out <- dst :: (adj t obj_).new_out;
+    t.counts <- { t.counts with n_new = t.counts.n_new + 1 }
+  end
+
+let add_assign t ~src ~dst =
+  check_not_frozen t;
+  if dedup_edge t 1 src dst 0 then begin
+    (adj t dst).assign_in <- src :: (adj t dst).assign_in;
+    (adj t src).assign_out <- dst :: (adj t src).assign_out;
+    t.counts <- { t.counts with n_assign = t.counts.n_assign + 1 }
+  end
+
+let add_assign_global t ~src ~dst =
+  check_not_frozen t;
+  if dedup_edge t 2 src dst 0 then begin
+    (adj t dst).global_in <- src :: (adj t dst).global_in;
+    (adj t src).global_out <- dst :: (adj t src).global_out;
+    t.counts <- { t.counts with n_assign_global = t.counts.n_assign_global + 1 }
+  end
+
+let add_load t ~base ~fld ~dst =
+  check_not_frozen t;
+  if dedup_edge t 3 base dst fld then begin
+    (adj t dst).load_in <- (fld, base) :: (adj t dst).load_in;
+    (adj t base).load_out <- (fld, dst) :: (adj t base).load_out;
+    t.counts <- { t.counts with n_load = t.counts.n_load + 1 }
+  end
+
+let add_store t ~base ~fld ~src =
+  check_not_frozen t;
+  if dedup_edge t 4 src base fld then begin
+    (adj t base).store_in <- (fld, src) :: (adj t base).store_in;
+    (adj t src).store_out <- (fld, base) :: (adj t src).store_out;
+    t.counts <- { t.counts with n_store = t.counts.n_store + 1 }
+  end
+
+let add_entry t ~site ~actual ~formal =
+  check_not_frozen t;
+  if dedup_edge t 5 actual formal site then begin
+    (adj t formal).entry_in <- (site, actual) :: (adj t formal).entry_in;
+    (adj t actual).entry_out <- (site, formal) :: (adj t actual).entry_out;
+    t.counts <- { t.counts with n_entry = t.counts.n_entry + 1 }
+  end
+
+let add_exit t ~site ~retval ~dst =
+  check_not_frozen t;
+  if dedup_edge t 6 retval dst site then begin
+    (adj t dst).exit_in <- (site, retval) :: (adj t dst).exit_in;
+    (adj t retval).exit_out <- (site, dst) :: (adj t retval).exit_out;
+    t.counts <- { t.counts with n_exit = t.counts.n_exit + 1 }
+  end
+
+let set_recursive_site t site =
+  if site >= 0 && site < Array.length t.recursive_sites then t.recursive_sites.(site) <- true
+
+let is_recursive_site t site =
+  site >= 0 && site < Array.length t.recursive_sites && t.recursive_sites.(site)
+
+let new_in t n = (adj t n).new_in
+let new_out t n = (adj t n).new_out
+let assign_in t n = (adj t n).assign_in
+let assign_out t n = (adj t n).assign_out
+let global_in t n = (adj t n).global_in
+let global_out t n = (adj t n).global_out
+let load_in t n = (adj t n).load_in
+let load_out t n = (adj t n).load_out
+let store_in t n = (adj t n).store_in
+let store_out t n = (adj t n).store_out
+let entry_in t n = (adj t n).entry_in
+let entry_out t n = (adj t n).entry_out
+let exit_in t n = (adj t n).exit_in
+let exit_out t n = (adj t n).exit_out
+
+let scan_field t f ~index ~select =
+  match if t.frozen then Hashtbl.find_opt index f else None with
+  | Some cached -> cached
+  | None ->
+    let acc = ref [] in
+    Array.iteri
+      (fun n a -> List.iter (fun (g, other) -> if g = f then acc := (n, other) :: !acc) (select a))
+      t.adjs;
+    if t.frozen then Hashtbl.add index f !acc;
+    !acc
+
+let loads_of_field t f = scan_field t f ~index:t.loads_by_field ~select:(fun a -> a.load_out)
+
+let stores_of_field t f = scan_field t f ~index:t.stores_by_field ~select:(fun a -> a.store_in)
+
+let freeze t =
+  if not t.frozen then begin
+    t.frozen <- true;
+    let n = max t.n_nodes 1 in
+    t.flag_local <- Bytes.make n '\000';
+    t.flag_gin <- Bytes.make n '\000';
+    t.flag_gout <- Bytes.make n '\000';
+    for i = 0 to t.n_nodes - 1 do
+      let a = t.adjs.(i) in
+      let local =
+        a.new_in <> [] || a.new_out <> [] || a.assign_in <> [] || a.assign_out <> []
+        || a.load_in <> [] || a.load_out <> [] || a.store_in <> [] || a.store_out <> []
+      in
+      if local then Bytes.set t.flag_local i '\001';
+      if a.global_in <> [] || a.entry_in <> [] || a.exit_in <> [] then Bytes.set t.flag_gin i '\001';
+      if a.global_out <> [] || a.entry_out <> [] || a.exit_out <> [] then
+        Bytes.set t.flag_gout i '\001'
+    done
+  end
+
+let require_frozen t name = if not t.frozen then invalid_arg (name ^ ": call Pag.freeze first")
+
+let has_local_edges t n =
+  require_frozen t "Pag.has_local_edges";
+  Bytes.get t.flag_local n = '\001'
+
+let has_global_in t n =
+  require_frozen t "Pag.has_global_in";
+  Bytes.get t.flag_gin n = '\001'
+
+let has_global_out t n =
+  require_frozen t "Pag.has_global_out";
+  Bytes.get t.flag_gout n = '\001'
+
+let edge_counts t = t.counts
+
+let locality t =
+  let c = t.counts in
+  let local = c.n_new + c.n_assign + c.n_load + c.n_store in
+  let global = c.n_entry + c.n_exit + c.n_assign_global in
+  if local + global = 0 then 1.0 else float_of_int local /. float_of_int (local + global)
+
+let touched_counts t =
+  let objs = ref 0 and locals = ref 0 and globals = ref 0 in
+  for i = 0 to t.n_nodes - 1 do
+    let a = t.adjs.(i) in
+    let touched =
+      a.new_in <> [] || a.new_out <> [] || a.assign_in <> [] || a.assign_out <> []
+      || a.global_in <> [] || a.global_out <> [] || a.load_in <> [] || a.load_out <> []
+      || a.store_in <> [] || a.store_out <> [] || a.entry_in <> [] || a.entry_out <> []
+      || a.exit_in <> [] || a.exit_out <> []
+    in
+    if touched then
+      if i >= t.obj_base then incr objs else if i >= t.global_base then incr globals else incr locals
+  done;
+  (!objs, !locals, !globals)

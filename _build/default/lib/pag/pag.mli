@@ -1,0 +1,161 @@
+(** The Pointer Assignment Graph (§2 of the paper).
+
+    Nodes are method-local variables (V), globals/static fields (G) and
+    allocation sites (O); edges carry the seven labels of the paper:
+    [new], [assign], [assignglobal], [load(f)], [store(f)], [entry_i],
+    [exit_i]. All edges are oriented in the direction of value flow.
+
+    Adjacency is indexed exactly the way the demand-driven CFL analyses
+    traverse it — by label and direction — plus a per-field index of all
+    loads and stores (needed by the field-based "match edge" phase of
+    REFINEPTS). The paper's local/global edge classification drives
+    DYNSUM's PPTA: {!has_local_edges}, {!has_global_in}, {!has_global_out}.
+
+    Node ids are dense: locals first (grouped by method), then globals,
+    then allocation sites. *)
+
+type t
+
+type node = int
+
+type fld = int
+
+type site = int
+(** Call-site id (context element). *)
+
+(** {2 Construction} *)
+
+val create : Ir.program -> t
+(** Allocates all nodes for the program; no edges yet. *)
+
+val program : t -> Ir.program
+
+val local_node : t -> meth:int -> var:int -> node
+val global_node : t -> int -> node
+val obj_node : t -> int -> node
+
+(** All [add_*] functions deduplicate silently. *)
+
+val add_new : t -> obj_:node -> dst:node -> unit
+(** @raise Invalid_argument if [obj_] already flows to a different variable:
+    lowering guarantees a unique destination per allocation site, and the
+    analyses' [new n̄ew] direction flip relies on it. *)
+
+val add_assign : t -> src:node -> dst:node -> unit
+(** Local assignment: both endpoints in the same method. *)
+
+val add_assign_global : t -> src:node -> dst:node -> unit
+(** Assignment with at least one global endpoint; context-insensitive. *)
+
+val add_load : t -> base:node -> fld:fld -> dst:node -> unit
+(** [dst = base.fld]. *)
+
+val add_store : t -> base:node -> fld:fld -> src:node -> unit
+(** [base.fld = src]. *)
+
+val add_entry : t -> site:site -> actual:node -> formal:node -> unit
+
+val add_exit : t -> site:site -> retval:node -> dst:node -> unit
+
+val set_recursive_site : t -> site -> unit
+(** Mark a call site as part of a call-graph cycle: the analyses traverse
+    its entry/exit edges context-insensitively. *)
+
+val freeze : t -> unit
+(** Precompute the derived per-node flags. Call after all edges are added;
+    adding edges afterwards raises. *)
+
+(** {2 Node accessors} *)
+
+type node_kind =
+  | Local of { meth : int; var : int }
+  | Global of int
+  | Obj of int  (** allocation-site id *)
+
+val node_count : t -> int
+val kind : t -> node -> node_kind
+val is_obj : t -> node -> bool
+val obj_site : t -> node -> int
+(** @raise Invalid_argument if not an object node. *)
+
+val node_name : t -> node -> string
+(** Human-readable, e.g. ["Vector.add::p"], ["Client.vec$static"], ["o26"]. *)
+
+val method_of_node : t -> node -> int option
+(** Enclosing method for locals; [None] for globals and objects. *)
+
+(** {2 Adjacency (direction of value flow)} *)
+
+val new_in : t -> node -> node list
+(** At a variable [v]: objects [o] with [o -new-> v]. *)
+
+val new_out : t -> node -> node list
+(** At an object [o]: its (unique) destination variable, or [] . *)
+
+val assign_in : t -> node -> node list
+val assign_out : t -> node -> node list
+val global_in : t -> node -> node list
+val global_out : t -> node -> node list
+
+val load_in : t -> node -> (fld * node) list
+(** At a load destination [v]: pairs [(f, base)] with [v = base.f]. *)
+
+val load_out : t -> node -> (fld * node) list
+(** At a base [b]: pairs [(f, dst)] with [dst = b.f]. *)
+
+val store_in : t -> node -> (fld * node) list
+(** At a base [b]: pairs [(f, src)] with [b.f = src]. *)
+
+val store_out : t -> node -> (fld * node) list
+(** At a source [s]: pairs [(f, base)] with [base.f = s]. *)
+
+val entry_in : t -> node -> (site * node) list
+(** At a formal [p]: pairs [(i, actual)]. *)
+
+val entry_out : t -> node -> (site * node) list
+(** At an actual [a]: pairs [(i, formal)]. *)
+
+val exit_in : t -> node -> (site * node) list
+(** At a caller-side destination [d]: pairs [(i, retval)]. *)
+
+val exit_out : t -> node -> (site * node) list
+(** At a callee return value [r]: pairs [(i, dst)]. *)
+
+val loads_of_field : t -> fld -> (node * node) list
+(** All [(base, dst)] load edges of a field, program-wide. *)
+
+val stores_of_field : t -> fld -> (node * node) list
+(** All [(base, src)] store edges of a field, program-wide. *)
+
+val is_recursive_site : t -> site -> bool
+
+(** {2 PPTA classification (requires {!freeze})} *)
+
+val has_local_edges : t -> node -> bool
+(** Any incident [new]/[assign]/[load]/[store] edge. *)
+
+val has_global_in : t -> node -> bool
+(** Any incoming [assignglobal]/[entry]/[exit] edge. *)
+
+val has_global_out : t -> node -> bool
+
+(** {2 Statistics} *)
+
+type edge_counts = {
+  n_new : int;
+  n_assign : int;
+  n_load : int;
+  n_store : int;
+  n_entry : int;
+  n_exit : int;
+  n_assign_global : int;
+}
+
+val edge_counts : t -> edge_counts
+
+val locality : t -> float
+(** Fraction of local edges among all edges (Table 3's "Locality"). *)
+
+val touched_counts : t -> int * int * int
+(** [(objs, locals, globals)] with at least one incident edge — the
+    reachable part of the graph, which is what Table 3 reports. *)

@@ -1,0 +1,1 @@
+lib/util/hstack.ml: Format Hashtbl List

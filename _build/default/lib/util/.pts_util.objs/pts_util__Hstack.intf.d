@@ -1,0 +1,1 @@
+lib/util/hstack.mli: Format Hashtbl

@@ -1,0 +1,80 @@
+type t = { mutable words : int array }
+
+let bits_per_word = Sys.int_size
+
+let create ?(capacity = 64) () = { words = Array.make (max 1 ((capacity / bits_per_word) + 1)) 0 }
+
+let ensure t word_idx =
+  let cap = Array.length t.words in
+  if word_idx >= cap then begin
+    let words = Array.make (max (2 * cap) (word_idx + 1)) 0 in
+    Array.blit t.words 0 words 0 cap;
+    t.words <- words
+  end
+
+let mem t x =
+  if x < 0 then invalid_arg "Bitset.mem: negative element";
+  let w = x / bits_per_word in
+  w < Array.length t.words && t.words.(w) land (1 lsl (x mod bits_per_word)) <> 0
+
+let add t x =
+  if x < 0 then invalid_arg "Bitset.add: negative element";
+  let w = x / bits_per_word in
+  ensure t w;
+  let bit = 1 lsl (x mod bits_per_word) in
+  if t.words.(w) land bit = 0 then begin
+    t.words.(w) <- t.words.(w) lor bit;
+    true
+  end
+  else false
+
+let union_into ~dst src =
+  let n = Array.length src.words in
+  if n > 0 then ensure dst (n - 1);
+  let changed = ref false in
+  for i = 0 to n - 1 do
+    let merged = dst.words.(i) lor src.words.(i) in
+    if merged <> dst.words.(i) then begin
+      dst.words.(i) <- merged;
+      changed := true
+    end
+  done;
+  !changed
+
+let popcount x =
+  let rec go x acc = if x = 0 then acc else go (x land (x - 1)) (acc + 1) in
+  go x 0
+
+let cardinal t = Array.fold_left (fun acc w -> acc + popcount w) 0 t.words
+
+let is_empty t = Array.for_all (fun w -> w = 0) t.words
+
+let iter t f =
+  Array.iteri
+    (fun i w ->
+      if w <> 0 then
+        for b = 0 to bits_per_word - 1 do
+          if w land (1 lsl b) <> 0 then f ((i * bits_per_word) + b)
+        done)
+    t.words
+
+let fold t ~init ~f =
+  let acc = ref init in
+  iter t (fun x -> acc := f !acc x);
+  !acc
+
+let to_list t = List.rev (fold t ~init:[] ~f:(fun acc x -> x :: acc))
+
+let copy t = { words = Array.copy t.words }
+
+let equal a b =
+  let n = max (Array.length a.words) (Array.length b.words) in
+  let get t i = if i < Array.length t.words then t.words.(i) else 0 in
+  let rec go i = i >= n || (get a i = get b i && go (i + 1)) in
+  go 0
+
+let subset a b =
+  let n = Array.length a.words in
+  let get t i = if i < Array.length t.words then t.words.(i) else 0 in
+  let rec go i = i >= n || (a.words.(i) land lnot (get b i) = 0 && go (i + 1)) in
+  go 0

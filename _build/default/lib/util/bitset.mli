@@ -1,0 +1,36 @@
+(** Growable bitsets over non-negative integers.
+
+    The Andersen solver's points-to sets are dense allocation-site ids;
+    bitsets make unions (its hottest operation) word-parallel. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+
+val mem : t -> int -> bool
+
+val add : t -> int -> bool
+(** [add t x] returns [true] iff [x] was not already present. *)
+
+val union_into : dst:t -> t -> bool
+(** [union_into ~dst src] adds all of [src] to [dst]; returns [true] iff
+    [dst] changed. *)
+
+val cardinal : t -> int
+
+val is_empty : t -> bool
+
+val iter : t -> (int -> unit) -> unit
+(** Ascending order. *)
+
+val fold : t -> init:'a -> f:('a -> int -> 'a) -> 'a
+
+val to_list : t -> int list
+(** Ascending. *)
+
+val copy : t -> t
+
+val equal : t -> t -> bool
+
+val subset : t -> t -> bool
+(** [subset a b] — is every element of [a] in [b]? *)

@@ -1,0 +1,65 @@
+type t =
+  | Empty
+  | Cons of { id : int; depth : int; top : int; rest : t }
+
+let id = function Empty -> 0 | Cons c -> c.id
+
+let equal = ( == )
+
+let hash t = id t
+
+(* The hash-cons table maps (top, id rest) to the existing cell, so that
+   [push] is the only allocator of [Cons] cells. *)
+module Key = struct
+  type t = int * int
+
+  let equal (a1, b1) (a2, b2) = a1 = a2 && b1 = b2
+  let hash (a, b) = (a * 0x1fffffff) lxor b
+end
+
+module Cache = Hashtbl.Make (Key)
+
+let cache : t Cache.t = Cache.create 4096
+let next_id = ref 1
+
+let empty = Empty
+
+let depth = function Empty -> 0 | Cons c -> c.depth
+
+let push t x =
+  let key = (x, id t) in
+  match Cache.find_opt cache key with
+  | Some s -> s
+  | None ->
+    let s = Cons { id = !next_id; depth = depth t + 1; top = x; rest = t } in
+    incr next_id;
+    Cache.add cache key s;
+    s
+
+let pop = function Empty -> None | Cons c -> Some c.rest
+
+let pop_exn = function
+  | Empty -> invalid_arg "Hstack.pop_exn: empty stack"
+  | Cons c -> c.rest
+
+let peek = function Empty -> None | Cons c -> Some c.top
+
+let is_empty = function Empty -> true | Cons _ -> false
+
+let rec to_list = function Empty -> [] | Cons c -> c.top :: to_list c.rest
+
+let of_list l = List.fold_left push empty (List.rev l)
+
+let pp pp_elt fmt t =
+  Format.fprintf fmt "[%a]"
+    (Format.pp_print_list ~pp_sep:(fun f () -> Format.fprintf f ", ") pp_elt)
+    (to_list t)
+
+let table_size () = Cache.length cache
+
+module Tbl = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end)

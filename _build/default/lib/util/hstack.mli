@@ -1,0 +1,57 @@
+(** Hash-consed immutable stacks of integers.
+
+    Field stacks and context stacks are the hottest data structures of a
+    CFL-reachability analysis: they are pushed/popped on every traversal step
+    and used as hash-table keys in the summary cache. Hash-consing gives them
+    O(1) physical equality and a precomputed hash, and deduplicates storage
+    across the millions of stacks a query sweep creates.
+
+    The hash-cons table is global and append-only; stacks from different
+    analyses share structure safely because stacks are immutable. *)
+
+type t
+
+val empty : t
+(** The empty stack. There is exactly one empty stack. *)
+
+val push : t -> int -> t
+(** [push s x] is the stack with [x] on top of [s]. Hash-consed: pushing the
+    same element on the same stack returns the identical value. *)
+
+val pop : t -> t option
+(** [pop s] removes the top element, or [None] if [s] is empty. *)
+
+val pop_exn : t -> t
+(** @raise Invalid_argument on the empty stack. *)
+
+val peek : t -> int option
+(** Top element without removing it. *)
+
+val is_empty : t -> bool
+
+val depth : t -> int
+(** Number of elements. O(1). *)
+
+val equal : t -> t -> bool
+(** Physical equality — valid because of hash-consing. O(1). *)
+
+val hash : t -> int
+(** Precomputed. O(1). *)
+
+val id : t -> int
+(** Unique id of this stack value; stable within a process run. *)
+
+val to_list : t -> int list
+(** Top first. *)
+
+val of_list : int list -> t
+(** [of_list l] has [List.hd l] on top; inverse of {!to_list}. *)
+
+val pp : (Format.formatter -> int -> unit) -> Format.formatter -> t -> unit
+(** [pp pp_elt fmt s] prints [\[x1, x2, ...\]] top-first. *)
+
+val table_size : unit -> int
+(** Number of distinct stacks ever created (diagnostics). *)
+
+module Tbl : Hashtbl.S with type key = t
+(** Hash tables keyed by stacks, using the O(1) equality/hash above. *)

@@ -1,0 +1,40 @@
+type t = {
+  ids : (string, int) Hashtbl.t;
+  mutable names : string array;
+  mutable n : int;
+}
+
+let create ?(capacity = 64) () =
+  { ids = Hashtbl.create capacity; names = Array.make (max capacity 1) ""; n = 0 }
+
+let size t = t.n
+
+let grow t =
+  let cap = Array.length t.names in
+  if t.n >= cap then begin
+    let names = Array.make (2 * cap) "" in
+    Array.blit t.names 0 names 0 t.n;
+    t.names <- names
+  end
+
+let intern t s =
+  match Hashtbl.find_opt t.ids s with
+  | Some i -> i
+  | None ->
+    let i = t.n in
+    grow t;
+    t.names.(i) <- s;
+    t.n <- i + 1;
+    Hashtbl.add t.ids s i;
+    i
+
+let find t s = Hashtbl.find_opt t.ids s
+
+let name t i =
+  if i < 0 || i >= t.n then invalid_arg "Interner.name: unknown id";
+  t.names.(i)
+
+let iter t f =
+  for i = 0 to t.n - 1 do
+    f i t.names.(i)
+  done

@@ -1,0 +1,25 @@
+(** Bidirectional string interner.
+
+    Names (variables, fields, methods, classes) are interned to dense
+    integers once during frontend processing; the analyses then work on
+    integers only. Each namespace gets its own interner. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+
+val intern : t -> string -> int
+(** [intern t s] returns the id of [s], allocating the next dense id on the
+    first occurrence. *)
+
+val find : t -> string -> int option
+(** Id of [s] if already interned. *)
+
+val name : t -> int -> string
+(** Inverse of {!intern}. @raise Invalid_argument on an unknown id. *)
+
+val size : t -> int
+(** Number of interned strings; valid ids are [0 .. size - 1]. *)
+
+val iter : t -> (int -> string -> unit) -> unit
+(** Iterate in id order. *)

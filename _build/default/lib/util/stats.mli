@@ -1,0 +1,34 @@
+(** Lightweight instrumentation: named counters and wall-clock timers.
+
+    The benchmark harness reports both wall-clock time (machine-dependent)
+    and deterministic step counters (machine-independent), because the
+    paper's claims are ratios and the ratios of step counts are reproducible
+    bit-for-bit. *)
+
+type t
+
+val create : unit -> t
+
+val bump : t -> string -> unit
+(** Increment a named counter by one. *)
+
+val add : t -> string -> int -> unit
+
+val get : t -> string -> int
+(** Current value, 0 if never touched. *)
+
+val reset : t -> unit
+
+val to_list : t -> (string * int) list
+(** Sorted by name. *)
+
+val pp : Format.formatter -> t -> unit
+
+(** {2 Timers} *)
+
+val time : (unit -> 'a) -> 'a * float
+(** [time f] runs [f] and returns its result with elapsed seconds. *)
+
+val time_n : int -> (unit -> 'a) -> float
+(** [time_n n f] runs [f] [n] times and returns the {e minimum} elapsed
+    seconds over the runs (the usual robust estimator for benchmarks). *)

@@ -1,0 +1,81 @@
+type align = Left | Right
+
+type row = Cells of string list | Sep
+
+type t = {
+  title : string option;
+  headers : string list;
+  aligns : align array;
+  mutable rows : row list; (* reversed *)
+}
+
+let create ?title cols =
+  {
+    title;
+    headers = List.map fst cols;
+    aligns = Array.of_list (List.map snd cols);
+    rows = [];
+  }
+
+let add_row t cells =
+  if List.length cells <> List.length t.headers then
+    invalid_arg "Table.add_row: arity mismatch";
+  t.rows <- Cells cells :: t.rows
+
+let add_sep t = t.rows <- Sep :: t.rows
+
+let render t =
+  let rows = List.rev t.rows in
+  let ncols = List.length t.headers in
+  let widths = Array.make ncols 0 in
+  let measure cells =
+    List.iteri (fun i c -> if String.length c > widths.(i) then widths.(i) <- String.length c) cells
+  in
+  measure t.headers;
+  List.iter (function Cells c -> measure c | Sep -> ()) rows;
+  let buf = Buffer.create 1024 in
+  let pad i s =
+    let w = widths.(i) in
+    let n = w - String.length s in
+    if n <= 0 then s
+    else
+      match t.aligns.(i) with
+      | Left -> s ^ String.make n ' '
+      | Right -> String.make n ' ' ^ s
+  in
+  let hline () =
+    Array.iter (fun w -> Buffer.add_string buf ("+" ^ String.make (w + 2) '-')) widths;
+    Buffer.add_string buf "+\n"
+  in
+  let put_row cells =
+    List.iteri
+      (fun i c ->
+        Buffer.add_string buf "| ";
+        Buffer.add_string buf (pad i c);
+        Buffer.add_char buf ' ')
+      cells;
+    Buffer.add_string buf "|\n"
+  in
+  (match t.title with
+  | Some title ->
+    Buffer.add_string buf title;
+    Buffer.add_char buf '\n'
+  | None -> ());
+  hline ();
+  put_row t.headers;
+  hline ();
+  List.iter (function Cells c -> put_row c | Sep -> hline ()) rows;
+  hline ();
+  Buffer.contents buf
+
+let print t =
+  print_string (render t);
+  print_newline ()
+
+let fmt_float ?(digits = 2) x = Printf.sprintf "%.*f" digits x
+
+let fmt_pct x = Printf.sprintf "%.1f%%" (100.0 *. x)
+
+let fmt_k n = Printf.sprintf "%.1f" (float_of_int n /. 1000.0)
+
+let fmt_speedup x = Printf.sprintf "%.2fx" x

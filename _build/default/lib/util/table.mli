@@ -1,0 +1,34 @@
+(** Aligned ASCII tables for the benchmark harness.
+
+    Rendering matches what the paper's tables report: a header row, body
+    rows, optional separators, right-aligned numeric cells. *)
+
+type align = Left | Right
+
+type t
+
+val create : ?title:string -> (string * align) list -> t
+(** [create cols] starts a table with the given column headers. *)
+
+val add_row : t -> string list -> unit
+(** @raise Invalid_argument if the arity differs from the header. *)
+
+val add_sep : t -> unit
+(** Horizontal separator before the next row. *)
+
+val render : t -> string
+
+val print : t -> unit
+(** [render] to stdout followed by a blank line. *)
+
+(** {2 Cell formatting helpers} *)
+
+val fmt_float : ?digits:int -> float -> string
+val fmt_pct : float -> string
+(** [fmt_pct 0.873] is ["87.3%"]. *)
+
+val fmt_k : int -> string
+(** Thousands with one decimal: [fmt_k 16600] is ["16.6"]. *)
+
+val fmt_speedup : float -> string
+(** [fmt_speedup 1.95] is ["1.95x"]. *)

@@ -1,0 +1,1 @@
+lib/workload/figure2.ml: Array Ir List Pts_clients Query Types

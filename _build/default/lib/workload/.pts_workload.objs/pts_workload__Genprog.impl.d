@@ -1,0 +1,1 @@
+lib/workload/genprog.ml: Buffer List Printf Pts_util

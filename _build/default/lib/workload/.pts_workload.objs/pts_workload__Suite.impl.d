@@ -1,0 +1,1 @@
+lib/workload/suite.ml: Genprog Hashtbl List Printf Pts_clients String

@@ -1,0 +1,73 @@
+(** The paper's running example (Figure 2): a [Vector] container used by
+    two [Client]s under different calling contexts. The context-sensitive
+    answer distinguishes [s1 -> {Integer}] from [s2 -> {String}]; any
+    context-insensitive analysis merges them. Used by the Table 1
+    walkthrough, the quickstart example, and as the canonical end-to-end
+    correctness test. *)
+
+let source =
+  {|
+class Vector {
+  Object[] elems;
+  int count;
+  Vector() {
+    Object[] t = new Object[8];
+    this.elems = t;
+  }
+  void add(Object p) {
+    Object[] t = this.elems;
+    t[this.count] = p;
+    this.count = this.count + 1;
+  }
+  Object get(int i) {
+    Object[] t = this.elems;
+    return t[i];
+  }
+}
+
+class Client {
+  Vector vec;
+  Client() {}
+  Client(Vector v) { this.vec = v; }
+  void set(Vector v) { this.vec = v; }
+  Object retrieve() {
+    Vector t = this.vec;
+    return t.get(0);
+  }
+}
+
+class Main {
+  static void main() {
+    Vector v1 = new Vector();
+    v1.add(new Integer(1));
+    Client c1 = new Client(v1);
+    Vector v2 = new Vector();
+    v2.add(new String());
+    Client c2 = new Client();
+    c2.set(v2);
+    Object s1 = c1.retrieve();
+    Object s2 = c2.retrieve();
+  }
+}
+|}
+
+let pipeline () = Pts_clients.Pipeline.of_source source
+
+let s1 pl = Pts_clients.Pipeline.find_local pl ~meth_pretty:"Main.main" ~var:"s1"
+let s2 pl = Pts_clients.Pipeline.find_local pl ~meth_pretty:"Main.main" ~var:"s2"
+
+(* The allocation classes the two queries must resolve to. *)
+let expected_class pl node =
+  let prog = pl.Pts_clients.Pipeline.prog in
+  let ctable = prog.Ir.ctable in
+  let integer = Types.find_class ctable "Integer" in
+  let string_ = Types.find_class ctable "String" in
+  ignore node;
+  (integer, string_)
+
+let site_classes pl outcome =
+  let prog = pl.Pts_clients.Pipeline.prog in
+  match outcome with
+  | Query.Exceeded -> []
+  | Query.Resolved ts ->
+    List.map (fun site -> prog.Ir.allocs.(site).Ir.alloc_cls) (Query.sites ts)

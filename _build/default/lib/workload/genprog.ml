@@ -1,0 +1,421 @@
+module Prng = Pts_util.Prng
+
+type config = {
+  name : string;
+  seed : int;
+  n_elem_classes : int;
+  n_containers : int;
+  n_boxes : int;
+  n_lists : int;
+  n_factories : int;
+  n_utils : int;
+  util_chain : int;
+  n_apps : int;
+  n_globals : int;
+  churn : int;
+  null_rate : float;
+  bad_cast_rate : float;
+  shared_rate : float;
+  interact_rate : float;
+}
+
+let default =
+  {
+    name = "default";
+    seed = 42;
+    n_elem_classes = 4;
+    n_containers = 3;
+    n_boxes = 2;
+    n_lists = 2;
+    n_factories = 2;
+    n_utils = 2;
+    util_chain = 4;
+    n_apps = 6;
+    n_globals = 3;
+    churn = 5;
+    null_rate = 0.3;
+    bad_cast_rate = 0.2;
+    shared_rate = 0.3;
+    interact_rate = 0.25;
+  }
+
+let describe c =
+  Printf.sprintf
+    "%s(seed=%d elems=%d containers=%d boxes=%d lists=%d factories=%d utils=%dx%d apps=%d globals=%d)"
+    c.name c.seed c.n_elem_classes c.n_containers c.n_boxes c.n_lists c.n_factories c.n_utils
+    c.util_chain c.n_apps c.n_globals
+
+(* ------------------------------------------------------------------ *)
+(* Emission helpers                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type st = { buf : Buffer.t; cfg : config; rng : Prng.t }
+
+let line st fmt = Printf.ksprintf (fun s -> Buffer.add_string st.buf s; Buffer.add_char st.buf '\n') fmt
+
+let elem st i = Printf.sprintf "Item%d" (i mod st.cfg.n_elem_classes)
+let elem_sub st i = Printf.sprintf "Item%dSub" (i mod st.cfg.n_elem_classes)
+let vec st k = Printf.sprintf "Vec%d" (k mod st.cfg.n_containers)
+let box st b = Printf.sprintf "Box%d" (b mod max 1 st.cfg.n_boxes)
+let list_cls st l = Printf.sprintf "List%d" (l mod max 1 st.cfg.n_lists)
+let factory st f = Printf.sprintf "Factory%d" (f mod max 1 st.cfg.n_factories)
+let util st u = Printf.sprintf "Util%d" (u mod max 1 st.cfg.n_utils)
+
+(* ------------------------------------------------------------------ *)
+(* Library classes                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* A chain of local reference copies: [Object p0 = src; Object p1 = p0;
+   ...]. Returns the name of the last link. Real method bodies are mostly
+   such local data flow, which is exactly what PPTA summarises; the chain
+   length drives the PAG's locality ratio. *)
+let churn st ~prefix ~src =
+  let n = max 0 st.cfg.churn in
+  if n = 0 then src
+  else begin
+    line st "    Object %s0 = %s;" prefix src;
+    for i = 1 to n - 1 do
+      line st "    Object %s%d = %s%d;" prefix i prefix (i - 1)
+    done;
+    Printf.sprintf "%s%d" prefix (n - 1)
+  end
+
+
+let emit_elements st =
+  for i = 0 to st.cfg.n_elem_classes - 1 do
+    line st "class Item%d {" i;
+    line st "  int tag;";
+    line st "  Item%d payload;" i;
+    line st "  Item%d() { this.tag = %d; }" i i;
+    line st "  Item%d weave(Item%d other) { this.payload = other; return this.payload; }" i i;
+    line st "}";
+    line st "class Item%dSub extends Item%d {" i i;
+    line st "  Item%dSub() { this.tag = %d; }" i (i + 100);
+    line st "  Item%d weave(Item%d other) { this.payload = other; return other; }" i i;
+    line st "}"
+  done
+
+let emit_containers st =
+  for k = 0 to st.cfg.n_containers - 1 do
+    line st "class Vec%d {" k;
+    line st "  Object[] elems;";
+    line st "  int count;";
+    line st "  Vec%d() {" k;
+    line st "    Object[] t = new Object[16];";
+    line st "    this.elems = t;";
+    line st "    this.count = 0;";
+    line st "  }";
+    line st "  void add(Object p) {";
+    line st "    Object[] t = this.elems;";
+    let stored = churn st ~prefix:"ca" ~src:"p" in
+    line st "    t[this.count] = %s;" stored;
+    line st "    this.count = this.count + 1;";
+    line st "  }";
+    line st "  Object get(int i) {";
+    line st "    Object[] t = this.elems;";
+    let got = churn st ~prefix:"cg" ~src:"t[i]" in
+    line st "    return %s;" got;
+    line st "  }";
+    line st "  Object first() { return this.get(0); }";
+    line st "  Object last() { return this.get(this.count - 1); }";
+    line st "  void mix() {";
+    line st "    Object m0 = this.elems[0];";
+    let mixed = churn st ~prefix:"mx" ~src:"m0" in
+    let mixed2 = churn st ~prefix:"my" ~src:mixed in
+    let mixed3 = churn st ~prefix:"mz" ~src:mixed2 in
+    line st "    this.elems[1] = %s;" mixed3;
+    line st "  }";
+    line st "  Object shuffle(Object s) {";
+    let sh1 = churn st ~prefix:"sa" ~src:"s" in
+    let sh2 = churn st ~prefix:"sb" ~src:sh1 in
+    let sh3 = churn st ~prefix:"sc" ~src:sh2 in
+    let sh4 = churn st ~prefix:"sd" ~src:sh3 in
+    line st "    return %s;" sh4;
+    line st "  }";
+    line st "  void tidy() {";
+    line st "    this.mix();";
+    line st "    Object[] t = this.elems;";
+    line st "    Object td = t[0];";
+    let rec long_chain prefix src rounds =
+      if rounds = 0 then src
+      else long_chain prefix (churn st ~prefix:(Printf.sprintf "%s%d_" prefix rounds) ~src) (rounds - 1)
+    in
+    let last = long_chain "td" "td" ((st.cfg.churn / 3) + 1) in
+    line st "    t[1] = %s;" last;
+    line st "  }";
+    line st "  void addAll(Vec%d other) {" k;
+    line st "    for (int i = 0; i < other.count; i = i + 1) {";
+    line st "      this.add(other.get(i));";
+    line st "    }";
+    line st "  }";
+    line st "}"
+  done
+
+let emit_boxes st =
+  for b = 0 to st.cfg.n_boxes - 1 do
+    line st "class Box%d {" b;
+    line st "  Object val;";
+    line st "  Box%d() {}" b;
+    line st "  void put(Object v) {";
+    let put = churn st ~prefix:"cp" ~src:"v" in
+    line st "    this.val = %s;" put;
+    line st "  }";
+    line st "  Object take() {";
+    let took = churn st ~prefix:"ct" ~src:"this.val" in
+    line st "    return %s;" took;
+    line st "  }";
+    line st "  Object pipe(Object v) {";
+    line st "    this.put(v);";
+    line st "    return this.take();";
+    line st "  }";
+    line st "  void refresh() {";
+    line st "    Object r0 = this.val;";
+    let last = churn st ~prefix:"rf" ~src:"r0" in
+    line st "    this.val = %s;" last;
+    line st "  }";
+    line st "  Object swap(Box%d other) {" b;
+    line st "    Object mine = this.take();";
+    line st "    this.put(other.take());";
+    line st "    other.put(mine);";
+    line st "    return this.take();";
+    line st "  }";
+    line st "}"
+  done
+
+let emit_lists st =
+  for l = 0 to st.cfg.n_lists - 1 do
+    line st "class Node%d {" l;
+    line st "  Object val;";
+    line st "  Node%d next;" l;
+    line st "  Node%d(Object v) { this.val = v; }" l;
+    line st "}";
+    line st "class List%d {" l;
+    line st "  Node%d head;" l;
+    line st "  List%d() {}" l;
+    line st "  void push(Object v) {";
+    let pushed = churn st ~prefix:"cl" ~src:"v" in
+    line st "    Node%d n = new Node%d(%s);" l l pushed;
+    line st "    n.next = this.head;";
+    line st "    this.head = n;";
+    line st "  }";
+    (* Recursive lookup: exercises call-graph cycle collapsing, and its
+       [return null] feeds genuine NullDeref refutations downstream. *)
+    line st "  Object find(Node%d cur, int k) {" l;
+    line st "    if (cur == null) { return null; }";
+    line st "    if (k == 0) { return cur.val; }";
+    line st "    return this.find(cur.next, k - 1);";
+    line st "  }";
+    line st "  Object nth(int k) { return this.find(this.head, k); }";
+    line st "}"
+  done
+
+let emit_factories st =
+  for f = 0 to st.cfg.n_factories - 1 do
+    let product = elem st (Prng.int st.rng st.cfg.n_elem_classes) in
+    line st "class Factory%d {" f;
+    line st "  static Object cache;";
+    line st "  Factory%d() {}" f;
+    line st "  Object fresh() { return new %s(); }" product;
+    line st "  Object freshSub() { return new %sSub(); }" product;
+    (* Returns a memoised object: a genuine factory-property violation. *)
+    line st "  Object cached() {";
+    line st "    Object c = Factory%d.cache;" f;
+    line st "    if (c == null) {";
+    line st "      c = new %s();" product;
+    line st "      Factory%d.cache = c;" f;
+    line st "    }";
+    line st "    return c;";
+    line st "  }";
+    (* Allocates, but hands the caller's own object back: the FactoryM
+       client must refute these calls. *)
+    line st "  Object relay(Object x) {";
+    line st "    Object d = new %s();" product;
+    line st "    Factory%d.cache = d;" f;
+    line st "    return x;";
+    line st "  }";
+    line st "}"
+  done
+
+let emit_utils st =
+  for u = 0 to st.cfg.n_utils - 1 do
+    line st "class Util%d {" u;
+    for d = 0 to st.cfg.util_chain - 1 do
+      if d = st.cfg.util_chain - 1 then
+        line st "  static Object pass%d(Object x) { return x; }" d
+      else line st "  static Object pass%d(Object x) { return Util%d.pass%d(x); }" d u (d + 1)
+    done;
+    line st "  static Object route(Object a, Object b) {";
+    line st "    if (1 < 2) { return Util%d.pass0(a); }" u;
+    line st "    return Util%d.pass0(b);" u;
+    line st "  }";
+    line st "}"
+  done
+
+let emit_registry st =
+  line st "class Registry {";
+  for g = 0 to st.cfg.n_globals - 1 do
+    line st "  static Object slot%d;" g
+  done;
+  line st "  static Vec0 shared = new Vec0();";
+  for g = 0 to st.cfg.n_globals - 1 do
+    line st "  static void publish%d(Object v) { Registry.slot%d = v; }" g g;
+    line st "  static Object fetch%d() { return Registry.slot%d; }" g g
+  done;
+  line st "}"
+
+(* ------------------------------------------------------------------ *)
+(* Application classes                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Each app is (mostly) monomorphic in one element class so that
+   context-sensitive analysis can prove its casts while context-insensitive
+   merging cannot. *)
+let emit_app st a =
+  let cfg = st.cfg in
+  let rng = st.rng in
+  let my_elem = a mod cfg.n_elem_classes in
+  let k = Prng.int rng cfg.n_containers in
+  let b = if cfg.n_boxes > 0 then Prng.int rng cfg.n_boxes else 0 in
+  let l = if cfg.n_lists > 0 then Prng.int rng cfg.n_lists else 0 in
+  let f = if cfg.n_factories > 0 then Prng.int rng cfg.n_factories else 0 in
+  let u = if cfg.n_utils > 0 then Prng.int rng cfg.n_utils else 0 in
+  let e = elem st my_elem in
+  let es = elem_sub st my_elem in
+  line st "class App%d {" a;
+  line st "  %s mine;" (vec st k);
+  line st "  %s extra;" (vec st k);
+  line st "  %s spare;" (box st b);
+  line st "  App%d() {" a;
+  line st "    this.mine = new %s();" (vec st k);
+  line st "    this.extra = new %s();" (vec st k);
+  line st "    this.spare = new %s();" (box st b);
+  line st "  }";
+  (* fill: populate the private container *)
+  line st "  void fill() {";
+  line st "    Object seed = new %s();" e;
+  let seeded = churn st ~prefix:"fl" ~src:"seed" in
+  line st "    this.mine.add(%s);" seeded;
+  line st "    this.mine.add(new %s());" es;
+  if cfg.n_factories > 0 then begin
+    line st "    %s fac = new %s();" (factory st f) (factory st f);
+    line st "    this.extra.add(fac.fresh());";
+    if Prng.chance rng 0.5 then line st "    this.extra.add(fac.cached());";
+    if Prng.chance rng 0.4 then line st "    this.extra.add(fac.relay(new %s()));" es
+  end;
+  if Prng.chance rng cfg.null_rate then line st "    this.mine.add(null);";
+  line st "  }";
+  (* consume: read back and downcast *)
+  let cast_target =
+    if Prng.chance rng cfg.bad_cast_rate then
+      elem st (Prng.int rng cfg.n_elem_classes)
+    else e
+  in
+  line st "  void consume() {";
+  line st "    Object xo = this.extra.first();";
+  line st "    int th = xo.hashCode();";
+  line st "    Object o = this.mine.get(0);";
+  line st "    boolean own = o instanceof %s;" e;
+  line st "    %s solo = new %s();" e e;
+  line st "    %s woven = solo.weave(solo);" e;
+  line st "    int wt = woven.tag;";
+  let oc = churn st ~prefix:"cn" ~src:"o" in
+  line st "    Object oo = %s;" oc;
+  line st "    int tz = oo.hashCode();";
+  line st "    %s it = (%s) o;" e e;
+  line st "    int t1 = it.tag;";
+  (* a polymorphic weave receiver in a few apps: a devirtualisation the
+     analysis must refute; kept rare because the shared per-class method
+     is a cross-app mixing point that inflates every engine's work *)
+  if Prng.chance rng 0.15 then begin
+    line st "    %s mixed = it.weave(it);" e;
+    line st "    int mt = mixed.tag;"
+  end;
+  line st "    Object piped = this.spare.pipe(o);";
+  line st "    %s it2 = (%s) piped;" cast_target cast_target;
+  line st "    int t2 = it2.tag;";
+  if cfg.n_utils > 0 then begin
+    line st "    Object routed = %s.pass0(o);" (util st u);
+    line st "    %s it3 = (%s) routed;" e e;
+    line st "    int t3 = it3.tag;"
+  end;
+  if cfg.n_lists > 0 then begin
+    line st "    %s lst = new %s();" (list_cls st l) (list_cls st l);
+    line st "    lst.push(o);";
+    line st "    Object found = lst.nth(%d);" (Prng.int rng 3);
+    line st "    int h = found.hashCode();"
+  end;
+  line st "  }";
+  (* deep: nested boxes exercise multi-level field stacks *)
+  let b2 = if cfg.n_boxes > 0 then Prng.int rng cfg.n_boxes else 0 in
+  line st "  void deep() {";
+  line st "    %s outer = new %s();" (box st b2) (box st b2);
+  line st "    %s inner = new %s();" (box st b) (box st b);
+  line st "    inner.put(this.mine.first());";
+  line st "    outer.put(inner);";
+  line st "    %s back = (%s) outer.take();" (box st b) (box st b);
+  line st "    Object v = back.take();";
+  line st "    %s it4 = (%s) v;" e e;
+  line st "    int t4 = it4.tag;";
+  line st "  }";
+  (* optional interactions *)
+  let uses_registry = Prng.chance rng cfg.shared_rate in
+  if uses_registry then begin
+    let g = Prng.int rng cfg.n_globals in
+    line st "  void viaRegistry() {";
+    line st "    Registry.publish%d(this.mine.first());" g;
+    line st "    Object got = Registry.fetch%d();" g;
+    line st "    int h2 = got.hashCode();";
+    line st "    Registry.shared.add(got);";
+    line st "  }"
+  end;
+  line st "  void feed(%s other) { other.add(this.mine.first()); }" (vec st k);
+  line st "  void run() {";
+  line st "    this.fill();";
+  line st "    this.consume();";
+  line st "    this.deep();";
+  line st "    this.mine.tidy();";
+  line st "    this.spare.refresh();";
+  if uses_registry then line st "    this.viaRegistry();";
+  line st "  }";
+  line st "}";
+  k
+
+let emit_main st app_containers =
+  let cfg = st.cfg in
+  let rng = st.rng in
+  line st "class Main {";
+  line st "  static void main() {";
+  for a = 0 to cfg.n_apps - 1 do
+    line st "    App%d app%d = new App%d();" a a a;
+    line st "    app%d.run();" a
+  done;
+  (* cross-app pollution through shared containers *)
+  for a = 0 to cfg.n_apps - 1 do
+    if Prng.chance rng cfg.interact_rate then begin
+      let b = Prng.int rng cfg.n_apps in
+      if a <> b && List.nth app_containers a = List.nth app_containers b then
+        line st "    app%d.feed(app%d.mine);" a b
+    end
+  done;
+  line st "  }";
+  line st "}"
+
+let generate cfg =
+  if
+    cfg.n_elem_classes <= 0 || cfg.n_containers <= 0 || cfg.n_apps <= 0 || cfg.n_boxes <= 0
+    || cfg.n_lists <= 0 || cfg.n_factories <= 0 || cfg.n_globals <= 0
+  then
+    invalid_arg
+      "Genprog.generate: element, container, box, list, factory, global and app counts must be \
+       positive (only n_utils may be 0)";
+  let st = { buf = Buffer.create 65536; cfg; rng = Prng.create cfg.seed } in
+  emit_elements st;
+  emit_containers st;
+  emit_boxes st;
+  emit_lists st;
+  emit_factories st;
+  if cfg.n_utils > 0 then emit_utils st;
+  emit_registry st;
+  let app_containers = List.init cfg.n_apps (fun a -> emit_app st a) in
+  emit_main st app_containers;
+  Buffer.contents st.buf

@@ -1,0 +1,27 @@
+(** The nine-benchmark suite, mirroring the paper's Table 3 selection from
+    SPECjvm98 and DaCapo. Each name maps to a generator configuration whose
+    relative size ordering and locality band follow the paper: soot-c,
+    bloat and jython are the large, query-heavy programs used in Figures
+    4–5; avrora, batik, luindex and xalan sit in the lower locality band
+    (80–84%) through heavier utility-chain and global-registry traffic. *)
+
+val names : string list
+(** In the paper's order: jack javac soot-c bloat jython avrora batik
+    luindex xalan. *)
+
+val config : string -> Genprog.config
+(** @raise Not_found for unknown names. *)
+
+val scaled : string -> int -> Genprog.config
+(** [scaled name k] multiplies the benchmark's application count (and
+    element diversity) by [k], for scalability studies beyond the default
+    laptop-sized suite. [scaled name 1 = config name]. *)
+
+val figure45_names : string list
+(** The three programs of Figures 4 and 5: soot-c, bloat, jython. *)
+
+val source : string -> string
+(** Generated program text (memoised). *)
+
+val pipeline : string -> Pts_clients.Pipeline.t
+(** Compiled and Andersen-analysed (memoised). *)

@@ -1,0 +1,1 @@
+test/test_andersen.ml: Alcotest Array Dynsum Ir List Pts_andersen Pts_clients Pts_util Pts_workload Query Types

@@ -1,0 +1,1 @@
+test/test_clients.ml: Alcotest Engine Float Format List Printf Pts_clients Pts_workload String

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Alias Array Budget Dynsum Engine Fieldbased Filename Fstack Fun Ir List Option Pag Ppta Pts_clients Pts_util Pts_workload Query Sb Stasum Sys Types

@@ -1,0 +1,1 @@
+test/test_equiv.ml: Alcotest Dynsum Engine List Pts_andersen Pts_clients Pts_util Pts_workload QCheck QCheck_alcotest Query Sb Stasum

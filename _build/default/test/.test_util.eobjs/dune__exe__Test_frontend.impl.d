@@ -1,0 +1,1 @@
+test/test_frontend.ml: Alcotest Array Ast Frontend Hashtbl Ir Lexer List Pag Parser Pretty Printf Pts_clients Pts_core Pts_workload QCheck QCheck_alcotest Types

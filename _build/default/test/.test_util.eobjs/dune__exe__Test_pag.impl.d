@@ -1,0 +1,1 @@
+test/test_pag.ml: Alcotest Array Callgraph Ir Lazy List Pag Pts_clients Pts_workload Types

@@ -1,0 +1,1 @@
+test/test_programs.ml: Alcotest Array Dynsum Engine Filename Ir List Pts_clients Query Sys Types Witness

@@ -1,0 +1,1 @@
+test/test_tools.ml: Alcotest Alias Array Budget Callgraph Cha Dot Dynsum Engine Format Frontend Ir List Ppta Pts_clients Pts_workload Query String Types Witness

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array List Pts_util QCheck QCheck_alcotest String

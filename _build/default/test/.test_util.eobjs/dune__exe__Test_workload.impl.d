@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Callgraph Dynsum Ir List Pag Pts_clients Pts_workload Types

@@ -1,0 +1,155 @@
+(* Whole-program Andersen solver (the Spark substitute) tests. *)
+
+let check = Alcotest.check
+
+let pipeline src = Pts_clients.Pipeline.of_source src
+
+let site_classes (pl : Pts_clients.Pipeline.t) set =
+  let prog = pl.Pts_clients.Pipeline.prog in
+  Pts_util.Bitset.fold set ~init:[] ~f:(fun acc site ->
+      Types.class_name prog.Ir.ctable prog.Ir.allocs.(site).Ir.alloc_cls :: acc)
+  |> List.sort_uniq compare
+
+let pts_of pl meth var =
+  let node = Pts_clients.Pipeline.find_local pl ~meth_pretty:meth ~var in
+  Pts_andersen.Solver.points_to pl.Pts_clients.Pipeline.solver node
+
+let test_direct_alloc () =
+  let pl = pipeline "class A {} class Main { static void main() { A a = new A(); } }" in
+  check (Alcotest.list Alcotest.string) "a -> A" [ "A" ] (site_classes pl (pts_of pl "Main.main" "a"))
+
+let test_copy_chain () =
+  let pl =
+    pipeline "class A {} class Main { static void main() { A a = new A(); A b = a; A c = b; } }"
+  in
+  check (Alcotest.list Alcotest.string) "c -> A" [ "A" ] (site_classes pl (pts_of pl "Main.main" "c"))
+
+let test_field_sensitivity () =
+  let pl =
+    pipeline
+      {|
+class Box { Object f; Object g; Box() {} }
+class A {} class B {}
+class Main {
+  static void main() {
+    Box x = new Box();
+    x.f = new A();
+    x.g = new B();
+    Object rf = x.f;
+    Object rg = x.g;
+  }
+}|}
+  in
+  check (Alcotest.list Alcotest.string) "rf sees only f" [ "A" ]
+    (site_classes pl (pts_of pl "Main.main" "rf"));
+  check (Alcotest.list Alcotest.string) "rg sees only g" [ "B" ]
+    (site_classes pl (pts_of pl "Main.main" "rg"))
+
+let test_context_insensitive_merge () =
+  (* the classic imprecision Andersen must exhibit: Figure 2's s1/s2 merge *)
+  let pl = pipeline Pts_workload.Figure2.source in
+  check (Alcotest.list Alcotest.string) "s1 merged" [ "Integer"; "String" ]
+    (site_classes pl (pts_of pl "Main.main" "s1"));
+  check (Alcotest.list Alcotest.string) "s2 merged" [ "Integer"; "String" ]
+    (site_classes pl (pts_of pl "Main.main" "s2"))
+
+let test_globals_flow () =
+  let pl =
+    pipeline
+      {|
+class A {}
+class G { static Object slot; }
+class Main {
+  static void main() {
+    G.slot = new A();
+    Object r = G.slot;
+  }
+}|}
+  in
+  check (Alcotest.list Alcotest.string) "through global" [ "A" ]
+    (site_classes pl (pts_of pl "Main.main" "r"))
+
+let test_parameters_and_returns () =
+  let pl =
+    pipeline
+      {|
+class A {}
+class Id { Object id(Object x) { return x; } }
+class Main { static void main() { Id i = new Id(); Object r = i.id(new A()); } }|}
+  in
+  check (Alcotest.list Alcotest.string) "identity" [ "A" ]
+    (site_classes pl (pts_of pl "Main.main" "r"))
+
+let test_unreachable_methods_skipped () =
+  let pl =
+    pipeline
+      {|
+class Dead { void never() { Object x = new Object(); } }
+class Main { static void main() { Object o = new Object(); } }|}
+  in
+  let prog = pl.Pts_clients.Pipeline.prog in
+  let dead = Array.to_list prog.Ir.methods |> List.find (fun m -> m.Ir.pretty = "Dead.never") in
+  check Alcotest.bool "dead method unreachable" false
+    (Pts_andersen.Solver.is_reachable pl.Pts_clients.Pipeline.solver dead.Ir.id);
+  let main = Array.to_list prog.Ir.methods |> List.find (fun m -> m.Ir.pretty = "Main.main") in
+  check Alcotest.bool "main reachable" true
+    (Pts_andersen.Solver.is_reachable pl.Pts_clients.Pipeline.solver main.Ir.id)
+
+let test_on_the_fly_dispatch_growth () =
+  (* B only becomes a receiver through a container round-trip: dispatch
+     must discover B.m even though the receiver's static type is A *)
+  let pl =
+    pipeline
+      {|
+class A { Object m() { return new A(); } }
+class B extends A { Object m() { return new B(); } }
+class Box { Object v; Box() {} void put(Object x) { this.v = x; } Object take() { return this.v; } }
+class Main {
+  static void main() {
+    Box box = new Box();
+    box.put(new B());
+    A recv = (A) box.take();
+    Object r = recv.m();
+  }
+}|}
+  in
+  check (Alcotest.list Alcotest.string) "discovered B.m" [ "B" ]
+    (site_classes pl (pts_of pl "Main.main" "r"))
+
+let test_soundness_vs_demand_on_suite () =
+  (* Andersen over-approximates every context-sensitive demand answer *)
+  let pl = Pts_workload.Suite.pipeline "jack" in
+  let pag = pl.Pts_clients.Pipeline.pag in
+  let dynsum = Dynsum.create pag in
+  let queries = Pts_clients.Nullderef.queries pl in
+  List.iteri
+    (fun i q ->
+      if i mod 7 = 0 then begin
+        let node = q.Pts_clients.Client.q_node in
+        match Dynsum.points_to dynsum node with
+        | Query.Exceeded -> ()
+        | Query.Resolved ts ->
+          let ander = Pts_andersen.Solver.points_to pl.Pts_clients.Pipeline.solver node in
+          List.iter
+            (fun site ->
+              check Alcotest.bool "demand within Andersen" true (Pts_util.Bitset.mem ander site))
+            (Query.sites ts)
+      end)
+    queries
+
+let () =
+  Alcotest.run "andersen"
+    [
+      ( "solver",
+        [
+          Alcotest.test_case "direct alloc" `Quick test_direct_alloc;
+          Alcotest.test_case "copy chain" `Quick test_copy_chain;
+          Alcotest.test_case "field sensitivity" `Quick test_field_sensitivity;
+          Alcotest.test_case "context-insensitive merge" `Quick test_context_insensitive_merge;
+          Alcotest.test_case "globals" `Quick test_globals_flow;
+          Alcotest.test_case "params and returns" `Quick test_parameters_and_returns;
+          Alcotest.test_case "unreachable skipped" `Quick test_unreachable_methods_skipped;
+          Alcotest.test_case "on-the-fly dispatch" `Quick test_on_the_fly_dispatch_growth;
+          Alcotest.test_case "soundness oracle" `Quick test_soundness_vs_demand_on_suite;
+        ] );
+    ]

@@ -1,0 +1,281 @@
+(* Client tests: SafeCast, NullDeref, FactoryM verdicts on programs with
+   known ground truth, plus the batching framework. *)
+
+let check = Alcotest.check
+
+let pipeline src = Pts_clients.Pipeline.of_source src
+
+let run_client queries (pl : Pts_clients.Pipeline.t) =
+  let engine = List.hd (Pts_clients.Pipeline.engines pl) in
+  (* norefine: exact *)
+  List.map
+    (fun q ->
+      ( q.Pts_clients.Client.q_desc,
+        Pts_clients.Client.verdict_of q.Pts_clients.Client.q_pred
+          (engine.Engine.points_to ~satisfy:q.Pts_clients.Client.q_pred q.Pts_clients.Client.q_node)
+      ))
+    queries
+
+let verdict = Alcotest.testable
+    (fun fmt -> function
+      | Pts_clients.Client.Proved -> Format.pp_print_string fmt "Proved"
+      | Pts_clients.Client.Refuted -> Format.pp_print_string fmt "Refuted"
+      | Pts_clients.Client.Unknown -> Format.pp_print_string fmt "Unknown")
+    ( = )
+
+(* ----------------------------- SafeCast ----------------------------- *)
+
+let test_safecast_safe_and_unsafe () =
+  let pl =
+    pipeline
+      {|
+class A {} class B extends A {} class C {}
+class Box { Object v; Box() {} void put(Object x) { this.v = x; } Object take() { return this.v; } }
+class Main {
+  static void main() {
+    Box good = new Box();
+    good.put(new B());
+    A ok = (A) good.take();
+    Box bad = new Box();
+    bad.put(new C());
+    A boom = (A) bad.take();
+  }
+}|}
+  in
+  match run_client (Pts_clients.Safecast.queries pl) pl with
+  | [ (_, v1); (_, v2) ] ->
+    check verdict "downcast of B to A is safe" Pts_clients.Client.Proved v1;
+    check verdict "cast of C to A is refuted" Pts_clients.Client.Refuted v2
+  | l -> Alcotest.fail (Printf.sprintf "expected 2 queries, got %d" (List.length l))
+
+let test_safecast_skips_trivial_and_dead () =
+  let pl =
+    pipeline
+      {|
+class A {} class B extends A {}
+class Dead { void never() { A x = (A) new B(); Object o = (B) x; } }
+class Main { static void main() { B b = new B(); A up = (A) b; } }|}
+  in
+  (* the upcast in main is trivial; Dead.never is unreachable *)
+  check Alcotest.int "no queries" 0 (List.length (Pts_clients.Safecast.queries pl))
+
+let test_safecast_null_is_benign () =
+  let pl =
+    pipeline
+      {|
+class A {}
+class Main { static void main() { Object x = null; A a = (A) x; } }|}
+  in
+  match run_client (Pts_clients.Safecast.queries pl) pl with
+  | [ (_, v) ] -> check verdict "casting null is safe" Pts_clients.Client.Proved v
+  | _ -> Alcotest.fail "expected 1 query"
+
+(* ----------------------------- NullDeref ---------------------------- *)
+
+let test_nullderef_flags_null () =
+  let pl =
+    pipeline
+      {|
+class Box { Object v; Box() {} }
+class Main {
+  static void main() {
+    Box safe = new Box();
+    safe.v = new Object();
+    Box dodgy = null;
+    dodgy.v = new Object();
+  }
+}|}
+  in
+  let verdicts = run_client (Pts_clients.Nullderef.queries pl) pl in
+  let refuted = List.filter (fun (_, v) -> v = Pts_clients.Client.Refuted) verdicts in
+  let proved = List.filter (fun (_, v) -> v = Pts_clients.Client.Proved) verdicts in
+  check Alcotest.bool "dodgy deref refuted" true (List.length refuted >= 1);
+  check Alcotest.bool "safe deref proved" true (List.length proved >= 1)
+
+let test_nullderef_context_sensitivity_pays () =
+  (* null flows into the box of one context only; a context-insensitive
+     analysis would flag both dereferences *)
+  let pl =
+    pipeline
+      {|
+class Id { Object id(Object x) { return x; } }
+class Main {
+  static void main() {
+    Id i = new Id();
+    Object clean = i.id(new Object());
+    Object dirty = i.id(null);
+    int h1 = clean.hashCode();
+    int h2 = dirty.hashCode();
+  }
+}|}
+  in
+  let verdicts = run_client (Pts_clients.Nullderef.queries pl) pl in
+  let of_desc frag =
+    match
+      List.find_opt
+        (fun (d, _) ->
+          let contains needle hay =
+            let n = String.length needle and h = String.length hay in
+            let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+            go 0
+          in
+          contains frag d)
+        verdicts
+    with
+    | Some (_, v) -> v
+    | None -> Alcotest.fail ("no query for " ^ frag)
+  in
+  check verdict "clean receiver proved" Pts_clients.Client.Proved (of_desc "of clean");
+  check verdict "dirty receiver refuted" Pts_clients.Client.Refuted (of_desc "of dirty")
+
+(* ----------------------------- FactoryM ----------------------------- *)
+
+let test_factorym_fresh_vs_relay () =
+  let pl =
+    pipeline
+      {|
+class A {}
+class F {
+  F() {}
+  Object fresh() { return new A(); }
+  Object relay(Object x) { Object d = new A(); return x; }
+}
+class Main {
+  static void main() {
+    F f = new F();
+    Object good = f.fresh();
+    Object bad = f.relay(new Object());
+  }
+}|}
+  in
+  let verdicts = run_client (Pts_clients.Factorym.queries pl) pl in
+  check Alcotest.int "two factory calls" 2 (List.length verdicts);
+  let vs = List.map snd verdicts in
+  check Alcotest.bool "one proved one refuted" true
+    (List.mem Pts_clients.Client.Proved vs && List.mem Pts_clients.Client.Refuted vs)
+
+let test_factorym_skips_non_allocating () =
+  let pl =
+    pipeline
+      {|
+class Box { Object v; Box() {} Object take() { return this.v; } }
+class Main { static void main() { Box b = new Box(); Object r = b.take(); } }|}
+  in
+  check Alcotest.int "accessors are not factories" 0
+    (List.length (Pts_clients.Factorym.queries pl))
+
+(* ------------------------------ Devirt ------------------------------ *)
+
+let test_devirt_verdicts () =
+  let pl =
+    pipeline
+      {|
+class A { Object m() { return new A(); } }
+class B extends A { Object m() { return new B(); } }
+class Main {
+  static void main() {
+    A mono = new A();
+    Object r1 = mono.m();
+    A poly;
+    if (1 < 2) { poly = new A(); } else { poly = new B(); }
+    Object r2 = poly.m();
+  }
+}|}
+  in
+  let verdicts = run_client (Pts_clients.Devirt.queries pl) pl in
+  check Alcotest.int "two polymorphic-by-CHA sites" 2 (List.length verdicts);
+  let vs = List.map snd verdicts in
+  check Alcotest.bool "mono receiver devirtualised" true (List.mem Pts_clients.Client.Proved vs);
+  check Alcotest.bool "mixed receiver not devirtualised" true
+    (List.mem Pts_clients.Client.Refuted vs)
+
+let test_devirt_skips_cha_monomorphic () =
+  (* no override anywhere: CHA already resolves the site, no query *)
+  let pl =
+    pipeline
+      {|
+class A { Object m() { return new A(); } }
+class Main { static void main() { A a = new A(); Object r = a.m(); } }|}
+  in
+  check Alcotest.int "no queries" 0 (List.length (Pts_clients.Devirt.queries pl))
+
+(* ------------------------- Batching framework ----------------------- *)
+
+let test_run_batches_partition () =
+  let pl = Pts_workload.Suite.pipeline "jack" in
+  let queries = Pts_clients.Safecast.queries pl in
+  let engine = List.nth (Pts_clients.Pipeline.engines pl) 2 (* dynsum *) in
+  let results = Pts_clients.Client.run_batches engine queries ~batches:10 in
+  check Alcotest.int "ten batches" 10 (List.length results);
+  let total =
+    List.fold_left (fun acc r -> acc + Pts_clients.Client.total r.Pts_clients.Client.tally) 0 results
+  in
+  check Alcotest.int "partition covers all queries" (List.length queries) total
+
+let test_batches_reuse_decreases_steps () =
+  (* DYNSUM's whole point: later batches are cheaper. Raw per-batch cost
+     depends on which queries land in a batch, so compare
+     difficulty-adjusted cost — DYNSUM normalised to the cache-free
+     NOREFINE on the same batch, exactly Figure 4's metric. *)
+  let pl = Pts_workload.Suite.pipeline "javac" in
+  let queries = Pts_clients.Nullderef.queries pl in
+  let engines = Pts_clients.Pipeline.engines pl in
+  let dyn_batches = Pts_clients.Client.run_batches (List.nth engines 2) queries ~batches:5 in
+  let ref_batches = Pts_clients.Client.run_batches (List.nth engines 0) queries ~batches:5 in
+  let normalised =
+    List.map2
+      (fun (d : Pts_clients.Client.run_result) (r : Pts_clients.Client.run_result) ->
+        float_of_int d.Pts_clients.Client.steps
+        /. Float.max 1.0 (float_of_int r.Pts_clients.Client.steps))
+      dyn_batches ref_batches
+  in
+  (* reuse must pay off in later batches; individual batches wobble with
+     query difficulty (as in the paper's Figure 4), so compare the first
+     batch against the best and the mean of the rest *)
+  let first = List.hd normalised in
+  let rest = List.tl normalised in
+  let best_rest = List.fold_left Float.min infinity rest in
+  check Alcotest.bool "some later batch is relatively cheaper" true (best_rest < first);
+  (* and the summary cache only grows *)
+  let sums = List.map (fun r -> r.Pts_clients.Client.summaries_after) dyn_batches in
+  check Alcotest.bool "cache monotone" true (List.sort compare sums = sums)
+
+let test_tally_arithmetic () =
+  let open Pts_clients.Client in
+  let a = { proved = 1; refuted = 2; unknown = 3 } in
+  let b = { proved = 10; refuted = 20; unknown = 30 } in
+  let c = add_tally a b in
+  check Alcotest.int "proved" 11 c.proved;
+  check Alcotest.int "total" 66 (total c)
+
+let () =
+  Alcotest.run "clients"
+    [
+      ( "safecast",
+        [
+          Alcotest.test_case "safe and unsafe" `Quick test_safecast_safe_and_unsafe;
+          Alcotest.test_case "skips trivial and dead" `Quick test_safecast_skips_trivial_and_dead;
+          Alcotest.test_case "null benign" `Quick test_safecast_null_is_benign;
+        ] );
+      ( "nullderef",
+        [
+          Alcotest.test_case "flags null" `Quick test_nullderef_flags_null;
+          Alcotest.test_case "context-sensitivity pays" `Quick test_nullderef_context_sensitivity_pays;
+        ] );
+      ( "factorym",
+        [
+          Alcotest.test_case "fresh vs relay" `Quick test_factorym_fresh_vs_relay;
+          Alcotest.test_case "skips accessors" `Quick test_factorym_skips_non_allocating;
+        ] );
+      ( "devirt",
+        [
+          Alcotest.test_case "verdicts" `Quick test_devirt_verdicts;
+          Alcotest.test_case "skips CHA-monomorphic" `Quick test_devirt_skips_cha_monomorphic;
+        ] );
+      ( "batching",
+        [
+          Alcotest.test_case "partition" `Quick test_run_batches_partition;
+          Alcotest.test_case "reuse decreases cost" `Quick test_batches_reuse_decreases_steps;
+          Alcotest.test_case "tally arithmetic" `Quick test_tally_arithmetic;
+        ] );
+    ]

@@ -1,0 +1,163 @@
+(* The reproduction's central property, from the paper's title claim:
+   DYNSUM (and STASUM over the same summaries) answers demand queries
+   with exactly the precision of the Sridharan–Bodík baselines — "without
+   any precision loss" — while every answer stays inside the Andersen
+   over-approximation.
+
+   QCheck generates random workload configurations; for each we compile
+   the program, build the PAG, and compare all four engines on every
+   client query. *)
+
+module G = Pts_workload.Genprog
+
+let small_config =
+  let open QCheck.Gen in
+  let* seed = int_bound 10_000 in
+  let* elems = int_range 2 5 in
+  let* containers = int_range 1 3 in
+  let* boxes = int_range 1 3 in
+  let* lists = int_range 1 2 in
+  let* factories = int_range 1 2 in
+  let* utils = int_range 0 2 in
+  let* chain = int_range 2 4 in
+  let* apps = int_range 2 5 in
+  let* globals = int_range 1 3 in
+  let* churn = int_range 0 4 in
+  let* null_rate = float_bound_inclusive 0.5 in
+  let* bad = float_bound_inclusive 0.4 in
+  let* shared = float_bound_inclusive 0.6 in
+  let* interact = float_bound_inclusive 0.5 in
+  return
+    {
+      G.name = "prop";
+      seed;
+      n_elem_classes = elems;
+      n_containers = containers;
+      n_boxes = boxes;
+      n_lists = lists;
+      n_factories = factories;
+      n_utils = utils;
+      util_chain = chain;
+      n_apps = apps;
+      n_globals = globals;
+      churn;
+      null_rate;
+      bad_cast_rate = bad;
+      shared_rate = shared;
+      interact_rate = interact;
+    }
+
+let config_arbitrary = QCheck.make ~print:G.describe small_config
+
+let build cfg = Pts_clients.Pipeline.of_source (G.generate cfg)
+
+let all_queries pl =
+  Pts_clients.Safecast.queries pl @ Pts_clients.Factorym.queries pl
+  (* NullDeref is by far the largest query set; sample it *)
+  @ List.filteri (fun i _ -> i mod 5 = 0) (Pts_clients.Nullderef.queries pl)
+
+let outcomes_comparable a b =
+  match (a, b) with Query.Resolved _, Query.Resolved _ -> true | _ -> false
+
+(* Engines agree on the exact site sets (whenever neither exceeds). *)
+let prop_engines_agree =
+  QCheck.Test.make ~name:"all engines compute identical points-to sets" ~count:10
+    config_arbitrary
+    (fun cfg ->
+      let pl = build cfg in
+      let pag = pl.Pts_clients.Pipeline.pag in
+      let norefine = Sb.create Sb.No_refine pag in
+      let refine = Sb.create Sb.Refine pag in
+      let dynsum = Dynsum.create pag in
+      let stasum = Stasum.create pag in
+      List.for_all
+        (fun q ->
+          let n = q.Pts_clients.Client.q_node in
+          let a = Sb.points_to norefine n in
+          let b = Sb.points_to refine n in
+          let c = Dynsum.points_to dynsum n in
+          let d = Stasum.points_to stasum n in
+          let agree x y = if outcomes_comparable x y then Query.equal_sites x y else true in
+          agree a b && agree a c && agree a d && agree c d)
+        (all_queries pl))
+
+(* Demand answers stay inside the Andersen whole-program solution. *)
+let prop_sound_wrt_andersen =
+  QCheck.Test.make ~name:"demand answers within the Andersen over-approximation" ~count:10
+    config_arbitrary
+    (fun cfg ->
+      let pl = build cfg in
+      let pag = pl.Pts_clients.Pipeline.pag in
+      let dynsum = Dynsum.create pag in
+      List.for_all
+        (fun q ->
+          let n = q.Pts_clients.Client.q_node in
+          match Dynsum.points_to dynsum n with
+          | Query.Exceeded -> true
+          | Query.Resolved ts ->
+            let ander = Pts_andersen.Solver.points_to pl.Pts_clients.Pipeline.solver n in
+            List.for_all (fun site -> Pts_util.Bitset.mem ander site) (Query.sites ts))
+        (all_queries pl))
+
+(* Client verdicts are engine-independent (Unknowns excepted). *)
+let prop_verdicts_agree =
+  QCheck.Test.make ~name:"client verdicts are engine-independent" ~count:8 config_arbitrary
+    (fun cfg ->
+      let pl = build cfg in
+      let engines = Pts_clients.Pipeline.engines pl in
+      List.for_all
+        (fun q ->
+          let verdicts =
+            List.map
+              (fun (e : Engine.engine) ->
+                Pts_clients.Client.verdict_of q.Pts_clients.Client.q_pred
+                  (e.Engine.points_to ~satisfy:q.Pts_clients.Client.q_pred
+                     q.Pts_clients.Client.q_node))
+              engines
+          in
+          let known = List.filter (fun v -> v <> Pts_clients.Client.Unknown) verdicts in
+          match known with [] -> true | v :: rest -> List.for_all (fun w -> w = v) rest)
+        (all_queries pl))
+
+(* DYNSUM's summary cache never grows beyond STASUM's static enumeration. *)
+let prop_summary_counts =
+  QCheck.Test.make ~name:"dynsum summaries within stasum's enumeration" ~count:8 config_arbitrary
+    (fun cfg ->
+      let pl = build cfg in
+      let pag = pl.Pts_clients.Pipeline.pag in
+      let dynsum = Dynsum.create pag in
+      let stasum = Stasum.create pag in
+      List.iter
+        (fun q -> ignore (Dynsum.points_to dynsum q.Pts_clients.Client.q_node))
+        (all_queries pl);
+      QCheck.assume (not (Stasum.truncated stasum));
+      Dynsum.summary_count dynsum <= Stasum.summary_count stasum)
+
+(* Heap contexts included: dynsum and norefine agree on full targets. *)
+let prop_targets_agree_with_contexts =
+  QCheck.Test.make ~name:"targets agree including heap contexts" ~count:8 config_arbitrary
+    (fun cfg ->
+      let pl = build cfg in
+      let pag = pl.Pts_clients.Pipeline.pag in
+      let norefine = Sb.create Sb.No_refine pag in
+      let dynsum = Dynsum.create pag in
+      List.for_all
+        (fun q ->
+          let n = q.Pts_clients.Client.q_node in
+          match (Sb.points_to norefine n, Dynsum.points_to dynsum n) with
+          | Query.Resolved a, Query.Resolved b -> Query.Target_set.equal a b
+          | _ -> true)
+        (List.filteri (fun i _ -> i mod 3 = 0) (all_queries pl)))
+
+let () =
+  Alcotest.run "equivalence"
+    [
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest ~long:false prop_engines_agree;
+          QCheck_alcotest.to_alcotest ~long:false prop_sound_wrt_andersen;
+          QCheck_alcotest.to_alcotest ~long:false prop_verdicts_agree;
+          QCheck_alcotest.to_alcotest ~long:false prop_summary_counts;
+          QCheck_alcotest.to_alcotest ~long:false prop_targets_agree_with_contexts;
+        ] );
+    ]

@@ -1,0 +1,446 @@
+(* Lexer, parser, class table and lowering tests. *)
+
+let check = Alcotest.check
+
+(* ------------------------------- Lexer ------------------------------ *)
+
+let toks src = List.map fst (Lexer.tokenize src)
+
+let test_lexer_basics () =
+  check Alcotest.int "count" 5
+    (List.length (toks "class Foo { }"));
+  (* class Foo { } EOF = 5 tokens + EOF *)
+  (match toks "x = y + 42;" with
+  | [ IDENT "x"; ASSIGN; IDENT "y"; PLUS; INT_LIT 42; SEMI; EOF ] -> ()
+  | _ -> Alcotest.fail "token stream mismatch");
+  match toks "a <= b && c != d" with
+  | [ IDENT "a"; LE; IDENT "b"; ANDAND; IDENT "c"; NEQ; IDENT "d"; EOF ] -> ()
+  | _ -> Alcotest.fail "operator stream mismatch"
+
+let test_lexer_comments () =
+  match toks "x // line comment\n /* block \n comment */ y" with
+  | [ IDENT "x"; IDENT "y"; EOF ] -> ()
+  | _ -> Alcotest.fail "comments not skipped"
+
+let test_lexer_strings () =
+  (match toks {|"hi\n\"there\""|} with
+  | [ STR_LIT "hi\n\"there\""; EOF ] -> ()
+  | _ -> Alcotest.fail "string escapes");
+  Alcotest.check_raises "unterminated"
+    (Lexer.Error ("unterminated string literal", { Ast.line = 1; col = 1 }))
+    (fun () -> ignore (Lexer.tokenize "\"oops"))
+
+let test_lexer_positions () =
+  let all = Lexer.tokenize "x\n  y" in
+  match all with
+  | [ (IDENT "x", p1); (IDENT "y", p2); (EOF, _) ] ->
+    check Alcotest.int "line 1" 1 p1.Ast.line;
+    check Alcotest.int "line 2" 2 p2.Ast.line;
+    check Alcotest.int "col 3" 3 p2.Ast.col
+  | _ -> Alcotest.fail "positions"
+
+(* ------------------------------ Parser ------------------------------ *)
+
+let expr s = (Parser.parse_expr_string s).Ast.desc
+
+let test_parser_precedence () =
+  (match expr "1 + 2 * 3" with
+  | Ast.Binop (Ast.Add, _, { Ast.desc = Ast.Binop (Ast.Mul, _, _); _ }) -> ()
+  | _ -> Alcotest.fail "mul binds tighter");
+  match expr "a == b && c == d" with
+  | Ast.Binop (Ast.And, { Ast.desc = Ast.Binop (Ast.Eq, _, _); _ }, _) -> ()
+  | _ -> Alcotest.fail "eq binds tighter than and"
+
+let test_parser_cast_disambiguation () =
+  (match expr "(Foo) x" with
+  | Ast.Cast (Ast.Tclass "Foo", { Ast.desc = Ast.Ident "x"; _ }) -> ()
+  | _ -> Alcotest.fail "cast");
+  (match expr "(x) + y" with
+  | Ast.Binop (Ast.Add, { Ast.desc = Ast.Ident "x"; _ }, _) -> ()
+  | _ -> Alcotest.fail "parenthesised expr");
+  (match expr "(Foo[]) x" with
+  | Ast.Cast (Ast.Tarray (Ast.Tclass "Foo"), _) -> ()
+  | _ -> Alcotest.fail "array cast");
+  match expr "(int) 3" with
+  | Ast.Cast (Ast.Tint, _) -> ()
+  | _ -> Alcotest.fail "int cast"
+
+let test_parser_postfix_chains () =
+  match expr "a.b.c(x)[0].d" with
+  | Ast.Field_access
+      ( { Ast.desc = Ast.Array_index ({ Ast.desc = Ast.Method_call (Some _, "c", [ _ ]); _ }, _); _ },
+        "d" ) ->
+    ()
+  | _ -> Alcotest.fail "postfix chain shape"
+
+let test_parser_new_forms () =
+  (match expr "new Foo(1, x)" with
+  | Ast.New_object ("Foo", [ _; _ ]) -> ()
+  | _ -> Alcotest.fail "new object");
+  match expr "new int[10]" with
+  | Ast.New_array (Ast.Tint, _) -> ()
+  | _ -> Alcotest.fail "new array"
+
+let test_parser_class () =
+  match Parser.parse_program "class A extends B { int x; static A f; A() {} void m(int a) { return; } }" with
+  | [ c ] ->
+    check Alcotest.string "name" "A" c.Ast.c_name;
+    check (Alcotest.option Alcotest.string) "super" (Some "B") c.Ast.c_super;
+    check Alcotest.int "fields" 2 (List.length c.Ast.c_fields);
+    check Alcotest.int "methods" 2 (List.length c.Ast.c_methods);
+    let ctor = List.find (fun m -> m.Ast.m_is_ctor) c.Ast.c_methods in
+    check Alcotest.string "ctor name" "A" ctor.Ast.m_name
+  | _ -> Alcotest.fail "class parse"
+
+let test_parser_decl_vs_expr_stmt () =
+  let prog = "class A { void m() { A x; x = new A(); x.m(); int[] ys; } }" in
+  match Parser.parse_program prog with
+  | [ c ] -> (
+    match c.Ast.c_methods with
+    | [ m ] -> check Alcotest.int "4 statements" 4 (List.length m.Ast.m_body)
+    | _ -> Alcotest.fail "methods")
+  | _ -> Alcotest.fail "parse"
+
+let test_parser_for_loop () =
+  let prog =
+    "class A { void m() { for (int i = 0; i < 10; i = i + 1) { int x = i; } for (;;) {} } }"
+  in
+  match Parser.parse_program prog with
+  | [ c ] -> (
+    match (List.hd c.Ast.c_methods).Ast.m_body with
+    | [ Ast.For { init = Some _; cond = Some _; step = Some _; _ };
+        Ast.For { init = None; cond = None; step = None; _ } ] ->
+      ()
+    | _ -> Alcotest.fail "for loop shapes")
+  | _ -> Alcotest.fail "parse"
+
+let test_parser_instanceof_and_super () =
+  (match expr "x instanceof Foo" with
+  | Ast.Instanceof ({ Ast.desc = Ast.Ident "x"; _ }, Ast.Tclass "Foo") -> ()
+  | _ -> Alcotest.fail "instanceof");
+  match expr "super.m(a, b)" with
+  | Ast.Super_call ("m", [ _; _ ]) -> ()
+  | _ -> Alcotest.fail "super call"
+
+let test_parser_errors () =
+  let fails s =
+    match Parser.parse_program s with
+    | exception Parser.Error _ -> ()
+    | _ -> Alcotest.fail ("should not parse: " ^ s)
+  in
+  fails "class { }";
+  fails "class A extends { }";
+  fails "class A { void m( { } }";
+  fails "class A { void m() { 1 + ; } }";
+  fails "class A { void m() { x.f().g = ; } }";
+  fails "class A { void m() { (x + y) = z; } }" (* not an l-value *)
+
+(* --------------------------- Pretty-printer ------------------------- *)
+
+let roundtrips src =
+  let ast = Parser.parse_program src in
+  let printed = Pretty.program_to_string ast in
+  match Parser.parse_program printed with
+  | ast' -> Pretty.equal_program ast ast'
+  | exception Parser.Error (msg, pos) ->
+    Alcotest.fail
+      (Printf.sprintf "printed program does not reparse (%d:%d %s):\n%s" pos.Ast.line pos.Ast.col
+         msg printed)
+
+let test_pretty_roundtrip_handwritten () =
+  List.iter
+    (fun src -> Alcotest.check Alcotest.bool "roundtrip" true (roundtrips src))
+    [
+      Pts_workload.Figure2.source;
+      "class A { int x; static A f; A() { super.hashCode(); } void m(int[] a) { for (int i = 0; i < 3; i = i + 1) { a[i] = i; } } }";
+      {|class S { String s = "a\n\"b\""; boolean t; void m() { this.t = this instanceof S; } }|};
+      "class N { Object o; void m() { this.o = new int[3][]; N[] ns = new N[2]; ns[0] = this; } }";
+      "class E { void m(boolean b) { if (b) { return; } while (!b) { b = true; } } }";
+    ]
+
+let test_pretty_roundtrip_generated =
+  QCheck.Test.make ~name:"print/parse roundtrip on generated programs" ~count:8
+    QCheck.(int_bound 1000)
+    (fun seed ->
+      let cfg = { Pts_workload.Genprog.default with seed } in
+      roundtrips (Pts_workload.Genprog.generate cfg))
+
+let test_pretty_printed_program_compiles () =
+  (* the printed program is semantically identical: same PAG statistics *)
+  let src = Pts_workload.Genprog.generate Pts_workload.Genprog.default in
+  let printed = Pretty.program_to_string (Parser.parse_program src) in
+  let pl1 = Pts_clients.Pipeline.of_source src in
+  let pl2 = Pts_clients.Pipeline.of_source printed in
+  let counts pl =
+    let c = Pag.edge_counts pl.Pts_clients.Pipeline.pag in
+    (c.Pag.n_new, c.Pag.n_assign, c.Pag.n_load, c.Pag.n_store, c.Pag.n_entry, c.Pag.n_exit)
+  in
+  Alcotest.check Alcotest.bool "same PAG shape" true (counts pl1 = counts pl2)
+
+(* --------------------------- Class table ---------------------------- *)
+
+let compile = Frontend.compile
+
+let test_subtyping () =
+  let p = compile "class A {} class B extends A {} class C extends B {} class D {}" in
+  let ct = p.Ir.ctable in
+  let cls n = match Types.find_class ct n with Some c -> c | None -> Alcotest.fail ("no " ^ n) in
+  check Alcotest.bool "C <: A" true (Types.subclass ct (cls "C") (cls "A"));
+  check Alcotest.bool "A not <: C" false (Types.subclass ct (cls "A") (cls "C"));
+  check Alcotest.bool "D <: Object" true (Types.subclass ct (cls "D") (Types.object_class ct));
+  check Alcotest.bool "reflexive" true (Types.subclass ct (cls "B") (cls "B"));
+  check Alcotest.bool "typ subtype arrays covariant" true
+    (Types.subtype ct (Ast.Tarray (Ast.Tclass "C")) (Ast.Tarray (Ast.Tclass "A")));
+  check Alcotest.bool "array <: Object" true
+    (Types.subtype ct (Ast.Tarray Ast.Tint) (Ast.Tclass "Object"))
+
+let test_dispatch () =
+  let p = compile "class A { int m() { return 1; } } class B extends A { int m() { return 2; } } class C extends B {}" in
+  let ct = p.Ir.ctable in
+  let cls n = match Types.find_class ct n with Some c -> c | None -> Alcotest.fail "cls" in
+  let target c =
+    match Types.lookup_method ct (cls c) "m" with
+    | Some ms -> Types.class_name ct ms.Types.ms_class
+    | None -> Alcotest.fail "no target"
+  in
+  check Alcotest.string "A dispatches to A.m" "A" (target "A");
+  check Alcotest.string "B overrides" "B" (target "B");
+  check Alcotest.string "C inherits B.m" "B" (target "C")
+
+let test_hierarchy_cycle_rejected () =
+  match compile "class A extends B {} class B extends A {}" with
+  | exception Frontend.Error _ -> ()
+  | _ -> Alcotest.fail "cycle accepted"
+
+(* ----------------------------- Lowering ----------------------------- *)
+
+let find_method p name =
+  match Array.to_list p.Ir.methods |> List.find_opt (fun m -> m.Ir.pretty = name) with
+  | Some m -> m
+  | None -> Alcotest.fail ("method not found: " ^ name)
+
+let test_lower_figure2 () =
+  let p = compile Pts_workload.Figure2.source in
+  let main = find_method p "Main.main" in
+  check Alcotest.bool "main has allocations" true
+    (List.exists (function Ir.Alloc _ -> true | _ -> false) main.Ir.body);
+  (* unique destination per allocation site *)
+  let dsts = Hashtbl.create 16 in
+  Array.iter
+    (fun (m : Ir.meth) ->
+      List.iter
+        (function
+          | Ir.Alloc { site; dst; _ } ->
+            (match Hashtbl.find_opt dsts site with
+            | Some d when d <> (m.Ir.id, dst) -> Alcotest.fail "allocation with two destinations"
+            | _ -> Hashtbl.replace dsts site (m.Ir.id, dst))
+          | _ -> ())
+        m.Ir.body)
+    p.Ir.methods;
+  (* every site id appears in the allocs table with the right method *)
+  Array.iteri
+    (fun i (a : Ir.alloc_site) -> check Alcotest.int "site ids dense" i a.Ir.site_id)
+    p.Ir.allocs
+
+let test_lower_field_init_in_ctor () =
+  let p = compile "class A { A next = new A(); } class Main { static void main() { A a = new A(); } }" in
+  let ctor = find_method p "A.A" in
+  check Alcotest.bool "ctor stores field init" true
+    (List.exists (function Ir.Store _ -> true | _ -> false) ctor.Ir.body)
+
+let test_lower_static_init_in_clinit () =
+  let p = compile "class A { static A root = new A(); } class Main { static void main() {} }" in
+  let clinit = find_method p "A.$clinit" in
+  check Alcotest.bool "clinit stores global" true
+    (List.exists (function Ir.Store_global _ -> true | _ -> false) clinit.Ir.body);
+  let entry = find_method p "$Entry.$entry" in
+  check Alcotest.bool "entry calls clinit and main" true (List.length entry.Ir.body >= 2)
+
+let test_lower_cast_sites () =
+  let p =
+    compile
+      "class A {} class B extends A {} class Main { static void main() { A a = new B(); B b = (B) a; A up = (A) b; } }"
+  in
+  let nontrivial = Array.to_list p.Ir.casts |> List.filter (fun c -> not c.Ir.cast_trivial) in
+  let trivial = Array.to_list p.Ir.casts |> List.filter (fun c -> c.Ir.cast_trivial) in
+  check Alcotest.int "one downcast" 1 (List.length nontrivial);
+  check Alcotest.int "one upcast" 1 (List.length trivial)
+
+let test_lower_errors () =
+  let fails s =
+    match compile s with
+    | exception Frontend.Error _ -> ()
+    | _ -> Alcotest.fail ("should be rejected: " ^ s)
+  in
+  fails "class A {} class A {}" (* duplicate class *);
+  fails "class A { int x; int x; }" (* duplicate field *);
+  fails "class A { void m() {} void m() {} }" (* no overloading *);
+  fails "class A { void m() { y = 1; } }" (* unknown identifier *);
+  fails "class A { void m() { int x; boolean y; x = y; } }" (* type mismatch *);
+  fails "class A { void m() { A a = new A(1); } }" (* ctor arity *);
+  fails "class A { Unknown f; }" (* unknown type *);
+  fails "class A { void m() { int x; int x; } }" (* duplicate local *);
+  fails "class A { void m() { return 1; } }" (* return from void *);
+  fails "class A { static void s() { this.s(); } }" (* this in static *);
+  fails "class A { void m(int a) { a.f(); } }" (* call on int *)
+
+let test_ctor_overloading_by_arity () =
+  let p =
+    compile
+      "class A { A() {} A(A other) {} } class Main { static void main() { A a = new A(); A b = new A(a); } }"
+  in
+  let ct = p.Ir.ctable in
+  let cls = match Types.find_class ct "A" with Some c -> c | None -> Alcotest.fail "A" in
+  check Alcotest.int "two ctors" 2 (List.length (Types.constructors ct cls));
+  check Alcotest.bool "arity 0" true (Types.constructor ct cls 0 <> None);
+  check Alcotest.bool "arity 1" true (Types.constructor ct cls 1 <> None);
+  check Alcotest.bool "arity 2 missing" true (Types.constructor ct cls 2 = None)
+
+let test_null_and_strings_become_allocs () =
+  let p =
+    compile
+      {|class Main { static void main() { Object x = null; String s = "hi"; } }|}
+  in
+  let nulls = Array.to_list p.Ir.allocs |> List.filter (fun a -> a.Ir.alloc_is_null) in
+  check Alcotest.bool "one null pseudo-site" true (List.length nulls >= 1);
+  let ct = p.Ir.ctable in
+  let strs =
+    Array.to_list p.Ir.allocs
+    |> List.filter (fun a -> a.Ir.alloc_cls = Types.string_class ct && not a.Ir.alloc_is_null)
+  in
+  check Alcotest.bool "string literal allocates" true (List.length strs >= 1)
+
+let test_array_length_is_int () =
+  let p = compile "class Main { static void main() { int[] a = new int[3]; int n = a.length; } }" in
+  ignore p (* compiling without error is the assertion *)
+
+let test_lower_for_loop () =
+  let p =
+    compile
+      {|class A {}
+class Main {
+  static void main() {
+    A last = null;
+    for (int i = 0; i < 3; i = i + 1) { last = new A(); }
+  }
+}|}
+  in
+  let main = find_method p "Main.main" in
+  check Alcotest.bool "loop body lowered" true
+    (List.exists
+       (function Ir.Alloc { cls; _ } -> Types.class_name p.Ir.ctable cls = "A" | _ -> false)
+       main.Ir.body)
+
+let test_lower_for_scoping () =
+  (* the for-init variable is not visible after the loop *)
+  match
+    compile
+      "class Main { static void main() { for (int i = 0; i < 3; i = i + 1) {} int j = i; } }"
+  with
+  | exception Frontend.Error _ -> ()
+  | _ -> Alcotest.fail "for-init variable escaped its scope"
+
+let test_lower_super_call () =
+  let p =
+    compile
+      {|class A { Object who() { return new A(); } }
+class B extends A {
+  Object who() { return new B(); }
+  Object parent() { return super.who(); }
+}
+class Main { static void main() { B b = new B(); Object r = b.parent(); } }|}
+  in
+  (* super.who() must be statically bound: r can only be the A allocation *)
+  let pl = Pts_clients.Pipeline.of_program p in
+  let dynsum = Pts_core.Dynsum.create pl.Pts_clients.Pipeline.pag in
+  let r = Pts_clients.Pipeline.find_local pl ~meth_pretty:"Main.main" ~var:"r" in
+  (match Pts_core.Dynsum.points_to dynsum r with
+  | Pts_core.Query.Resolved ts ->
+    let classes =
+      List.map
+        (fun site -> Types.class_name p.Ir.ctable p.Ir.allocs.(site).Ir.alloc_cls)
+        (Pts_core.Query.sites ts)
+    in
+    check (Alcotest.list Alcotest.string) "statically bound" [ "A" ] classes
+  | Pts_core.Query.Exceeded -> Alcotest.fail "exceeded")
+
+let test_lower_instanceof () =
+  let p =
+    compile
+      "class A {} class Main { static void main() { Object o = new A(); boolean b = o instanceof A; } }"
+  in
+  ignore p;
+  match compile "class Main { static void main() { boolean b = 1 instanceof Object; } }" with
+  | exception Frontend.Error _ -> ()
+  | _ -> Alcotest.fail "instanceof on int accepted"
+
+let test_lower_string_concat () =
+  let p =
+    compile {|class Main { static void main() { String a = "x"; String b = a + "y"; } }|}
+  in
+  let ct = p.Ir.ctable in
+  let main = find_method p "Main.main" in
+  let strings =
+    Array.to_list p.Ir.allocs
+    |> List.filter (fun a ->
+           a.Ir.alloc_cls = Types.string_class ct && a.Ir.alloc_meth = main.Ir.id)
+  in
+  (* two literals plus the concatenation result *)
+  check Alcotest.int "concat allocates" 3 (List.length strings)
+
+let test_prelude_always_available () =
+  let p = compile "class Main { static void main() { Integer i = new Integer(3); int v = i.intValue(); } }" in
+  check Alcotest.bool "Integer exists" true (Types.find_class p.Ir.ctable "Integer" <> None)
+
+let () =
+  Alcotest.run "frontend"
+    [
+      ( "lexer",
+        [
+          Alcotest.test_case "basics" `Quick test_lexer_basics;
+          Alcotest.test_case "comments" `Quick test_lexer_comments;
+          Alcotest.test_case "strings" `Quick test_lexer_strings;
+          Alcotest.test_case "positions" `Quick test_lexer_positions;
+        ] );
+      ( "parser",
+        [
+          Alcotest.test_case "precedence" `Quick test_parser_precedence;
+          Alcotest.test_case "casts" `Quick test_parser_cast_disambiguation;
+          Alcotest.test_case "postfix" `Quick test_parser_postfix_chains;
+          Alcotest.test_case "new" `Quick test_parser_new_forms;
+          Alcotest.test_case "class" `Quick test_parser_class;
+          Alcotest.test_case "decl vs expr" `Quick test_parser_decl_vs_expr_stmt;
+          Alcotest.test_case "for loops" `Quick test_parser_for_loop;
+          Alcotest.test_case "instanceof and super" `Quick test_parser_instanceof_and_super;
+          Alcotest.test_case "errors" `Quick test_parser_errors;
+        ] );
+      ( "pretty",
+        [
+          Alcotest.test_case "handwritten roundtrips" `Quick test_pretty_roundtrip_handwritten;
+          QCheck_alcotest.to_alcotest test_pretty_roundtrip_generated;
+          Alcotest.test_case "printed program compiles" `Quick test_pretty_printed_program_compiles;
+        ] );
+      ( "types",
+        [
+          Alcotest.test_case "subtyping" `Quick test_subtyping;
+          Alcotest.test_case "dispatch" `Quick test_dispatch;
+          Alcotest.test_case "cycle rejected" `Quick test_hierarchy_cycle_rejected;
+        ] );
+      ( "lower",
+        [
+          Alcotest.test_case "figure2" `Quick test_lower_figure2;
+          Alcotest.test_case "field init" `Quick test_lower_field_init_in_ctor;
+          Alcotest.test_case "static init" `Quick test_lower_static_init_in_clinit;
+          Alcotest.test_case "cast sites" `Quick test_lower_cast_sites;
+          Alcotest.test_case "errors" `Quick test_lower_errors;
+          Alcotest.test_case "ctor overloading" `Quick test_ctor_overloading_by_arity;
+          Alcotest.test_case "null and strings" `Quick test_null_and_strings_become_allocs;
+          Alcotest.test_case "for loops" `Quick test_lower_for_loop;
+          Alcotest.test_case "for scoping" `Quick test_lower_for_scoping;
+          Alcotest.test_case "super call" `Quick test_lower_super_call;
+          Alcotest.test_case "instanceof" `Quick test_lower_instanceof;
+          Alcotest.test_case "string concat" `Quick test_lower_string_concat;
+          Alcotest.test_case "array length" `Quick test_array_length_is_int;
+          Alcotest.test_case "prelude" `Quick test_prelude_always_available;
+        ] );
+    ]

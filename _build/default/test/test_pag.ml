@@ -1,0 +1,228 @@
+(* PAG construction, classification, indices and call-graph tests. *)
+
+let check = Alcotest.check
+
+let pipeline src = Pts_clients.Pipeline.of_source src
+
+let fig2 = lazy (pipeline Pts_workload.Figure2.source)
+
+let test_edge_counts_consistent () =
+  let pl = Lazy.force fig2 in
+  let pag = pl.Pts_clients.Pipeline.pag in
+  let c = Pag.edge_counts pag in
+  check Alcotest.bool "has new edges" true (c.Pag.n_new > 0);
+  check Alcotest.bool "has entry edges" true (c.Pag.n_entry > 0);
+  check Alcotest.bool "has loads and stores" true (c.Pag.n_load > 0 && c.Pag.n_store > 0);
+  (* the alloc table and new-edge count agree: every reachable alloc has
+     exactly one new edge *)
+  let reachable_allocs = ref 0 in
+  let prog = pl.Pts_clients.Pipeline.prog in
+  Array.iteri
+    (fun site _ -> if Pag.new_out pag (Pag.obj_node pag site) <> [] then incr reachable_allocs)
+    prog.Ir.allocs;
+  check Alcotest.int "one new edge per reachable alloc" !reachable_allocs c.Pag.n_new
+
+let test_unique_new_destination () =
+  let pl = Lazy.force fig2 in
+  let pag = pl.Pts_clients.Pipeline.pag in
+  for n = 0 to Pag.node_count pag - 1 do
+    if Pag.is_obj pag n then
+      check Alcotest.bool "at most one new destination" true (List.length (Pag.new_out pag n) <= 1)
+  done
+
+let test_adjacency_symmetry () =
+  let pl = Lazy.force fig2 in
+  let pag = pl.Pts_clients.Pipeline.pag in
+  for v = 0 to Pag.node_count pag - 1 do
+    List.iter
+      (fun x -> check Alcotest.bool "assign symmetric" true (List.mem v (Pag.assign_out pag x)))
+      (Pag.assign_in pag v);
+    List.iter
+      (fun (f, b) ->
+        check Alcotest.bool "load symmetric" true (List.mem (f, v) (Pag.load_out pag b)))
+      (Pag.load_in pag v);
+    List.iter
+      (fun (f, s) ->
+        check Alcotest.bool "store symmetric" true (List.mem (f, v) (Pag.store_out pag s)))
+      (Pag.store_in pag v);
+    List.iter
+      (fun (i, a) ->
+        check Alcotest.bool "entry symmetric" true (List.mem (i, v) (Pag.entry_out pag a)))
+      (Pag.entry_in pag v);
+    List.iter
+      (fun (i, r) ->
+        check Alcotest.bool "exit symmetric" true (List.mem (i, v) (Pag.exit_out pag r)))
+      (Pag.exit_in pag v)
+  done
+
+let test_field_indices () =
+  let pl = Lazy.force fig2 in
+  let pag = pl.Pts_clients.Pipeline.pag in
+  let prog = pl.Pts_clients.Pipeline.prog in
+  let arr = (Types.arr_field prog.Ir.ctable).Types.fld_id in
+  let loads = Pag.loads_of_field pag arr in
+  let stores = Pag.stores_of_field pag arr in
+  check Alcotest.bool "arr loads exist" true (loads <> []);
+  check Alcotest.bool "arr stores exist" true (stores <> []);
+  List.iter
+    (fun (base, dst) ->
+      check Alcotest.bool "load index consistent" true (List.mem (arr, dst) (Pag.load_out pag base)))
+    loads;
+  List.iter
+    (fun (base, src) ->
+      check Alcotest.bool "store index consistent" true (List.mem (arr, src) (Pag.store_in pag base)))
+    stores
+
+let test_classification_flags () =
+  let pl = Lazy.force fig2 in
+  let pag = pl.Pts_clients.Pipeline.pag in
+  for v = 0 to Pag.node_count pag - 1 do
+    let expect_local =
+      Pag.new_in pag v <> [] || Pag.new_out pag v <> [] || Pag.assign_in pag v <> []
+      || Pag.assign_out pag v <> [] || Pag.load_in pag v <> [] || Pag.load_out pag v <> []
+      || Pag.store_in pag v <> [] || Pag.store_out pag v <> []
+    in
+    check Alcotest.bool "local flag" expect_local (Pag.has_local_edges pag v);
+    let expect_gin =
+      Pag.global_in pag v <> [] || Pag.entry_in pag v <> [] || Pag.exit_in pag v <> []
+    in
+    check Alcotest.bool "global-in flag" expect_gin (Pag.has_global_in pag v)
+  done
+
+let test_node_naming () =
+  let pl = Lazy.force fig2 in
+  let pag = pl.Pts_clients.Pipeline.pag in
+  let s1 = Pts_workload.Figure2.s1 pl in
+  check Alcotest.string "s1 name" "Main.main::s1" (Pag.node_name pag s1);
+  match Pag.kind pag s1 with
+  | Pag.Local _ -> ()
+  | _ -> Alcotest.fail "s1 should be a local"
+
+let test_locality_metric () =
+  let pl = Lazy.force fig2 in
+  let pag = pl.Pts_clients.Pipeline.pag in
+  let l = Pag.locality pag in
+  check Alcotest.bool "locality in (0,1)" true (l > 0.0 && l < 1.0)
+
+let test_frozen_rejects_mutation () =
+  let pl = Lazy.force fig2 in
+  let pag = pl.Pts_clients.Pipeline.pag in
+  match Pag.add_assign pag ~src:0 ~dst:1 with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "frozen PAG accepted an edge"
+
+(* --------------------------- Call graph ----------------------------- *)
+
+let test_callgraph_virtual_dispatch () =
+  let pl =
+    pipeline
+      {|
+class A { int m() { return 1; } }
+class B extends A { int m() { return 2; } }
+class Main {
+  static void main() {
+    A x = new A();
+    int r1 = x.m();
+    A y = new B();
+    int r2 = y.m();
+  }
+}|}
+  in
+  let prog = pl.Pts_clients.Pipeline.prog in
+  let cg = pl.Pts_clients.Pipeline.callgraph in
+  let name mid = prog.Ir.methods.(mid).Ir.pretty in
+  (* collect targets of the two interesting call sites *)
+  let targets = ref [] in
+  Callgraph.iter_edges cg (fun ~site:_ ~caller ~target ->
+      if name caller = "Main.main" && (name target = "A.m" || name target = "B.m") then
+        targets := name target :: !targets);
+  let targets = List.sort_uniq compare !targets in
+  check (Alcotest.list Alcotest.string) "precise dispatch" [ "A.m"; "B.m" ] targets
+
+let test_callgraph_no_spurious_dispatch () =
+  (* receiver only ever holds B, so A.m must not be a target *)
+  let pl =
+    pipeline
+      {|
+class A { int m() { return 1; } }
+class B extends A { int m() { return 2; } }
+class Main { static void main() { A y = new B(); int r = y.m(); } }|}
+  in
+  let prog = pl.Pts_clients.Pipeline.prog in
+  let cg = pl.Pts_clients.Pipeline.callgraph in
+  Callgraph.iter_edges cg (fun ~site:_ ~caller:_ ~target ->
+      if prog.Ir.methods.(target).Ir.pretty = "A.m" then Alcotest.fail "spurious A.m target")
+
+let test_recursion_marked () =
+  let pl =
+    pipeline
+      {|
+class R {
+  Object walk(Object x, int n) { if (n == 0) { return x; } return this.walk(x, n - 1); }
+}
+class Main { static void main() { R r = new R(); Object o = r.walk(new Object(), 3); } }|}
+  in
+  let pag = pl.Pts_clients.Pipeline.pag in
+  let prog = pl.Pts_clients.Pipeline.prog in
+  (* find the recursive call site inside walk *)
+  let walk = Array.to_list prog.Ir.methods |> List.find (fun m -> m.Ir.pretty = "R.walk") in
+  let rec_sites =
+    List.filter_map (function Ir.Call { site; _ } -> Some site | _ -> None) walk.Ir.body
+  in
+  check Alcotest.bool "walk calls" true (rec_sites <> []);
+  check Alcotest.bool "recursive site marked" true
+    (List.exists (fun s -> Pag.is_recursive_site pag s) rec_sites)
+
+let test_mutual_recursion_marked () =
+  let pl =
+    pipeline
+      {|
+class M {
+  Object ping(Object x, int n) { if (n == 0) { return x; } return this.pong(x, n - 1); }
+  Object pong(Object x, int n) { return this.ping(x, n); }
+}
+class Main { static void main() { M m = new M(); Object o = m.ping(new Object(), 2); } }|}
+  in
+  let pag = pl.Pts_clients.Pipeline.pag in
+  let prog = pl.Pts_clients.Pipeline.prog in
+  let sites_of name =
+    let m = Array.to_list prog.Ir.methods |> List.find (fun m -> m.Ir.pretty = name) in
+    List.filter_map (function Ir.Call { site; _ } -> Some site | _ -> None) m.Ir.body
+  in
+  check Alcotest.bool "ping->pong recursive" true
+    (List.exists (Pag.is_recursive_site pag) (sites_of "M.ping"));
+  check Alcotest.bool "pong->ping recursive" true
+    (List.exists (Pag.is_recursive_site pag) (sites_of "M.pong"))
+
+let test_nonrecursive_not_marked () =
+  let pl = Lazy.force fig2 in
+  let pag = pl.Pts_clients.Pipeline.pag in
+  let prog = pl.Pts_clients.Pipeline.prog in
+  Array.iter
+    (fun (cs : Ir.call_site) ->
+      check Alcotest.bool "figure2 has no recursion" false (Pag.is_recursive_site pag cs.Ir.cs_id))
+    prog.Ir.calls
+
+let () =
+  Alcotest.run "pag"
+    [
+      ( "structure",
+        [
+          Alcotest.test_case "edge counts" `Quick test_edge_counts_consistent;
+          Alcotest.test_case "unique new destination" `Quick test_unique_new_destination;
+          Alcotest.test_case "adjacency symmetry" `Quick test_adjacency_symmetry;
+          Alcotest.test_case "field indices" `Quick test_field_indices;
+          Alcotest.test_case "classification flags" `Quick test_classification_flags;
+          Alcotest.test_case "node naming" `Quick test_node_naming;
+          Alcotest.test_case "locality" `Quick test_locality_metric;
+          Alcotest.test_case "frozen" `Quick test_frozen_rejects_mutation;
+        ] );
+      ( "callgraph",
+        [
+          Alcotest.test_case "virtual dispatch" `Quick test_callgraph_virtual_dispatch;
+          Alcotest.test_case "no spurious dispatch" `Quick test_callgraph_no_spurious_dispatch;
+          Alcotest.test_case "recursion marked" `Quick test_recursion_marked;
+          Alcotest.test_case "mutual recursion" `Quick test_mutual_recursion_marked;
+          Alcotest.test_case "non-recursive clean" `Quick test_nonrecursive_not_marked;
+        ] );
+    ]

@@ -1,0 +1,191 @@
+(* Integration tests over the hand-written example programs in
+   examples/programs/ — realistic, non-generated inputs exercising the
+   whole stack (frontend with for/instanceof/super, PAG, engines,
+   clients). *)
+
+let check = Alcotest.check
+
+(* locate examples/programs both under `dune runtest` (cwd = test dir in
+   _build) and `dune exec` (cwd = invocation dir) *)
+let rec find_programs_dir dir depth =
+  let candidate = Filename.concat dir "examples/programs" in
+  if Sys.file_exists candidate && Sys.is_directory candidate then Some candidate
+  else if depth = 0 then None
+  else find_programs_dir (Filename.concat dir Filename.parent_dir_name) (depth - 1)
+
+let load name =
+  let dir =
+    match find_programs_dir (Sys.getcwd ()) 6 with
+    | Some d -> d
+    | None -> Alcotest.fail "examples/programs not found from cwd"
+  in
+  let ic = open_in_bin (Filename.concat dir name) in
+  let src = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Pts_clients.Pipeline.of_source src
+
+let client_verdicts queries (engine : Engine.engine) =
+  List.map
+    (fun q ->
+      ( q.Pts_clients.Client.q_desc,
+        Pts_clients.Client.verdict_of q.Pts_clients.Client.q_pred
+          (engine.Engine.points_to ~satisfy:q.Pts_clients.Client.q_pred q.Pts_clients.Client.q_node)
+      ))
+    queries
+
+let count v verdicts = List.length (List.filter (fun (_, x) -> x = v) verdicts)
+
+let engines_agree pl queries =
+  let engines = Pts_clients.Pipeline.engines ~with_stasum:true pl in
+  match List.map (client_verdicts queries) engines with
+  | [] -> ()
+  | first :: rest ->
+    List.iter
+      (fun other ->
+        List.iter2
+          (fun (d, a) (_, b) ->
+            if a <> Pts_clients.Client.Unknown && b <> Pts_clients.Client.Unknown then
+              check Alcotest.bool ("agree on " ^ d) true (a = b))
+          first other)
+      rest
+
+(* ----------------------------- eventbus ----------------------------- *)
+
+let test_eventbus_safecast () =
+  let pl = load "eventbus.mj" in
+  let queries = Pts_clients.Safecast.queries pl in
+  let dynsum = List.nth (Pts_clients.Pipeline.engines pl) 2 in
+  let verdicts = client_verdicts queries dynsum in
+  (* JoinHandler's and PostHandler's casts are safe; AuditHandler's cast
+     sees UserJoined payloads through publishJoin and must be refuted *)
+  check Alcotest.bool "has safe casts" true (count Pts_clients.Client.Proved verdicts >= 2);
+  let refuted =
+    List.filter (fun (d, v) -> v = Pts_clients.Client.Refuted && d <> "") verdicts
+  in
+  check Alcotest.int "exactly the audit cast is unsafe" 1 (List.length refuted);
+  engines_agree pl queries
+
+let test_eventbus_handler_separation () =
+  (* the JoinHandler only ever receives join events: its payload resolves
+     to UserJoined only *)
+  let pl = load "eventbus.mj" in
+  let prog = pl.Pts_clients.Pipeline.prog in
+  let dynsum = Dynsum.create pl.Pts_clients.Pipeline.pag in
+  let u = Pts_clients.Pipeline.find_local pl ~meth_pretty:"JoinHandler.handle" ~var:"u" in
+  match Dynsum.points_to dynsum u with
+  | Query.Exceeded -> Alcotest.fail "exceeded"
+  | Query.Resolved ts ->
+    let classes =
+      Query.sites ts
+      |> List.map (fun s -> Types.class_name prog.Ir.ctable prog.Ir.allocs.(s).Ir.alloc_cls)
+      |> List.sort_uniq compare
+    in
+    check (Alcotest.list Alcotest.string) "only join payloads" [ "UserJoined" ] classes
+
+(* ------------------------------ shapes ------------------------------ *)
+
+let test_shapes_compiles_and_agrees () =
+  let pl = load "shapes.mj" in
+  engines_agree pl (Pts_clients.Safecast.queries pl);
+  engines_agree pl (Pts_clients.Factorym.queries pl)
+
+let test_shapes_factory () =
+  let pl = load "shapes.mj" in
+  let queries = Pts_clients.Factorym.queries pl in
+  check Alcotest.bool "factory calls found" true (queries <> []);
+  let dynsum = List.nth (Pts_clients.Pipeline.engines pl) 2 in
+  let verdicts = client_verdicts queries dynsum in
+  (* ShapeFactory.make and the clone_ methods really return fresh objects *)
+  check Alcotest.int "no violations" 0 (count Pts_clients.Client.Refuted verdicts)
+
+let test_shapes_registry_cast () =
+  (* Registry.lastDrawn is a context-insensitive global holding scene and
+     its copy — both Groups here, so the (Group) downcast is provable *)
+  let pl = load "shapes.mj" in
+  let prog = pl.Pts_clients.Pipeline.prog in
+  let dynsum = Dynsum.create pl.Pts_clients.Pipeline.pag in
+  let last = Pts_clients.Pipeline.find_local pl ~meth_pretty:"Main.main" ~var:"last" in
+  match Dynsum.points_to dynsum last with
+  | Query.Exceeded -> Alcotest.fail "exceeded"
+  | Query.Resolved ts ->
+    let classes =
+      Query.sites ts
+      |> List.map (fun s -> Types.class_name prog.Ir.ctable prog.Ir.allocs.(s).Ir.alloc_cls)
+      |> List.sort_uniq compare
+    in
+    check (Alcotest.list Alcotest.string) "groups only" [ "Group" ] classes
+
+(* ------------------------------ library ----------------------------- *)
+
+let test_library_nullderef () =
+  let pl = load "library.mj" in
+  let queries = Pts_clients.Nullderef.queries pl in
+  let dynsum = List.nth (Pts_clients.Pipeline.engines pl) 2 in
+  let verdicts = client_verdicts queries dynsum in
+  (* the careless lookups (missing.isbn, returned.title after giveBack
+     nulls the slot, and m.borrow(b) with b possibly null) must produce
+     alarms, while most dereferences are fine *)
+  check Alcotest.bool "alarms raised" true (count Pts_clients.Client.Refuted verdicts >= 2);
+  check Alcotest.bool "most derefs proved" true
+    (count Pts_clients.Client.Proved verdicts > count Pts_clients.Client.Refuted verdicts);
+  engines_agree pl queries
+
+let test_library_lookup_may_miss () =
+  let pl = load "library.mj" in
+  let prog = pl.Pts_clients.Pipeline.prog in
+  let dynsum = Dynsum.create pl.Pts_clients.Pipeline.pag in
+  let missing = Pts_clients.Pipeline.find_local pl ~meth_pretty:"Main.main" ~var:"missing" in
+  match Dynsum.points_to dynsum missing with
+  | Query.Exceeded -> Alcotest.fail "exceeded"
+  | Query.Resolved ts ->
+    let has_null =
+      List.exists (fun s -> prog.Ir.allocs.(s).Ir.alloc_is_null) (Query.sites ts)
+    in
+    let has_book =
+      List.exists
+        (fun s -> Types.class_name prog.Ir.ctable prog.Ir.allocs.(s).Ir.alloc_cls = "Book")
+        (Query.sites ts)
+    in
+    check Alcotest.bool "may be null" true has_null;
+    check Alcotest.bool "may be a book" true has_book
+
+let test_witness_on_eventbus () =
+  (* the witness machinery explains the unsafe audit cast end to end *)
+  let pl = load "eventbus.mj" in
+  let pag = pl.Pts_clients.Pipeline.pag in
+  let prog = pl.Pts_clients.Pipeline.prog in
+  let m = Pts_clients.Pipeline.find_local pl ~meth_pretty:"AuditHandler.handle" ~var:"m" in
+  let dynsum = Dynsum.create pag in
+  match Dynsum.points_to dynsum m with
+  | Query.Exceeded -> Alcotest.fail "exceeded"
+  | Query.Resolved ts -> (
+    let offending =
+      List.find
+        (fun s -> Types.class_name prog.Ir.ctable prog.Ir.allocs.(s).Ir.alloc_cls = "UserJoined")
+        (Query.sites ts)
+    in
+    match Witness.explain pag m ~site:offending with
+    | None -> Alcotest.fail "no witness"
+    | Some steps -> check Alcotest.bool "substantial chain" true (List.length steps >= 3))
+
+let () =
+  Alcotest.run "programs"
+    [
+      ( "eventbus",
+        [
+          Alcotest.test_case "safecast" `Quick test_eventbus_safecast;
+          Alcotest.test_case "handler separation" `Quick test_eventbus_handler_separation;
+          Alcotest.test_case "witness" `Quick test_witness_on_eventbus;
+        ] );
+      ( "shapes",
+        [
+          Alcotest.test_case "compiles and agrees" `Quick test_shapes_compiles_and_agrees;
+          Alcotest.test_case "factory" `Quick test_shapes_factory;
+          Alcotest.test_case "registry cast" `Quick test_shapes_registry_cast;
+        ] );
+      ( "library",
+        [
+          Alcotest.test_case "nullderef" `Quick test_library_nullderef;
+          Alcotest.test_case "lookup may miss" `Quick test_library_lookup_may_miss;
+        ] );
+    ]

@@ -1,0 +1,115 @@
+(* Workload generator and benchmark suite tests. *)
+
+let check = Alcotest.check
+
+let test_generator_deterministic () =
+  let cfg = Pts_workload.Genprog.default in
+  check Alcotest.string "same seed, same program" (Pts_workload.Genprog.generate cfg)
+    (Pts_workload.Genprog.generate cfg)
+
+let test_generator_seed_changes_program () =
+  let cfg = Pts_workload.Genprog.default in
+  let a = Pts_workload.Genprog.generate cfg in
+  let b = Pts_workload.Genprog.generate { cfg with Pts_workload.Genprog.seed = cfg.seed + 1 } in
+  check Alcotest.bool "different seeds differ" true (a <> b)
+
+let test_generator_validates () =
+  match Pts_workload.Genprog.generate { Pts_workload.Genprog.default with n_containers = 0 } with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "invalid config accepted"
+
+let test_default_compiles () =
+  let src = Pts_workload.Genprog.generate Pts_workload.Genprog.default in
+  let pl = Pts_clients.Pipeline.of_source src in
+  check Alcotest.bool "has call edges" true (Callgraph.edge_count pl.Pts_clients.Pipeline.callgraph > 0)
+
+let test_no_utils_config_compiles () =
+  let src =
+    Pts_workload.Genprog.generate { Pts_workload.Genprog.default with n_utils = 0; seed = 9 }
+  in
+  ignore (Pts_clients.Pipeline.of_source src)
+
+let test_suite_names () =
+  check Alcotest.int "nine benchmarks" 9 (List.length Pts_workload.Suite.names);
+  check (Alcotest.list Alcotest.string) "figure 4/5 programs"
+    [ "soot-c"; "bloat"; "jython" ]
+    Pts_workload.Suite.figure45_names;
+  List.iter
+    (fun n -> ignore (Pts_workload.Suite.config n))
+    Pts_workload.Suite.names;
+  match Pts_workload.Suite.config "nosuch" with
+  | exception Not_found -> ()
+  | _ -> Alcotest.fail "unknown benchmark accepted"
+
+let test_all_benchmarks_compile () =
+  List.iter
+    (fun name ->
+      let pl = Pts_workload.Suite.pipeline name in
+      let pag = pl.Pts_clients.Pipeline.pag in
+      let c = Pag.edge_counts pag in
+      check Alcotest.bool (name ^ " nonempty") true (c.Pag.n_new > 50);
+      let l = Pag.locality pag in
+      check Alcotest.bool (name ^ " locality plausible") true (l > 0.5 && l < 0.95))
+    Pts_workload.Suite.names
+
+let test_locality_bands () =
+  (* the low-locality group (avrora, batik, luindex, xalan) must sit below
+     the high group, as in Table 3 *)
+  let locality n = Pag.locality (Pts_workload.Suite.pipeline n).Pts_clients.Pipeline.pag in
+  let avg ns = List.fold_left (fun a n -> a +. locality n) 0.0 ns /. float_of_int (List.length ns) in
+  let high = avg [ "jack"; "javac"; "soot-c"; "bloat"; "jython" ] in
+  let low = avg [ "avrora"; "batik"; "luindex"; "xalan" ] in
+  check Alcotest.bool "band separation" true (high > low)
+
+let test_query_count_ordering () =
+  (* Table 3's pattern: NullDeref issues the most queries, FactoryM the fewest *)
+  List.iter
+    (fun name ->
+      let pl = Pts_workload.Suite.pipeline name in
+      let sc = List.length (Pts_clients.Safecast.queries pl) in
+      let nd = List.length (Pts_clients.Nullderef.queries pl) in
+      let fm = List.length (Pts_clients.Factorym.queries pl) in
+      check Alcotest.bool (name ^ ": ND > SC") true (nd > sc);
+      check Alcotest.bool (name ^ ": SC > FM") true (sc > fm);
+      check Alcotest.bool (name ^ ": all clients active") true (fm > 0))
+    [ "jack"; "soot-c"; "xalan" ]
+
+let test_size_ordering () =
+  (* soot-c is the largest benchmark, jack/avrora/luindex among the smallest *)
+  let edges n =
+    let c = Pag.edge_counts (Pts_workload.Suite.pipeline n).Pts_clients.Pipeline.pag in
+    c.Pag.n_new + c.Pag.n_assign + c.Pag.n_load + c.Pag.n_store + c.Pag.n_entry + c.Pag.n_exit
+    + c.Pag.n_assign_global
+  in
+  check Alcotest.bool "soot-c > jack" true (edges "soot-c" > edges "jack");
+  check Alcotest.bool "soot-c > avrora" true (edges "soot-c" > edges "avrora")
+
+let test_figure2_module () =
+  let pl = Pts_workload.Figure2.pipeline () in
+  let s1 = Pts_workload.Figure2.s1 pl in
+  let dynsum = Dynsum.create pl.Pts_clients.Pipeline.pag in
+  let classes = Pts_workload.Figure2.site_classes pl (Dynsum.points_to dynsum s1) in
+  let names = List.map (Types.class_name pl.Pts_clients.Pipeline.prog.Ir.ctable) classes in
+  check (Alcotest.list Alcotest.string) "s1 is the Integer" [ "Integer" ] names
+
+let () =
+  Alcotest.run "workload"
+    [
+      ( "generator",
+        [
+          Alcotest.test_case "deterministic" `Quick test_generator_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_generator_seed_changes_program;
+          Alcotest.test_case "validation" `Quick test_generator_validates;
+          Alcotest.test_case "default compiles" `Quick test_default_compiles;
+          Alcotest.test_case "no-utils compiles" `Quick test_no_utils_config_compiles;
+        ] );
+      ( "suite",
+        [
+          Alcotest.test_case "names" `Quick test_suite_names;
+          Alcotest.test_case "all compile" `Slow test_all_benchmarks_compile;
+          Alcotest.test_case "locality bands" `Slow test_locality_bands;
+          Alcotest.test_case "query count ordering" `Slow test_query_count_ordering;
+          Alcotest.test_case "size ordering" `Slow test_size_ordering;
+        ] );
+      ("figure2", [ Alcotest.test_case "module" `Quick test_figure2_module ]);
+    ]
