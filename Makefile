@@ -1,0 +1,33 @@
+# CI entry points. `make check` is the gate: build everything, run the
+# test suites, then smoke-test the CLI's machine-readable output.
+
+DUNE ?= dune
+
+.PHONY: all build test smoke check bench clean
+
+all: build
+
+build:
+	$(DUNE) build
+
+test:
+	$(DUNE) runtest
+
+# A real end-to-end run: generated benchmark -> pipeline -> DYNSUM ->
+# metrics JSON on stdout. The python step fails the target if the blob
+# is not valid JSON or lacks the per-engine counters.
+smoke:
+	$(DUNE) exec bin/ptsto.exe -- client --bench jack -c safecast -e dynsum --metrics-json \
+	  | tail -n 1 \
+	  | python3 -c 'import json,sys; m=json.load(sys.stdin); e=m["engines"][0]; \
+	    assert m["schema"].startswith("ptsto.metrics/"), m; \
+	    assert {"engine","steps","queries","summary_hits","summary_misses"} <= set(e), e; \
+	    print("smoke ok:", e["engine"], e["steps"], "steps")'
+
+check: build test smoke
+
+bench:
+	$(DUNE) exec bench/main.exe
+
+clean:
+	$(DUNE) clean

@@ -31,6 +31,50 @@ let stasum_conf = Engine.conf ~max_field_depth:4 ~overflow:Engine.Widen ()
 
 let fresh_engines pl = Pipeline.engines pl
 
+(* Machine-readable metrics: artefacts accumulate rows while printing
+   their human tables, then emit one BENCH_<artefact>.json line each — the
+   blob a CI trend tracker or plotting script consumes. *)
+module Bm = struct
+  module Json = Trace.Json
+
+  let rows : (string, Json.t list ref) Hashtbl.t = Hashtbl.create 8
+
+  let add artefact fields =
+    let r =
+      match Hashtbl.find_opt rows artefact with
+      | Some r -> r
+      | None ->
+        let r = ref [] in
+        Hashtbl.add rows artefact r;
+        r
+    in
+    r := Json.Obj fields :: !r
+
+  let flush artefact =
+    match Hashtbl.find_opt rows artefact with
+    | None -> ()
+    | Some r ->
+      Printf.printf "BENCH_%s.json %s\n%!" artefact
+        (Json.to_string
+           (Json.Obj
+              [
+                ("schema", Json.String "ptsto.bench/1");
+                ("artefact", Json.String artefact);
+                ("rows", Json.List (List.rev !r));
+              ]));
+      Hashtbl.remove rows artefact
+
+  let run_fields (r : Client.run_result) =
+    [
+      ("seconds", Json.Float r.Client.seconds);
+      ("steps", Json.Int r.Client.steps);
+      ("proved", Json.Int r.Client.tally.Client.proved);
+      ("refuted", Json.Int r.Client.tally.Client.refuted);
+      ("unknown", Json.Int r.Client.tally.Client.unknown);
+      ("summaries", Json.Int r.Client.summaries_after);
+    ]
+end
+
 let hr title =
   Printf.printf "\n================================================================\n";
   Printf.printf "%s\n" title;
@@ -84,7 +128,16 @@ let table1 () =
           Hashtbl.add cache key summary;
           summary
     in
-    let results = Dynsum.solve pag budget summarise node Hstack.empty in
+    let expand u f s =
+      let summary = summarise u f s in
+      {
+        Kernel.lr_objs = summary.Ppta.objs;
+        lr_match_objs = [];
+        lr_frontier = summary.Ppta.tuples;
+        lr_jumps = [];
+      }
+    in
+    let results = Kernel.solve pag budget expand node Hstack.empty in
     Printf.printf "result: %s\n"
       (String.concat ", " (List.map (Ir.alloc_name prog) (Query.sites results)))
   in
@@ -208,6 +261,14 @@ let table4 () =
           let results =
             List.map (fun e -> (e, Client.run e queries)) (fresh_engines pl)
           in
+          List.iter
+            (fun ((e : Engine.engine), r) ->
+              Bm.add "table4"
+                (("client", Bm.Json.String cname)
+                 :: ("bench", Bm.Json.String bname)
+                 :: ("engine", Bm.Json.String e.Engine.name)
+                 :: Bm.run_fields r))
+            results;
           let cell (_, (r : Client.run_result)) =
             Printf.sprintf "%.3fs | %.1fk" r.Client.seconds (float_of_int r.Client.steps /. 1000.)
           in
@@ -244,7 +305,8 @@ let table4 () =
     clients;
   Printf.printf
     "(paper: DYNSUM over REFINEPTS averages 1.95x / 2.28x / 1.37x for\n\
-    \ SafeCast / NullDeref / FactoryM; speedups computed on steps)\n"
+    \ SafeCast / NullDeref / FactoryM; speedups computed on steps)\n";
+  Bm.flush "table4"
 
 (* --------------------------------------------------------------------- *)
 (* Figure 4: per-batch DYNSUM cost normalised to REFINEPTS                *)
@@ -288,6 +350,18 @@ let figure4 () =
                 float_of_int d.Client.steps /. Float.max 1.0 (float_of_int r.Client.steps))
               db rb
           in
+          Bm.add "figure4"
+            [
+              ("client", Bm.Json.String cname);
+              ("bench", Bm.Json.String bname);
+              ( "refinepts_steps",
+                Bm.Json.List
+                  (List.map (fun (r : Client.run_result) -> Bm.Json.Int r.Client.steps) rb) );
+              ( "dynsum_steps",
+                Bm.Json.List
+                  (List.map (fun (r : Client.run_result) -> Bm.Json.Int r.Client.steps) db) );
+              ("normalised", Bm.Json.List (List.map (fun v -> Bm.Json.Float v) normalised));
+            ];
           Table.add_row t
             ((bname :: List.map (fun v -> Printf.sprintf "%.2f" v) normalised)
             @ [ spark normalised ]))
@@ -295,7 +369,8 @@ let figure4 () =
       Table.print t)
     clients;
   Printf.printf
-    "(paper: the ratio falls with the batch index as DYNSUM's summaries accumulate)\n"
+    "(paper: the ratio falls with the batch index as DYNSUM's summaries accumulate)\n";
+  Bm.flush "figure4"
 
 (* --------------------------------------------------------------------- *)
 (* Figure 5: cumulative DYNSUM summaries normalised to STASUM             *)
@@ -320,7 +395,7 @@ let figure5 () =
           let queries = queries_of pl in
           let stasum = Stasum.create ~conf:stasum_conf ~max_summaries:2_000_000 pag in
           let dynsum = Dynsum.create pag in
-          let engine = Dynsum.engine dynsum in
+          let engine = Engine.dynsum dynsum in
           let batches = Client.run_batches engine queries ~batches:10 in
           let total = float_of_int (Stasum.summary_count stasum) in
           let series =
@@ -335,6 +410,20 @@ let figure5 () =
             float_of_int (Dynsum.summary_points dynsum)
             /. Float.max 1.0 (float_of_int (Stasum.summary_points stasum))
           in
+          Bm.add "figure5"
+            [
+              ("client", Bm.Json.String cname);
+              ("bench", Bm.Json.String bname);
+              ( "dynsum_summaries",
+                Bm.Json.List
+                  (List.map
+                     (fun (r : Client.run_result) -> Bm.Json.Int r.Client.summaries_after)
+                     batches) );
+              ("stasum_summaries", Bm.Json.Int (Stasum.summary_count stasum));
+              ("stasum_truncated", Bm.Json.Bool (Stasum.truncated stasum));
+              ("final_ratio", Bm.Json.Float final);
+              ("points_ratio", Bm.Json.Float point_pct);
+            ];
           Table.add_row t
             ((bname :: List.map (fun v -> Table.fmt_pct v) series)
             @ [
@@ -349,7 +438,8 @@ let figure5 () =
   Printf.printf
     "(paper: DYNSUM ends at 41.3%% / 47.7%% / 37.3%% of STASUM on average; our\n\
     \ STASUM enumerates a finer field-stack-indexed space, so the raw ratio is\n\
-    \ smaller — the per-program-point ratio 'pts %%' is the comparable unit)\n"
+    \ smaller — the per-program-point ratio 'pts %%' is the comparable unit)\n";
+  Bm.flush "figure5"
 
 (* --------------------------------------------------------------------- *)
 (* Ablations                                                              *)
@@ -371,7 +461,7 @@ let ablation_cache () =
       let pl = Suite.pipeline bname in
       let queries = Pts_clients.Nullderef.queries pl in
       let on = Dynsum.create pl.Pipeline.pag in
-      let r_on = Client.run (Dynsum.engine on) queries in
+      let r_on = Client.run (Engine.dynsum on) queries in
       let off = Dynsum.create pl.Pipeline.pag in
       let steps_off =
         List.fold_left
@@ -436,7 +526,7 @@ let ablation_field_limits () =
     (fun repeat ->
       let conf = Engine.conf ~max_field_repeat:repeat () in
       let dynsum = Dynsum.create ~conf pl.Pipeline.pag in
-      let r = Client.run (Dynsum.engine dynsum) queries in
+      let r = Client.run (Engine.dynsum dynsum) queries in
       Table.add_row t
         [
           string_of_int repeat;
@@ -501,7 +591,7 @@ let ablation_callgraph () =
       let cha_pag, cha_cg = Cha.build prog in
       let run pag =
         let dynsum = Dynsum.create pag in
-        let r = Client.run (Dynsum.engine dynsum) (Pts_clients.Safecast.queries pl) in
+        let r = Client.run (Engine.dynsum dynsum) (Pts_clients.Safecast.queries pl) in
         r.Client.tally.Client.proved
       in
       Table.add_row t
@@ -544,6 +634,16 @@ let devirt () =
       let engines = fresh_engines pl in
       let nr = Client.run (List.nth engines 0) queries in
       let dy = Client.run (List.nth engines 2) queries in
+      Bm.add "devirt"
+        [
+          ("bench", Bm.Json.String bname);
+          ("queries", Bm.Json.Int (List.length queries));
+          ("devirtualised", Bm.Json.Int dy.Client.tally.Client.proved);
+          ("polymorphic", Bm.Json.Int dy.Client.tally.Client.refuted);
+          ("unknown", Bm.Json.Int dy.Client.tally.Client.unknown);
+          ("dynsum_steps", Bm.Json.Int dy.Client.steps);
+          ("norefine_steps", Bm.Json.Int nr.Client.steps);
+        ];
       Table.add_row t
         [
           bname;
@@ -556,7 +656,8 @@ let devirt () =
             (float_of_int nr.Client.steps /. Float.max 1.0 (float_of_int dy.Client.steps));
         ])
     Suite.names;
-  Table.print t
+  Table.print t;
+  Bm.flush "devirt"
 
 let ablation () =
   hr "Ablations (design choices called out in DESIGN.md)";
@@ -598,6 +699,15 @@ let scale () =
         c.Pag.n_new + c.Pag.n_assign + c.Pag.n_load + c.Pag.n_store + c.Pag.n_entry + c.Pag.n_exit
         + c.Pag.n_assign_global
       in
+      Bm.add "scale"
+        ([
+           ("program", Bm.Json.String cfg.Pts_workload.Genprog.name);
+           ("edges", Bm.Json.Int edges);
+           ("queries", Bm.Json.Int (List.length queries));
+           ("norefine_steps", Bm.Json.Int nr.Client.steps);
+           ("norefine_seconds", Bm.Json.Float nr.Client.seconds);
+         ]
+        @ List.map (fun (k, v) -> ("dynsum_" ^ k, v)) (Bm.run_fields dy));
       Table.add_row t
         [
           cfg.Pts_workload.Genprog.name;
@@ -615,7 +725,8 @@ let scale () =
   Printf.printf
     "(DYNSUM's advantage should hold or grow with program size: more shared
     \ library traversal to amortise)
-"
+";
+  Bm.flush "scale"
 
 (* --------------------------------------------------------------------- *)
 (* Bechamel microbenchmarks                                               *)

@@ -36,15 +36,71 @@ let bench_arg =
     & info [ "bench" ] ~docv:"NAME" ~doc:"Use a generated benchmark instead of a file.")
 
 let engine_arg =
+  let names = Engine.names () in
   Arg.(
     value
-    & opt (enum [ ("norefine", `Norefine); ("refinepts", `Refinepts); ("dynsum", `Dynsum); ("stasum", `Stasum) ]) `Dynsum
-    & info [ "engine"; "e" ] ~docv:"ENGINE" ~doc:"Analysis engine (norefine|refinepts|dynsum|stasum).")
+    & opt (enum (List.map (fun n -> (n, n)) names)) "dynsum"
+    & info [ "engine"; "e" ] ~docv:"ENGINE"
+        ~doc:(Printf.sprintf "Analysis engine (%s)." (String.concat "|" names)))
 
 let budget_arg =
   Arg.(
     value & opt int Engine.default_conf.Engine.budget_limit
     & info [ "budget" ] ~docv:"N" ~doc:"Per-query traversal budget.")
+
+let trace_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE" ~doc:"Write a JSONL trace of engine events to $(docv).")
+
+let metrics_arg =
+  Arg.(
+    value & flag
+    & info [ "metrics-json" ] ~doc:"Emit a machine-readable per-engine metrics object on stdout.")
+
+(* One shared sink per invocation: a [--trace FILE] JSONL writer, or null. *)
+let with_trace trace f =
+  let sink =
+    match trace with
+    | None -> Trace.null
+    | Some path -> (
+      match Trace.to_file path with
+      | sink -> sink
+      | exception Sys_error msg ->
+        Printf.eprintf "error: cannot open trace file: %s\n" msg;
+        exit 1)
+  in
+  Fun.protect ~finally:(fun () -> Trace.close sink) (fun () -> f sink)
+
+(* each row is an engine plus an optional client label — [compare] runs
+   fresh engines per client, so the label is what keeps rows apart *)
+let metrics_json rows =
+  let open Trace.Json in
+  let get e k = Pts_util.Stats.get e.Engine.stats k in
+  Obj
+    [
+      ("schema", String "ptsto.metrics/1");
+      ( "engines",
+        List
+          (List.map
+             (fun (client, (e : Engine.engine)) ->
+               Obj
+                 ((match client with None -> [] | Some c -> [ ("client", String c) ])
+                 @ [
+                   ("engine", String e.Engine.name);
+                   ("steps", Int (Budget.total_steps e.Engine.budget));
+                   ("queries", Int (get e "queries"));
+                   ("summary_hits", Int (get e "summary_hits"));
+                   ("summary_misses", Int (get e "summary_misses"));
+                   ("summaries", Int (e.Engine.summary_count ()));
+                   ( "counters",
+                     Obj (List.map (fun (k, v) -> (k, Int v)) (Pts_util.Stats.to_list e.Engine.stats))
+                   );
+                 ]))
+             rows) );
+    ]
+
+let print_metrics rows = print_endline (Trace.Json.to_string (metrics_json rows))
 
 (* ------------------------------ commands ---------------------------- *)
 
@@ -89,87 +145,85 @@ let stats_cmd file bench =
 let ir_cmd file bench =
   with_pipeline file bench (fun pl -> Format.printf "%a@." Ir.pp_program pl.Pipeline.prog)
 
-let make_engine kind conf pag =
-  match kind with
-  | `Norefine -> Sb.engine (Sb.create ~conf Sb.No_refine pag) ~name:"norefine"
-  | `Refinepts -> Sb.engine (Sb.create ~conf Sb.Refine pag) ~name:"refinepts"
-  | `Dynsum -> Dynsum.engine (Dynsum.create ~conf pag)
-  | `Stasum -> Stasum.engine (Stasum.create ~conf pag)
-
-let query_cmd file bench meth var engine_kind budget =
+let query_cmd file bench meth var engine_name budget trace metrics =
   with_pipeline file bench (fun pl ->
-      let conf = Engine.conf ~budget_limit:budget () in
-      let engine = make_engine engine_kind conf pl.Pipeline.pag in
-      match Pipeline.find_local pl ~meth_pretty:meth ~var with
-      | exception Not_found ->
-        Printf.eprintf "error: no variable %s in method %s\n" var meth;
-        exit 1
-      | node -> (
-        let outcome, dt = Pts_util.Stats.time (fun () -> engine.Engine.points_to node) in
-        match outcome with
-        | Query.Exceeded -> Printf.printf "budget exceeded (%d steps)\n" budget
-        | Query.Resolved ts ->
-          let prog = pl.Pipeline.prog in
-          Printf.printf "%s points to %d object(s) [%s, %.3fs, %d steps]:\n"
-            (Pag.node_name pl.Pipeline.pag node)
-            (List.length (Query.sites ts))
-            engine.Engine.name dt
-            (Budget.total_steps engine.Engine.budget);
+      with_trace trace (fun sink ->
+          let conf = Engine.conf ~budget_limit:budget () in
+          let engine = Engine.create ~conf ~trace:sink engine_name pl.Pipeline.pag in
+          match Pipeline.find_local pl ~meth_pretty:meth ~var with
+          | exception Not_found ->
+            Printf.eprintf "error: no variable %s in method %s\n" var meth;
+            exit 1
+          | node ->
+            let outcome, dt = Pts_util.Stats.time (fun () -> engine.Engine.points_to node) in
+            (match outcome with
+            | Query.Exceeded -> Printf.printf "budget exceeded (%d steps)\n" budget
+            | Query.Resolved ts ->
+              let prog = pl.Pipeline.prog in
+              Printf.printf "%s points to %d object(s) [%s, %.3fs, %d steps]:\n"
+                (Pag.node_name pl.Pipeline.pag node)
+                (List.length (Query.sites ts))
+                engine.Engine.name dt
+                (Budget.total_steps engine.Engine.budget);
+              List.iter
+                (fun site ->
+                  let a = prog.Ir.allocs.(site) in
+                  Printf.printf "  %-24s allocated in %s (line %d)\n" (Ir.alloc_name prog site)
+                    prog.Ir.methods.(a.Ir.alloc_meth).Ir.pretty a.Ir.alloc_pos.Ast.line)
+                (Query.sites ts));
+            if metrics then print_metrics [ (None, engine) ]))
+
+let client_cmd file bench client_key engine_name budget cache_file trace metrics =
+  with_pipeline file bench (fun pl ->
+      with_trace trace (fun sink ->
+          let cname, queries_of = List.assoc client_key clients in
+          let conf = Engine.conf ~budget_limit:budget () in
+          (* with --cache, a DYNSUM session persists its summaries across runs *)
+          let dynsum_session =
+            match cache_file with
+            | Some path when engine_name = "dynsum" ->
+              let d = Dynsum.create ~conf ~trace:sink pl.Pipeline.pag in
+              (if Sys.file_exists path then
+                 match Dynsum.load_cache d path with
+                 | Ok n -> Printf.printf "loaded %d summaries from %s\n" n path
+                 | Error e -> Printf.printf "ignoring cache %s: %s\n" path e);
+              Some (d, path)
+            | Some _ ->
+              Printf.eprintf "warning: --cache only applies to the dynsum engine\n";
+              None
+            | None -> None
+          in
+          let engine =
+            match dynsum_session with
+            | Some (d, _) -> Engine.dynsum d
+            | None -> Engine.create ~conf ~trace:sink engine_name pl.Pipeline.pag
+          in
+          let queries = queries_of pl in
+          let r = Client.run engine queries in
+          Printf.printf "%s with %s: %d queries in %.3fs (%d steps)\n" cname engine.Engine.name
+            (List.length queries) r.Client.seconds r.Client.steps;
+          Format.printf "  %a@." Client.pp_tally r.Client.tally;
+          (* list refuted/unknown queries for actionability *)
           List.iter
-            (fun site ->
-              let a = prog.Ir.allocs.(site) in
-              Printf.printf "  %-24s allocated in %s (line %d)\n" (Ir.alloc_name prog site)
-                prog.Ir.methods.(a.Ir.alloc_meth).Ir.pretty a.Ir.alloc_pos.Ast.line)
-            (Query.sites ts)))
+            (fun q ->
+              match
+                Client.verdict_of q.Client.q_pred
+                  (engine.Engine.points_to ~satisfy:q.Client.q_pred q.Client.q_node)
+              with
+              | Client.Refuted -> Printf.printf "  REFUTED %s\n" q.Client.q_desc
+              | Client.Unknown -> Printf.printf "  UNKNOWN %s\n" q.Client.q_desc
+              | Client.Proved -> ())
+            queries;
+          (match dynsum_session with
+          | Some (d, path) ->
+            Dynsum.save_cache d path;
+            Printf.printf "saved %d summaries to %s\n" (Dynsum.summary_count d) path
+          | None -> ());
+          if metrics then print_metrics [ (None, engine) ]))
 
-let client_cmd file bench client_key engine_kind budget cache_file =
+let compare_cmd file bench budget trace metrics =
   with_pipeline file bench (fun pl ->
-      let cname, queries_of = List.assoc client_key clients in
-      let conf = Engine.conf ~budget_limit:budget () in
-      (* with --cache, a DYNSUM session persists its summaries across runs *)
-      let dynsum_session =
-        match cache_file with
-        | Some path when engine_kind = `Dynsum ->
-          let d = Dynsum.create ~conf pl.Pipeline.pag in
-          (if Sys.file_exists path then
-             match Dynsum.load_cache d path with
-             | Ok n -> Printf.printf "loaded %d summaries from %s\n" n path
-             | Error e -> Printf.printf "ignoring cache %s: %s\n" path e);
-          Some (d, path)
-        | Some _ ->
-          Printf.eprintf "warning: --cache only applies to the dynsum engine\n";
-          None
-        | None -> None
-      in
-      let engine =
-        match dynsum_session with
-        | Some (d, _) -> Dynsum.engine d
-        | None -> make_engine engine_kind conf pl.Pipeline.pag
-      in
-      let queries = queries_of pl in
-      let r = Client.run engine queries in
-      Printf.printf "%s with %s: %d queries in %.3fs (%d steps)\n" cname engine.Engine.name
-        (List.length queries) r.Client.seconds r.Client.steps;
-      Format.printf "  %a@." Client.pp_tally r.Client.tally;
-      (* list refuted/unknown queries for actionability *)
-      List.iter
-        (fun q ->
-          match
-            Client.verdict_of q.Client.q_pred
-              (engine.Engine.points_to ~satisfy:q.Client.q_pred q.Client.q_node)
-          with
-          | Client.Refuted -> Printf.printf "  REFUTED %s\n" q.Client.q_desc
-          | Client.Unknown -> Printf.printf "  UNKNOWN %s\n" q.Client.q_desc
-          | Client.Proved -> ())
-        queries;
-      match dynsum_session with
-      | Some (d, path) ->
-        Dynsum.save_cache d path;
-        Printf.printf "saved %d summaries to %s\n" (Dynsum.summary_count d) path
-      | None -> ())
-
-let compare_cmd file bench budget =
-  with_pipeline file bench (fun pl ->
+      with_trace trace (fun sink ->
       let conf = Engine.conf ~budget_limit:budget () in
       let t =
         Table.create
@@ -184,11 +238,13 @@ let compare_cmd file bench budget =
             ("summaries", Table.Right);
           ]
       in
+      let used = ref [] in
       List.iter
         (fun (_, (cname, queries_of)) ->
           let queries = queries_of pl in
           List.iter
             (fun (engine : Engine.engine) ->
+              used := (Some cname, engine) :: !used;
               let r = Client.run engine queries in
               Table.add_row t
                 [
@@ -201,15 +257,16 @@ let compare_cmd file bench budget =
                   string_of_int r.Client.steps;
                   string_of_int r.Client.summaries_after;
                 ])
-            (Pipeline.engines ~conf pl);
+            (Pipeline.engines ~conf ~trace:sink pl);
           Table.add_sep t)
         clients;
-      Table.print t)
+      Table.print t;
+      if metrics then print_metrics (List.rev !used)))
 
-let alias_cmd file bench meth var1 var2 engine_kind budget =
+let alias_cmd file bench meth var1 var2 engine_name budget =
   with_pipeline file bench (fun pl ->
       let conf = Engine.conf ~budget_limit:budget () in
-      let engine = make_engine engine_kind conf pl.Pipeline.pag in
+      let engine = Engine.create ~conf engine_name pl.Pipeline.pag in
       let node v =
         match Pipeline.find_local pl ~meth_pretty:meth ~var:v with
         | n -> n
@@ -283,7 +340,9 @@ let query_t =
   in
   let var = Arg.(required & opt (some string) None & info [ "var"; "v" ] ~docv:"V" ~doc:"Variable name.") in
   Cmd.v (Cmd.info "query" ~doc:"Answer one points-to query")
-    Term.(const query_cmd $ file_arg $ bench_arg $ meth $ var $ engine_arg $ budget_arg)
+    Term.(
+      const query_cmd $ file_arg $ bench_arg $ meth $ var $ engine_arg $ budget_arg $ trace_arg
+      $ metrics_arg)
 
 let client_t =
   let client =
@@ -299,11 +358,13 @@ let client_t =
           ~doc:"Persist the dynsum summary cache across runs (load before, save after).")
   in
   Cmd.v (Cmd.info "client" ~doc:"Run a client's query set")
-    Term.(const client_cmd $ file_arg $ bench_arg $ client $ engine_arg $ budget_arg $ cache)
+    Term.(
+      const client_cmd $ file_arg $ bench_arg $ client $ engine_arg $ budget_arg $ cache
+      $ trace_arg $ metrics_arg)
 
 let compare_t =
   Cmd.v (Cmd.info "compare" ~doc:"All engines on all clients")
-    Term.(const compare_cmd $ file_arg $ bench_arg $ budget_arg)
+    Term.(const compare_cmd $ file_arg $ bench_arg $ budget_arg $ trace_arg $ metrics_arg)
 
 let gen_t =
   let bench =

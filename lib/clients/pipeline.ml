@@ -29,12 +29,6 @@ let find_local t ~meth_pretty ~var =
   | Some (meth, v) -> Pag.local_node t.pag ~meth ~var:v
   | None -> raise Not_found
 
-let engines ?conf ?(with_stasum = false) t =
-  let base =
-    [
-      Sb.engine (Sb.create ?conf Sb.No_refine t.pag) ~name:"norefine";
-      Sb.engine (Sb.create ?conf Sb.Refine t.pag) ~name:"refinepts";
-      Dynsum.engine (Dynsum.create ?conf t.pag);
-    ]
-  in
-  if with_stasum then base @ [ Stasum.engine (Stasum.create ?conf t.pag) ] else base
+let engines ?conf ?trace ?(with_stasum = false) t =
+  let wanted = [ "norefine"; "refinepts"; "dynsum" ] @ if with_stasum then [ "stasum" ] else [] in
+  List.map (fun name -> Engine.create ?conf ?trace name t.pag) wanted

@@ -21,6 +21,7 @@ val find_local : t -> meth_pretty:string -> var:string -> Pag.node
     source variable name. @raise Not_found. *)
 
 val engines :
-  ?conf:Engine.conf -> ?with_stasum:bool -> t -> Engine.engine list
+  ?conf:Engine.conf -> ?trace:Trace.sink -> ?with_stasum:bool -> t -> Engine.engine list
 (** Fresh [norefine; refinepts; dynsum] engines (plus [stasum] when
-    requested — its eager offline phase is costly). *)
+    requested — its eager offline phase is costly), built from
+    {!Engine.registry} in that order; [trace] is shared by all of them. *)

@@ -1,30 +1,35 @@
 module Hstack = Pts_util.Hstack
 module Stats = Pts_util.Stats
 
-module Cache_key = struct
-  type t = int * int * int (* node, field-stack id, state *)
-
-  let equal (a : t) (b : t) = a = b
-  let hash ((n, f, s) : t) = (((n * 31) + f) * 31) + s
-end
-
-module Cache = Hashtbl.Make (Cache_key)
+module Cache_key = Kernel.Key
+module Cache = Kernel.Key_tbl
 
 type t = {
   pag : Pag.t;
-  conf : Engine.conf;
+  conf : Conf.t;
   budget : Budget.t;
   stats : Stats.t;
+  sink : Trace.sink;
   cache : Ppta.summary Cache.t;
   key_stacks : Pts_util.Hstack.t Cache.t; (* key -> its field stack, for persistence *)
 }
 
-let create ?(conf = Engine.default_conf) pag =
+let name = "dynsum"
+
+(* Legacy counter names for the cross-query summary cache. *)
+let rename = function
+  | Trace.Summary_hit _ -> Some "cache_hits"
+  | Trace.Summary_miss _ -> Some "cache_misses"
+  | _ -> None
+
+let create ?(conf = Conf.default) ?(trace = Trace.null) pag =
+  let stats = Stats.create () in
   {
     pag;
     conf;
-    budget = Budget.create ~limit:conf.Engine.budget_limit;
-    stats = Stats.create ();
+    budget = Budget.create ~limit:conf.Conf.budget_limit;
+    stats;
+    sink = Trace.tee (Trace.counting ~rename stats) trace;
     cache = Cache.create 4096;
     key_stacks = Cache.create 4096;
   }
@@ -100,141 +105,101 @@ let load_cache t path =
           if file_magic <> magic then Error "not a dynsum cache file"
           else if fp <> fingerprint t.pag then Error "cache was built for a different PAG"
           else begin
-            let n = ref 0 in
-            List.iter
-              (fun (node, syms, state, objs, tuples) ->
-                let key = (node, Hstack.id (Hstack.of_list syms), state) in
-                if not (Cache.mem t.cache key) then begin
-                  incr n;
-                  Cache.add t.cache key
+            (* decode into a staging list first: the live cache must not
+               be touched unless the whole payload is well-formed *)
+            match
+              List.map
+                (fun (node, syms, state, objs, tuples) ->
+                  let stack = Hstack.of_list syms in
+                  let summary =
                     {
                       Ppta.objs;
                       tuples =
                         List.map
                           (fun (tn, tf, ts) -> (tn, Hstack.of_list tf, state_of_int ts))
                           tuples;
-                    };
-                  Cache.add t.key_stacks key (Hstack.of_list syms)
-                end)
-              images;
-            Ok !n
+                    }
+                  in
+                  ((node, Hstack.id stack, state), stack, summary))
+                images
+            with
+            | exception _ -> Error "corrupt cache payload"
+            | staged ->
+              let n = ref 0 in
+              List.iter
+                (fun (key, stack, summary) ->
+                  if not (Cache.mem t.cache key) then begin
+                    incr n;
+                    Cache.add t.cache key summary;
+                    Cache.add t.key_stacks key stack
+                  end)
+                staged;
+              Ok !n
           end)
-
-type summary_source = Pag.node -> Hstack.t -> Ppta.state -> Ppta.summary
-
-module Seen = Hashtbl.Make (struct
-  type t = int * int * int * int (* node, fstack id, state, ctx id *)
-
-  let equal (a : t) (b : t) = a = b
-  let hash ((n, f, s, c) : t) = (((((n * 31) + f) * 31) + s) * 31) + c
-end)
-
-(* Algorithm 4's worklist: PPTA summaries handle local edges; this loop
-   handles the global edges under the RRP context machine. *)
-let solve pag budget (summarise : summary_source) v c0 =
-  let results = ref Query.Target_set.empty in
-  let seen = Seen.create 256 in
-  let work = Queue.create () in
-  let propagate u f s c =
-    let key = (u, Hstack.id f, Ppta.state_to_int s, Hstack.id c) in
-    if not (Seen.mem seen key) then begin
-      Seen.add seen key ();
-      Queue.add (u, f, s, c) work
-    end
-  in
-  propagate v Hstack.empty Ppta.S1 c0;
-  while not (Queue.is_empty work) do
-    let u, f, s, c = Queue.pop work in
-    Budget.step budget;
-    let summary = summarise u f s in
-    List.iter
-      (fun site -> results := Query.Target_set.add { Query.Target.site; hctx = c } !results)
-      summary.Ppta.objs;
-    List.iter
-      (fun (x, f1, s1) ->
-        match s1 with
-        | Ppta.S1 ->
-          (* traversing backwards: exit descends into a callee (push),
-             entry returns to a caller (pop) *)
-          List.iter
-            (fun (i, y) ->
-              Budget.step budget;
-              propagate y f1 Ppta.S1 (Engine.push_ctx pag c i))
-            (Pag.exit_in pag x);
-          List.iter
-            (fun (i, y) ->
-              Budget.step budget;
-              match Engine.pop_ctx pag c i with
-              | Some c' -> propagate y f1 Ppta.S1 c'
-              | None -> ())
-            (Pag.entry_in pag x);
-          List.iter
-            (fun y ->
-              Budget.step budget;
-              propagate y f1 Ppta.S1 Hstack.empty)
-            (Pag.global_in pag x)
-        | Ppta.S2 ->
-          (* traversing forwards: entry enters a callee (push), exit
-             returns to a caller (pop) *)
-          List.iter
-            (fun (i, y) ->
-              Budget.step budget;
-              match Engine.pop_ctx pag c i with
-              | Some c' -> propagate y f1 Ppta.S2 c'
-              | None -> ())
-            (Pag.exit_out pag x);
-          List.iter
-            (fun (i, y) ->
-              Budget.step budget;
-              propagate y f1 Ppta.S2 (Engine.push_ctx pag c i))
-            (Pag.entry_out pag x);
-          List.iter
-            (fun y ->
-              Budget.step budget;
-              propagate y f1 Ppta.S2 Hstack.empty)
-            (Pag.global_out pag x))
-      summary.Ppta.tuples
-  done;
-  !results
 
 (* Summary lookup with the paper's fast path: a node without local edges
    needs no PPTA — its only continuation is itself as a frontier tuple. *)
 let summarise t u f s =
   if not (Pag.has_local_edges t.pag u) then begin
-    Stats.bump t.stats "no_local_fastpath";
+    Trace.emit t.sink (Trace.Counter { engine = name; name = "no_local_fastpath"; delta = 1 });
     { Ppta.objs = []; tuples = [ (u, f, s) ] }
   end
   else begin
     let key = (u, Hstack.id f, Ppta.state_to_int s) in
     match Cache.find_opt t.cache key with
     | Some summary ->
-      Stats.bump t.stats "cache_hits";
+      Trace.emit t.sink (Trace.Summary_hit { engine = name; node = u });
       summary
     | None ->
-      Stats.bump t.stats "cache_misses";
+      Trace.emit t.sink (Trace.Summary_miss { engine = name; node = u });
       let summary = Ppta.compute t.pag t.conf t.budget u f s in
       Cache.add t.cache key summary;
       Cache.add t.key_stacks key f;
       summary
   end
 
-let points_to_in t v c0 =
-  Stats.bump t.stats "queries";
+let expand t u f s =
+  let summary = summarise t u f s in
+  { Kernel.lr_objs = summary.Ppta.objs;
+    lr_match_objs = [];
+    lr_frontier = summary.Ppta.tuples;
+    lr_jumps = [] }
+
+(* [satisfy] early exit: the worklist's accumulated set grows towards the
+   answer from below, so the only sound early exit for an anti-monotone
+   predicate is refutation — once the partial set falsifies the predicate,
+   every superset (including the exact answer) does too. *)
+let stop_of_satisfy satisfy =
+  Option.map (fun pred -> fun acc -> not (pred acc)) satisfy
+
+let points_to_in t ?satisfy v c0 =
+  Trace.emit t.sink (Trace.Query_start { engine = name; node = v });
   Budget.start_query t.budget;
-  try Query.Resolved (solve t.pag t.budget (summarise t) v c0)
-  with Budget.Out_of_budget ->
-    Stats.bump t.stats "exceeded";
-    Query.Exceeded
+  let outcome =
+    try
+      Query.Resolved
+        (Kernel.solve ?stop:(stop_of_satisfy satisfy) t.pag t.budget (expand t) v c0)
+    with Budget.Out_of_budget ->
+      Trace.emit t.sink
+        (Trace.Budget_exceeded { engine = name; node = v; steps = Budget.steps_this_query t.budget });
+      Query.Exceeded
+  in
+  (match outcome with
+  | Query.Resolved ts ->
+    Trace.emit t.sink
+      (Trace.Query_end
+         {
+           engine = name;
+           node = v;
+           resolved = true;
+           targets = Query.Target_set.cardinal ts;
+           steps = Budget.steps_this_query t.budget;
+         })
+  | Query.Exceeded ->
+    Trace.emit t.sink
+      (Trace.Query_end
+         { engine = name; node = v; resolved = false; targets = 0;
+           steps = Budget.steps_this_query t.budget }));
+  outcome
 
-let points_to t ?satisfy v =
-  ignore satisfy;
-  points_to_in t v Hstack.empty
-
-let engine t =
-  {
-    Engine.name = "dynsum";
-    points_to = (fun ?satisfy v -> points_to t ?satisfy v);
-    budget = t.budget;
-    stats = t.stats;
-    summary_count = (fun () -> summary_count t);
-  }
+let points_to t ?satisfy v = points_to_in t ?satisfy v Hstack.empty

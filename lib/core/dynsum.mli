@@ -1,7 +1,7 @@
 (** DYNSUM — Algorithm 4 of the paper, this reproduction's core
     contribution.
 
-    A worklist propagates query states [(u, f, s, c)] across the
+    {!Kernel.solve} propagates query states [(u, f, s, c)] across the
     context-dependent {e global} edges according to the RRP machine of
     Figure 3(b), while all work along {e local} edges is delegated to the
     context-independent {!Ppta} and cached in a summary table keyed by
@@ -23,14 +23,27 @@ end
 
 type t
 
-val create : ?conf:Engine.conf -> Pag.t -> t
+val create : ?conf:Conf.t -> ?trace:Trace.sink -> Pag.t -> t
 
 val points_to : t -> ?satisfy:(Query.Target_set.t -> bool) -> Pag.node -> Query.outcome
-(** Demand query with the empty initial context; [satisfy] is ignored
-    (DYNSUM always resolves fully). *)
+(** Demand query with the empty initial context.
 
-val points_to_in : t -> Pag.node -> Pts_util.Hstack.t -> Query.outcome
-(** Query under a given initial calling context. *)
+    {b Precision/semantics of [satisfy]}: unlike REFINEPTS — whose passes
+    over-approximate, so a satisfied pass proves the client — DYNSUM's
+    worklist grows its answer from below. The only sound early exit is
+    therefore in the {e refutation} direction: the query stops as soon as
+    the accumulated partial set {e falsifies} the (anti-monotone)
+    predicate, since every superset — in particular the exact answer —
+    then falsifies it too. The client verdict is unchanged in all cases:
+    a satisfied run completes and returns the exact set; a refuted run
+    may return early with a partial set on which the predicate is already
+    false. Callers that need the full points-to set must not pass
+    [satisfy]. *)
+
+val points_to_in :
+  t -> ?satisfy:(Query.Target_set.t -> bool) -> Pag.node -> Pts_util.Hstack.t -> Query.outcome
+(** Query under a given initial calling context; [satisfy] as in
+    {!points_to}. *)
 
 val summary_count : t -> int
 (** Number of cached PPTA summaries (the size of [Cache] in Algorithm 4 —
@@ -58,22 +71,11 @@ val save_cache : t -> string -> unit
 val load_cache : t -> string -> (int, string) result
 (** Merge a saved cache into this engine; returns the number of entries
     loaded, or an error for a missing/corrupt file or a PAG-fingerprint
-    mismatch. *)
+    mismatch. Failures never mutate the live cache: the payload is decoded
+    and validated in full before any entry is committed. *)
 
 val budget : t -> Budget.t
 val stats : t -> Pts_util.Stats.t
-(** Counters: ["queries"], ["exceeded"], ["cache_hits"],
-    ["cache_misses"], ["worklist_pops"], ["no_local_fastpath"]. *)
-
-val engine : t -> Engine.engine
-
-(** {2 Shared worklist core}
-
-    STASUM answers queries with exactly this propagation loop over a
-    precomputed cache, so the loop is exposed to it. *)
-
-type summary_source = Pag.node -> Pts_util.Hstack.t -> Ppta.state -> Ppta.summary
-
-val solve :
-  Pag.t -> Budget.t -> summary_source -> Pag.node -> Pts_util.Hstack.t -> Query.Target_set.t
-(** @raise Budget.Out_of_budget *)
+(** Counters: ["queries"], ["exceeded"], ["cache_hits"] (=
+    ["summary_hits"]), ["cache_misses"] (= ["summary_misses"]),
+    ["no_local_fastpath"]. *)

@@ -1,30 +1,21 @@
-module Hstack = Pts_util.Hstack
+(* Conf and the RRP context helpers moved below the engines (Conf, Kernel)
+   so this module can sit on top of them and own the registry; the type
+   equations keep external code compiling against the old names. *)
 
-type overflow = Abort | Widen
+type overflow = Conf.overflow = Abort | Widen
 
-type conf = {
+type conf = Conf.t = {
   budget_limit : int;
   max_field_repeat : int;
   max_field_depth : int;
   overflow : overflow;
 }
 
-let default_conf =
-  { budget_limit = 75_000; max_field_repeat = 2; max_field_depth = 64; overflow = Widen }
+let default_conf = Conf.default
+let conf = Conf.make
 
-let conf ?(budget_limit = default_conf.budget_limit)
-    ?(max_field_repeat = default_conf.max_field_repeat)
-    ?(max_field_depth = default_conf.max_field_depth) ?(overflow = default_conf.overflow) () =
-  { budget_limit; max_field_repeat; max_field_depth; overflow }
-
-let push_ctx pag c i = if Pag.is_recursive_site pag i then c else Hstack.push c i
-
-let pop_ctx pag c i =
-  if Pag.is_recursive_site pag i then Some c
-  else
-    match Hstack.peek c with
-    | None -> Some c (* partially balanced: fall off into an unknown caller *)
-    | Some top -> if top = i then Some (Hstack.pop_exn c) else None
+let push_ctx = Kernel.push_ctx
+let pop_ctx = Kernel.pop_ctx
 
 type points_to_fn = ?satisfy:(Query.Target_set.t -> bool) -> Pag.node -> Query.outcome
 
@@ -35,3 +26,73 @@ type engine = {
   stats : Pts_util.Stats.t;
   summary_count : unit -> int;
 }
+
+(* --------------------------- constructors -------------------------- *)
+
+let sb ?(name = "sb") t =
+  {
+    name;
+    points_to = (fun ?satisfy v -> Sb.points_to t ?satisfy v);
+    budget = Sb.budget t;
+    stats = Sb.stats t;
+    summary_count = (fun () -> 0);
+  }
+
+let dynsum t =
+  {
+    name = "dynsum";
+    points_to = (fun ?satisfy v -> Dynsum.points_to t ?satisfy v);
+    budget = Dynsum.budget t;
+    stats = Dynsum.stats t;
+    summary_count = (fun () -> Dynsum.summary_count t);
+  }
+
+let stasum t =
+  {
+    name = "stasum";
+    points_to = (fun ?satisfy v -> Stasum.points_to t ?satisfy v);
+    budget = Stasum.budget t;
+    stats = Stasum.stats t;
+    summary_count = (fun () -> Stasum.summary_count t);
+  }
+
+(* ----------------------------- registry ---------------------------- *)
+
+type builder = ?conf:conf -> ?trace:Trace.sink -> Pag.t -> engine
+
+type spec = { spec_name : string; spec_doc : string; build : builder }
+
+let registry =
+  [
+    {
+      spec_name = "norefine";
+      spec_doc = "Sridharan-Bodik, fully field-sensitive from the start, no refinement";
+      build = (fun ?conf ?trace pag -> sb ~name:"norefine" (Sb.create ?conf ?trace Sb.No_refine pag));
+    };
+    {
+      spec_name = "refinepts";
+      spec_doc = "Sridharan-Bodik with iterative match-edge refinement";
+      build = (fun ?conf ?trace pag -> sb ~name:"refinepts" (Sb.create ?conf ?trace Sb.Refine pag));
+    };
+    {
+      spec_name = "dynsum";
+      spec_doc = "on-demand dynamic summaries (Algorithm 4, the paper's contribution)";
+      build = (fun ?conf ?trace pag -> dynsum (Dynsum.create ?conf ?trace pag));
+    };
+    {
+      spec_name = "stasum";
+      spec_doc = "static whole-program summarisation baseline (eager offline phase)";
+      build = (fun ?conf ?trace pag -> stasum (Stasum.create ?conf ?trace pag));
+    };
+  ]
+
+let names () = List.map (fun s -> s.spec_name) registry
+
+let find name = List.find_opt (fun s -> s.spec_name = name) registry
+
+let create ?conf ?trace name pag =
+  match find name with
+  | Some s -> s.build ?conf ?trace pag
+  | None ->
+    invalid_arg
+      (Printf.sprintf "unknown engine %S (known: %s)" name (String.concat ", " (names ())))

@@ -1,18 +1,23 @@
-(** Configuration and traversal helpers shared by all demand-driven
-    engines.
+(** The uniform engine interface and the engine registry.
 
-    The context helpers implement the RRP recursive state machine of
-    Figure 3(b) of the paper, including the recursion-collapsing rule of
-    §5.1: entry/exit edges of a call site inside a call-graph cycle are
-    traversed context-insensitively (no push, any pop allowed). The
-    realizability rule allows an empty stack to pop (partially balanced
-    paths may start and end in different methods). *)
+    Every demand analysis in the system is exposed as an {!type:engine}
+    record, and every consumer — [bin/ptsto], the client pipeline, the
+    bench harness — selects engines by name from the one {!registry}
+    table instead of pattern-matching constructors.
 
-type overflow =
+    For compatibility this module also re-exports the configuration
+    record (now {!Conf.t}, shared by everything below the engines) and the
+    RRP context helpers (now in {!Kernel}): the paper's Figure 3(b)
+    recursive state machine, including the recursion-collapsing rule of
+    §5.1 (entry/exit edges of a call site inside a call-graph cycle are
+    traversed context-insensitively) and the realizability rule that
+    allows an empty stack to pop (partially balanced paths). *)
+
+type overflow = Conf.overflow =
   | Abort  (** overflow fails the query conservatively (paper behaviour) *)
   | Widen  (** k-limit the access path: sound over-approximation *)
 
-type conf = {
+type conf = Conf.t = {
   budget_limit : int; (** max PAG edge traversals per query (paper: 75,000) *)
   max_field_repeat : int;
       (** max occurrences of one field in a field stack; a push beyond it
@@ -43,10 +48,12 @@ val pop_ctx : Pag.t -> Pts_util.Hstack.t -> int -> Pts_util.Hstack.t option
 (** {2 The common engine interface} *)
 
 type points_to_fn = ?satisfy:(Query.Target_set.t -> bool) -> Pag.node -> Query.outcome
-(** [satisfy] is the client's early-termination predicate; only REFINEPTS
-    consults it (its refinement loop stops as soon as the — possibly still
-    over-approximate — answer satisfies the client). Other engines compute
-    the full answer and ignore it. *)
+(** [satisfy] is the client's early-termination predicate (anti-monotone).
+    REFINEPTS stops refining as soon as the — possibly still
+    over-approximate — answer satisfies it; DYNSUM and STASUM stop their
+    worklist as soon as the — still under-approximate — answer {e
+    refutes} it (see {!Dynsum.points_to} for why that is the sound
+    direction). Either way client verdicts are engine-independent. *)
 
 type engine = {
   name : string;
@@ -55,3 +62,26 @@ type engine = {
   stats : Pts_util.Stats.t;
   summary_count : unit -> int; (** cached summaries (0 for non-summary engines) *)
 }
+
+(** {2 Wrapping a concrete engine} *)
+
+val sb : ?name:string -> Sb.t -> engine
+val dynsum : Dynsum.t -> engine
+val stasum : Stasum.t -> engine
+
+(** {2 The registry} *)
+
+type builder = ?conf:conf -> ?trace:Trace.sink -> Pag.t -> engine
+
+type spec = { spec_name : string; spec_doc : string; build : builder }
+
+val registry : spec list
+(** [norefine], [refinepts], [dynsum], [stasum] — in the paper's
+    presentation order, which the pipeline and benches rely on. *)
+
+val names : unit -> string list
+val find : string -> spec option
+
+val create : ?conf:conf -> ?trace:Trace.sink -> string -> Pag.t -> engine
+(** Build an engine by registry name.
+    @raise Invalid_argument on an unknown name. *)

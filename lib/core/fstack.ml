@@ -15,14 +15,14 @@ let is_widened f = List.exists (fun x -> x = unknown_tail) (Hstack.to_list f)
 let occurrences g f = List.length (List.filter (fun x -> x = g) (Hstack.to_list f))
 
 let push conf f g =
-  if occurrences g f >= conf.Engine.max_field_repeat then None
-  else if Hstack.depth f < conf.Engine.max_field_depth then Some (Hstack.push f g)
+  if occurrences g f >= conf.Conf.max_field_repeat then None
+  else if Hstack.depth f < conf.Conf.max_field_depth then Some (Hstack.push f g)
   else
-    match conf.Engine.overflow with
-    | Engine.Abort -> raise Budget.Out_of_budget
-    | Engine.Widen ->
+    match conf.Conf.overflow with
+    | Conf.Abort -> raise Budget.Out_of_budget
+    | Conf.Widen ->
       let real = List.filter (fun x -> x <> unknown_tail) (Hstack.to_list f) in
-      let kept = take (conf.Engine.max_field_depth - 2) real in
+      let kept = take (conf.Conf.max_field_depth - 2) real in
       Some (Hstack.of_list ((g :: kept) @ [ unknown_tail ]))
 
 let pop_match f g =

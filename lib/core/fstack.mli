@@ -44,7 +44,7 @@ val sym_field : int -> int
 
 val sym_is_load : int -> bool
 
-val push : Engine.conf -> Pts_util.Hstack.t -> int -> Pts_util.Hstack.t option
+val push : Conf.t -> Pts_util.Hstack.t -> int -> Pts_util.Hstack.t option
 (** Push a field. [None] = repeat-limit cut: drop this branch.
     @raise Budget.Out_of_budget on depth overflow under [`Abort]. *)
 

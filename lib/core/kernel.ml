@@ -1,0 +1,268 @@
+module Hstack = Pts_util.Hstack
+
+type state = S1 | S2
+
+let state_to_int = function S1 -> 1 | S2 -> 2
+
+let pp_state fmt s = Format.pp_print_string fmt (match s with S1 -> "S1" | S2 -> "S2")
+
+(* ------------------------ RRP context machine ----------------------- *)
+
+let push_ctx pag c i = if Pag.is_recursive_site pag i then c else Hstack.push c i
+
+let pop_ctx pag c i =
+  if Pag.is_recursive_site pag i then Some c
+  else
+    match Hstack.peek c with
+    | None -> Some c (* partially balanced: fall off into an unknown caller *)
+    | Some top -> if top = i then Some (Hstack.pop_exn c) else None
+
+(* ------------------------- local-edge walker ------------------------ *)
+
+type policy = {
+  exact : bool;
+  refined : dst:Pag.node -> fld:int -> base:Pag.node -> bool;
+  note_match : dst:Pag.node -> fld:int -> base:Pag.node -> unit;
+  match_pts : int -> int list;
+  match_flows : int -> Pag.node list;
+}
+
+let exact_policy =
+  {
+    exact = true;
+    refined = (fun ~dst:_ ~fld:_ ~base:_ -> true);
+    note_match = (fun ~dst:_ ~fld:_ ~base:_ -> ());
+    match_pts = (fun _ -> []);
+    match_flows = (fun _ -> []);
+  }
+
+type local_result = {
+  lr_objs : int list;
+  lr_match_objs : int list;
+  lr_frontier : (Pag.node * Hstack.t * state) list;
+  lr_jumps : (Pag.node * Hstack.t * state) list;
+}
+
+let frontier_only u f s = { lr_objs = []; lr_match_objs = []; lr_frontier = [ (u, f, s) ]; lr_jumps = [] }
+
+(* (node, field-stack id, state) — the identity of a local query state,
+   also the key every summary table in the system uses. *)
+module Key = struct
+  type t = int * int * int
+
+  let equal (a : t) (b : t) = a = b
+  let hash ((n, f, s) : t) = (((n * 31) + f) * 31) + s
+end
+
+module Key_tbl = Hashtbl.Make (Key)
+module Visited = Key_tbl
+
+let local_walk ?observe ~policy pag conf budget v0 f0 s0 =
+  let visited = Visited.create 64 in
+  let objs = ref [] in
+  let obj_seen = Hashtbl.create 16 in
+  let match_objs = ref [] in
+  let match_seen = Hashtbl.create 16 in
+  let frontier = ref [] in
+  let jumps = ref [] in
+  let add_obj site =
+    if not (Hashtbl.mem obj_seen site) then begin
+      Hashtbl.add obj_seen site ();
+      objs := site :: !objs
+    end
+  in
+  let add_match_obj site =
+    if not (Hashtbl.mem match_seen site) then begin
+      Hashtbl.add match_seen site ();
+      match_objs := site :: !match_objs
+    end
+  in
+  let add_frontier node f s = frontier := (node, f, s) :: !frontier in
+  let add_jump node f s = jumps := (node, f, s) :: !jumps in
+  let rec go v f s =
+    let key = (v, Hstack.id f, state_to_int s) in
+    if not (Visited.mem visited key) then begin
+      Visited.add visited key ();
+      Budget.step budget;
+      (match observe with Some obs -> obs v f s | None -> ());
+      match s with
+      | S1 ->
+        (* v <-new- o: harvest the object, or flip direction to chase an
+           alias of v when fields are still pending (a widened stack may
+           be either, so it does both) *)
+        (match Pag.new_in pag v with
+        | [] -> ()
+        | news ->
+          if Fstack.may_be_empty f then List.iter (fun o -> add_obj (Pag.obj_site pag o)) news;
+          if not (Hstack.is_empty f) then go v f S2);
+        List.iter (fun x -> go x f S1) (Pag.assign_in pag v);
+        (* v = u.g backwards: a pending load(g)-bar, awaiting store(g)-bar *)
+        List.iter
+          (fun (g, u) ->
+            if policy.exact || policy.refined ~dst:v ~fld:g ~base:u then begin
+              match Fstack.push conf f (Fstack.load_sym g) with
+              | Some f' -> go u f' S1
+              | None -> ()
+            end
+            else begin
+              (* field-based match edge: the load observes anything stored
+                 to g anywhere under the precomputed field-based
+                 approximation, with context and field stack cleared *)
+              policy.note_match ~dst:v ~fld:g ~base:u;
+              let sites = policy.match_pts g in
+              if Fstack.may_be_empty f then List.iter add_match_obj sites;
+              if not (Hstack.is_empty f) then
+                List.iter
+                  (fun site ->
+                    List.iter (fun w -> add_jump w f S2) (Pag.new_out pag (Pag.obj_node pag site)))
+                  sites
+            end)
+          (Pag.load_in pag v);
+        if Pag.has_global_in pag v then add_frontier v f S1
+      | S2 ->
+        (* x = v.g forwards: the chased value surfaces out of field g —
+           matches a pending store(g) push *)
+        List.iter
+          (fun (g, x) ->
+            if policy.exact || policy.refined ~dst:x ~fld:g ~base:v then
+              match Fstack.pop_match f (Fstack.store_sym g) with
+              | Some f' -> go x f' S2
+              | None -> ())
+          (Pag.load_out pag v);
+        List.iter (fun x -> go x f S2) (Pag.assign_out pag v);
+        (* b.g = v forwards: the chased value sinks into b.g — push
+           store(g) and find aliases of the base b *)
+        List.iter
+          (fun (g, b) ->
+            let push_store () =
+              match Fstack.push conf f (Fstack.store_sym g) with
+              | Some f' -> go b f' S1
+              | None -> ()
+            in
+            if policy.exact then push_store ()
+            else begin
+              let loads = Pag.loads_of_field pag g in
+              let refined_exists = ref false in
+              let unrefined_exists = ref false in
+              List.iter
+                (fun (lb, ldst) ->
+                  if policy.refined ~dst:ldst ~fld:g ~base:lb then refined_exists := true
+                  else begin
+                    unrefined_exists := true;
+                    policy.note_match ~dst:ldst ~fld:g ~base:lb
+                  end)
+                loads;
+              (* unrefined loads of g: the value escapes into the
+                 field-based approximation and may surface at any of them *)
+              if !unrefined_exists then
+                List.iter (fun x -> add_jump x f S2) (policy.match_flows g);
+              (* refined loads of g: worth the exact alias detour *)
+              if !refined_exists then push_store ()
+            end)
+          (Pag.store_out pag v);
+        (* v.g = src backwards: store(g)-bar closing a pending load(g)-bar *)
+        List.iter
+          (fun (g, src) ->
+            match Fstack.pop_match f (Fstack.load_sym g) with
+            | Some f' -> go src f' S1
+            | None -> ())
+          (Pag.store_in pag v);
+        if Pag.has_global_out pag v then add_frontier v f S2
+    end
+  in
+  go v0 f0 s0;
+  { lr_objs = !objs; lr_match_objs = !match_objs; lr_frontier = !frontier; lr_jumps = !jumps }
+
+(* ------------------------ Algorithm 4 worklist ---------------------- *)
+
+type expander = Pag.node -> Hstack.t -> state -> local_result
+
+module Seen = Hashtbl.Make (struct
+  type t = int * int * int * int (* node, fstack id, state, ctx id *)
+
+  let equal (a : t) (b : t) = a = b
+  let hash ((n, f, s, c) : t) = (((((n * 31) + f) * 31) + s) * 31) + c
+end)
+
+let solve ?stop pag budget (expand : expander) v c0 =
+  let results = ref Query.Target_set.empty in
+  let seen = Seen.create 256 in
+  let work = Queue.create () in
+  let propagate u f s c =
+    let key = (u, Hstack.id f, state_to_int s, Hstack.id c) in
+    if not (Seen.mem seen key) then begin
+      Seen.add seen key ();
+      Queue.add (u, f, s, c) work
+    end
+  in
+  let stop_now () = match stop with Some pred -> pred !results | None -> false in
+  propagate v Hstack.empty S1 c0;
+  let finished = ref (Option.is_some stop && stop_now ()) in
+  while (not (Queue.is_empty work)) && not !finished do
+    let u, f, s, c = Queue.pop work in
+    Budget.step budget;
+    let r = expand u f s in
+    let before = !results in
+    List.iter
+      (fun site -> results := Query.Target_set.add { Query.Target.site; hctx = c } !results)
+      r.lr_objs;
+    (* match-edge harvests are field-based: no heap context *)
+    List.iter
+      (fun site ->
+        results := Query.Target_set.add { Query.Target.site; hctx = Hstack.empty } !results)
+      r.lr_match_objs;
+    if Option.is_some stop && !results != before && stop_now () then finished := true
+    else begin
+      List.iter
+        (fun (x, f1, s1) ->
+          match s1 with
+          | S1 ->
+            (* traversing backwards: exit descends into a callee (push),
+               entry returns to a caller (pop) *)
+            List.iter
+              (fun (i, y) ->
+                Budget.step budget;
+                propagate y f1 S1 (push_ctx pag c i))
+              (Pag.exit_in pag x);
+            List.iter
+              (fun (i, y) ->
+                Budget.step budget;
+                match pop_ctx pag c i with
+                | Some c' -> propagate y f1 S1 c'
+                | None -> ())
+              (Pag.entry_in pag x);
+            List.iter
+              (fun y ->
+                Budget.step budget;
+                propagate y f1 S1 Hstack.empty)
+              (Pag.global_in pag x)
+          | S2 ->
+            (* traversing forwards: entry enters a callee (push), exit
+               returns to a caller (pop) *)
+            List.iter
+              (fun (i, y) ->
+                Budget.step budget;
+                match pop_ctx pag c i with
+                | Some c' -> propagate y f1 S2 c'
+                | None -> ())
+              (Pag.exit_out pag x);
+            List.iter
+              (fun (i, y) ->
+                Budget.step budget;
+                propagate y f1 S2 (push_ctx pag c i))
+              (Pag.entry_out pag x);
+            List.iter
+              (fun y ->
+                Budget.step budget;
+                propagate y f1 S2 Hstack.empty)
+              (Pag.global_out pag x))
+        r.lr_frontier;
+      (* match-edge jumps clear the calling context *)
+      List.iter
+        (fun (x, f1, s1) ->
+          Budget.step budget;
+          propagate x f1 s1 Hstack.empty)
+        r.lr_jumps
+    end
+  done;
+  !results

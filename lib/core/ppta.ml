@@ -1,86 +1,16 @@
 module Hstack = Pts_util.Hstack
 
-type state = S1 | S2
+type state = Kernel.state = S1 | S2
 
-let state_to_int = function S1 -> 1 | S2 -> 2
-
-let pp_state fmt s = Format.pp_print_string fmt (match s with S1 -> "S1" | S2 -> "S2")
+let state_to_int = Kernel.state_to_int
+let pp_state = Kernel.pp_state
 
 type summary = { objs : int list; tuples : (int * Hstack.t * state) list }
 
 let empty_summary = { objs = []; tuples = [] }
 
-module Visited = Hashtbl.Make (struct
-  type t = int * int * int (* node, field-stack id, state *)
-
-  let equal (a : t) (b : t) = a = b
-  let hash ((n, f, s) : t) = (((n * 31) + f) * 31) + s
-end)
-
+(* Algorithm 3 is the kernel's local walker under the exact policy: every
+   field is tracked precisely, so no match edges and no jumps arise. *)
 let compute pag conf budget ?trace v0 f0 s0 =
-  let visited = Visited.create 64 in
-  let objs = ref [] in
-  let obj_seen = Hashtbl.create 16 in
-  let tuples = ref [] in
-  let add_obj site =
-    if not (Hashtbl.mem obj_seen site) then begin
-      Hashtbl.add obj_seen site ();
-      objs := site :: !objs
-    end
-  in
-  let add_tuple node f s = tuples := (node, f, s) :: !tuples in
-  let rec go v f s =
-    let key = (v, Hstack.id f, state_to_int s) in
-    if not (Visited.mem visited key) then begin
-      Visited.add visited key ();
-      Budget.step budget;
-      (match trace with Some observe -> observe v f s | None -> ());
-      match s with
-      | S1 ->
-        (* v <-new- o: harvest the object, or flip direction to chase an
-           alias of v when fields are still pending (a widened stack may
-           be either, so it does both) *)
-        (match Pag.new_in pag v with
-        | [] -> ()
-        | news ->
-          if Fstack.may_be_empty f then List.iter (fun o -> add_obj (Pag.obj_site pag o)) news;
-          if not (Hstack.is_empty f) then go v f S2);
-        List.iter (fun x -> go x f S1) (Pag.assign_in pag v);
-        (* v = u.g backwards: a pending load(g)-bar, awaiting store(g)-bar *)
-        List.iter
-          (fun (g, u) ->
-            match Fstack.push conf f (Fstack.load_sym g) with
-            | Some f' -> go u f' S1
-            | None -> ())
-          (Pag.load_in pag v);
-        if Pag.has_global_in pag v then add_tuple v f S1
-      | S2 ->
-        (* x = v.g forwards: the chased value surfaces out of field g —
-           matches a pending store(g) push *)
-        List.iter
-          (fun (g, x) ->
-            match Fstack.pop_match f (Fstack.store_sym g) with
-            | Some f' -> go x f' S2
-            | None -> ())
-          (Pag.load_out pag v);
-        List.iter (fun x -> go x f S2) (Pag.assign_out pag v);
-        (* b.g = v forwards: the chased value sinks into b.g — push
-           store(g) and find aliases of the base b *)
-        List.iter
-          (fun (g, b) ->
-            match Fstack.push conf f (Fstack.store_sym g) with
-            | Some f' -> go b f' S1
-            | None -> ())
-          (Pag.store_out pag v);
-        (* v.g = src backwards: store(g)-bar closing a pending load(g)-bar *)
-        List.iter
-          (fun (g, src) ->
-            match Fstack.pop_match f (Fstack.load_sym g) with
-            | Some f' -> go src f' S1
-            | None -> ())
-          (Pag.store_in pag v);
-        if Pag.has_global_out pag v then add_tuple v f S2
-    end
-  in
-  go v0 f0 s0;
-  { objs = !objs; tuples = !tuples }
+  let r = Kernel.local_walk ?observe:trace ~policy:Kernel.exact_policy pag conf budget v0 f0 s0 in
+  { objs = r.Kernel.lr_objs; tuples = r.Kernel.lr_frontier }

@@ -18,7 +18,7 @@
     allocation (line 10 of Algorithm 3) is sound because lowering gives
     every allocation site a unique destination variable. *)
 
-type state = S1 | S2
+type state = Kernel.state = S1 | S2
 
 val state_to_int : state -> int
 val pp_state : Format.formatter -> state -> unit
@@ -31,9 +31,10 @@ type summary = {
 val empty_summary : summary
 
 val compute :
-  Pag.t -> Engine.conf -> Budget.t -> ?trace:(int -> Pts_util.Hstack.t -> state -> unit) ->
+  Pag.t -> Conf.t -> Budget.t -> ?trace:(int -> Pts_util.Hstack.t -> state -> unit) ->
   Pag.node -> Pts_util.Hstack.t -> state -> summary
-(** One PPTA run. Consumes budget per visited state; @raise
-    Budget.Out_of_budget (also on field-stack overflow), in which case the
-    partial result must not be cached. [trace] observes each newly visited
-    state (used by the Table 1 walkthrough). *)
+(** One PPTA run — {!Kernel.local_walk} under {!Kernel.exact_policy}.
+    Consumes budget per visited state; @raise Budget.Out_of_budget (also
+    on field-stack overflow), in which case the partial result must not be
+    cached. [trace] observes each newly visited state (used by the Table 1
+    walkthrough). *)

@@ -6,24 +6,35 @@ type mode = No_refine | Refine
 type t = {
   pag : Pag.t;
   mode : mode;
-  conf : Engine.conf;
+  ename : string; (* registry name, used in trace events *)
+  conf : Conf.t;
   budget : Budget.t;
   stats : Stats.t;
+  sink : Trace.sink;
   fb : Fieldbased.t; (* the field-based approximation match edges denote *)
 }
 
-let create ?(conf = Engine.default_conf) mode pag =
+(* Legacy counter names: the within-query memo is this engine's summary. *)
+let rename = function
+  | Trace.Summary_hit _ -> Some "memo_hits"
+  | _ -> None
+
+let create ?(conf = Conf.default) ?(trace = Trace.null) mode pag =
+  let stats = Stats.create () in
   {
     pag;
     mode;
+    ename = (match mode with No_refine -> "norefine" | Refine -> "refinepts");
     conf;
-    budget = Budget.create ~limit:conf.Engine.budget_limit;
-    stats = Stats.create ();
+    budget = Budget.create ~limit:conf.Conf.budget_limit;
+    stats;
+    sink = Trace.tee (Trace.counting ~rename stats) trace;
     fb = Fieldbased.create pag;
   }
 
 let budget t = t.budget
 let stats t = t.stats
+let mode t = t.mode
 
 (* A load edge [dst = base.f], the unit of refinement. *)
 module Load_edge = struct
@@ -34,308 +45,97 @@ module Load_edge = struct
 end
 
 module Edge_tbl = Hashtbl.Make (Load_edge)
+module Memo = Kernel.Key_tbl
 
-(* flowsTo results: variables a given object may flow to, with contexts. *)
-module Flow = struct
-  type t = { node : int; ctx : Hstack.t }
+(* One refinement pass: a kernel run whose policy treats exactly the load
+   edges in [flds_to_refine] field-sensitively and jumps the rest through
+   field-based match edges, recording them in [flds_seen].
 
-  let compare a b =
-    let c = Int.compare a.node b.node in
-    if c <> 0 then c else Int.compare (Hstack.id a.ctx) (Hstack.id b.ctx)
-end
-
-module Flow_set = Set.Make (Flow)
-
-module Key = struct
-  type t = int * int (* node, ctx id *)
-
-  let equal (a : t) (b : t) = a = b
-  let hash ((n, c) : t) = (n * 0x1fffffff) lxor c
-end
-
-module Key_tbl = Hashtbl.Make (Key)
-
-(* Per-refinement-pass state. [pt_active]/[fl_active] map the DFS path of
-   the two mutually recursive relations to DFS indices: re-entering an
-   active key is a points-to cycle and is cut, as in the paper (§5.1).
-
-   Caching is gated Tarjan-style: every traversal returns the lowest DFS
-   index it reached back into ("lowlink"); a result is complete — and
-   cacheable — exactly when its lowlink is not below its own index, i.e.
-   when it did not depend on a computation still in progress. This is what
-   makes the paper's "ad hoc caching within a query" effective in cyclic
-   points-to graphs without compromising exactness. The two relations
-   share one DFS index space, since they recurse into each other. *)
-type pass = {
-  e : t;
-  flds_to_refine : unit Edge_tbl.t; (* shared across passes of one query *)
-  flds_seen : unit Edge_tbl.t;
-  pt_active : int Key_tbl.t;
-  fl_active : int Key_tbl.t;
-  pt_memo : Query.Target_set.t Key_tbl.t;
-  fl_memo : Flow_set.t Key_tbl.t;
-  mutable dfs : int;
-}
-
-let refined p edge = match p.e.mode with No_refine -> true | Refine -> Edge_tbl.mem p.flds_to_refine edge
-
-let caching p = match p.e.mode with No_refine -> false | Refine -> true
-
-(* SBPOINTSTO: compute the objects flowing to [v] in context [c].
-   Returns the target set and its lowlink (see [pass]); [max_int] means the
-   result is self-contained and has been cached. *)
-let rec pt p v c : Query.Target_set.t * int =
-  Budget.step p.e.budget;
-  let key = (v, Hstack.id c) in
-  match if caching p then Key_tbl.find_opt p.pt_memo key else None with
-  | Some cached ->
-    Stats.bump p.e.stats "memo_hits";
-    (cached, max_int)
-  | None -> (
-    match Key_tbl.find_opt p.pt_active key with
-    | Some index -> (Query.Target_set.empty, index)
-    | None ->
-      let my_index = p.dfs in
-      p.dfs <- my_index + 1;
-      Key_tbl.add p.pt_active key my_index;
-      let pag = p.e.pag in
-      let acc = ref Query.Target_set.empty in
-      let low = ref max_int in
-      let merge (set, lo) =
-        acc := Query.Target_set.union set !acc;
-        if lo < !low then low := lo
-      in
-      (* new: v <-new- o *)
-      List.iter
-        (fun o ->
-          Budget.step p.e.budget;
-          acc := Query.Target_set.add { Query.Target.site = Pag.obj_site pag o; hctx = c } !acc)
-        (Pag.new_in pag v);
-      (* assign *)
-      List.iter
-        (fun x ->
-          Budget.step p.e.budget;
-          merge (pt p x c))
-        (Pag.assign_in pag v);
-      (* assignglobal clears the context *)
-      List.iter
-        (fun x ->
-          Budget.step p.e.budget;
-          merge (pt p x Hstack.empty))
-        (Pag.global_in pag v);
-      (* exit_i backwards: descend into the callee, pushing i *)
-      List.iter
-        (fun (i, x) ->
-          Budget.step p.e.budget;
-          merge (pt p x (Engine.push_ctx pag c i)))
-        (Pag.exit_in pag v);
-      (* entry_i backwards: return to the caller, popping i if realizable *)
-      List.iter
-        (fun (i, x) ->
-          Budget.step p.e.budget;
-          match Engine.pop_ctx pag c i with
-          | Some c' -> merge (pt p x c')
-          | None -> ())
-        (Pag.entry_in pag v);
-      (* loads: v = u.f *)
-      List.iter
-        (fun (f, u) ->
-          let edge = (v, f, u) in
-          if refined p edge then begin
-            (* field-sensitive: find aliases r of u, then follow r.f = src *)
-            let objs, lo1 = pt p u c in
-            if lo1 < !low then low := lo1;
-            Query.Target_set.iter
-              (fun { Query.Target.site; hctx } ->
-                let flows, lo2 = fl_from_obj p (Pag.obj_node pag site) hctx in
-                if lo2 < !low then low := lo2;
-                Flow_set.iter
-                  (fun { Flow.node = r; ctx = c2 } ->
-                    List.iter
-                      (fun (f', src) ->
-                        if f' = f then begin
-                          Budget.step p.e.budget;
-                          merge (pt p src c2)
-                        end)
-                      (Pag.store_in pag r))
-                  flows)
-              objs
-          end
-          else begin
-            (* field-based match edge: the load observes anything stored
-               to f anywhere, under the precomputed field-based
-               approximation, with the RRP state cleared *)
-            if not (Edge_tbl.mem p.flds_seen edge) then Edge_tbl.add p.flds_seen edge ();
-            Stats.bump p.e.stats "match_edges";
-            List.iter
-              (fun site ->
-                Budget.step p.e.budget;
-                acc :=
-                  Query.Target_set.add { Query.Target.site; hctx = Hstack.empty } !acc)
-              (Fieldbased.pts_of_field p.e.fb f)
-          end)
-        (Pag.load_in pag v);
-      Key_tbl.remove p.pt_active key;
-      if !low >= my_index then begin
-        if caching p then Key_tbl.add p.pt_memo key !acc;
-        (!acc, max_int)
-      end
-      else (!acc, !low))
-
-(* SBFLOWSTO from an object node: follow its unique new edge. *)
-and fl_from_obj p o c : Flow_set.t * int =
-  let acc = ref Flow_set.empty in
-  let low = ref max_int in
-  List.iter
-    (fun v ->
-      Budget.step p.e.budget;
-      let set, lo = fl p v c in
-      acc := Flow_set.union set !acc;
-      if lo < !low then low := lo)
-    (Pag.new_out p.e.pag o);
-  (!acc, !low)
-
-(* SBFLOWSTO: variables the value in [v] (context [c]) may flow to. *)
-and fl p v c : Flow_set.t * int =
-  Budget.step p.e.budget;
-  let key = (v, Hstack.id c) in
-  match if caching p then Key_tbl.find_opt p.fl_memo key else None with
-  | Some cached ->
-    Stats.bump p.e.stats "memo_hits";
-    (cached, max_int)
-  | None -> (
-    match Key_tbl.find_opt p.fl_active key with
-    | Some index -> (Flow_set.empty, index)
-    | None ->
-      let my_index = p.dfs in
-      p.dfs <- my_index + 1;
-      Key_tbl.add p.fl_active key my_index;
-      let pag = p.e.pag in
-      let acc = ref (Flow_set.singleton { Flow.node = v; ctx = c }) in
-      let low = ref max_int in
-      let merge (set, lo) =
-        acc := Flow_set.union set !acc;
-        if lo < !low then low := lo
-      in
-      List.iter
-        (fun x ->
-          Budget.step p.e.budget;
-          merge (fl p x c))
-        (Pag.assign_out pag v);
-      List.iter
-        (fun x ->
-          Budget.step p.e.budget;
-          merge (fl p x Hstack.empty))
-        (Pag.global_out pag v);
-      (* entry_i forwards: enter the callee, pushing i *)
-      List.iter
-        (fun (i, x) ->
-          Budget.step p.e.budget;
-          merge (fl p x (Engine.push_ctx pag c i)))
-        (Pag.entry_out pag v);
-      (* exit_i forwards: return to the caller, popping i if realizable *)
-      List.iter
-        (fun (i, x) ->
-          Budget.step p.e.budget;
-          match Engine.pop_ctx pag c i with
-          | Some c' -> merge (fl p x c')
-          | None -> ())
-        (Pag.exit_out pag v);
-      (* stores: b.f = v — the value escapes into the heap *)
-      List.iter
-        (fun (f, b) ->
-          (* match-edge jumps for the unrefined load edges of f *)
-          let loads = Pag.loads_of_field pag f in
-          let refined_loads =
-            match p.e.mode with
-            | No_refine -> loads
-            | Refine ->
-              let unrefined =
-                List.filter (fun (lb, ldst) -> not (Edge_tbl.mem p.flds_to_refine (ldst, f, lb))) loads
-              in
-              if unrefined <> [] then begin
-                List.iter
-                  (fun (lb, ldst) ->
-                    let edge = (ldst, f, lb) in
-                    if not (Edge_tbl.mem p.flds_seen edge) then Edge_tbl.add p.flds_seen edge ())
-                  unrefined;
-                Stats.bump p.e.stats "match_edges";
-                (* the value escapes into the field-based approximation:
-                   it may surface at any load of f and flow on from there *)
-                List.iter
-                  (fun x ->
-                    Budget.step p.e.budget;
-                    acc := Flow_set.add { Flow.node = x; ctx = Hstack.empty } !acc)
-                  (Fieldbased.flows_of_field p.e.fb f)
-              end;
-              List.filter (fun (lb, ldst) -> Edge_tbl.mem p.flds_to_refine (ldst, f, lb)) loads
-          in
-          if refined_loads <> [] then begin
-            (* field-sensitive: aliases r of the base b, then r.f loads *)
-            let objs, lo1 = pt p b c in
-            if lo1 < !low then low := lo1;
-            Query.Target_set.iter
-              (fun { Query.Target.site; hctx } ->
-                let flows, lo2 = fl_from_obj p (Pag.obj_node pag site) hctx in
-                if lo2 < !low then low := lo2;
-                Flow_set.iter
-                  (fun { Flow.node = r; ctx = c2 } ->
-                    List.iter
-                      (fun (lb, ldst) ->
-                        if lb = r then begin
-                          Budget.step p.e.budget;
-                          merge (fl p ldst c2)
-                        end)
-                      refined_loads)
-                  flows)
-              objs
-          end)
-        (Pag.store_out pag v);
-      Key_tbl.remove p.fl_active key;
-      if !low >= my_index then begin
-        if caching p then Key_tbl.add p.fl_memo key !acc;
-        (!acc, max_int)
-      end
-      else (!acc, !low))
-
-let fresh_pass t flds_to_refine =
-  {
-    e = t;
-    flds_to_refine;
-    flds_seen = Edge_tbl.create 64;
-    pt_active = Key_tbl.create 256;
-    fl_active = Key_tbl.create 256;
-    pt_memo = Key_tbl.create 256;
-    fl_memo = Key_tbl.create 256;
-    dfs = 0;
-  }
-
-let points_to t ?satisfy v : Query.outcome =
-  Stats.bump t.stats "queries";
-  Budget.start_query t.budget;
-  let flds_to_refine = Edge_tbl.create 64 in
-  let rec iterate () =
-    Stats.bump t.stats "passes";
-    let p = fresh_pass t flds_to_refine in
-    let pts, _low = pt p v Hstack.empty in
-    let satisfied = match satisfy with Some pred -> pred pts | None -> false in
-    if satisfied then Query.Resolved pts
-    else if t.mode = No_refine || Edge_tbl.length p.flds_seen = 0 then Query.Resolved pts
+   Within the pass, local walks are memoised by (node, field stack,
+   direction) — the policy is fixed for the pass, so a walk's result is
+   too. This replaces the old nested formulation's "ad hoc caching within
+   a query" and is what {!Trace.Summary_hit} means for this engine. *)
+let run_pass t ~flds_to_refine ~flds_seen v =
+  let policy =
+    match t.mode with
+    | No_refine -> Kernel.exact_policy
+    | Refine ->
+      {
+        Kernel.exact = false;
+        refined = (fun ~dst ~fld ~base -> Edge_tbl.mem flds_to_refine (dst, fld, base));
+        note_match =
+          (fun ~dst ~fld ~base ->
+            let edge = (dst, fld, base) in
+            if not (Edge_tbl.mem flds_seen edge) then begin
+              Edge_tbl.add flds_seen edge ();
+              Trace.emit t.sink (Trace.Match_edge { engine = t.ename; fld })
+            end);
+        match_pts = (fun f -> Fieldbased.pts_of_field t.fb f);
+        match_flows = (fun f -> Fieldbased.flows_of_field t.fb f);
+      }
+  in
+  let memo = Memo.create 256 in
+  let expand u f s =
+    if not (Pag.has_local_edges t.pag u) then Kernel.frontier_only u f s
     else begin
-      Edge_tbl.iter (fun edge () -> Edge_tbl.replace flds_to_refine edge ()) p.flds_seen;
-      iterate ()
+      let key = (u, Hstack.id f, Kernel.state_to_int s) in
+      match Memo.find_opt memo key with
+      | Some r ->
+        Trace.emit t.sink (Trace.Summary_hit { engine = t.ename; node = u });
+        r
+      | None ->
+        Trace.emit t.sink (Trace.Summary_miss { engine = t.ename; node = u });
+        let r = Kernel.local_walk ~policy t.pag t.conf t.budget u f s in
+        Memo.add memo key r;
+        r
     end
   in
-  try iterate ()
-  with Budget.Out_of_budget ->
-    Stats.bump t.stats "exceeded";
-    Query.Exceeded
+  Kernel.solve t.pag t.budget expand v Hstack.empty
 
-let engine t ~name =
-  {
-    Engine.name;
-    points_to = (fun ?satisfy v -> points_to t ?satisfy v);
-    budget = t.budget;
-    stats = t.stats;
-    summary_count = (fun () -> 0);
-  }
+let points_to t ?satisfy v : Query.outcome =
+  Trace.emit t.sink (Trace.Query_start { engine = t.ename; node = v });
+  Budget.start_query t.budget;
+  let flds_to_refine = Edge_tbl.create 64 in
+  let outcome =
+    try
+      let rec iterate pass =
+        Trace.emit t.sink (Trace.Refine_pass { engine = t.ename; node = v; pass });
+        let flds_seen = Edge_tbl.create 64 in
+        let pts = run_pass t ~flds_to_refine ~flds_seen v in
+        let satisfied = match satisfy with Some pred -> pred pts | None -> false in
+        if satisfied then pts
+        else if t.mode = No_refine || Edge_tbl.length flds_seen = 0 then pts
+        else begin
+          Edge_tbl.iter (fun edge () -> Edge_tbl.replace flds_to_refine edge ()) flds_seen;
+          iterate (pass + 1)
+        end
+      in
+      Query.Resolved (iterate 1)
+    with Budget.Out_of_budget ->
+      Trace.emit t.sink
+        (Trace.Budget_exceeded
+           { engine = t.ename; node = v; steps = Budget.steps_this_query t.budget });
+      Query.Exceeded
+  in
+  (match outcome with
+  | Query.Resolved ts ->
+    Trace.emit t.sink
+      (Trace.Query_end
+         {
+           engine = t.ename;
+           node = v;
+           resolved = true;
+           targets = Query.Target_set.cardinal ts;
+           steps = Budget.steps_this_query t.budget;
+         })
+  | Query.Exceeded ->
+    Trace.emit t.sink
+      (Trace.Query_end
+         {
+           engine = t.ename;
+           node = v;
+           resolved = false;
+           targets = 0;
+           steps = Budget.steps_this_query t.budget;
+         }));
+  outcome

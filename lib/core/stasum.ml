@@ -1,16 +1,25 @@
 module Hstack = Pts_util.Hstack
 module Stats = Pts_util.Stats
-module Tbl = Hashtbl.Make (Dynsum.Cache_key)
+module Tbl = Kernel.Key_tbl
 
 type t = {
   pag : Pag.t;
-  conf : Engine.conf;
+  conf : Conf.t;
   budget : Budget.t; (* per-query budget for the online phase *)
   offline_budget : Budget.t;
   stats : Stats.t;
+  sink : Trace.sink;
   cache : Ppta.summary Tbl.t;
   mutable truncated : bool;
 }
+
+let name = "stasum"
+
+(* Legacy counter names for the precomputed summary table. *)
+let rename = function
+  | Trace.Summary_hit _ -> Some "online_hits"
+  | Trace.Summary_miss _ -> Some "online_misses"
+  | _ -> None
 
 let summary_count t = Tbl.length t.cache
 
@@ -74,16 +83,20 @@ let offline t max_summaries =
         incr depth_aborts
     end
   done;
-  Stats.add t.stats "offline_depth_aborts" !depth_aborts
+  if !depth_aborts > 0 then
+    Trace.emit t.sink
+      (Trace.Counter { engine = name; name = "offline_depth_aborts"; delta = !depth_aborts })
 
-let create ?(conf = Engine.default_conf) ?(max_summaries = 300_000) pag =
+let create ?(conf = Conf.default) ?(trace = Trace.null) ?(max_summaries = 300_000) pag =
+  let stats = Stats.create () in
   let t =
     {
       pag;
       conf;
-      budget = Budget.create ~limit:conf.Engine.budget_limit;
+      budget = Budget.create ~limit:conf.Conf.budget_limit;
       offline_budget = Budget.unlimited ();
-      stats = Stats.create ();
+      stats;
+      sink = Trace.tee (Trace.counting ~rename stats) trace;
       cache = Tbl.create 4096;
       truncated = false;
     }
@@ -97,28 +110,51 @@ let summarise t u f s =
   else
     match Tbl.find_opt t.cache (key u f s) with
     | Some summary ->
-      Stats.bump t.stats "online_hits";
+      Trace.emit t.sink (Trace.Summary_hit { engine = name; node = u });
       summary
     | None ->
-      Stats.bump t.stats "online_misses";
+      Trace.emit t.sink (Trace.Summary_miss { engine = name; node = u });
       let summary = Ppta.compute t.pag t.conf t.budget u f s in
       Tbl.replace t.cache (key u f s) summary;
       summary
 
-let points_to t ?satisfy v =
-  ignore satisfy;
-  Stats.bump t.stats "queries";
-  Budget.start_query t.budget;
-  try Query.Resolved (Dynsum.solve t.pag t.budget (summarise t) v Hstack.empty)
-  with Budget.Out_of_budget ->
-    Stats.bump t.stats "exceeded";
-    Query.Exceeded
+let expand t u f s =
+  let summary = summarise t u f s in
+  { Kernel.lr_objs = summary.Ppta.objs;
+    lr_match_objs = [];
+    lr_frontier = summary.Ppta.tuples;
+    lr_jumps = [] }
 
-let engine t =
-  {
-    Engine.name = "stasum";
-    points_to = (fun ?satisfy v -> points_to t ?satisfy v);
-    budget = t.budget;
-    stats = t.stats;
-    summary_count = (fun () -> summary_count t);
-  }
+(* Same refutation-direction early exit as {!Dynsum.points_to}. *)
+let stop_of_satisfy satisfy =
+  Option.map (fun pred -> fun acc -> not (pred acc)) satisfy
+
+let points_to t ?satisfy v =
+  Trace.emit t.sink (Trace.Query_start { engine = name; node = v });
+  Budget.start_query t.budget;
+  let outcome =
+    try
+      Query.Resolved
+        (Kernel.solve ?stop:(stop_of_satisfy satisfy) t.pag t.budget (expand t) v Hstack.empty)
+    with Budget.Out_of_budget ->
+      Trace.emit t.sink
+        (Trace.Budget_exceeded { engine = name; node = v; steps = Budget.steps_this_query t.budget });
+      Query.Exceeded
+  in
+  (match outcome with
+  | Query.Resolved ts ->
+    Trace.emit t.sink
+      (Trace.Query_end
+         {
+           engine = name;
+           node = v;
+           resolved = true;
+           targets = Query.Target_set.cardinal ts;
+           steps = Budget.steps_this_query t.budget;
+         })
+  | Query.Exceeded ->
+    Trace.emit t.sink
+      (Trace.Query_end
+         { engine = name; node = v; resolved = false; targets = 0;
+           steps = Budget.steps_this_query t.budget }));
+  outcome

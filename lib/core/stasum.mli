@@ -11,19 +11,21 @@
     far more summaries than DYNSUM ever materialises on demand, which is
     precisely the paper's Figure 5 measurement.
 
-    Queries then run Algorithm 4's worklist over the precomputed cache.
-    With an uncapped offline phase the cache is total and demand queries
-    never compute a summary; if the safety cap (or the field-depth bound)
+    Queries then run {!Kernel.solve} over the precomputed cache. With an
+    uncapped offline phase the cache is total and demand queries never
+    compute a summary; if the safety cap (or the field-depth bound)
     truncates the offline phase, missing keys are computed lazily and
     counted in ["online_misses"]. *)
 
 type t
 
-val create : ?conf:Engine.conf -> ?max_summaries:int -> Pag.t -> t
+val create : ?conf:Conf.t -> ?trace:Trace.sink -> ?max_summaries:int -> Pag.t -> t
 (** Runs the offline phase eagerly. [max_summaries] (default 300,000) is a
     safety cap; hitting it truncates enumeration. *)
 
 val points_to : t -> ?satisfy:(Query.Target_set.t -> bool) -> Pag.node -> Query.outcome
+(** [satisfy] early-exits in the refutation direction only, exactly as
+    {!Dynsum.points_to} (the worklist under-approximates until done). *)
 
 val summary_count : t -> int
 (** Summaries computed offline (Figure 5's denominator). *)
@@ -37,5 +39,8 @@ val offline_steps : t -> int
 (** PPTA steps spent in the offline phase. *)
 
 val budget : t -> Budget.t
+
 val stats : t -> Pts_util.Stats.t
-val engine : t -> Engine.engine
+(** Counters: ["queries"], ["exceeded"], ["online_hits"] (=
+    ["summary_hits"]), ["online_misses"] (= ["summary_misses"]),
+    ["offline_depth_aborts"]. *)

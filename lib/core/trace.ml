@@ -1,0 +1,163 @@
+module Stats = Pts_util.Stats
+
+(* ------------------------------ JSON ------------------------------- *)
+
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | String of string
+    | List of t list
+    | Obj of (string * t) list
+
+  let escape buf s =
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\r' -> Buffer.add_string buf "\\r"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s
+
+  let rec emit buf = function
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+    | Int n -> Buffer.add_string buf (string_of_int n)
+    | Float x ->
+      if Float.is_finite x then Buffer.add_string buf (Printf.sprintf "%.6g" x)
+      else Buffer.add_string buf "null"
+    | String s ->
+      Buffer.add_char buf '"';
+      escape buf s;
+      Buffer.add_char buf '"'
+    | List xs ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_char buf ',';
+          emit buf x)
+        xs;
+      Buffer.add_char buf ']'
+    | Obj kvs ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          Buffer.add_char buf '"';
+          escape buf k;
+          Buffer.add_string buf "\":";
+          emit buf v)
+        kvs;
+      Buffer.add_char buf '}'
+
+  let to_string j =
+    let buf = Buffer.create 256 in
+    emit buf j;
+    Buffer.contents buf
+end
+
+(* ------------------------------ events ----------------------------- *)
+
+type event =
+  | Query_start of { engine : string; node : int }
+  | Query_end of { engine : string; node : int; resolved : bool; targets : int; steps : int }
+  | Summary_hit of { engine : string; node : int }
+  | Summary_miss of { engine : string; node : int }
+  | Refine_pass of { engine : string; node : int; pass : int }
+  | Match_edge of { engine : string; fld : int }
+  | Budget_exceeded of { engine : string; node : int; steps : int }
+  | Counter of { engine : string; name : string; delta : int }
+
+let event_engine = function
+  | Query_start { engine; _ }
+  | Query_end { engine; _ }
+  | Summary_hit { engine; _ }
+  | Summary_miss { engine; _ }
+  | Refine_pass { engine; _ }
+  | Match_edge { engine; _ }
+  | Budget_exceeded { engine; _ }
+  | Counter { engine; _ } -> engine
+
+(* The counter a counting sink aggregates the event into. [Query_end]
+   carries no count of its own (its steps are already in the budget). *)
+let counter_name = function
+  | Query_start _ -> Some "queries"
+  | Query_end _ -> None
+  | Summary_hit _ -> Some "summary_hits"
+  | Summary_miss _ -> Some "summary_misses"
+  | Refine_pass _ -> Some "passes"
+  | Match_edge _ -> Some "match_edges"
+  | Budget_exceeded _ -> Some "exceeded"
+  | Counter { name; _ } -> Some name
+
+let counter_delta = function Counter { delta; _ } -> delta | _ -> 1
+
+let event_to_json e =
+  let open Json in
+  let base kind fields = Obj (("ev", String kind) :: ("engine", String (event_engine e)) :: fields)
+  in
+  match e with
+  | Query_start { node; _ } -> base "query_start" [ ("node", Int node) ]
+  | Query_end { node; resolved; targets; steps; _ } ->
+    base "query_end"
+      [ ("node", Int node); ("resolved", Bool resolved); ("targets", Int targets); ("steps", Int steps) ]
+  | Summary_hit { node; _ } -> base "summary_hit" [ ("node", Int node) ]
+  | Summary_miss { node; _ } -> base "summary_miss" [ ("node", Int node) ]
+  | Refine_pass { node; pass; _ } -> base "refine_pass" [ ("node", Int node); ("pass", Int pass) ]
+  | Match_edge { fld; _ } -> base "match_edge" [ ("fld", Int fld) ]
+  | Budget_exceeded { node; steps; _ } ->
+    base "budget_exceeded" [ ("node", Int node); ("steps", Int steps) ]
+  | Counter { name; delta; _ } -> base "counter" [ ("name", String name); ("delta", Int delta) ]
+
+(* ------------------------------ sinks ------------------------------ *)
+
+type sink = { emit : event -> unit; close : unit -> unit }
+
+let null = { emit = ignore; close = ignore }
+
+let emit sink e = sink.emit e
+let close sink = sink.close ()
+
+let tee a b =
+  {
+    emit =
+      (fun e ->
+        a.emit e;
+        b.emit e);
+    close =
+      (fun () ->
+        a.close ();
+        b.close ());
+  }
+
+let counting ?rename stats =
+  {
+    emit =
+      (fun e ->
+        let d = counter_delta e in
+        (match counter_name e with Some n -> Stats.add stats n d | None -> ());
+        match rename with
+        | None -> ()
+        | Some f -> ( match f e with Some n -> Stats.add stats n d | None -> ()));
+    close = ignore;
+  }
+
+let jsonl oc =
+  {
+    emit =
+      (fun e ->
+        output_string oc (Json.to_string (event_to_json e));
+        output_char oc '\n');
+    close = (fun () -> flush oc);
+  }
+
+let to_file path =
+  let oc = open_out path in
+  let inner = jsonl oc in
+  { emit = inner.emit; close = (fun () -> inner.close (); close_out_noerr oc) }

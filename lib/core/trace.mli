@@ -1,0 +1,76 @@
+(** Structured observability for the demand engines.
+
+    Engines report typed {!type:event}s to a pluggable {!type:sink} instead of
+    bumping ad-hoc printf counters. The stock sinks cover the three
+    consumers the system has today:
+
+    - {!null} — production hot path, zero work;
+    - {!counting} — aggregates events into a {!Pts_util.Stats} table,
+      preserving the legacy per-engine counter names via [rename];
+    - {!jsonl} / {!to_file} — one JSON object per event, for offline
+      analysis of query behaviour ([ptsto --trace FILE]).
+
+    Sinks compose with {!tee}. Events carry no wall-clock timestamps so
+    that traces of deterministic runs are byte-for-byte reproducible. *)
+
+(** Hand-rolled JSON (the toolchain has no JSON library baked in). Also
+    used by [ptsto --metrics-json] and the bench metrics blobs. *)
+module Json : sig
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | String of string
+    | List of t list
+    | Obj of (string * t) list
+
+  val to_string : t -> string
+  (** Compact rendering; strings are escaped, non-finite floats become
+      [null]. *)
+end
+
+type event =
+  | Query_start of { engine : string; node : int }
+  | Query_end of { engine : string; node : int; resolved : bool; targets : int; steps : int }
+  | Summary_hit of { engine : string; node : int }
+      (** a local-edge summary (PPTA cache, STASUM table, or the
+          Sridharan–Bodík within-query memo) answered a worklist pop *)
+  | Summary_miss of { engine : string; node : int }
+  | Refine_pass of { engine : string; node : int; pass : int }
+  | Match_edge of { engine : string; fld : int }
+      (** a field-based match edge was recorded for later refinement *)
+  | Budget_exceeded of { engine : string; node : int; steps : int }
+  | Counter of { engine : string; name : string; delta : int }
+      (** escape hatch for engine-specific counters (e.g. DYNSUM's
+          ["no_local_fastpath"]) *)
+
+val event_engine : event -> string
+
+val counter_name : event -> string option
+(** Canonical counter the event aggregates into (["queries"],
+    ["summary_hits"], …); [None] for events that are not counted. *)
+
+val counter_delta : event -> int
+
+val event_to_json : event -> Json.t
+
+type sink = { emit : event -> unit; close : unit -> unit }
+
+val null : sink
+val emit : sink -> event -> unit
+val close : sink -> unit
+
+val tee : sink -> sink -> sink
+
+val counting : ?rename:(event -> string option) -> Pts_util.Stats.t -> sink
+(** Aggregate events into [stats] under their canonical names; [rename]
+    may map an event to an {e additional} legacy counter name (e.g.
+    [Summary_hit] → ["cache_hits"] for DYNSUM). *)
+
+val jsonl : out_channel -> sink
+(** One compact JSON object per event, newline-delimited. [close] flushes
+    but does not close the channel. *)
+
+val to_file : string -> sink
+(** [jsonl] over a fresh file; [close] closes it. *)

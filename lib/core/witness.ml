@@ -21,8 +21,8 @@ let key (s : step) =
 
 (* A re-run of Algorithm 4's worklist that records each state's parent.
    Kept separate from the production loop so the hot path stays lean. *)
-let explain ?(conf = Engine.default_conf) pag v ~site =
-  let budget = Budget.create ~limit:conf.Engine.budget_limit in
+let explain ?(conf = Conf.default) pag v ~site =
+  let budget = Budget.create ~limit:conf.Conf.budget_limit in
   let cache = Hashtbl.create 256 in
   let summarise u f s =
     if not (Pag.has_local_edges pag u) then { Ppta.objs = []; tuples = [ (u, f, s) ] }
@@ -61,11 +61,11 @@ let explain ?(conf = Engine.default_conf) pag v ~site =
              match s1 with
              | Ppta.S1 ->
                List.iter
-                 (fun (i, y) -> go y f1 Ppta.S1 (Engine.push_ctx pag st.w_ctx i))
+                 (fun (i, y) -> go y f1 Ppta.S1 (Kernel.push_ctx pag st.w_ctx i))
                  (Pag.exit_in pag x);
                List.iter
                  (fun (i, y) ->
-                   match Engine.pop_ctx pag st.w_ctx i with
+                   match Kernel.pop_ctx pag st.w_ctx i with
                    | Some c' -> go y f1 Ppta.S1 c'
                    | None -> ())
                  (Pag.entry_in pag x);
@@ -73,12 +73,12 @@ let explain ?(conf = Engine.default_conf) pag v ~site =
              | Ppta.S2 ->
                List.iter
                  (fun (i, y) ->
-                   match Engine.pop_ctx pag st.w_ctx i with
+                   match Kernel.pop_ctx pag st.w_ctx i with
                    | Some c' -> go y f1 Ppta.S2 c'
                    | None -> ())
                  (Pag.exit_out pag x);
                List.iter
-                 (fun (i, y) -> go y f1 Ppta.S2 (Engine.push_ctx pag st.w_ctx i))
+                 (fun (i, y) -> go y f1 Ppta.S2 (Kernel.push_ctx pag st.w_ctx i))
                  (Pag.entry_out pag x);
                List.iter (fun y -> go y f1 Ppta.S2 Hstack.empty) (Pag.global_out pag x))
            summary.Ppta.tuples

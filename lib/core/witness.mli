@@ -16,7 +16,7 @@ type step = {
 }
 
 val explain :
-  ?conf:Engine.conf -> Pag.t -> Pag.node -> site:int -> step list option
+  ?conf:Conf.t -> Pag.t -> Pag.node -> site:int -> step list option
 (** The chain of worklist states from the query (first element) to the
     state whose local summary exposed [site] (last element). [None] when
     the site is not in the answer (or the budget runs out). *)

@@ -435,9 +435,73 @@ let test_dynsum_cache_corrupt_file () =
       let oc = open_out path in
       output_string oc "not a cache";
       close_out oc;
-      match Dynsum.load_cache dynsum path with
+      (match Dynsum.load_cache dynsum path with
       | Error _ -> ()
-      | Ok _ -> Alcotest.fail "corrupt file accepted")
+      | Ok _ -> Alcotest.fail "corrupt file accepted");
+      check Alcotest.int "live cache untouched" 0 (Dynsum.summary_count dynsum))
+
+let test_dynsum_cache_missing_file () =
+  let pl = pipeline Pts_workload.Figure2.source in
+  let dynsum = Dynsum.create pl.Pts_clients.Pipeline.pag in
+  ignore (Dynsum.points_to dynsum (Pts_workload.Figure2.s1 pl));
+  let before = Dynsum.summary_count dynsum in
+  (match Dynsum.load_cache dynsum "/nonexistent/dynsum.cache" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "missing file accepted");
+  check Alcotest.int "live cache untouched" before (Dynsum.summary_count dynsum)
+
+let test_dynsum_cache_truncated_file () =
+  (* a payload cut off mid-marshal must be rejected atomically: the live
+     cache keeps its pre-load contents *)
+  let pl = Pts_workload.Suite.pipeline "jack" in
+  let pag = pl.Pts_clients.Pipeline.pag in
+  let warm = Dynsum.create pag in
+  List.iter
+    (fun q -> ignore (Dynsum.points_to warm q.Pts_clients.Client.q_node))
+    (Pts_clients.Safecast.queries pl);
+  let path = Filename.temp_file "dynsum" ".cache" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Dynsum.save_cache warm path;
+      let full = In_channel.with_open_bin path In_channel.input_all in
+      check Alcotest.bool "cache file non-trivial" true (String.length full > 64);
+      let oc = open_out_bin path in
+      output_string oc (String.sub full 0 (String.length full / 2));
+      close_out oc;
+      let victim = Dynsum.create pag in
+      ignore (Dynsum.points_to victim (List.hd (Pts_clients.Safecast.queries pl)).Pts_clients.Client.q_node);
+      let before = Dynsum.summary_count victim in
+      (match Dynsum.load_cache victim path with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "truncated file accepted");
+      check Alcotest.int "live cache untouched" before (Dynsum.summary_count victim);
+      (* the engine still works after the failed load *)
+      ignore
+        (Dynsum.points_to victim
+           (List.hd (Pts_clients.Safecast.queries pl)).Pts_clients.Client.q_node))
+
+let test_dynsum_cache_fingerprint_no_mutation () =
+  (* the fingerprint-mismatch refusal must also leave the target cache
+     alone *)
+  let pl = Pts_workload.Suite.pipeline "jack" in
+  let warm = Dynsum.create pl.Pts_clients.Pipeline.pag in
+  List.iter
+    (fun q -> ignore (Dynsum.points_to warm q.Pts_clients.Client.q_node))
+    (Pts_clients.Safecast.queries pl);
+  let path = Filename.temp_file "dynsum" ".cache" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Dynsum.save_cache warm path;
+      let other = Pts_workload.Suite.pipeline "javac" in
+      let wrong = Dynsum.create other.Pts_clients.Pipeline.pag in
+      ignore (Dynsum.points_to wrong (List.hd (Pts_clients.Safecast.queries other)).Pts_clients.Client.q_node);
+      let before = Dynsum.summary_count wrong in
+      (match Dynsum.load_cache wrong path with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "fingerprint mismatch accepted");
+      check Alcotest.int "live cache untouched" before (Dynsum.summary_count wrong))
 
 (* ------------------------------ STASUM ------------------------------ *)
 
@@ -484,7 +548,7 @@ let test_stasum_truncation_path () =
 let test_alias_unknown_on_budget () =
   let pl = Pts_workload.Figure2.pipeline () in
   let conf = Engine.conf ~budget_limit:2 () in
-  let engine = Dynsum.engine (Dynsum.create ~conf pl.Pts_clients.Pipeline.pag) in
+  let engine = Engine.dynsum (Dynsum.create ~conf pl.Pts_clients.Pipeline.pag) in
   let s1 = Pts_workload.Figure2.s1 pl in
   let s2 = Pts_workload.Figure2.s2 pl in
   check Alcotest.bool "unknown under tiny budget" true
@@ -600,6 +664,10 @@ let () =
           Alcotest.test_case "order-independent" `Quick test_dynsum_query_order_irrelevant;
           Alcotest.test_case "cache persistence" `Quick test_dynsum_cache_persistence;
           Alcotest.test_case "corrupt cache file" `Quick test_dynsum_cache_corrupt_file;
+          Alcotest.test_case "missing cache file" `Quick test_dynsum_cache_missing_file;
+          Alcotest.test_case "truncated cache file" `Quick test_dynsum_cache_truncated_file;
+          Alcotest.test_case "fingerprint mismatch is atomic" `Quick
+            test_dynsum_cache_fingerprint_no_mutation;
         ] );
       ( "stasum",
         [
