@@ -3,7 +3,7 @@
 
 DUNE ?= dune
 
-.PHONY: all build test smoke check bench clean
+.PHONY: all build test smoke smoke-parallel check bench bench-smoke clean
 
 all: build
 
@@ -24,10 +24,30 @@ smoke:
 	    assert {"engine","steps","queries","summary_hits","summary_misses"} <= set(e), e; \
 	    print("smoke ok:", e["engine"], e["steps"], "steps")'
 
-check: build test smoke
+# The same client through the parallel batch scheduler: two worker
+# domains over the shared frozen PAG, validated via the parallel metrics
+# blob (per-domain reports must cover every query).
+smoke-parallel:
+	$(DUNE) exec bin/ptsto.exe -- client --bench jack -c safecast -e dynsum --jobs 2 --metrics-json \
+	  | tail -n 1 \
+	  | python3 -c 'import json,sys; m=json.load(sys.stdin); \
+	    assert m["schema"].startswith("ptsto.parallel-metrics/"), m; \
+	    assert m["jobs"] == 2 and len(m["domains"]) == 2, m; \
+	    assert sum(d["queries"] for d in m["domains"]) == m["queries"], m; \
+	    print("parallel smoke ok:", m["queries"], "queries on", m["jobs"], "domains")'
+
+check: build test smoke smoke-parallel
 
 bench:
 	$(DUNE) exec bench/main.exe
+
+# Fast parallel-scheduler benchmark (jack, jobs 1/2); writes the
+# machine-readable artefact next to the repo root.
+bench-smoke:
+	$(DUNE) exec bench/main.exe -- parallel_smoke \
+	  | grep '^BENCH_parallel_smoke.json ' \
+	  | sed 's/^BENCH_parallel_smoke.json //' > BENCH_parallel_smoke.json
+	python3 -c 'import json; json.load(open("BENCH_parallel_smoke.json")); print("bench-smoke ok")'
 
 clean:
 	$(DUNE) clean

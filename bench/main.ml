@@ -729,6 +729,105 @@ let scale () =
   Bm.flush "scale"
 
 (* --------------------------------------------------------------------- *)
+(* Parallel batch evaluation (Parsolve)                                   *)
+(* --------------------------------------------------------------------- *)
+
+(* The budget is generous enough that every query resolves: a resolved
+   demand query is the exact CFL answer and therefore independent of how
+   the batch was sharded or how warm each domain's summary cache was, so
+   the cross-jobs set-equality check below is deterministic. (Under a
+   tight budget, cache warmth changes which queries exceed — that is the
+   per-query budget semantics, not a parallelism artefact.) *)
+let parallel_conf = Engine.conf ~budget_limit:2_000_000 ()
+
+let run_parallel_bench ~artefact ~bench ~jobs_list ~rounds () =
+  hr
+    (Printf.sprintf "Extension — parallel batch evaluation (%s, NullDeref, dynsum, %d round%s)"
+       bench rounds (if rounds = 1 then "" else "s"));
+  let pl = Suite.pipeline bench in
+  let queries = Pts_clients.Nullderef.queries pl in
+  let qarr = Array.of_list (List.map (fun q -> Parsolve.query q.Client.q_node) queries) in
+  let t =
+    Table.create
+      [
+        ("jobs", Table.Right);
+        ("wall s", Table.Right);
+        ("ksteps", Table.Right);
+        ("merged summaries", Table.Right);
+        ("speedup vs jobs=1", Table.Right);
+        ("set-equal", Table.Left);
+      ]
+  in
+  let baseline = ref None in
+  List.iter
+    (fun jobs ->
+      let r = Parsolve.run ~conf:parallel_conf ~jobs ~rounds ~engine:"dynsum" pl.Pipeline.pag qarr in
+      let steps = List.fold_left (fun a d -> a + d.Parsolve.dr_steps) 0 r.Parsolve.reports in
+      let speedup, equal =
+        match !baseline with
+        | None ->
+          baseline := Some r;
+          (1.0, true)
+        | Some r0 ->
+          let eq = ref true in
+          Array.iteri
+            (fun i o -> if not (Query.equal_outcome o r0.Parsolve.outcomes.(i)) then eq := false)
+            r.Parsolve.outcomes;
+          (r0.Parsolve.wall_seconds /. Float.max 1e-9 r.Parsolve.wall_seconds, !eq)
+      in
+      Bm.add artefact
+        [
+          ("bench", Bm.Json.String bench);
+          ("engine", Bm.Json.String "dynsum");
+          ("jobs", Bm.Json.Int jobs);
+          ("rounds", Bm.Json.Int r.Parsolve.rounds);
+          ("queries", Bm.Json.Int (Array.length qarr));
+          ("wall_seconds", Bm.Json.Float r.Parsolve.wall_seconds);
+          ("steps", Bm.Json.Int steps);
+          ("merged_summaries", Bm.Json.Int r.Parsolve.merged_summaries);
+          ("speedup_vs_jobs1", Bm.Json.Float speedup);
+          ("set_equal_vs_jobs1", Bm.Json.Bool equal);
+          ("recommended_domains", Bm.Json.Int (Domain.recommended_domain_count ()));
+          ( "domains",
+            Bm.Json.List
+              (List.map
+                 (fun d ->
+                   Bm.Json.Obj
+                     [
+                       ("round", Bm.Json.Int d.Parsolve.dr_round);
+                       ("domain", Bm.Json.Int d.Parsolve.dr_domain);
+                       ("queries", Bm.Json.Int d.Parsolve.dr_queries);
+                       ("steps", Bm.Json.Int d.Parsolve.dr_steps);
+                       ("seconds", Bm.Json.Float d.Parsolve.dr_seconds);
+                       ("summaries", Bm.Json.Int d.Parsolve.dr_summaries);
+                     ])
+                 r.Parsolve.reports) );
+        ];
+      Table.add_row t
+        [
+          string_of_int jobs;
+          Printf.sprintf "%.3f" r.Parsolve.wall_seconds;
+          Printf.sprintf "%.1f" (float_of_int steps /. 1000.);
+          string_of_int r.Parsolve.merged_summaries;
+          Table.fmt_speedup speedup;
+          (if equal then "yes" else "NO");
+        ])
+    jobs_list;
+  Table.print t;
+  Printf.printf
+    "(wall-clock speedup tracks the machine's core count — %d domain(s) recommended here;\n\
+    \ total steps rise slightly with jobs because each domain warms its own cache\n\
+    \ before the between-round merge shares it)\n"
+    (Domain.recommended_domain_count ());
+  Bm.flush artefact
+
+let parallel () =
+  run_parallel_bench ~artefact:"parallel" ~bench:Suite.largest ~jobs_list:[ 1; 2; 4 ] ~rounds:2 ()
+
+let parallel_smoke () =
+  run_parallel_bench ~artefact:"parallel_smoke" ~bench:"jack" ~jobs_list:[ 1; 2 ] ~rounds:1 ()
+
+(* --------------------------------------------------------------------- *)
 (* Bechamel microbenchmarks                                               *)
 (* --------------------------------------------------------------------- *)
 
@@ -792,6 +891,8 @@ let () =
       ("ablation", ablation);
       ("devirt", devirt);
       ("scale", scale);
+      ("parallel", parallel);
+      ("parallel_smoke", parallel_smoke);
       ("micro", micro);
     ]
   in

@@ -173,7 +173,93 @@ let query_cmd file bench meth var engine_name budget trace metrics =
                 (Query.sites ts));
             if metrics then print_metrics [ (None, engine) ]))
 
-let client_cmd file bench client_key engine_name budget cache_file trace metrics =
+(* --jobs/--rounds: the Parsolve batch path. Distinct from the sequential
+   path below because the trace plumbing differs (a shared mutex-guarded
+   writer instead of one sink) and per-domain reports replace the single
+   engine's counters. *)
+let client_par_cmd file bench client_key engine_name budget cache_file trace metrics jobs rounds =
+  with_pipeline file bench (fun pl ->
+      let cname, queries_of = List.assoc client_key clients in
+      if cache_file <> None then
+        Printf.eprintf "warning: --cache is ignored in parallel batch mode\n";
+      let conf = Engine.conf ~budget_limit:budget () in
+      let writer = Option.map Trace.writer_to_file trace in
+      let queries = queries_of pl in
+      let qarr =
+        Array.of_list
+          (List.map (fun q -> Parsolve.query ~satisfy:q.Client.q_pred q.Client.q_node) queries)
+      in
+      let r =
+        Parsolve.run ~conf ?trace_writer:writer ~jobs ~rounds ~engine:engine_name
+          pl.Pipeline.pag qarr
+      in
+      Option.iter Trace.writer_close writer;
+      let verdicts =
+        List.mapi (fun i q -> (q, Client.verdict_of q.Client.q_pred r.Parsolve.outcomes.(i))) queries
+      in
+      let tally =
+        List.fold_left
+          (fun t (_, v) ->
+            match v with
+            | Client.Proved -> { t with Client.proved = t.Client.proved + 1 }
+            | Client.Refuted -> { t with Client.refuted = t.Client.refuted + 1 }
+            | Client.Unknown -> { t with Client.unknown = t.Client.unknown + 1 })
+          { Client.proved = 0; refuted = 0; unknown = 0 }
+          verdicts
+      in
+      Printf.printf "%s with %s: %d queries in %.3fs (%d jobs, %d rounds, %d merged summaries)\n"
+        cname engine_name (Array.length qarr) r.Parsolve.wall_seconds r.Parsolve.jobs
+        r.Parsolve.rounds r.Parsolve.merged_summaries;
+      Format.printf "  %a@." Client.pp_tally tally;
+      List.iter
+        (fun d ->
+          Printf.printf "  round %d domain %d: %d queries, %d steps, %.3fs, %d summaries\n"
+            d.Parsolve.dr_round d.Parsolve.dr_domain d.Parsolve.dr_queries d.Parsolve.dr_steps
+            d.Parsolve.dr_seconds d.Parsolve.dr_summaries)
+        r.Parsolve.reports;
+      List.iter
+        (fun (q, v) ->
+          match v with
+          | Client.Refuted -> Printf.printf "  REFUTED %s\n" q.Client.q_desc
+          | Client.Unknown -> Printf.printf "  UNKNOWN %s\n" q.Client.q_desc
+          | Client.Proved -> ())
+        verdicts;
+      if metrics then
+        let open Trace.Json in
+        print_endline
+          (to_string
+             (Obj
+                [
+                  ("schema", String "ptsto.parallel-metrics/1");
+                  ("engine", String engine_name);
+                  ("jobs", Int r.Parsolve.jobs);
+                  ("rounds", Int r.Parsolve.rounds);
+                  ("queries", Int (Array.length qarr));
+                  ("wall_seconds", Float r.Parsolve.wall_seconds);
+                  ("merged_summaries", Int r.Parsolve.merged_summaries);
+                  ( "domains",
+                    List
+                      (List.map
+                         (fun d ->
+                           Obj
+                             [
+                               ("round", Int d.Parsolve.dr_round);
+                               ("domain", Int d.Parsolve.dr_domain);
+                               ("queries", Int d.Parsolve.dr_queries);
+                               ("steps", Int d.Parsolve.dr_steps);
+                               ("seconds", Float d.Parsolve.dr_seconds);
+                               ("summaries", Int d.Parsolve.dr_summaries);
+                             ])
+                         r.Parsolve.reports) );
+                  ( "counters",
+                    Obj (List.map (fun (k, v) -> (k, Int v)) (Pts_util.Stats.to_list r.Parsolve.stats))
+                  );
+                ])))
+
+let client_cmd file bench client_key engine_name budget cache_file trace metrics jobs rounds =
+  if jobs <> 1 || rounds <> 1 then
+    client_par_cmd file bench client_key engine_name budget cache_file trace metrics jobs rounds
+  else
   with_pipeline file bench (fun pl ->
       with_trace trace (fun sink ->
           let cname, queries_of = List.assoc client_key clients in
@@ -357,10 +443,26 @@ let client_t =
       & info [ "cache" ] ~docv:"FILE"
           ~doc:"Persist the dynsum summary cache across runs (load before, save after).")
   in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:
+            "Answer the query batch on $(docv) worker domains over the shared frozen PAG \
+             (parallel batch mode when > 1).")
+  in
+  let rounds =
+    Arg.(
+      value & opt int 1
+      & info [ "rounds" ] ~docv:"N"
+          ~doc:
+            "Split the batch into $(docv) consecutive rounds, merging the per-domain dynsum \
+             summary caches between rounds.")
+  in
   Cmd.v (Cmd.info "client" ~doc:"Run a client's query set")
     Term.(
       const client_cmd $ file_arg $ bench_arg $ client $ engine_arg $ budget_arg $ cache
-      $ trace_arg $ metrics_arg)
+      $ trace_arg $ metrics_arg $ jobs $ rounds)
 
 let compare_t =
   Cmd.v (Cmd.info "compare" ~doc:"All engines on all clients")

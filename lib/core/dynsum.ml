@@ -67,8 +67,10 @@ let fingerprint pag =
     c.Pag.n_exit,
     c.Pag.n_assign_global )
 
-let save_cache t path =
-  (* the cache key holds only the process-local hash-cons id of the field
+type snapshot = entry_image list
+
+let snapshot t : snapshot =
+  (* the cache key holds only the domain-local hash-cons id of the field
      stack; the parallel key_stacks table provides the structural stack *)
   let images = ref [] in
   Cache.iter
@@ -85,12 +87,65 @@ let save_cache t path =
           ((node, Hstack.to_list stack, state, summary.Ppta.objs, tuples) : entry_image)
           :: !images)
     t.cache;
+  !images
+
+let state_of_int = function 1 -> Ppta.S1 | _ -> Ppta.S2
+
+(* Decode a structural image in the calling domain (re-interning every
+   stack in this domain's hash-cons store) and merge it into the live
+   cache, first-writer-wins per key. All-or-nothing: decodes into a
+   staging list first so a malformed payload never half-mutates the
+   cache. *)
+let absorb_images t images =
+  match
+    List.map
+      (fun ((node, syms, state, objs, tuples) : entry_image) ->
+        let stack = Hstack.of_list syms in
+        let summary =
+          {
+            Ppta.objs;
+            tuples =
+              List.map (fun (tn, tf, ts) -> (tn, Hstack.of_list tf, state_of_int ts)) tuples;
+          }
+        in
+        ((node, Hstack.id stack, state), stack, summary))
+      images
+  with
+  | exception _ -> Error "corrupt cache payload"
+  | staged ->
+    let n = ref 0 in
+    List.iter
+      (fun (key, stack, summary) ->
+        if not (Cache.mem t.cache key) then begin
+          incr n;
+          Cache.add t.cache key summary;
+          Cache.add t.key_stacks key stack
+        end)
+      staged;
+    Ok !n
+
+let absorb t (s : snapshot) =
+  match absorb_images t s with Ok n -> n | Error _ -> 0
+
+let snapshot_length (s : snapshot) = List.length s
+
+let snapshot_union (snaps : snapshot list) : snapshot =
+  (* identical (node, stack, state) keys: last writer wins — summaries
+     for the same key are equal sets anyway (PPTA is deterministic), so
+     the choice only affects representation order. Sorted for a
+     domain-count-independent result. *)
+  let tbl = Hashtbl.create 256 in
+  List.iter
+    (List.iter (fun ((node, syms, state, _, _) as img : entry_image) ->
+         Hashtbl.replace tbl (node, syms, state) img))
+    snaps;
+  Hashtbl.fold (fun _ img acc -> img :: acc) tbl [] |> List.sort compare
+
+let save_cache t path =
   let oc = open_out_bin path in
   Fun.protect
     ~finally:(fun () -> close_out_noerr oc)
-    (fun () -> Marshal.to_channel oc (magic, fingerprint t.pag, !images) [])
-
-let state_of_int = function 1 -> Ppta.S1 | _ -> Ppta.S2
+    (fun () -> Marshal.to_channel oc (magic, fingerprint t.pag, snapshot t) [])
 
 let load_cache t path =
   match open_in_bin path with
@@ -104,38 +159,7 @@ let load_cache t path =
         | file_magic, fp, images ->
           if file_magic <> magic then Error "not a dynsum cache file"
           else if fp <> fingerprint t.pag then Error "cache was built for a different PAG"
-          else begin
-            (* decode into a staging list first: the live cache must not
-               be touched unless the whole payload is well-formed *)
-            match
-              List.map
-                (fun (node, syms, state, objs, tuples) ->
-                  let stack = Hstack.of_list syms in
-                  let summary =
-                    {
-                      Ppta.objs;
-                      tuples =
-                        List.map
-                          (fun (tn, tf, ts) -> (tn, Hstack.of_list tf, state_of_int ts))
-                          tuples;
-                    }
-                  in
-                  ((node, Hstack.id stack, state), stack, summary))
-                images
-            with
-            | exception _ -> Error "corrupt cache payload"
-            | staged ->
-              let n = ref 0 in
-              List.iter
-                (fun (key, stack, summary) ->
-                  if not (Cache.mem t.cache key) then begin
-                    incr n;
-                    Cache.add t.cache key summary;
-                    Cache.add t.key_stacks key stack
-                  end)
-                staged;
-              Ok !n
-          end)
+          else absorb_images t images)
 
 (* Summary lookup with the paper's fast path: a node without local edges
    needs no PPTA — its only continuation is itself as a frontier tuple. *)

@@ -65,6 +65,28 @@ val clear_cache : t -> unit
     per-kind edge counts), and a load against a differently-shaped PAG is
     refused. *)
 
+type snapshot
+(** Structural (domain-portable) image of a summary cache: field stacks
+    travel as symbol lists, never as hash-cons ids, so a snapshot taken
+    in one domain can be absorbed in any other. *)
+
+val snapshot : t -> snapshot
+
+val snapshot_length : snapshot -> int
+
+val absorb : t -> snapshot -> int
+(** Merge a snapshot into this engine's live cache, re-interning every
+    stack in the calling domain's hash-cons store. Existing entries win
+    over incoming ones (the summaries are equal anyway — PPTA is
+    deterministic, so two caches never disagree on a key). Returns the
+    number of entries added. *)
+
+val snapshot_union : snapshot list -> snapshot
+(** Union of several snapshots, last-writer-wins on identical
+    [(node, stack, state)] keys; result is sorted so it does not depend
+    on how the entries were distributed across the inputs. The parallel
+    batch scheduler merges per-domain caches with this between rounds. *)
+
 val save_cache : t -> string -> unit
 (** Write the cache to a file. @raise Sys_error on IO failure. *)
 

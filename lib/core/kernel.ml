@@ -57,23 +57,35 @@ end
 module Key_tbl = Hashtbl.Make (Key)
 module Visited = Key_tbl
 
+(* Harvested allocation sites are small dense ints: an int-keyed table
+   avoids the polymorphic hash on every dedup probe. *)
+module Int_tbl = Hashtbl.Make (struct
+  type t = int
+
+  let equal = Int.equal
+  let hash x = x land max_int
+end)
+
 let local_walk ?observe ~policy pag conf budget v0 f0 s0 =
+  (* the packed (frozen) adjacency: all traversal below iterates the CSR
+     slabs directly — no list reconstruction on the hot path *)
+  let p = Pag.packed pag in
   let visited = Visited.create 64 in
   let objs = ref [] in
-  let obj_seen = Hashtbl.create 16 in
+  let obj_seen = Int_tbl.create 16 in
   let match_objs = ref [] in
-  let match_seen = Hashtbl.create 16 in
+  let match_seen = Int_tbl.create 16 in
   let frontier = ref [] in
   let jumps = ref [] in
   let add_obj site =
-    if not (Hashtbl.mem obj_seen site) then begin
-      Hashtbl.add obj_seen site ();
+    if not (Int_tbl.mem obj_seen site) then begin
+      Int_tbl.add obj_seen site ();
       objs := site :: !objs
     end
   in
   let add_match_obj site =
-    if not (Hashtbl.mem match_seen site) then begin
-      Hashtbl.add match_seen site ();
+    if not (Int_tbl.mem match_seen site) then begin
+      Int_tbl.add match_seen site ();
       match_objs := site :: !match_objs
     end
   in
@@ -90,83 +102,100 @@ let local_walk ?observe ~policy pag conf budget v0 f0 s0 =
         (* v <-new- o: harvest the object, or flip direction to chase an
            alias of v when fields are still pending (a widened stack may
            be either, so it does both) *)
-        (match Pag.new_in pag v with
-        | [] -> ()
-        | news ->
-          if Fstack.may_be_empty f then List.iter (fun o -> add_obj (Pag.obj_site pag o)) news;
-          if not (Hstack.is_empty f) then go v f S2);
-        List.iter (fun x -> go x f S1) (Pag.assign_in pag v);
+        let nu = p.Pag.p_new_in in
+        if Pag.degree nu v > 0 then begin
+          if Fstack.may_be_empty f then
+            for k = nu.Pag.off.(v) to nu.Pag.off.(v + 1) - 1 do
+              add_obj (Pag.obj_site pag nu.Pag.dst.(k))
+            done;
+          if not (Hstack.is_empty f) then go v f S2
+        end;
+        let asn = p.Pag.p_assign_in in
+        for k = asn.Pag.off.(v) to asn.Pag.off.(v + 1) - 1 do
+          go asn.Pag.dst.(k) f S1
+        done;
         (* v = u.g backwards: a pending load(g)-bar, awaiting store(g)-bar *)
-        List.iter
-          (fun (g, u) ->
-            if policy.exact || policy.refined ~dst:v ~fld:g ~base:u then begin
-              match Fstack.push conf f (Fstack.load_sym g) with
-              | Some f' -> go u f' S1
-              | None -> ()
-            end
-            else begin
-              (* field-based match edge: the load observes anything stored
-                 to g anywhere under the precomputed field-based
-                 approximation, with context and field stack cleared *)
-              policy.note_match ~dst:v ~fld:g ~base:u;
-              let sites = policy.match_pts g in
-              if Fstack.may_be_empty f then List.iter add_match_obj sites;
-              if not (Hstack.is_empty f) then
-                List.iter
-                  (fun site ->
-                    List.iter (fun w -> add_jump w f S2) (Pag.new_out pag (Pag.obj_node pag site)))
-                  sites
-            end)
-          (Pag.load_in pag v);
+        let ld = p.Pag.p_load_in in
+        for k = ld.Pag.off.(v) to ld.Pag.off.(v + 1) - 1 do
+          let g = ld.Pag.aux.(k) and u = ld.Pag.dst.(k) in
+          if policy.exact || policy.refined ~dst:v ~fld:g ~base:u then begin
+            match Fstack.push conf f (Fstack.load_sym g) with
+            | Some f' -> go u f' S1
+            | None -> ()
+          end
+          else begin
+            (* field-based match edge: the load observes anything stored
+               to g anywhere under the precomputed field-based
+               approximation, with context and field stack cleared *)
+            policy.note_match ~dst:v ~fld:g ~base:u;
+            let sites = policy.match_pts g in
+            if Fstack.may_be_empty f then List.iter add_match_obj sites;
+            if not (Hstack.is_empty f) then
+              let no = p.Pag.p_new_out in
+              List.iter
+                (fun site ->
+                  let o = Pag.obj_node pag site in
+                  for j = no.Pag.off.(o) to no.Pag.off.(o + 1) - 1 do
+                    add_jump no.Pag.dst.(j) f S2
+                  done)
+                sites
+          end
+        done;
         if Pag.has_global_in pag v then add_frontier v f S1
       | S2 ->
         (* x = v.g forwards: the chased value surfaces out of field g —
            matches a pending store(g) push *)
-        List.iter
-          (fun (g, x) ->
-            if policy.exact || policy.refined ~dst:x ~fld:g ~base:v then
-              match Fstack.pop_match f (Fstack.store_sym g) with
-              | Some f' -> go x f' S2
-              | None -> ())
-          (Pag.load_out pag v);
-        List.iter (fun x -> go x f S2) (Pag.assign_out pag v);
+        let ld = p.Pag.p_load_out in
+        for k = ld.Pag.off.(v) to ld.Pag.off.(v + 1) - 1 do
+          let g = ld.Pag.aux.(k) and x = ld.Pag.dst.(k) in
+          if policy.exact || policy.refined ~dst:x ~fld:g ~base:v then
+            match Fstack.pop_match f (Fstack.store_sym g) with
+            | Some f' -> go x f' S2
+            | None -> ()
+        done;
+        let asn = p.Pag.p_assign_out in
+        for k = asn.Pag.off.(v) to asn.Pag.off.(v + 1) - 1 do
+          go asn.Pag.dst.(k) f S2
+        done;
         (* b.g = v forwards: the chased value sinks into b.g — push
            store(g) and find aliases of the base b *)
-        List.iter
-          (fun (g, b) ->
-            let push_store () =
-              match Fstack.push conf f (Fstack.store_sym g) with
-              | Some f' -> go b f' S1
-              | None -> ()
-            in
-            if policy.exact then push_store ()
-            else begin
-              let loads = Pag.loads_of_field pag g in
-              let refined_exists = ref false in
-              let unrefined_exists = ref false in
-              List.iter
-                (fun (lb, ldst) ->
-                  if policy.refined ~dst:ldst ~fld:g ~base:lb then refined_exists := true
-                  else begin
-                    unrefined_exists := true;
-                    policy.note_match ~dst:ldst ~fld:g ~base:lb
-                  end)
-                loads;
-              (* unrefined loads of g: the value escapes into the
-                 field-based approximation and may surface at any of them *)
-              if !unrefined_exists then
-                List.iter (fun x -> add_jump x f S2) (policy.match_flows g);
-              (* refined loads of g: worth the exact alias detour *)
-              if !refined_exists then push_store ()
-            end)
-          (Pag.store_out pag v);
+        let st = p.Pag.p_store_out in
+        for k = st.Pag.off.(v) to st.Pag.off.(v + 1) - 1 do
+          let g = st.Pag.aux.(k) and b = st.Pag.dst.(k) in
+          let push_store () =
+            match Fstack.push conf f (Fstack.store_sym g) with
+            | Some f' -> go b f' S1
+            | None -> ()
+          in
+          if policy.exact then push_store ()
+          else begin
+            let loads = Pag.loads_of_field pag g in
+            let refined_exists = ref false in
+            let unrefined_exists = ref false in
+            List.iter
+              (fun (lb, ldst) ->
+                if policy.refined ~dst:ldst ~fld:g ~base:lb then refined_exists := true
+                else begin
+                  unrefined_exists := true;
+                  policy.note_match ~dst:ldst ~fld:g ~base:lb
+                end)
+              loads;
+            (* unrefined loads of g: the value escapes into the
+               field-based approximation and may surface at any of them *)
+            if !unrefined_exists then
+              List.iter (fun x -> add_jump x f S2) (policy.match_flows g);
+            (* refined loads of g: worth the exact alias detour *)
+            if !refined_exists then push_store ()
+          end
+        done;
         (* v.g = src backwards: store(g)-bar closing a pending load(g)-bar *)
-        List.iter
-          (fun (g, src) ->
-            match Fstack.pop_match f (Fstack.load_sym g) with
-            | Some f' -> go src f' S1
-            | None -> ())
-          (Pag.store_in pag v);
+        let st = p.Pag.p_store_in in
+        for k = st.Pag.off.(v) to st.Pag.off.(v + 1) - 1 do
+          let g = st.Pag.aux.(k) and src = st.Pag.dst.(k) in
+          match Fstack.pop_match f (Fstack.load_sym g) with
+          | Some f' -> go src f' S1
+          | None -> ()
+        done;
         if Pag.has_global_out pag v then add_frontier v f S2
     end
   in
@@ -185,6 +214,7 @@ module Seen = Hashtbl.Make (struct
 end)
 
 let solve ?stop pag budget (expand : expander) v c0 =
+  let p = Pag.packed pag in
   let results = ref Query.Target_set.empty in
   let seen = Seen.create 256 in
   let work = Queue.create () in
@@ -219,43 +249,43 @@ let solve ?stop pag budget (expand : expander) v c0 =
           | S1 ->
             (* traversing backwards: exit descends into a callee (push),
                entry returns to a caller (pop) *)
-            List.iter
-              (fun (i, y) ->
-                Budget.step budget;
-                propagate y f1 S1 (push_ctx pag c i))
-              (Pag.exit_in pag x);
-            List.iter
-              (fun (i, y) ->
-                Budget.step budget;
-                match pop_ctx pag c i with
-                | Some c' -> propagate y f1 S1 c'
-                | None -> ())
-              (Pag.entry_in pag x);
-            List.iter
-              (fun y ->
-                Budget.step budget;
-                propagate y f1 S1 Hstack.empty)
-              (Pag.global_in pag x)
+            let ex = p.Pag.p_exit_in in
+            for k = ex.Pag.off.(x) to ex.Pag.off.(x + 1) - 1 do
+              Budget.step budget;
+              propagate ex.Pag.dst.(k) f1 S1 (push_ctx pag c ex.Pag.aux.(k))
+            done;
+            let en = p.Pag.p_entry_in in
+            for k = en.Pag.off.(x) to en.Pag.off.(x + 1) - 1 do
+              Budget.step budget;
+              match pop_ctx pag c en.Pag.aux.(k) with
+              | Some c' -> propagate en.Pag.dst.(k) f1 S1 c'
+              | None -> ()
+            done;
+            let gl = p.Pag.p_global_in in
+            for k = gl.Pag.off.(x) to gl.Pag.off.(x + 1) - 1 do
+              Budget.step budget;
+              propagate gl.Pag.dst.(k) f1 S1 Hstack.empty
+            done
           | S2 ->
             (* traversing forwards: entry enters a callee (push), exit
                returns to a caller (pop) *)
-            List.iter
-              (fun (i, y) ->
-                Budget.step budget;
-                match pop_ctx pag c i with
-                | Some c' -> propagate y f1 S2 c'
-                | None -> ())
-              (Pag.exit_out pag x);
-            List.iter
-              (fun (i, y) ->
-                Budget.step budget;
-                propagate y f1 S2 (push_ctx pag c i))
-              (Pag.entry_out pag x);
-            List.iter
-              (fun y ->
-                Budget.step budget;
-                propagate y f1 S2 Hstack.empty)
-              (Pag.global_out pag x))
+            let ex = p.Pag.p_exit_out in
+            for k = ex.Pag.off.(x) to ex.Pag.off.(x + 1) - 1 do
+              Budget.step budget;
+              match pop_ctx pag c ex.Pag.aux.(k) with
+              | Some c' -> propagate ex.Pag.dst.(k) f1 S2 c'
+              | None -> ()
+            done;
+            let en = p.Pag.p_entry_out in
+            for k = en.Pag.off.(x) to en.Pag.off.(x + 1) - 1 do
+              Budget.step budget;
+              propagate en.Pag.dst.(k) f1 S2 (push_ctx pag c en.Pag.aux.(k))
+            done;
+            let gl = p.Pag.p_global_out in
+            for k = gl.Pag.off.(x) to gl.Pag.off.(x + 1) - 1 do
+              Budget.step budget;
+              propagate gl.Pag.dst.(k) f1 S2 Hstack.empty
+            done)
         r.lr_frontier;
       (* match-edge jumps clear the calling context *)
       List.iter

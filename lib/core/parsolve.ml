@@ -1,0 +1,152 @@
+module Hstack = Pts_util.Hstack
+module Stats = Pts_util.Stats
+
+type query = { node : Pag.node; satisfy : (Query.Target_set.t -> bool) option }
+
+let query ?satisfy node = { node; satisfy }
+
+type domain_report = {
+  dr_round : int;
+  dr_domain : int;
+  dr_queries : int;
+  dr_steps : int;
+  dr_seconds : float;
+  dr_summaries : int;
+}
+
+type result = {
+  outcomes : Query.outcome array;
+  reports : domain_report list;
+  stats : Stats.t;
+  wall_seconds : float;
+  jobs : int;
+  rounds : int;
+  merged_summaries : int;
+}
+
+(* What one domain hands back from one round. Everything in here is
+   either immutable, or mutable state the worker stops touching before
+   [Domain.join] (which is the happens-before edge the main domain reads
+   it under). Field stacks inside [wr_outcomes] are hash-consed in the
+   {e worker's} store and must be rebased before the main domain may use
+   them as keys (see {!Pts_util.Hstack.rebase}); [wr_snapshot] is already
+   structural and travels freely. *)
+type worker_result = {
+  wr_outcomes : (int * Query.outcome) list;
+  wr_stats : Stats.t;
+  wr_steps : int;
+  wr_seconds : float;
+  wr_summaries : int;
+  wr_snapshot : Dynsum.snapshot option;
+}
+
+(* DYNSUM is special-cased by registry name: the uniform [Engine.engine]
+   record hides the concrete engine, and the summary-cache snapshot/absorb
+   protocol only exists for DYNSUM (STASUM's table is a pure function of
+   the PAG, the SB engines have no cross-query state). *)
+let build_engine ~conf ~trace name pag =
+  if name = "dynsum" then begin
+    let d = Dynsum.create ~conf ?trace pag in
+    (Engine.dynsum d, Some d)
+  end
+  else (Engine.create ~conf ?trace name pag, None)
+
+(* Re-intern every context stack of a worker-domain outcome in the
+   calling domain's hash-cons store. [Target.compare] orders by stack id,
+   so a set is only meaningful in the domain whose store minted the ids. *)
+let rebase_outcome = function
+  | Query.Exceeded -> Query.Exceeded
+  | Query.Resolved ts ->
+    Query.Resolved
+      (Query.Target_set.fold
+         (fun t acc ->
+           Query.Target_set.add
+             { t with Query.Target.hctx = Hstack.rebase t.Query.Target.hctx }
+             acc)
+         ts Query.Target_set.empty)
+
+let run_worker ~conf ~trace_writer ~engine_name ~pag ~pool items () =
+  let trace = Option.map Trace.buffered_jsonl trace_writer in
+  let eng, dyn = build_engine ~conf ~trace engine_name pag in
+  (match dyn with Some d -> ignore (Dynsum.absorb d pool) | None -> ());
+  let outs, seconds =
+    Stats.time (fun () ->
+        List.map (fun (i, q) -> (i, eng.Engine.points_to ?satisfy:q.satisfy q.node)) items)
+  in
+  (match trace with Some s -> Trace.close s | None -> ());
+  {
+    wr_outcomes = outs;
+    wr_stats = eng.Engine.stats;
+    wr_steps = Budget.total_steps eng.Engine.budget;
+    wr_seconds = seconds;
+    wr_summaries = eng.Engine.summary_count ();
+    wr_snapshot = Option.map Dynsum.snapshot dyn;
+  }
+
+let run ?(conf = Conf.default) ?trace_writer ?(jobs = 1) ?(rounds = 1) ~engine:engine_name pag
+    queries =
+  if jobs < 1 then invalid_arg "Parsolve.run: jobs must be >= 1";
+  if rounds < 1 then invalid_arg "Parsolve.run: rounds must be >= 1";
+  (match Engine.find engine_name with
+  | Some _ -> ()
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Parsolve.run: unknown engine %S (known: %s)" engine_name
+         (String.concat ", " (Engine.names ()))));
+  (* a frozen PAG is immutable and therefore shareable; [packed] raises
+     before [freeze], turning a data race into an immediate error *)
+  ignore (Pag.packed pag);
+  let n = Array.length queries in
+  let outcomes = Array.make n Query.Exceeded in
+  let agg_stats = Stats.create () in
+  let reports = ref [] in
+  let pool = ref (Dynsum.snapshot_union []) in
+  let rounds = min rounds (max n 1) in
+  let (), wall_seconds =
+    Stats.time (fun () ->
+        for round = 0 to rounds - 1 do
+          (* consecutive index chunk per round (batch arrival order),
+             round-robin shards within the round (load balance) *)
+          let lo = round * n / rounds and hi = (round + 1) * n / rounds in
+          let shards = Array.make jobs [] in
+          for i = hi - 1 downto lo do
+            let d = (i - lo) mod jobs in
+            shards.(d) <- (i, queries.(i)) :: shards.(d)
+          done;
+          let work d =
+            run_worker ~conf ~trace_writer ~engine_name ~pag ~pool:!pool shards.(d)
+          in
+          let results =
+            if jobs = 1 then [| work 0 () |]
+            else Array.map Domain.join (Array.init jobs (fun d -> Domain.spawn (work d)))
+          in
+          Array.iteri
+            (fun d wr ->
+              List.iter (fun (i, o) -> outcomes.(i) <- rebase_outcome o) wr.wr_outcomes;
+              Stats.merge_into ~into:agg_stats wr.wr_stats;
+              reports :=
+                {
+                  dr_round = round;
+                  dr_domain = d;
+                  dr_queries = List.length wr.wr_outcomes;
+                  dr_steps = wr.wr_steps;
+                  dr_seconds = wr.wr_seconds;
+                  dr_summaries = wr.wr_summaries;
+                }
+                :: !reports)
+            results;
+          let snaps =
+            Array.to_list results |> List.filter_map (fun wr -> wr.wr_snapshot)
+          in
+          if snaps <> [] then pool := Dynsum.snapshot_union (!pool :: snaps)
+        done)
+  in
+  {
+    outcomes;
+    reports = List.rev !reports;
+    stats = agg_stats;
+    wall_seconds;
+    jobs;
+    rounds;
+    merged_summaries = Dynsum.snapshot_length !pool;
+  }

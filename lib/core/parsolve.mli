@@ -1,0 +1,68 @@
+(** Multicore batch-query evaluation over a frozen, CSR-packed PAG.
+
+    A batch of points-to queries is sharded round-robin across [jobs]
+    worker domains. Every domain builds its {e own} engine instance from
+    the {!Engine} registry against the one shared (frozen, hence
+    immutable) {!Pag.t} — engines are single-domain state; the graph is
+    the only thing the domains share.
+
+    For DYNSUM the per-domain summary caches are the interesting state:
+    after each round the scheduler takes a structural {!Dynsum.snapshot}
+    of every worker's cache, merges them with {!Dynsum.snapshot_union}
+    (last-writer-wins on identical keys — summaries are equal there
+    anyway, PPTA being deterministic), and seeds the next round's workers
+    with the merged pool via {!Dynsum.absorb}. Merging cannot change
+    answers: a PPTA summary is context-independent, so a summary computed
+    under one domain's query mix is valid under any other's (see
+    DESIGN.md, "Parallel batch evaluation and the packed PAG").
+
+    Hash-consed stacks never cross domains raw: snapshots carry symbol
+    lists, and worker outcomes are {!Pts_util.Hstack.rebase}d into the
+    main domain's store before they land in {!type:result}. *)
+
+type query = { node : Pag.node; satisfy : (Query.Target_set.t -> bool) option }
+
+val query : ?satisfy:(Query.Target_set.t -> bool) -> Pag.node -> query
+
+type domain_report = {
+  dr_round : int;
+  dr_domain : int;
+  dr_queries : int;  (** queries this domain answered in this round *)
+  dr_steps : int;  (** its engine's cumulative edge traversals *)
+  dr_seconds : float;  (** wall-clock inside the worker, excluding spawn/join *)
+  dr_summaries : int;  (** its engine's cached summaries at round end *)
+}
+
+type result = {
+  outcomes : Query.outcome array;
+      (** one per input query, same order; context stacks are interned in
+          the calling domain's store and safe to compare against
+          sequential results *)
+  reports : domain_report list;  (** per (round, domain), in order *)
+  stats : Pts_util.Stats.t;  (** all workers' counters, merged *)
+  wall_seconds : float;  (** whole batch, including spawn/join/merge *)
+  jobs : int;
+  rounds : int;
+  merged_summaries : int;
+      (** size of the final merged DYNSUM pool (0 for other engines) *)
+}
+
+val run :
+  ?conf:Conf.t ->
+  ?trace_writer:Trace.writer ->
+  ?jobs:int ->
+  ?rounds:int ->
+  engine:string ->
+  Pag.t ->
+  query array ->
+  result
+(** [run ~engine pag queries] answers the batch and returns outcomes
+    positionally. [jobs] defaults to 1 (inline, no spawn — the sequential
+    baseline); [rounds] (default 1) splits the batch into consecutive
+    chunks with a cache merge between chunks, so DYNSUM summaries learned
+    early help later rounds even across domains. When [trace_writer] is
+    given, every worker traces through its own {!Trace.buffered_jsonl}
+    sink onto the shared writer — whole lines only.
+
+    @raise Invalid_argument on [jobs < 1], [rounds < 1], an unknown
+    engine name, or an unfrozen PAG. *)

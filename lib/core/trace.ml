@@ -161,3 +161,47 @@ let to_file path =
   let oc = open_out path in
   let inner = jsonl oc in
   { emit = inner.emit; close = (fun () -> inner.close (); close_out_noerr oc) }
+
+(* ----------------------- domain-safe plumbing ---------------------- *)
+
+type writer = { w_mutex : Mutex.t; w_oc : out_channel; w_owns : bool }
+
+let writer oc = { w_mutex = Mutex.create (); w_oc = oc; w_owns = false }
+
+let writer_to_file path = { w_mutex = Mutex.create (); w_oc = open_out path; w_owns = true }
+
+let with_writer w f =
+  Mutex.lock w.w_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock w.w_mutex) f
+
+let writer_lines w s = if String.length s > 0 then with_writer w (fun () -> output_string w.w_oc s)
+
+let writer_close w =
+  with_writer w (fun () ->
+      flush w.w_oc;
+      if w.w_owns then close_out_noerr w.w_oc)
+
+let buffered_jsonl ?(flush_bytes = 1 lsl 16) w =
+  let buf = Buffer.create 4096 in
+  let flush_buf () =
+    if Buffer.length buf > 0 then begin
+      writer_lines w (Buffer.contents buf);
+      Buffer.clear buf
+    end
+  in
+  {
+    emit =
+      (fun e ->
+        Json.emit buf (event_to_json e);
+        Buffer.add_char buf '\n';
+        if Buffer.length buf >= flush_bytes then flush_buf ());
+    close = (fun () -> flush_buf ());
+  }
+
+let locked sink =
+  let m = Mutex.create () in
+  let guarded f x =
+    Mutex.lock m;
+    Fun.protect ~finally:(fun () -> Mutex.unlock m) (fun () -> f x)
+  in
+  { emit = guarded sink.emit; close = (fun () -> guarded sink.close ()) }

@@ -74,3 +74,38 @@ val jsonl : out_channel -> sink
 
 val to_file : string -> sink
 (** [jsonl] over a fresh file; [close] closes it. *)
+
+(** {2 Domain-safe plumbing}
+
+    A plain {!sink} is single-domain state. When several domains trace
+    concurrently (the parallel batch scheduler), give each domain its own
+    {!buffered_jsonl} sink over one shared {!type:writer}: events
+    accumulate in a per-domain buffer of complete lines and are flushed
+    to the underlying channel under the writer's mutex, so the output
+    file interleaves whole JSONL lines, never partial ones. *)
+
+type writer
+
+val writer : out_channel -> writer
+(** Mutex-guarded writer over an existing channel; {!writer_close}
+    flushes but does not close it. *)
+
+val writer_to_file : string -> writer
+(** Writer over a fresh file; {!writer_close} closes it. *)
+
+val writer_lines : writer -> string -> unit
+(** Append a chunk (one or more complete ['\n']-terminated lines)
+    atomically with respect to other writers of the same {!type:writer}. *)
+
+val writer_close : writer -> unit
+
+val buffered_jsonl : ?flush_bytes:int -> writer -> sink
+(** Per-domain sink: buffers whole JSONL lines locally and hands them to
+    the shared writer once [flush_bytes] (default 64 KiB) accumulate.
+    [close] flushes the buffer; call it in the domain that emitted. *)
+
+val locked : sink -> sink
+(** Serialise [emit]/[close] of an arbitrary sink behind a fresh mutex —
+    the blunt fallback for sinks with no domain-safe variant (e.g.
+    {!counting} over a shared {!Pts_util.Stats.t}). Prefer per-domain
+    sinks merged after join. *)

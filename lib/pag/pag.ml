@@ -7,8 +7,9 @@ type node_kind =
   | Global of int
   | Obj of int
 
-(* Per-node adjacency, indexed by label and direction. Lists are fine: the
-   analyses iterate them, never search them. *)
+(* Per-node adjacency, indexed by label and direction. Lists are the
+   build-side representation only: [freeze] packs them into int-array CSR
+   slabs and drops them, so queries run over dense read-only arrays. *)
 type adj = {
   mutable new_in : node list;
   mutable new_out : node list;
@@ -24,6 +25,28 @@ type adj = {
   mutable entry_out : (site * node) list;
   mutable exit_in : (site * node) list;
   mutable exit_out : (site * node) list;
+}
+
+(* One CSR slab: edges of node [n] occupy [off.(n) .. off.(n+1)-1] in
+   [dst] (neighbour ids) and, for labelled slabs, [aux] (field or call
+   site, parallel to [dst]; [||] for unlabelled slabs). *)
+type slab = { off : int array; dst : int array; aux : int array }
+
+type packed = {
+  p_new_in : slab;
+  p_new_out : slab;
+  p_assign_in : slab;
+  p_assign_out : slab;
+  p_global_in : slab;
+  p_global_out : slab;
+  p_load_in : slab;
+  p_load_out : slab;
+  p_store_in : slab;
+  p_store_out : slab;
+  p_entry_in : slab;
+  p_entry_out : slab;
+  p_exit_in : slab;
+  p_exit_out : slab;
 }
 
 type edge_counts = {
@@ -42,15 +65,17 @@ type t = {
   global_base : int;
   obj_base : int;
   n_nodes : int;
-  adjs : adj array;
+  mutable adjs : adj array; (* build side; emptied at freeze *)
   dedup : (int * int * int * int, unit) Hashtbl.t; (* (label tag, src, dst, f-or-site) *)
   mutable recursive_sites : bool array;
   mutable counts : edge_counts;
   mutable frozen : bool;
+  mutable packed : packed option; (* the read side, valid after freeze *)
   mutable flag_local : Bytes.t; (* per-node flags, valid after freeze *)
   mutable flag_gin : Bytes.t;
   mutable flag_gout : Bytes.t;
-  (* per-field edge indices, memoised once frozen *)
+  (* per-field edge indices, filled eagerly at freeze so the frozen
+     structure is genuinely read-only (safe to share across domains) *)
   loads_by_field : (fld, (node * node) list) Hashtbl.t;
   stores_by_field : (fld, (node * node) list) Hashtbl.t;
 }
@@ -88,6 +113,7 @@ let create (prog : Ir.program) =
       { n_new = 0; n_assign = 0; n_load = 0; n_store = 0; n_entry = 0; n_exit = 0;
         n_assign_global = 0 };
     frozen = false;
+    packed = None;
     flag_local = Bytes.empty;
     flag_gin = Bytes.empty;
     flag_gout = Bytes.empty;
@@ -228,35 +254,60 @@ let set_recursive_site t site =
 let is_recursive_site t site =
   site >= 0 && site < Array.length t.recursive_sites && t.recursive_sites.(site)
 
-let new_in t n = (adj t n).new_in
-let new_out t n = (adj t n).new_out
-let assign_in t n = (adj t n).assign_in
-let assign_out t n = (adj t n).assign_out
-let global_in t n = (adj t n).global_in
-let global_out t n = (adj t n).global_out
-let load_in t n = (adj t n).load_in
-let load_out t n = (adj t n).load_out
-let store_in t n = (adj t n).store_in
-let store_out t n = (adj t n).store_out
-let entry_in t n = (adj t n).entry_in
-let entry_out t n = (adj t n).entry_out
-let exit_in t n = (adj t n).exit_in
-let exit_out t n = (adj t n).exit_out
+(* ----------------------------- packing ------------------------------ *)
 
-let scan_field t f ~index ~select =
-  match if t.frozen then Hashtbl.find_opt index f else None with
-  | Some cached -> cached
-  | None ->
-    let acc = ref [] in
-    Array.iteri
-      (fun n a -> List.iter (fun (g, other) -> if g = f then acc := (n, other) :: !acc) (select a))
-      t.adjs;
-    if t.frozen then Hashtbl.add index f !acc;
-    !acc
+let pack_nodes n_nodes adjs select =
+  let off = Array.make (n_nodes + 1) 0 in
+  for i = 0 to n_nodes - 1 do
+    off.(i + 1) <- off.(i) + List.length (select adjs.(i))
+  done;
+  let dst = Array.make off.(n_nodes) 0 in
+  for i = 0 to n_nodes - 1 do
+    let k = ref off.(i) in
+    List.iter
+      (fun x ->
+        dst.(!k) <- x;
+        incr k)
+      (select adjs.(i))
+  done;
+  { off; dst; aux = [||] }
 
-let loads_of_field t f = scan_field t f ~index:t.loads_by_field ~select:(fun a -> a.load_out)
+let pack_pairs n_nodes adjs select =
+  let off = Array.make (n_nodes + 1) 0 in
+  for i = 0 to n_nodes - 1 do
+    off.(i + 1) <- off.(i) + List.length (select adjs.(i))
+  done;
+  let dst = Array.make off.(n_nodes) 0 in
+  let aux = Array.make off.(n_nodes) 0 in
+  for i = 0 to n_nodes - 1 do
+    let k = ref off.(i) in
+    List.iter
+      (fun (a, x) ->
+        aux.(!k) <- a;
+        dst.(!k) <- x;
+        incr k)
+      (select adjs.(i))
+  done;
+  { off; dst; aux }
 
-let stores_of_field t f = scan_field t f ~index:t.stores_by_field ~select:(fun a -> a.store_in)
+let degree s n = s.off.(n + 1) - s.off.(n)
+
+(* Post-freeze list views, reconstructed from the slabs (cold paths only;
+   the kernel iterates the arrays directly). *)
+let slab_nodes s n =
+  let lo = s.off.(n) in
+  let rec go k acc = if k < lo then acc else go (k - 1) (s.dst.(k) :: acc) in
+  go (s.off.(n + 1) - 1) []
+
+let slab_pairs s n =
+  let lo = s.off.(n) in
+  let rec go k acc = if k < lo then acc else go (k - 1) ((s.aux.(k), s.dst.(k)) :: acc) in
+  go (s.off.(n + 1) - 1) []
+
+let packed t =
+  match t.packed with
+  | Some p -> p
+  | None -> invalid_arg "Pag.packed: call Pag.freeze first"
 
 let freeze t =
   if not t.frozen then begin
@@ -275,8 +326,98 @@ let freeze t =
       if a.global_in <> [] || a.entry_in <> [] || a.exit_in <> [] then Bytes.set t.flag_gin i '\001';
       if a.global_out <> [] || a.entry_out <> [] || a.exit_out <> [] then
         Bytes.set t.flag_gout i '\001'
-    done
+    done;
+    let nn = t.n_nodes in
+    let adjs = t.adjs in
+    t.packed <-
+      Some
+        {
+          p_new_in = pack_nodes nn adjs (fun a -> a.new_in);
+          p_new_out = pack_nodes nn adjs (fun a -> a.new_out);
+          p_assign_in = pack_nodes nn adjs (fun a -> a.assign_in);
+          p_assign_out = pack_nodes nn adjs (fun a -> a.assign_out);
+          p_global_in = pack_nodes nn adjs (fun a -> a.global_in);
+          p_global_out = pack_nodes nn adjs (fun a -> a.global_out);
+          p_load_in = pack_pairs nn adjs (fun a -> a.load_in);
+          p_load_out = pack_pairs nn adjs (fun a -> a.load_out);
+          p_store_in = pack_pairs nn adjs (fun a -> a.store_in);
+          p_store_out = pack_pairs nn adjs (fun a -> a.store_out);
+          p_entry_in = pack_pairs nn adjs (fun a -> a.entry_in);
+          p_entry_out = pack_pairs nn adjs (fun a -> a.entry_out);
+          p_exit_in = pack_pairs nn adjs (fun a -> a.exit_in);
+          p_exit_out = pack_pairs nn adjs (fun a -> a.exit_out);
+        };
+    (* per-field indices, eagerly: the frozen graph must need no further
+       writes, so concurrent readers never race on a lazy memo *)
+    for b = 0 to t.n_nodes - 1 do
+      List.iter
+        (fun (f, dst) ->
+          Hashtbl.replace t.loads_by_field f
+            ((b, dst) :: Option.value ~default:[] (Hashtbl.find_opt t.loads_by_field f)))
+        adjs.(b).load_out;
+      List.iter
+        (fun (f, src) ->
+          Hashtbl.replace t.stores_by_field f
+            ((b, src) :: Option.value ~default:[] (Hashtbl.find_opt t.stores_by_field f)))
+        adjs.(b).store_in
+    done;
+    (* construction-only state: the dedup table and the list adjacency are
+       dead weight once packed — drop them to cut resident memory *)
+    Hashtbl.reset t.dedup;
+    t.adjs <- [||]
   end
+
+(* Adjacency accessors: CSR views once frozen, build-side lists before. *)
+let new_in t n = match t.packed with Some p -> slab_nodes p.p_new_in n | None -> (adj t n).new_in
+let new_out t n = match t.packed with Some p -> slab_nodes p.p_new_out n | None -> (adj t n).new_out
+
+let assign_in t n =
+  match t.packed with Some p -> slab_nodes p.p_assign_in n | None -> (adj t n).assign_in
+
+let assign_out t n =
+  match t.packed with Some p -> slab_nodes p.p_assign_out n | None -> (adj t n).assign_out
+
+let global_in t n =
+  match t.packed with Some p -> slab_nodes p.p_global_in n | None -> (adj t n).global_in
+
+let global_out t n =
+  match t.packed with Some p -> slab_nodes p.p_global_out n | None -> (adj t n).global_out
+
+let load_in t n = match t.packed with Some p -> slab_pairs p.p_load_in n | None -> (adj t n).load_in
+
+let load_out t n =
+  match t.packed with Some p -> slab_pairs p.p_load_out n | None -> (adj t n).load_out
+
+let store_in t n =
+  match t.packed with Some p -> slab_pairs p.p_store_in n | None -> (adj t n).store_in
+
+let store_out t n =
+  match t.packed with Some p -> slab_pairs p.p_store_out n | None -> (adj t n).store_out
+
+let entry_in t n =
+  match t.packed with Some p -> slab_pairs p.p_entry_in n | None -> (adj t n).entry_in
+
+let entry_out t n =
+  match t.packed with Some p -> slab_pairs p.p_entry_out n | None -> (adj t n).entry_out
+
+let exit_in t n = match t.packed with Some p -> slab_pairs p.p_exit_in n | None -> (adj t n).exit_in
+
+let exit_out t n =
+  match t.packed with Some p -> slab_pairs p.p_exit_out n | None -> (adj t n).exit_out
+
+let scan_field t f ~index ~select =
+  if t.frozen then Option.value ~default:[] (Hashtbl.find_opt index f)
+  else begin
+    let acc = ref [] in
+    Array.iteri
+      (fun n a -> List.iter (fun (g, other) -> if g = f then acc := (n, other) :: !acc) (select a))
+      t.adjs;
+    !acc
+  end
+
+let loads_of_field t f = scan_field t f ~index:t.loads_by_field ~select:(fun a -> a.load_out)
+
+let stores_of_field t f = scan_field t f ~index:t.stores_by_field ~select:(fun a -> a.store_in)
 
 let require_frozen t name = if not t.frozen then invalid_arg (name ^ ": call Pag.freeze first")
 
@@ -302,15 +443,27 @@ let locality t =
 
 let touched_counts t =
   let objs = ref 0 and locals = ref 0 and globals = ref 0 in
-  for i = 0 to t.n_nodes - 1 do
-    let a = t.adjs.(i) in
-    let touched =
-      a.new_in <> [] || a.new_out <> [] || a.assign_in <> [] || a.assign_out <> []
-      || a.global_in <> [] || a.global_out <> [] || a.load_in <> [] || a.load_out <> []
-      || a.store_in <> [] || a.store_out <> [] || a.entry_in <> [] || a.entry_out <> []
-      || a.exit_in <> [] || a.exit_out <> []
-    in
+  let tally i touched =
     if touched then
       if i >= t.obj_base then incr objs else if i >= t.global_base then incr globals else incr locals
-  done;
+  in
+  (match t.packed with
+  | Some p ->
+    for i = 0 to t.n_nodes - 1 do
+      tally i
+        (degree p.p_new_in i > 0 || degree p.p_new_out i > 0 || degree p.p_assign_in i > 0
+        || degree p.p_assign_out i > 0 || degree p.p_global_in i > 0 || degree p.p_global_out i > 0
+        || degree p.p_load_in i > 0 || degree p.p_load_out i > 0 || degree p.p_store_in i > 0
+        || degree p.p_store_out i > 0 || degree p.p_entry_in i > 0 || degree p.p_entry_out i > 0
+        || degree p.p_exit_in i > 0 || degree p.p_exit_out i > 0)
+    done
+  | None ->
+    for i = 0 to t.n_nodes - 1 do
+      let a = t.adjs.(i) in
+      tally i
+        (a.new_in <> [] || a.new_out <> [] || a.assign_in <> [] || a.assign_out <> []
+        || a.global_in <> [] || a.global_out <> [] || a.load_in <> [] || a.load_out <> []
+        || a.store_in <> [] || a.store_out <> [] || a.entry_in <> [] || a.entry_out <> []
+        || a.exit_in <> [] || a.exit_out <> [])
+    done);
   (!objs, !locals, !globals)

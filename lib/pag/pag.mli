@@ -62,8 +62,44 @@ val set_recursive_site : t -> site -> unit
     its entry/exit edges context-insensitively. *)
 
 val freeze : t -> unit
-(** Precompute the derived per-node flags. Call after all edges are added;
-    adding edges afterwards raises. *)
+(** Seal the graph: pack the list adjacency into int-array CSR slabs (one
+    per label and direction), precompute the derived per-node flags and
+    the per-field load/store indices, and free the construction-only
+    state (the edge-dedup table and the build-side lists). Call after all
+    edges are added; adding edges afterwards raises. A frozen graph is
+    never written again, so it is safe to share across domains. *)
+
+(** {2 The packed (CSR) adjacency — requires {!freeze}}
+
+    The hot paths (the CFL kernel) iterate these slabs directly instead
+    of materialising lists. Edges of node [n] in a slab [s] occupy
+    [s.off.(n) .. s.off.(n+1) - 1] of [s.dst]; for the labelled slabs
+    (load/store/entry/exit) the parallel [s.aux] carries the field or
+    call-site id, and for the unlabelled ones it is [[||]]. *)
+
+type slab = private { off : int array; dst : int array; aux : int array }
+
+type packed = private {
+  p_new_in : slab;
+  p_new_out : slab;
+  p_assign_in : slab;
+  p_assign_out : slab;
+  p_global_in : slab;
+  p_global_out : slab;
+  p_load_in : slab;
+  p_load_out : slab;
+  p_store_in : slab;
+  p_store_out : slab;
+  p_entry_in : slab;
+  p_entry_out : slab;
+  p_exit_in : slab;
+  p_exit_out : slab;
+}
+
+val packed : t -> packed
+(** @raise Invalid_argument before {!freeze}. *)
+
+val degree : slab -> node -> int
 
 (** {2 Node accessors} *)
 
@@ -84,7 +120,11 @@ val node_name : t -> node -> string
 val method_of_node : t -> node -> int option
 (** Enclosing method for locals; [None] for globals and objects. *)
 
-(** {2 Adjacency (direction of value flow)} *)
+(** {2 Adjacency (direction of value flow)}
+
+    List views: backed by the build-side lists before {!freeze} and
+    reconstructed from the CSR slabs afterwards (allocating — cold paths
+    only; hot loops should use {!packed}). *)
 
 val new_in : t -> node -> node list
 (** At a variable [v]: objects [o] with [o -new-> v]. *)

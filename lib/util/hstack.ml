@@ -19,21 +19,30 @@ end
 
 module Cache = Hashtbl.Make (Key)
 
-let cache : t Cache.t = Cache.create 4096
-let next_id = ref 1
+(* One hash-cons store per domain: plain Hashtbls are not safe under
+   concurrent mutation, and worker domains intern stacks continuously.
+   Domain-local stores make [push] race-free without a lock on the hot
+   path; the price is that ids are only unique {e within} a domain, so
+   stacks must be {!rebase}d when they cross domains. [Empty] is the one
+   shared constructor and is valid everywhere. *)
+type store = { cache : t Cache.t; mutable next_id : int }
+
+let store_key =
+  Domain.DLS.new_key (fun () -> { cache = Cache.create 4096; next_id = 1 })
 
 let empty = Empty
 
 let depth = function Empty -> 0 | Cons c -> c.depth
 
 let push t x =
+  let store = Domain.DLS.get store_key in
   let key = (x, id t) in
-  match Cache.find_opt cache key with
+  match Cache.find_opt store.cache key with
   | Some s -> s
   | None ->
-    let s = Cons { id = !next_id; depth = depth t + 1; top = x; rest = t } in
-    incr next_id;
-    Cache.add cache key s;
+    let s = Cons { id = store.next_id; depth = depth t + 1; top = x; rest = t } in
+    store.next_id <- store.next_id + 1;
+    Cache.add store.cache key s;
     s
 
 let pop = function Empty -> None | Cons c -> Some c.rest
@@ -50,12 +59,14 @@ let rec to_list = function Empty -> [] | Cons c -> c.top :: to_list c.rest
 
 let of_list l = List.fold_left push empty (List.rev l)
 
+let rebase t = of_list (to_list t)
+
 let pp pp_elt fmt t =
   Format.fprintf fmt "[%a]"
     (Format.pp_print_list ~pp_sep:(fun f () -> Format.fprintf f ", ") pp_elt)
     (to_list t)
 
-let table_size () = Cache.length cache
+let table_size () = Cache.length (Domain.DLS.get store_key).cache
 
 module Tbl = Hashtbl.Make (struct
   type nonrec t = t

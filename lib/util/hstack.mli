@@ -6,8 +6,14 @@
     O(1) physical equality and a precomputed hash, and deduplicates storage
     across the millions of stacks a query sweep creates.
 
-    The hash-cons table is global and append-only; stacks from different
-    analyses share structure safely because stacks are immutable. *)
+    The hash-cons table is {e domain-local} and append-only; stacks from
+    different analyses in the same domain share structure safely because
+    stacks are immutable. Ids are unique only within a domain: a stack
+    received from another domain must be {!rebase}d before it is pushed
+    on, compared by {!id}, or used as a table key — every operation here
+    other than the pure readers ({!to_list}, {!peek}, {!depth},
+    {!is_empty}) assumes its argument was interned in the current
+    domain. *)
 
 type t
 
@@ -47,11 +53,18 @@ val to_list : t -> int list
 val of_list : int list -> t
 (** [of_list l] has [List.hd l] on top; inverse of {!to_list}. *)
 
+val rebase : t -> t
+(** Re-intern a stack into the current domain's hash-cons table
+    ([of_list (to_list t)]). Required before a stack that crossed a
+    domain boundary is pushed on or used as a key; a no-op (up to
+    physical identity) for stacks already interned here. *)
+
 val pp : (Format.formatter -> int -> unit) -> Format.formatter -> t -> unit
 (** [pp pp_elt fmt s] prints [\[x1, x2, ...\]] top-first. *)
 
 val table_size : unit -> int
-(** Number of distinct stacks ever created (diagnostics). *)
+(** Number of distinct stacks ever created {e in this domain}
+    (diagnostics). *)
 
 module Tbl : Hashtbl.S with type key = t
 (** Hash tables keyed by stacks, using the O(1) equality/hash above. *)

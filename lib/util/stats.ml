@@ -20,6 +20,8 @@ let get t name = match Hashtbl.find_opt t name with Some r -> !r | None -> 0
 
 let reset t = Hashtbl.reset t
 
+let merge_into ~into src = Hashtbl.iter (fun k r -> add into k !r) src
+
 let to_list t =
   Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)

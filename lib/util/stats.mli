@@ -19,6 +19,11 @@ val get : t -> string -> int
 
 val reset : t -> unit
 
+val merge_into : into:t -> t -> unit
+(** Add every counter of the argument into [into]. The parallel batch
+    scheduler accumulates per-domain; a [t] itself is single-domain state
+    and must never be bumped from two domains concurrently. *)
+
 val to_list : t -> (string * int) list
 (** Sorted by name. *)
 

@@ -48,6 +48,8 @@ let names = List.map (fun c -> c.Genprog.name) configs
 
 let figure45_names = [ "soot-c"; "bloat"; "jython" ]
 
+let largest = "soot-c"
+
 let config name =
   match List.find_opt (fun c -> String.equal c.Genprog.name name) configs with
   | Some c -> c

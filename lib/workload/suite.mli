@@ -20,6 +20,10 @@ val scaled : string -> int -> Genprog.config
 val figure45_names : string list
 (** The three programs of Figures 4 and 5: soot-c, bloat, jython. *)
 
+val largest : string
+(** The biggest, most query-heavy program of the suite (soot-c) — the
+    workload the parallel batch benchmarks report speedups on. *)
+
 val source : string -> string
 (** Generated program text (memoised). *)
 

@@ -111,6 +111,32 @@ let test_frozen_rejects_mutation () =
   | exception Invalid_argument _ -> ()
   | () -> Alcotest.fail "frozen PAG accepted an edge"
 
+(* The packed CSR slabs must carry exactly the edges the counters report,
+   and the reconstructed list views must agree with them node by node. *)
+let test_packed_csr_consistency () =
+  let pl = Lazy.force fig2 in
+  let pag = pl.Pts_clients.Pipeline.pag in
+  let p = Pag.packed pag in
+  let c = Pag.edge_counts pag in
+  let len (s : Pag.slab) = Array.length s.Pag.dst in
+  check Alcotest.int "new slab" c.Pag.n_new (len p.Pag.p_new_in);
+  check Alcotest.int "new slabs symmetric" (len p.Pag.p_new_in) (len p.Pag.p_new_out);
+  check Alcotest.int "assign slab" c.Pag.n_assign (len p.Pag.p_assign_in);
+  check Alcotest.int "global slab" c.Pag.n_assign_global (len p.Pag.p_global_out);
+  check Alcotest.int "load slab" c.Pag.n_load (len p.Pag.p_load_in);
+  check Alcotest.int "store slab" c.Pag.n_store (len p.Pag.p_store_out);
+  check Alcotest.int "entry slab" c.Pag.n_entry (len p.Pag.p_entry_in);
+  check Alcotest.int "exit slab" c.Pag.n_exit (len p.Pag.p_exit_out);
+  for n = 0 to Pag.node_count pag - 1 do
+    check Alcotest.int "new_in degree" (List.length (Pag.new_in pag n)) (Pag.degree p.Pag.p_new_in n);
+    check Alcotest.int "load_out degree"
+      (List.length (Pag.load_out pag n))
+      (Pag.degree p.Pag.p_load_out n);
+    check Alcotest.int "entry_out degree"
+      (List.length (Pag.entry_out pag n))
+      (Pag.degree p.Pag.p_entry_out n)
+  done
+
 (* --------------------------- Call graph ----------------------------- *)
 
 let test_callgraph_virtual_dispatch () =
@@ -216,6 +242,7 @@ let () =
           Alcotest.test_case "node naming" `Quick test_node_naming;
           Alcotest.test_case "locality" `Quick test_locality_metric;
           Alcotest.test_case "frozen" `Quick test_frozen_rejects_mutation;
+          Alcotest.test_case "packed CSR" `Quick test_packed_csr_consistency;
         ] );
       ( "callgraph",
         [

@@ -1,0 +1,174 @@
+(* Determinism and equivalence of the parallel batch scheduler (Parsolve):
+   sharding a batch across domains, at any jobs/rounds setting, must
+   return exactly the sequential engine's answers; merging per-domain
+   DYNSUM caches must never change an answer; traces written through the
+   shared writer must interleave whole lines only.
+
+   All runs use a budget generous enough that every query resolves: a
+   resolved demand query is the exact CFL answer and hence independent of
+   sharding and cache warmth, which is what makes cross-jobs equality a
+   deterministic property rather than a flaky one. *)
+
+module Hstack = Pts_util.Hstack
+module Client = Pts_clients.Client
+module Pipeline = Pts_clients.Pipeline
+module Suite = Pts_workload.Suite
+
+let conf = Engine.conf ~budget_limit:10_000_000 ~max_field_depth:4 ()
+
+let pl = lazy (Suite.pipeline "jack")
+
+let queries = lazy (Pts_clients.Safecast.queries (Lazy.force pl))
+
+let qarr () =
+  Array.of_list (List.map (fun q -> Parsolve.query q.Client.q_node) (Lazy.force queries))
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+(* ------------------- parallel == sequential, per engine ------------------- *)
+
+let test_engine_jobs_equal engine_name () =
+  let pl = Lazy.force pl in
+  let seq = Engine.create ~conf engine_name pl.Pipeline.pag in
+  let expected =
+    List.map (fun q -> seq.Engine.points_to q.Client.q_node) (Lazy.force queries)
+  in
+  List.iter
+    (fun jobs ->
+      let r = Parsolve.run ~conf ~jobs ~engine:engine_name pl.Pipeline.pag (qarr ()) in
+      List.iteri
+        (fun i expect ->
+          if not (Query.equal_outcome expect r.Parsolve.outcomes.(i)) then
+            Alcotest.failf "%s: query %d differs from sequential at jobs=%d" engine_name i jobs)
+        expected)
+    [ 1; 2; 4 ]
+
+let test_rounds_equal () =
+  let pl = Lazy.force pl in
+  let seq = Engine.create ~conf "dynsum" pl.Pipeline.pag in
+  let expected =
+    List.map (fun q -> seq.Engine.points_to q.Client.q_node) (Lazy.force queries)
+  in
+  let r = Parsolve.run ~conf ~jobs:2 ~rounds:3 ~engine:"dynsum" pl.Pipeline.pag (qarr ()) in
+  Alcotest.(check bool) "summaries were merged" true (r.Parsolve.merged_summaries > 0);
+  Alcotest.(check int) "one report per (round, domain)" 6 (List.length r.Parsolve.reports);
+  List.iteri
+    (fun i expect ->
+      if not (Query.equal_outcome expect r.Parsolve.outcomes.(i)) then
+        Alcotest.failf "dynsum: query %d differs from sequential at jobs=2 rounds=3" i)
+    expected
+
+(* --------------------- cache merging preserves answers -------------------- *)
+
+let test_snapshot_merge_preserves_answers () =
+  let pl = Lazy.force pl in
+  let pag = pl.Pipeline.pag in
+  let qs = Lazy.force queries in
+  let half1 = List.filteri (fun i _ -> i mod 2 = 0) qs in
+  let half2 = List.filteri (fun i _ -> i mod 2 = 1) qs in
+  let d1 = Dynsum.create ~conf pag and d2 = Dynsum.create ~conf pag in
+  List.iter (fun q -> ignore (Dynsum.points_to d1 q.Client.q_node)) half1;
+  List.iter (fun q -> ignore (Dynsum.points_to d2 q.Client.q_node)) half2;
+  let merged = Dynsum.snapshot_union [ Dynsum.snapshot d1; Dynsum.snapshot d2 ] in
+  Alcotest.(check bool) "union is non-empty" true (Dynsum.snapshot_length merged > 0);
+  let seeded = Dynsum.create ~conf pag in
+  Alcotest.(check bool) "absorb adds entries" true (Dynsum.absorb seeded merged > 0);
+  let fresh = Dynsum.create ~conf pag in
+  List.iter
+    (fun q ->
+      let a = Dynsum.points_to seeded q.Client.q_node in
+      let b = Dynsum.points_to fresh q.Client.q_node in
+      if not (Query.equal_outcome a b) then
+        Alcotest.failf "merged cache changed the answer for %s" q.Client.q_desc)
+    qs
+
+let test_snapshot_union_is_idempotent () =
+  let pl = Lazy.force pl in
+  let d = Dynsum.create ~conf pl.Pipeline.pag in
+  List.iter (fun q -> ignore (Dynsum.points_to d q.Client.q_node)) (Lazy.force queries);
+  let s = Dynsum.snapshot d in
+  Alcotest.(check int) "union with itself adds nothing"
+    (Dynsum.snapshot_length (Dynsum.snapshot_union [ s ]))
+    (Dynsum.snapshot_length (Dynsum.snapshot_union [ s; s; s ]))
+
+(* ------------------------- trace line integrity --------------------------- *)
+
+let test_parallel_trace_whole_lines () =
+  let pl = Lazy.force pl in
+  let path = Filename.temp_file "ptsto_trace" ".jsonl" in
+  let w = Trace.writer_to_file path in
+  (* tiny flush threshold forces many buffer handoffs to the shared writer *)
+  ignore
+    (Parsolve.run ~conf ~trace_writer:w ~jobs:4 ~engine:"dynsum" pl.Pipeline.pag (qarr ()));
+  Trace.writer_close w;
+  let ic = open_in path in
+  let lines = ref 0 and starts = ref 0 and ends = ref 0 in
+  (try
+     while true do
+       let line = input_line ic in
+       incr lines;
+       if
+         not
+           (String.length line > 1
+           && line.[0] = '{'
+           && line.[String.length line - 1] = '}'
+           && contains line "\"ev\":")
+       then Alcotest.failf "mangled trace line %d: %s" !lines line;
+       if contains line "\"ev\":\"query_start\"" then incr starts;
+       if contains line "\"ev\":\"query_end\"" then incr ends
+     done
+   with End_of_file -> ());
+  close_in ic;
+  Sys.remove path;
+  Alcotest.(check int) "one query_start per query" (Array.length (qarr ())) !starts;
+  Alcotest.(check int) "one query_end per query" (Array.length (qarr ())) !ends
+
+(* ------------------------ hash-cons domain-locality ------------------------ *)
+
+let test_hstack_rebase_across_domains () =
+  let foreign = Domain.join (Domain.spawn (fun () -> Hstack.of_list [ 3; 1; 4; 1 ])) in
+  (* reading a foreign stack is fine; rebase re-interns it locally *)
+  let r = Hstack.rebase foreign in
+  Alcotest.(check (list int)) "symbols survive the crossing" [ 3; 1; 4; 1 ] (Hstack.to_list r);
+  Alcotest.(check bool) "rebased stack is hash-consed in this domain" true
+    (Hstack.equal r (Hstack.of_list [ 3; 1; 4; 1 ]))
+
+(* ------------------------------ validations ------------------------------- *)
+
+let test_run_validations () =
+  let pl = Lazy.force pl in
+  Alcotest.check_raises "jobs must be positive"
+    (Invalid_argument "Parsolve.run: jobs must be >= 1") (fun () ->
+      ignore (Parsolve.run ~jobs:0 ~engine:"dynsum" pl.Pipeline.pag [||]));
+  Alcotest.check_raises "rounds must be positive"
+    (Invalid_argument "Parsolve.run: rounds must be >= 1") (fun () ->
+      ignore (Parsolve.run ~rounds:0 ~engine:"dynsum" pl.Pipeline.pag [||]));
+  (match Parsolve.run ~engine:"nosuch" pl.Pipeline.pag [||] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "unknown engine accepted");
+  let unfrozen = Pag.create pl.Pipeline.prog in
+  Alcotest.check_raises "unfrozen PAG rejected"
+    (Invalid_argument "Pag.packed: call Pag.freeze first") (fun () ->
+      ignore (Parsolve.run ~engine:"dynsum" unfrozen [||]))
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ( "equivalence",
+        List.map
+          (fun name ->
+            Alcotest.test_case (name ^ " jobs 1/2/4") `Quick (test_engine_jobs_equal name))
+          (Engine.names ())
+        @ [ Alcotest.test_case "dynsum jobs=2 rounds=3" `Quick test_rounds_equal ] );
+      ( "snapshots",
+        [
+          Alcotest.test_case "merge preserves answers" `Quick test_snapshot_merge_preserves_answers;
+          Alcotest.test_case "union idempotent" `Quick test_snapshot_union_is_idempotent;
+        ] );
+      ("trace", [ Alcotest.test_case "whole lines only" `Quick test_parallel_trace_whole_lines ]);
+      ("hstack", [ Alcotest.test_case "rebase across domains" `Quick test_hstack_rebase_across_domains ]);
+      ("validation", [ Alcotest.test_case "argument checks" `Quick test_run_validations ]);
+    ]
