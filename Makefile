@@ -3,7 +3,7 @@
 
 DUNE ?= dune
 
-.PHONY: all build test smoke smoke-parallel check bench bench-smoke clean
+.PHONY: all build test smoke smoke-parallel smoke-prune check bench bench-smoke bench-prune-smoke verify clean
 
 all: build
 
@@ -36,7 +36,18 @@ smoke-parallel:
 	    assert sum(d["queries"] for d in m["domains"]) == m["queries"], m; \
 	    print("parallel smoke ok:", m["queries"], "queries on", m["jobs"], "domains")'
 
-check: build test smoke smoke-parallel
+# Andersen-guided pruning end to end: the pruner must be consulted
+# (prune_checks > 0), must actually cut match-edge work on refinepts
+# (pruned_states > 0), and the flag must leave verdict counts unchanged.
+smoke-prune:
+	$(DUNE) exec bin/ptsto.exe -- client --bench jython -c nullderef -e refinepts --prune --metrics-json \
+	  | tail -n 1 \
+	  | python3 -c 'import json,sys; e=json.load(sys.stdin)["engines"][0]; c=e["counters"]; \
+	    assert c.get("prune_checks", 0) > 0, c; \
+	    assert c.get("pruned_states", 0) > 0, c; \
+	    print("prune smoke ok:", c["pruned_states"], "states pruned in", c["prune_checks"], "checks")'
+
+check: build test smoke smoke-parallel smoke-prune
 
 bench:
 	$(DUNE) exec bench/main.exe
@@ -48,6 +59,21 @@ bench-smoke:
 	  | grep '^BENCH_parallel_smoke.json ' \
 	  | sed 's/^BENCH_parallel_smoke.json //' > BENCH_parallel_smoke.json
 	python3 -c 'import json; json.load(open("BENCH_parallel_smoke.json")); print("bench-smoke ok")'
+
+# Pruning-on/off ratios on one benchmark (jython, NullDeref + alias
+# pairs); writes the machine-readable artefact next to the repo root.
+bench-prune-smoke:
+	$(DUNE) exec bench/main.exe -- prune_smoke \
+	  | grep '^BENCH_prune_smoke.json ' \
+	  | sed 's/^BENCH_prune_smoke.json //' > BENCH_prune_smoke.json
+	python3 -c 'import json; \
+	  rows=json.load(open("BENCH_prune_smoke.json"))["rows"]; \
+	  assert all(r["verdicts_equal"] for r in rows), rows; \
+	  assert any(r["steps_on"] < r["steps_off"] for r in rows), rows; \
+	  print("bench-prune-smoke ok:", len(rows), "rows, verdicts equal, steps reduced")'
+
+# Tier-1 plus both smokes in one command.
+verify: check bench-smoke bench-prune-smoke
 
 clean:
 	$(DUNE) clean

@@ -53,6 +53,17 @@ let trace_arg =
     value & opt (some string) None
     & info [ "trace" ] ~docv:"FILE" ~doc:"Write a JSONL trace of engine events to $(docv).")
 
+let prune_arg =
+  Arg.(
+    value
+    & vflag false
+        [
+          ( true,
+            info [ "prune" ]
+              ~doc:"Prune the CFL search with the Andersen oracle (answers unchanged)." );
+          (false, info [ "no-prune" ] ~doc:"Disable Andersen-guided pruning (default).");
+        ])
+
 let metrics_arg =
   Arg.(
     value & flag
@@ -145,10 +156,10 @@ let stats_cmd file bench =
 let ir_cmd file bench =
   with_pipeline file bench (fun pl -> Format.printf "%a@." Ir.pp_program pl.Pipeline.prog)
 
-let query_cmd file bench meth var engine_name budget trace metrics =
+let query_cmd file bench meth var engine_name budget prune trace metrics =
   with_pipeline file bench (fun pl ->
       with_trace trace (fun sink ->
-          let conf = Engine.conf ~budget_limit:budget () in
+          let conf = Engine.conf ~budget_limit:budget ~prune () in
           let engine = Engine.create ~conf ~trace:sink engine_name pl.Pipeline.pag in
           match Pipeline.find_local pl ~meth_pretty:meth ~var with
           | exception Not_found ->
@@ -177,12 +188,12 @@ let query_cmd file bench meth var engine_name budget trace metrics =
    path below because the trace plumbing differs (a shared mutex-guarded
    writer instead of one sink) and per-domain reports replace the single
    engine's counters. *)
-let client_par_cmd file bench client_key engine_name budget cache_file trace metrics jobs rounds =
+let client_par_cmd file bench client_key engine_name budget prune cache_file trace metrics jobs rounds =
   with_pipeline file bench (fun pl ->
       let cname, queries_of = List.assoc client_key clients in
       if cache_file <> None then
         Printf.eprintf "warning: --cache is ignored in parallel batch mode\n";
-      let conf = Engine.conf ~budget_limit:budget () in
+      let conf = Engine.conf ~budget_limit:budget ~prune () in
       let writer = Option.map Trace.writer_to_file trace in
       let queries = queries_of pl in
       let qarr =
@@ -256,14 +267,14 @@ let client_par_cmd file bench client_key engine_name budget cache_file trace met
                   );
                 ])))
 
-let client_cmd file bench client_key engine_name budget cache_file trace metrics jobs rounds =
+let client_cmd file bench client_key engine_name budget prune cache_file trace metrics jobs rounds =
   if jobs <> 1 || rounds <> 1 then
-    client_par_cmd file bench client_key engine_name budget cache_file trace metrics jobs rounds
+    client_par_cmd file bench client_key engine_name budget prune cache_file trace metrics jobs rounds
   else
   with_pipeline file bench (fun pl ->
       with_trace trace (fun sink ->
           let cname, queries_of = List.assoc client_key clients in
-          let conf = Engine.conf ~budget_limit:budget () in
+          let conf = Engine.conf ~budget_limit:budget ~prune () in
           (* with --cache, a DYNSUM session persists its summaries across runs *)
           let dynsum_session =
             match cache_file with
@@ -307,10 +318,10 @@ let client_cmd file bench client_key engine_name budget cache_file trace metrics
           | None -> ());
           if metrics then print_metrics [ (None, engine) ]))
 
-let compare_cmd file bench budget trace metrics =
+let compare_cmd file bench budget prune trace metrics =
   with_pipeline file bench (fun pl ->
       with_trace trace (fun sink ->
-      let conf = Engine.conf ~budget_limit:budget () in
+      let conf = Engine.conf ~budget_limit:budget ~prune () in
       let t =
         Table.create
           [
@@ -349,9 +360,9 @@ let compare_cmd file bench budget trace metrics =
       Table.print t;
       if metrics then print_metrics (List.rev !used)))
 
-let alias_cmd file bench meth var1 var2 engine_name budget =
+let alias_cmd file bench meth var1 var2 engine_name budget prune =
   with_pipeline file bench (fun pl ->
-      let conf = Engine.conf ~budget_limit:budget () in
+      let conf = Engine.conf ~budget_limit:budget ~prune () in
       let engine = Engine.create ~conf engine_name pl.Pipeline.pag in
       let node v =
         match Pipeline.find_local pl ~meth_pretty:meth ~var:v with
@@ -366,9 +377,10 @@ let alias_cmd file bench meth var1 var2 engine_name budget =
         | Alias.May -> "may-alias"
         | Alias.Unknown -> "unknown (budget exceeded)"
       in
+      let pag = if prune then Some pl.Pipeline.pag else None in
       Printf.printf "%s ~ %s: %s (with heap contexts), %s (sites only)\n" var1 var2
-        (show (Alias.may_alias engine x y))
-        (show (Alias.may_alias_sites engine x y)))
+        (show (Alias.may_alias ?pag engine x y))
+        (show (Alias.may_alias_sites ?pag engine x y)))
 
 let why_cmd file bench meth var site =
   with_pipeline file bench (fun pl ->
@@ -427,8 +439,8 @@ let query_t =
   let var = Arg.(required & opt (some string) None & info [ "var"; "v" ] ~docv:"V" ~doc:"Variable name.") in
   Cmd.v (Cmd.info "query" ~doc:"Answer one points-to query")
     Term.(
-      const query_cmd $ file_arg $ bench_arg $ meth $ var $ engine_arg $ budget_arg $ trace_arg
-      $ metrics_arg)
+      const query_cmd $ file_arg $ bench_arg $ meth $ var $ engine_arg $ budget_arg $ prune_arg
+      $ trace_arg $ metrics_arg)
 
 let client_t =
   let client =
@@ -461,12 +473,12 @@ let client_t =
   in
   Cmd.v (Cmd.info "client" ~doc:"Run a client's query set")
     Term.(
-      const client_cmd $ file_arg $ bench_arg $ client $ engine_arg $ budget_arg $ cache
-      $ trace_arg $ metrics_arg $ jobs $ rounds)
+      const client_cmd $ file_arg $ bench_arg $ client $ engine_arg $ budget_arg $ prune_arg
+      $ cache $ trace_arg $ metrics_arg $ jobs $ rounds)
 
 let compare_t =
   Cmd.v (Cmd.info "compare" ~doc:"All engines on all clients")
-    Term.(const compare_cmd $ file_arg $ bench_arg $ budget_arg $ trace_arg $ metrics_arg)
+    Term.(const compare_cmd $ file_arg $ bench_arg $ budget_arg $ prune_arg $ trace_arg $ metrics_arg)
 
 let gen_t =
   let bench =
@@ -485,7 +497,9 @@ let alias_t =
   let var1 = Arg.(required & opt (some string) None & info [ "x" ] ~docv:"X" ~doc:"First variable.") in
   let var2 = Arg.(required & opt (some string) None & info [ "y" ] ~docv:"Y" ~doc:"Second variable.") in
   Cmd.v (Cmd.info "alias" ~doc:"May two variables alias?")
-    Term.(const alias_cmd $ file_arg $ bench_arg $ meth $ var1 $ var2 $ engine_arg $ budget_arg)
+    Term.(
+      const alias_cmd $ file_arg $ bench_arg $ meth $ var1 $ var2 $ engine_arg $ budget_arg
+      $ prune_arg)
 
 let why_t =
   let meth =

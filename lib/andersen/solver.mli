@@ -13,8 +13,16 @@
     - its solution is a sound over-approximation of every context-sensitive
       demand answer, which the test-suite uses as an oracle.
 
-    [run] returns a frozen PAG with recursion-collapsed call sites, ready
-    for the demand-driven analyses. *)
+    The fixpoint runs with {e difference propagation} — each unit keeps a
+    delta bitset of not-yet-propagated sites and only the delta flows
+    along copy edges — and {e online cycle collapse}: copy-edge SCCs
+    detected periodically during solving are merged into single units via
+    union-find, so a cycle's set is propagated once instead of once per
+    member.
+
+    [run] returns a frozen PAG with recursion-collapsed call sites and
+    the solution installed as the PAG's pruning oracle
+    (see {!Pag.set_oracle}), ready for the demand-driven analyses. *)
 
 type t
 
@@ -39,4 +47,5 @@ val reachable_methods : t -> int list
 
 val stats : t -> Pts_util.Stats.t
 (** Counters: ["propagations"], ["copy_edges"], ["cells"],
-    ["reachable_methods"], ["cg_edges"], ["recursive_sccs"]. *)
+    ["reachable_methods"], ["cg_edges"], ["recursive_sccs"],
+    ["collapsed_units"], ["collapse_passes"]. *)

@@ -196,18 +196,39 @@ let expand t u f s =
 let stop_of_satisfy satisfy =
   Option.map (fun pred -> fun acc -> not (pred acc)) satisfy
 
+(* Per-query pruner counters -> trace counters (and thence stats). *)
+let flush_pruner sink engine = function
+  | None -> ()
+  | Some pr ->
+    let checked = Kernel.checked_count pr and pruned = Kernel.pruned_count pr in
+    if checked > 0 then
+      Trace.emit sink (Trace.Counter { engine; name = "prune_checks"; delta = checked });
+    if pruned > 0 then
+      Trace.emit sink (Trace.Counter { engine; name = "pruned_states"; delta = pruned })
+
 let points_to_in t ?satisfy v c0 =
   Trace.emit t.sink (Trace.Query_start { engine = name; node = v });
   Budget.start_query t.budget;
+  (* The pruner applies only to the inter-procedural worklist here — the
+     expander computes/reuses PPTA summaries, which must stay prune-free
+     so the cache is identical whichever way the flag is set. *)
+  let prune = if t.conf.Conf.prune then Kernel.pruner t.pag ~root:v else None in
   let outcome =
-    try
-      Query.Resolved
-        (Kernel.solve ?stop:(stop_of_satisfy satisfy) t.pag t.budget (expand t) v c0)
-    with Budget.Out_of_budget ->
-      Trace.emit t.sink
-        (Trace.Budget_exceeded { engine = name; node = v; steps = Budget.steps_this_query t.budget });
-      Query.Exceeded
+    if t.conf.Conf.prune && Pag.oracle_row_empty t.pag v then begin
+      (* definite-negative fast path: nothing flows to the root at all *)
+      Trace.emit t.sink (Trace.Counter { engine = name; name = "oracle_empty_root"; delta = 1 });
+      Query.Resolved Query.Target_set.empty
+    end
+    else
+      try
+        Query.Resolved
+          (Kernel.solve ?stop:(stop_of_satisfy satisfy) ?prune t.pag t.budget (expand t) v c0)
+      with Budget.Out_of_budget ->
+        Trace.emit t.sink
+          (Trace.Budget_exceeded { engine = name; node = v; steps = Budget.steps_this_query t.budget });
+        Query.Exceeded
   in
+  flush_pruner t.sink name prune;
   (match outcome with
   | Query.Resolved ts ->
     Trace.emit t.sink

@@ -57,6 +57,66 @@ end
 module Key_tbl = Hashtbl.Make (Key)
 module Visited = Key_tbl
 
+(* ------------------------- Andersen pruning ------------------------- *)
+
+(* A per-query view of the PAG's Andersen oracle. Soundness of the two
+   cuts (see kernel.mli); both are skipped for widened field stacks,
+   where the traversal itself over-approximates and pruning could shrink
+   the (equally over-approximate) answer the unpruned engine gives. *)
+type pruner = {
+  pr_pag : Pag.t;
+  pr_root : Pag.node;
+  mutable pr_pruned : int;
+  mutable pr_checked : int;
+}
+
+let pruner pag ~root =
+  if Pag.has_oracle pag then Some { pr_pag = pag; pr_root = root; pr_pruned = 0; pr_checked = 0 }
+  else None
+
+let pruned_count pr = pr.pr_pruned
+let checked_count pr = pr.pr_checked
+
+let should_prune pr u f s =
+  pr.pr_checked <- pr.pr_checked + 1;
+  if Fstack.is_widened f then false
+  else if Pag.oracle_row_empty pr.pr_pag u then begin
+    pr.pr_pruned <- pr.pr_pruned + 1;
+    true
+  end
+  else
+    match s with
+    | S1 when Hstack.is_empty f ->
+      if Pag.oracle_disjoint pr.pr_pag u pr.pr_root then begin
+        pr.pr_pruned <- pr.pr_pruned + 1;
+        true
+      end
+      else false
+    | S1 | S2 -> false
+
+(* Match-edge cuts: the one place the demand side is strictly coarser
+   than Andersen. A field-based match edge for [g] assumes every site
+   ever stored to [g] may surface at the load destination; the oracle
+   knows which of them actually reach it. Filtering here only changes
+   unconverged REFINEPTS passes — the pass a query returns crosses no
+   match edges, so the final answer is untouched. *)
+
+let prune_match_site pr ~dst site =
+  pr.pr_checked <- pr.pr_checked + 1;
+  if Pag.oracle_mem pr.pr_pag dst site then false
+  else begin
+    pr.pr_pruned <- pr.pr_pruned + 1;
+    true
+  end
+
+let prune_match_flow pr ~src x =
+  pr.pr_checked <- pr.pr_checked + 1;
+  if Pag.oracle_disjoint pr.pr_pag src x then begin
+    pr.pr_pruned <- pr.pr_pruned + 1;
+    true
+  end
+  else false
+
 (* Harvested allocation sites are small dense ints: an int-keyed table
    avoids the polymorphic hash on every dedup probe. *)
 module Int_tbl = Hashtbl.Make (struct
@@ -66,7 +126,7 @@ module Int_tbl = Hashtbl.Make (struct
   let hash x = x land max_int
 end)
 
-let local_walk ?observe ~policy pag conf budget v0 f0 s0 =
+let local_walk ?observe ?prune ~policy pag conf budget v0 f0 s0 =
   (* the packed (frozen) adjacency: all traversal below iterates the CSR
      slabs directly — no list reconstruction on the hot path *)
   let p = Pag.packed pag in
@@ -95,9 +155,12 @@ let local_walk ?observe ~policy pag conf budget v0 f0 s0 =
     let key = (v, Hstack.id f, state_to_int s) in
     if not (Visited.mem visited key) then begin
       Visited.add visited key ();
-      Budget.step budget;
-      (match observe with Some obs -> obs v f s | None -> ());
-      match s with
+      (* prune before charging budget: a pruned state costs no steps *)
+      let pruned = match prune with Some pr -> should_prune pr v f s | None -> false in
+      if not pruned then begin
+        Budget.step budget;
+        (match observe with Some obs -> obs v f s | None -> ());
+        match s with
       | S1 ->
         (* v <-new- o: harvest the object, or flip direction to chase an
            alias of v when fields are still pending (a widened stack may
@@ -129,6 +192,11 @@ let local_walk ?observe ~policy pag conf budget v0 f0 s0 =
                approximation, with context and field stack cleared *)
             policy.note_match ~dst:v ~fld:g ~base:u;
             let sites = policy.match_pts g in
+            let sites =
+              match prune with
+              | Some pr -> List.filter (fun site -> not (prune_match_site pr ~dst:v site)) sites
+              | None -> sites
+            in
             if Fstack.may_be_empty f then List.iter add_match_obj sites;
             if not (Hstack.is_empty f) then
               let no = p.Pag.p_new_out in
@@ -183,7 +251,13 @@ let local_walk ?observe ~policy pag conf budget v0 f0 s0 =
             (* unrefined loads of g: the value escapes into the
                field-based approximation and may surface at any of them *)
             if !unrefined_exists then
-              List.iter (fun x -> add_jump x f S2) (policy.match_flows g);
+              List.iter
+                (fun x ->
+                  let cut =
+                    match prune with Some pr -> prune_match_flow pr ~src:v x | None -> false
+                  in
+                  if not cut then add_jump x f S2)
+                (policy.match_flows g);
             (* refined loads of g: worth the exact alias detour *)
             if !refined_exists then push_store ()
           end
@@ -197,6 +271,7 @@ let local_walk ?observe ~policy pag conf budget v0 f0 s0 =
           | None -> ()
         done;
         if Pag.has_global_out pag v then add_frontier v f S2
+      end
     end
   in
   go v0 f0 s0;
@@ -213,7 +288,7 @@ module Seen = Hashtbl.Make (struct
   let hash ((n, f, s, c) : t) = (((((n * 31) + f) * 31) + s) * 31) + c
 end)
 
-let solve ?stop pag budget (expand : expander) v c0 =
+let solve ?stop ?prune pag budget (expand : expander) v c0 =
   let p = Pag.packed pag in
   let results = ref Query.Target_set.empty in
   let seen = Seen.create 256 in
@@ -222,7 +297,8 @@ let solve ?stop pag budget (expand : expander) v c0 =
     let key = (u, Hstack.id f, state_to_int s, Hstack.id c) in
     if not (Seen.mem seen key) then begin
       Seen.add seen key ();
-      Queue.add (u, f, s, c) work
+      let pruned = match prune with Some pr -> should_prune pr u f s | None -> false in
+      if not pruned then Queue.add (u, f, s, c) work
     end
   in
   let stop_now () = match stop with Some pred -> pred !results | None -> false in

@@ -78,6 +78,11 @@ type t = {
      structure is genuinely read-only (safe to share across domains) *)
   loads_by_field : (fld, (node * node) list) Hashtbl.t;
   stores_by_field : (fld, (node * node) list) Hashtbl.t;
+  (* Andersen pruning oracle: flat per-node bitset rows over allocation
+     sites, [oracle_stride] words per node; stride 0 means no oracle is
+     installed and every accessor answers conservatively. *)
+  mutable oracle : int array;
+  mutable oracle_stride : int;
 }
 
 let fresh_adj () =
@@ -119,6 +124,8 @@ let create (prog : Ir.program) =
     flag_gout = Bytes.empty;
     loads_by_field = Hashtbl.create 64;
     stores_by_field = Hashtbl.create 64;
+    oracle = [||];
+    oracle_stride = 0;
   }
 
 let program t = t.prog
@@ -432,6 +439,67 @@ let has_global_in t n =
 let has_global_out t n =
   require_frozen t "Pag.has_global_out";
   Bytes.get t.flag_gout n = '\001'
+
+(* ------------------------- pruning oracle --------------------------- *)
+
+let oracle_word_bits = Sys.int_size
+
+let set_oracle t row_of =
+  if t.oracle_stride <> 0 then invalid_arg "Pag.set_oracle: oracle already installed";
+  let n_sites = t.n_nodes - t.obj_base in
+  let stride = max 1 ((n_sites + oracle_word_bits - 1) / oracle_word_bits) in
+  let slab = Array.make (max 1 (t.n_nodes * stride)) 0 in
+  for n = 0 to t.n_nodes - 1 do
+    let base = n * stride in
+    Pts_util.Bitset.iter (row_of n) (fun site ->
+        if site < 0 || site >= n_sites then invalid_arg "Pag.set_oracle: site out of range";
+        let w = base + (site / oracle_word_bits) in
+        slab.(w) <- slab.(w) lor (1 lsl (site mod oracle_word_bits)))
+  done;
+  t.oracle <- slab;
+  t.oracle_stride <- stride
+
+let has_oracle t = t.oracle_stride > 0
+
+let oracle_row_empty t n =
+  let s = t.oracle_stride in
+  s > 0
+  &&
+  let base = n * s in
+  let rec go i = i >= s || (t.oracle.(base + i) = 0 && go (i + 1)) in
+  go 0
+
+let oracle_mem t n site =
+  let s = t.oracle_stride in
+  s = 0
+  || t.oracle.((n * s) + (site / oracle_word_bits)) land (1 lsl (site mod oracle_word_bits)) <> 0
+
+let oracle_disjoint t m n =
+  let s = t.oracle_stride in
+  s > 0
+  &&
+  let bm = m * s and bn = n * s in
+  let rec go i = i >= s || (t.oracle.(bm + i) land t.oracle.(bn + i) = 0 && go (i + 1)) in
+  go 0
+
+let oracle_singleton t n =
+  let s = t.oracle_stride in
+  if s = 0 then None
+  else begin
+    let base = n * s in
+    let found = ref (-1) in
+    try
+      for i = 0 to s - 1 do
+        let w = t.oracle.(base + i) in
+        if w <> 0 then begin
+          if !found >= 0 || w land (w - 1) <> 0 then raise Exit;
+          let rec bit_index b j = if b land 1 <> 0 then j else bit_index (b lsr 1) (j + 1) in
+          found := (i * oracle_word_bits) + bit_index w 0
+        end
+      done;
+      if !found >= 0 then Some !found else None
+    with Exit -> None
+  end
 
 let edge_counts t = t.counts
 

@@ -179,6 +179,39 @@ val has_global_in : t -> node -> bool
 
 val has_global_out : t -> node -> bool
 
+(** {2 Pruning oracle}
+
+    An optional flat slab mapping every PAG node to an over-approximate
+    allocation-site set (its Andersen points-to set; object nodes map to
+    their own site, pointer-free nodes to the empty set). Installed once
+    by the whole-program pre-analysis {e before} {!freeze}, after which
+    it is immutable and safe to share read-only across domains. The
+    demand kernel consults it to skip traversal states that provably
+    cannot reach the sought allocation — see {!Kernel.pruner}.
+
+    Every accessor answers conservatively (prune nothing) when no oracle
+    is installed, so hand-built and CHA-only graphs keep working. *)
+
+val set_oracle : t -> (node -> Pts_util.Bitset.t) -> unit
+(** [set_oracle t row_of] packs [row_of n] for every node into the flat
+    slab. Call at most once. @raise Invalid_argument on a second call or
+    if a row contains an id that is not an allocation site. *)
+
+val has_oracle : t -> bool
+
+val oracle_row_empty : t -> node -> bool
+(** Node provably points to nothing. [false] when no oracle. *)
+
+val oracle_mem : t -> node -> int -> bool
+(** May [n] point to allocation site [site]? [true] when no oracle. *)
+
+val oracle_disjoint : t -> node -> node -> bool
+(** Are the two rows provably disjoint (definite no-alias)?
+    [false] when no oracle. *)
+
+val oracle_singleton : t -> node -> int option
+(** [Some site] iff the row is exactly one site. [None] when no oracle. *)
+
 (** {2 Statistics} *)
 
 type edge_counts = {

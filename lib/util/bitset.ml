@@ -41,6 +41,44 @@ let union_into ~dst src =
   done;
   !changed
 
+let diff_union_into ~dst ~delta src =
+  let n = Array.length src.words in
+  if n > 0 then begin
+    ensure dst (n - 1);
+    ensure delta (n - 1)
+  end;
+  let changed = ref false in
+  for i = 0 to n - 1 do
+    let fresh = src.words.(i) land lnot dst.words.(i) in
+    if fresh <> 0 then begin
+      dst.words.(i) <- dst.words.(i) lor fresh;
+      delta.words.(i) <- delta.words.(i) lor fresh;
+      changed := true
+    end
+  done;
+  !changed
+
+let inter_empty a b =
+  let n = min (Array.length a.words) (Array.length b.words) in
+  let rec go i = i >= n || (a.words.(i) land b.words.(i) = 0 && go (i + 1)) in
+  go 0
+
+let clear t = Array.fill t.words 0 (Array.length t.words) 0
+
+let choose_singleton t =
+  let found = ref (-1) in
+  try
+    Array.iteri
+      (fun i w ->
+        if w <> 0 then begin
+          if !found >= 0 || w land (w - 1) <> 0 then raise Exit;
+          let rec bit_index b j = if b land 1 <> 0 then j else bit_index (b lsr 1) (j + 1) in
+          found := (i * bits_per_word) + bit_index w 0
+        end)
+      t.words;
+    if !found >= 0 then Some !found else None
+  with Exit -> None
+
 let popcount x =
   let rec go x acc = if x = 0 then acc else go (x land (x - 1)) (acc + 1) in
   go x 0

@@ -16,6 +16,22 @@ val union_into : dst:t -> t -> bool
 (** [union_into ~dst src] adds all of [src] to [dst]; returns [true] iff
     [dst] changed. *)
 
+val diff_union_into : dst:t -> delta:t -> t -> bool
+(** [diff_union_into ~dst ~delta src] adds all of [src] to [dst] and
+    records the elements that were genuinely new (in [src] but not
+    previously in [dst]) into [delta] as well; returns [true] iff [dst]
+    changed. The primitive of difference propagation: [delta]
+    accumulates exactly the not-yet-propagated frontier. *)
+
+val inter_empty : t -> t -> bool
+(** [inter_empty a b] — is [a ∩ b] empty? Allocation-free. *)
+
+val clear : t -> unit
+(** Remove all elements (keeps capacity). *)
+
+val choose_singleton : t -> int option
+(** [Some x] iff the set is exactly [{x}]; [None] otherwise. *)
+
 val cardinal : t -> int
 
 val is_empty : t -> bool

@@ -49,7 +49,20 @@ let small_config =
 
 let config_arbitrary = QCheck.make ~print:G.describe small_config
 
-let build cfg = Pts_clients.Pipeline.of_source (G.generate cfg)
+(* One frontend+Andersen run per distinct configuration: the five
+   properties below draw from the same generator, so identical configs
+   recur across tests and each used to recompile the program and re-run
+   the whole-program solver from scratch. The config record is plain
+   scalars, so structural equality is a sound memo key. *)
+let build_cache : (G.config, Pts_clients.Pipeline.t) Hashtbl.t = Hashtbl.create 16
+
+let build cfg =
+  match Hashtbl.find_opt build_cache cfg with
+  | Some pl -> pl
+  | None ->
+    let pl = Pts_clients.Pipeline.of_source (G.generate cfg) in
+    Hashtbl.add build_cache cfg pl;
+    pl
 
 let all_queries pl =
   Pts_clients.Safecast.queries pl @ Pts_clients.Factorym.queries pl

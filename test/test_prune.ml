@@ -1,0 +1,220 @@
+(* Andersen-guided pruning: the --prune flag must be invisible in every
+   answer. Covers the ISSUE's acceptance criteria directly:
+
+   - the installed oracle agrees with the Andersen solver it was packed
+     from (and the row predicates agree with each other);
+   - all four engines return identical outcomes with pruning on vs off,
+     on generated programs (QCheck) and on a committed suite benchmark;
+   - the same equality holds through the parallel scheduler under
+     --jobs 1/2/4;
+   - DYNSUM's summary cache is byte-identical whichever way the flag is
+     set (summary purity: the pruner never reaches PPTA computation). *)
+
+module G = Pts_workload.Genprog
+module Hstack = Pts_util.Hstack
+module Stats = Pts_util.Stats
+
+let check = Alcotest.check
+
+(* Generous budget: step counts legitimately differ with pruning on, so
+   equality is only meaningful when both sides resolve. *)
+let conf_with prune = Engine.conf ~budget_limit:2_000_000 ~prune ()
+
+let small_config =
+  let open QCheck.Gen in
+  let* seed = int_bound 10_000 in
+  let* elems = int_range 2 5 in
+  let* containers = int_range 1 3 in
+  let* boxes = int_range 1 3 in
+  let* lists = int_range 1 2 in
+  let* factories = int_range 1 2 in
+  let* utils = int_range 0 2 in
+  let* chain = int_range 2 4 in
+  let* apps = int_range 2 5 in
+  let* globals = int_range 1 3 in
+  let* churn = int_range 0 4 in
+  let* null_rate = float_bound_inclusive 0.5 in
+  let* bad = float_bound_inclusive 0.4 in
+  let* shared = float_bound_inclusive 0.6 in
+  let* interact = float_bound_inclusive 0.5 in
+  return
+    {
+      G.name = "prune-prop";
+      seed;
+      n_elem_classes = elems;
+      n_containers = containers;
+      n_boxes = boxes;
+      n_lists = lists;
+      n_factories = factories;
+      n_utils = utils;
+      util_chain = chain;
+      n_apps = apps;
+      n_globals = globals;
+      churn;
+      null_rate;
+      bad_cast_rate = bad;
+      shared_rate = shared;
+      interact_rate = interact;
+    }
+
+let config_arbitrary = QCheck.make ~print:G.describe small_config
+
+let build_cache : (G.config, Pts_clients.Pipeline.t) Hashtbl.t = Hashtbl.create 16
+
+let build cfg =
+  match Hashtbl.find_opt build_cache cfg with
+  | Some pl -> pl
+  | None ->
+    let pl = Pts_clients.Pipeline.of_source (G.generate cfg) in
+    Hashtbl.add build_cache cfg pl;
+    pl
+
+let sample_queries pl =
+  Pts_clients.Safecast.queries pl
+  @ List.filteri (fun i _ -> i mod 4 = 0) (Pts_clients.Nullderef.queries pl)
+
+(* ------------------- oracle vs the Andersen solver ------------------- *)
+
+let prop_oracle_matches_solver =
+  QCheck.Test.make ~name:"oracle rows match Solver.points_to" ~count:8 config_arbitrary
+    (fun cfg ->
+      let pl = build cfg in
+      let pag = pl.Pts_clients.Pipeline.pag in
+      let solver = pl.Pts_clients.Pipeline.solver in
+      let sites = ref 0 in
+      for n = 0 to Pag.node_count pag - 1 do
+        if Pag.is_obj pag n then incr sites
+      done;
+      let sites = !sites in
+      let ok = ref (Pag.has_oracle pag) in
+      for n = 0 to Pag.node_count pag - 1 do
+        let row = Pts_andersen.Solver.points_to solver n in
+        let card = ref 0 in
+        for site = 0 to sites - 1 do
+          let expect = Pts_util.Bitset.mem row site in
+          if expect then incr card;
+          if Pag.oracle_mem pag n site <> expect then ok := false
+        done;
+        if Pag.oracle_row_empty pag n <> (!card = 0) then ok := false;
+        (match Pag.oracle_singleton pag n with
+        | Some s -> if not (!card = 1 && Pts_util.Bitset.mem row s) then ok := false
+        | None -> if !card = 1 then ok := false)
+      done;
+      !ok)
+
+(* ----------------- answer equality, all four engines ----------------- *)
+
+let prop_prune_invisible =
+  QCheck.Test.make ~name:"prune on/off: identical outcomes, all engines" ~count:6
+    config_arbitrary
+    (fun cfg ->
+      let pl = build cfg in
+      let pag = pl.Pts_clients.Pipeline.pag in
+      List.for_all
+        (fun ename ->
+          let e_on = Engine.create ~conf:(conf_with true) ename pag in
+          let e_off = Engine.create ~conf:(conf_with false) ename pag in
+          List.for_all
+            (fun q ->
+              let n = q.Pts_clients.Client.q_node in
+              match (e_on.Engine.points_to n, e_off.Engine.points_to n) with
+              | Query.Resolved a, Query.Resolved b -> Query.Target_set.equal a b
+              | Query.Exceeded, Query.Exceeded -> true
+              | _ -> false)
+            (sample_queries pl))
+        (Engine.names ()))
+
+(* --------------------- DYNSUM summary purity ------------------------ *)
+
+(* The flag may skip whole queries (empty-root fast path) or worklist
+   states, but it must never change the bytes of any summary that does
+   get computed. When no fast path fired, the caches are byte-identical;
+   [snapshot_union] sorts, so marshalled bytes are comparable. *)
+let prop_dynsum_cache_pure =
+  QCheck.Test.make ~name:"dynsum cache byte-identical with prune toggled" ~count:6
+    config_arbitrary
+    (fun cfg ->
+      let pl = build cfg in
+      let pag = pl.Pts_clients.Pipeline.pag in
+      let run prune =
+        let d = Dynsum.create ~conf:(conf_with prune) pag in
+        List.iter
+          (fun q -> ignore (Dynsum.points_to d q.Pts_clients.Client.q_node))
+          (sample_queries pl);
+        d
+      in
+      let d_on = run true and d_off = run false in
+      let bytes d = Marshal.to_string (Dynsum.snapshot_union [ Dynsum.snapshot d ]) [] in
+      if Stats.get (Dynsum.stats d_on) "oracle_empty_root" = 0
+         && Stats.get (Dynsum.stats d_on) "pruned_states" = 0
+      then bytes d_on = bytes d_off
+      else Dynsum.summary_count d_on <= Dynsum.summary_count d_off)
+
+(* ----------------------- a committed benchmark ----------------------- *)
+
+(* REFINEPTS is where the match-edge cuts actually fire; pin down that
+   the full (site, heap-context) answers are untouched on a suite
+   program, and that pruning never costs steps. *)
+let test_refinepts_suite () =
+  let pl = Pts_workload.Suite.pipeline "jython" in
+  let pag = pl.Pts_clients.Pipeline.pag in
+  let e_on = Engine.create ~conf:(conf_with true) "refinepts" pag in
+  let e_off = Engine.create ~conf:(conf_with false) "refinepts" pag in
+  let queries =
+    List.filteri (fun i _ -> i mod 7 = 0) (Pts_clients.Nullderef.queries pl)
+  in
+  List.iter
+    (fun q ->
+      let n = q.Pts_clients.Client.q_node in
+      match (e_on.Engine.points_to n, e_off.Engine.points_to n) with
+      | Query.Resolved a, Query.Resolved b ->
+        check Alcotest.bool (Printf.sprintf "targets equal at node %d" n) true
+          (Query.Target_set.equal a b)
+      | _ -> Alcotest.failf "query at node %d exceeded a 2M-step budget" n)
+    queries;
+  let on = Budget.total_steps e_on.Engine.budget in
+  let off = Budget.total_steps e_off.Engine.budget in
+  check Alcotest.bool "pruned run is no slower (steps)" true (on <= off);
+  check Alcotest.bool "pruning fired" true (Stats.get e_on.Engine.stats "pruned_states" > 0)
+
+(* ------------------------ parallel equality -------------------------- *)
+
+let test_parsolve_jobs () =
+  let pl = Pts_workload.Suite.pipeline "jack" in
+  let pag = pl.Pts_clients.Pipeline.pag in
+  let qarr =
+    Array.of_list
+      (List.map
+         (fun q -> Parsolve.query q.Pts_clients.Client.q_node)
+         (Pts_clients.Nullderef.queries pl))
+  in
+  let baseline =
+    (Parsolve.run ~conf:(conf_with false) ~jobs:1 ~engine:"dynsum" pag qarr).Parsolve.outcomes
+  in
+  List.iter
+    (fun jobs ->
+      let r = Parsolve.run ~conf:(conf_with true) ~jobs ~engine:"dynsum" pag qarr in
+      Array.iteri
+        (fun i o ->
+          check Alcotest.bool
+            (Printf.sprintf "outcome %d equal (jobs=%d, prune on)" i jobs)
+            true
+            (Query.equal_outcome o baseline.(i)))
+        r.Parsolve.outcomes)
+    [ 1; 2; 4 ]
+
+let () =
+  Alcotest.run "prune"
+    [
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest ~long:false prop_oracle_matches_solver;
+          QCheck_alcotest.to_alcotest ~long:false prop_prune_invisible;
+          QCheck_alcotest.to_alcotest ~long:false prop_dynsum_cache_pure;
+        ] );
+      ( "suite",
+        [
+          Alcotest.test_case "refinepts jython prune on/off" `Quick test_refinepts_suite;
+          Alcotest.test_case "parsolve jobs 1/2/4 prune on/off" `Quick test_parsolve_jobs;
+        ] );
+    ]

@@ -120,6 +120,58 @@ let test_bitset_union () =
   check Alcotest.bool "subset" true (Bitset.subset b a);
   check Alcotest.bool "not subset" false (Bitset.subset a b)
 
+let test_bitset_delta () =
+  (* diff_union_into: dst grows by src, delta records only the fresh bits *)
+  let dst = Bitset.create () and delta = Bitset.create () and src = Bitset.create () in
+  ignore (Bitset.add dst 1);
+  ignore (Bitset.add src 1);
+  ignore (Bitset.add src 70);
+  ignore (Bitset.add src 200);
+  check Alcotest.bool "changed" true (Bitset.diff_union_into ~dst ~delta src);
+  check (Alcotest.list Alcotest.int) "dst grew" [ 1; 70; 200 ] (Bitset.to_list dst);
+  check (Alcotest.list Alcotest.int) "delta = fresh only" [ 70; 200 ] (Bitset.to_list delta);
+  check Alcotest.bool "idempotent" false (Bitset.diff_union_into ~dst ~delta src);
+  Bitset.clear delta;
+  check Alcotest.int "clear empties" 0 (Bitset.cardinal delta);
+  check Alcotest.bool "clear keeps capacity usable" false (Bitset.mem delta 200)
+
+let test_bitset_inter_empty () =
+  let a = Bitset.create () and b = Bitset.create () in
+  check Alcotest.bool "both empty" true (Bitset.inter_empty a b);
+  ignore (Bitset.add a 3);
+  ignore (Bitset.add b 400);
+  check Alcotest.bool "disjoint" true (Bitset.inter_empty a b);
+  check Alcotest.bool "symmetric" true (Bitset.inter_empty b a);
+  ignore (Bitset.add b 3);
+  check Alcotest.bool "overlap" false (Bitset.inter_empty a b)
+
+let test_bitset_choose_singleton () =
+  let s = Bitset.create () in
+  check (Alcotest.option Alcotest.int) "empty" None (Bitset.choose_singleton s);
+  ignore (Bitset.add s 130);
+  check (Alcotest.option Alcotest.int) "singleton" (Some 130) (Bitset.choose_singleton s);
+  ignore (Bitset.add s 2);
+  check (Alcotest.option Alcotest.int) "two bits" None (Bitset.choose_singleton s);
+  (* two bits in the same word *)
+  let t = Bitset.create () in
+  ignore (Bitset.add t 4);
+  ignore (Bitset.add t 5);
+  check (Alcotest.option Alcotest.int) "two bits same word" None (Bitset.choose_singleton t)
+
+let test_bitset_delta_model =
+  QCheck.Test.make ~name:"diff_union_into agrees with a set model" ~count:100
+    QCheck.(pair (list (int_bound 300)) (list (int_bound 300)))
+    (fun (xs, ys) ->
+      let dst = Bitset.create () and delta = Bitset.create () and src = Bitset.create () in
+      List.iter (fun x -> ignore (Bitset.add dst x)) xs;
+      List.iter (fun y -> ignore (Bitset.add src y)) ys;
+      let changed = Bitset.diff_union_into ~dst ~delta src in
+      let xs' = List.sort_uniq compare xs and ys' = List.sort_uniq compare ys in
+      let fresh = List.filter (fun y -> not (List.mem y xs')) ys' in
+      Bitset.to_list dst = List.sort_uniq compare (xs' @ ys')
+      && Bitset.to_list delta = fresh
+      && changed = (fresh <> []))
+
 let test_bitset_model =
   QCheck.Test.make ~name:"bitset agrees with a set model" ~count:100
     QCheck.(list (int_bound 500))
@@ -272,7 +324,11 @@ let () =
         [
           Alcotest.test_case "basics" `Quick test_bitset_basics;
           Alcotest.test_case "union" `Quick test_bitset_union;
+          Alcotest.test_case "delta union" `Quick test_bitset_delta;
+          Alcotest.test_case "inter_empty" `Quick test_bitset_inter_empty;
+          Alcotest.test_case "choose_singleton" `Quick test_bitset_choose_singleton;
           QCheck_alcotest.to_alcotest test_bitset_model;
+          QCheck_alcotest.to_alcotest test_bitset_delta_model;
         ] );
       ( "digraph",
         [
