@@ -3,7 +3,7 @@
 
 DUNE ?= dune
 
-.PHONY: all build test smoke smoke-parallel smoke-prune check bench bench-smoke bench-prune-smoke verify clean
+.PHONY: all build test smoke smoke-parallel smoke-prune smoke-check check bench bench-smoke bench-prune-smoke bench-taint-smoke verify clean
 
 all: build
 
@@ -47,7 +47,21 @@ smoke-prune:
 	    assert c.get("pruned_states", 0) > 0, c; \
 	    print("prune smoke ok:", c["pruned_states"], "states pruned in", c["prune_checks"], "checks")'
 
-check: build test smoke smoke-parallel smoke-prune
+# The checker driver end to end on a clean benchmark. The unseeded suite
+# deliberately contains bad casts and null flows for the other clients,
+# so the error-free run uses the checkers it cannot trigger: taint (no
+# sources/sinks without seeding) and the deadcode lint (warnings/info
+# only). --fail-on error must exit 0 and the report must be valid JSON.
+smoke-check:
+	$(DUNE) exec bin/ptsto.exe -- check --bench jack --checker taint,deadcode --fail-on error --report-json \
+	  | tail -n 1 \
+	  | python3 -c 'import json,sys; r=json.load(sys.stdin); \
+	    assert r["schema"].startswith("ptsto.check-report/"), r; \
+	    assert r["counts"]["error"] == 0, r; \
+	    assert r["counts"]["total"] == len(r["findings"]), r; \
+	    print("check smoke ok:", r["counts"]["total"], "findings, 0 errors")'
+
+check: build test smoke smoke-parallel smoke-prune smoke-check
 
 bench:
 	$(DUNE) exec bench/main.exe
@@ -72,8 +86,22 @@ bench-prune-smoke:
 	  assert any(r["steps_on"] < r["steps_off"] for r in rows), rows; \
 	  print("bench-prune-smoke ok:", len(rows), "rows, verdicts equal, steps reduced")'
 
-# Tier-1 plus both smokes in one command.
-verify: check bench-smoke bench-prune-smoke
+# Taint checker precision/recall on one seeded benchmark; recall must be
+# 1.0, no clean variant flagged, and the report JSON byte-identical
+# across every engine and job count.
+bench-taint-smoke:
+	$(DUNE) exec bench/main.exe -- taint_smoke \
+	  | grep '^BENCH_taint_smoke.json ' \
+	  | sed 's/^BENCH_taint_smoke.json //' > BENCH_taint_smoke.json
+	python3 -c 'import json; \
+	  rows=json.load(open("BENCH_taint_smoke.json"))["rows"]; \
+	  assert all(r["recall"] == 1.0 for r in rows), rows; \
+	  assert all(r["fp"] == 0 for r in rows), rows; \
+	  assert all(r["report_equal_vs_first"] for r in rows), rows; \
+	  print("bench-taint-smoke ok:", len(rows), "rows, recall 1.0, reports byte-equal")'
+
+# Tier-1 plus the smokes in one command.
+verify: check bench-smoke bench-prune-smoke bench-taint-smoke
 
 clean:
 	$(DUNE) clean

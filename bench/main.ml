@@ -986,6 +986,156 @@ let prune_smoke () =
     ~engines:[ "refinepts"; "dynsum" ] ()
 
 (* --------------------------------------------------------------------- *)
+(* Taint checker: precision/recall on seeded defects, per engine          *)
+(* --------------------------------------------------------------------- *)
+
+(* Each benchmark is re-generated with known source->sink flows and
+   known-clean look-alikes (ground truth from Genprog.generate_with_truth),
+   then the taint checker runs under every demand engine. Because the
+   checker's report depends only on resolved points-to answers — identical
+   across engines by the central equivalence property — precision and
+   recall must match per engine, and the report JSON must be byte-equal.
+   The interesting engine-dependent numbers are the reuse counters. *)
+let run_taint_bench ~artefact ~benches ~flows ~clean ~jobs_list () =
+  hr
+    (Printf.sprintf "Extension — taint checker precision/recall (%d flows / %d clean per bench)"
+       flows clean);
+  let module Check = Pts_clients.Check in
+  let module Diag = Pts_clients.Diag in
+  let t =
+    Table.create
+      [
+        ("Program", Table.Left);
+        ("engine", Table.Left);
+        ("jobs", Table.Right);
+        ("tp", Table.Right);
+        ("fp", Table.Right);
+        ("fn", Table.Right);
+        ("prec", Table.Right);
+        ("recall", Table.Right);
+        ("flow hit/miss", Table.Right);
+        ("oracle skips", Table.Right);
+        ("dedup", Table.Right);
+        ("s", Table.Right);
+        ("report=", Table.Left);
+      ]
+  in
+  List.iter
+    (fun bname ->
+      let cfg = Suite.tainted ~flows ~clean bname in
+      let source, labels = Pts_workload.Genprog.generate_with_truth cfg in
+      let pl = Pipeline.of_source source in
+      let spec = Pts_taint.Spec.of_source source in
+      let checkers = [ Pts_taint.Checker.checker ~spec () ] in
+      let reference = ref None in
+      List.iter
+        (fun (engine, jobs) ->
+          let opts = { Check.default_opts with Check.o_engine = engine; o_jobs = jobs } in
+          let report = Check.run ~opts ~checkers pl in
+          let json = Bm.Json.to_string (Check.report_json report) in
+          let equal =
+            match !reference with
+            | None ->
+              reference := Some json;
+              true
+            | Some j0 -> String.equal j0 json
+          in
+          let flagged m =
+            List.exists (fun d -> String.equal d.Diag.d_method m) report.Check.r_diags
+          in
+          let tp =
+            List.length
+              (List.filter
+                 (fun l -> l.Pts_workload.Genprog.tl_tainted && flagged l.Pts_workload.Genprog.tl_method)
+                 labels)
+          in
+          let fn =
+            List.length
+              (List.filter
+                 (fun l ->
+                   l.Pts_workload.Genprog.tl_tainted
+                   && not (flagged l.Pts_workload.Genprog.tl_method))
+                 labels)
+          in
+          (* False positives: any finding outside a tainted-labelled
+             method (covers both flagged clean variants and spurious
+             findings elsewhere in the program). *)
+          let fp =
+            List.length
+              (List.filter
+                 (fun d ->
+                   not
+                     (List.exists
+                        (fun l ->
+                          l.Pts_workload.Genprog.tl_tainted
+                          && String.equal l.Pts_workload.Genprog.tl_method d.Diag.d_method)
+                        labels))
+                 report.Check.r_diags)
+          in
+          let ratio a b = if a + b = 0 then 1.0 else float_of_int a /. float_of_int (a + b) in
+          let precision = ratio tp fp and recall = ratio tp fn in
+          let c name = Stats.get report.Check.r_stats name in
+          Bm.add artefact
+            [
+              ("bench", Bm.Json.String bname);
+              ("engine", Bm.Json.String engine);
+              ("jobs", Bm.Json.Int jobs);
+              ("flows", Bm.Json.Int flows);
+              ("clean", Bm.Json.Int clean);
+              ("sources", Bm.Json.Int (c "taint_sources"));
+              ("sinks", Bm.Json.Int (c "taint_sinks"));
+              ("findings", Bm.Json.Int (List.length report.Check.r_diags));
+              ("tp", Bm.Json.Int tp);
+              ("fp", Bm.Json.Int fp);
+              ("fn", Bm.Json.Int fn);
+              ("precision", Bm.Json.Float precision);
+              ("recall", Bm.Json.Float recall);
+              ("flow_summary_hits", Bm.Json.Int (c "taint_summary_hits"));
+              ("flow_summary_misses", Bm.Json.Int (c "taint_summary_misses"));
+              ("oracle_skips", Bm.Json.Int (c "taint_oracle_skips"));
+              ("flow_skips", Bm.Json.Int (c "taint_flow_skips"));
+              ("summary_hits", Bm.Json.Int (c "summary_hits"));
+              ("summary_misses", Bm.Json.Int (c "summary_misses"));
+              ("dedup_hits", Bm.Json.Int report.Check.r_dedup_hits);
+              ("witness_found", Bm.Json.Int (c "witness_found"));
+              ("witness_missing", Bm.Json.Int (c "witness_missing"));
+              ("seconds", Bm.Json.Float report.Check.r_seconds);
+              ("report_equal_vs_first", Bm.Json.Bool equal);
+            ];
+          Table.add_row t
+            [
+              bname;
+              engine;
+              string_of_int jobs;
+              string_of_int tp;
+              string_of_int fp;
+              string_of_int fn;
+              Printf.sprintf "%.2f" precision;
+              Printf.sprintf "%.2f" recall;
+              Printf.sprintf "%d/%d" (c "taint_summary_hits") (c "taint_summary_misses");
+              string_of_int (c "taint_oracle_skips");
+              string_of_int report.Check.r_dedup_hits;
+              Printf.sprintf "%.3f" report.Check.r_seconds;
+              (if equal then "yes" else "NO");
+            ])
+        (List.map (fun e -> (e, 1)) (Engine.names ())
+        @ List.map (fun j -> ("dynsum", j)) (List.filter (fun j -> j > 1) jobs_list)))
+    benches;
+  Table.print t;
+  Printf.printf
+    "(recall must be 1.00 and clean variants unflagged on every engine; the report\n\
+    \ JSON is byte-identical across engines and job counts by construction)\n";
+  Bm.flush artefact
+
+let taint () =
+  run_taint_bench ~artefact:"taint" ~benches:[ "jack"; "javac"; Suite.largest ] ~flows:8 ~clean:8
+    ~jobs_list:[ 1; 2; 4 ] ()
+
+let taint_smoke () =
+  run_taint_bench ~artefact:"taint_smoke" ~benches:[ "jack" ] ~flows:5 ~clean:5 ~jobs_list:[ 1; 2 ]
+    ()
+
+(* --------------------------------------------------------------------- *)
 (* Bechamel microbenchmarks                                               *)
 (* --------------------------------------------------------------------- *)
 
@@ -1053,6 +1203,8 @@ let () =
       ("parallel_smoke", parallel_smoke);
       ("prune", prune);
       ("prune_smoke", prune_smoke);
+      ("taint", taint);
+      ("taint_smoke", taint_smoke);
       ("micro", micro);
     ]
   in

@@ -412,6 +412,124 @@ let dot_cmd file bench what out =
         close_out oc;
         Printf.printf "wrote %s\n" path)
 
+(* The checker driver needs the program *text* as well as the pipeline:
+   taint annotations ([// @taint-source]) live in comments the lexer
+   otherwise discards. *)
+let check_source file bench tflows tclean =
+  match (file, bench) with
+  | _, Some name ->
+    if tflows > 0 || tclean > 0 then
+      Pts_workload.Genprog.generate (Pts_workload.Suite.tainted ~flows:tflows ~clean:tclean name)
+    else Pts_workload.Suite.source name
+  | Some path, None -> (
+    try
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    with Sys_error msg ->
+      Printf.eprintf "error: cannot read %s: %s\n" path msg;
+      exit 2)
+  | None, None ->
+    Printf.eprintf "error: either FILE or --bench NAME is required\n";
+    exit 2
+
+let check_cmd file bench tflows tclean checker_names engine_name budget prune jobs rounds fail_on
+    report_json metrics =
+  let module Check = Pts_clients.Check in
+  let module Diag = Pts_clients.Diag in
+  let source = check_source file bench tflows tclean in
+  let pl =
+    match Pipeline.of_source source with
+    | pl -> pl
+    | exception Frontend.Error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      exit 2
+  in
+  let spec = Pts_taint.Spec.of_source source in
+  let available = Pts_taint.Registry.all ~taint:spec () in
+  let checkers =
+    match List.concat checker_names with
+    | [] -> available
+    | names ->
+      List.map
+        (fun n ->
+          match Pts_taint.Registry.find available n with
+          | Some ck -> ck
+          | None ->
+            Printf.eprintf "error: unknown checker %s (have: %s)\n" n
+              (String.concat ", " (List.map String.lowercase_ascii (Pts_taint.Registry.names ())));
+            exit 2)
+        names
+  in
+  let conf = Engine.conf ~budget_limit:budget ~prune () in
+  let opts = { Check.o_engine = engine_name; o_conf = conf; o_jobs = jobs; o_rounds = rounds } in
+  let report = Check.run ~opts ~checkers pl in
+  let t =
+    Table.create
+      ~title:
+        (Printf.sprintf "ptsto check: %d finding(s) from %s"
+           (List.length report.Check.r_diags)
+           (String.concat "," (List.map (fun ck -> ck.Check.ck_name) checkers)))
+      [
+        ("severity", Table.Left);
+        ("checker", Table.Left);
+        ("location", Table.Left);
+        ("message", Table.Left);
+      ]
+  in
+  List.iter
+    (fun d ->
+      Table.add_row t
+        [
+          Diag.severity_to_string d.Diag.d_severity;
+          d.Diag.d_checker;
+          Diag.location d;
+          d.Diag.d_message;
+        ])
+    report.Check.r_diags;
+  Table.print t;
+  List.iter
+    (fun d ->
+      if d.Diag.d_witness <> [] then begin
+        Printf.printf "\nwitness for %s (%s):\n" (Diag.location d) d.Diag.d_message;
+        List.iter (fun l -> Printf.printf "  %s\n" l) d.Diag.d_witness
+      end)
+    report.Check.r_diags;
+  Printf.printf "\n%d point(s), %d unique node(s), %d dedup hit(s), %d cheap diag(s), %.3fs\n"
+    report.Check.r_points report.Check.r_unique_nodes report.Check.r_dedup_hits
+    report.Check.r_cheap report.Check.r_seconds;
+  if metrics then begin
+    let open Trace.Json in
+    print_endline
+      (to_string
+         (Obj
+            [
+              ("schema", String "ptsto.check-metrics/1");
+              ("engine", String engine_name);
+              ("jobs", Int jobs);
+              ("rounds", Int rounds);
+              ("prune", Bool prune);
+              ("points", Int report.Check.r_points);
+              ("unique_nodes", Int report.Check.r_unique_nodes);
+              ("dedup_hits", Int report.Check.r_dedup_hits);
+              ("cheap_diags", Int report.Check.r_cheap);
+              ("findings", Int (List.length report.Check.r_diags));
+              ("seconds", Float report.Check.r_seconds);
+              ( "counters",
+                Obj (List.map (fun (k, v) -> (k, Int v)) (Pts_util.Stats.to_list report.Check.r_stats))
+              );
+            ]))
+  end;
+  if report_json then print_endline (Trace.Json.to_string (Check.report_json report));
+  let fail =
+    match fail_on with
+    | `Never -> false
+    | `Sev s ->
+      List.exists (fun d -> Diag.severity_geq d.Diag.d_severity s) report.Check.r_diags
+  in
+  exit (if fail then 1 else 0)
+
 let gen_cmd bench out =
   let src = Pts_workload.Suite.source bench in
   match out with
@@ -510,6 +628,68 @@ let why_t =
   Cmd.v (Cmd.info "why" ~doc:"Explain why a variable points to a site")
     Term.(const why_cmd $ file_arg $ bench_arg $ meth $ var $ site)
 
+let check_t =
+  let checker =
+    Arg.(
+      value & opt_all (list string) []
+      & info [ "checker"; "c" ] ~docv:"NAMES"
+          ~doc:
+            "Comma-separated checker names to run (repeatable). Default: all of safecast, \
+             nullderef, factorym, devirt, deadcode, taint.")
+  in
+  let taint_flows =
+    Arg.(
+      value & opt int 0
+      & info [ "taint-flows" ] ~docv:"N"
+          ~doc:"With $(b,--bench): seed $(docv) known source->sink taint flows into the program.")
+  in
+  let taint_clean =
+    Arg.(
+      value & opt int 0
+      & info [ "taint-clean" ] ~docv:"N"
+          ~doc:"With $(b,--bench): seed $(docv) known-clean taint look-alikes.")
+  in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:"Answer the checker query batch on $(docv) worker domains.")
+  in
+  let rounds =
+    Arg.(
+      value & opt int 1
+      & info [ "rounds" ] ~docv:"N" ~doc:"Split the batch into $(docv) consecutive rounds.")
+  in
+  let fail_on =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("error", `Sev Pts_clients.Diag.Error);
+               ("warning", `Sev Pts_clients.Diag.Warning);
+               ("info", `Sev Pts_clients.Diag.Info);
+               ("never", `Never);
+             ])
+          (`Sev Pts_clients.Diag.Error)
+      & info [ "fail-on" ] ~docv:"SEVERITY"
+          ~doc:
+            "Exit non-zero when any finding has at least this severity \
+             (error|warning|info|never). Default: error.")
+  in
+  let report_json =
+    Arg.(
+      value & flag
+      & info [ "report-json" ]
+          ~doc:
+            "Print the machine-readable report as one JSON line (engine-independent: \
+             byte-identical across engines, job counts and pruning).")
+  in
+  Cmd.v (Cmd.info "check" ~doc:"Run the demand-driven checkers and report diagnostics")
+    Term.(
+      const check_cmd $ file_arg $ bench_arg $ taint_flows $ taint_clean $ checker $ engine_arg
+      $ budget_arg $ prune_arg $ jobs $ rounds $ fail_on $ report_json $ metrics_arg)
+
 let dot_t =
   let what =
     Arg.(
@@ -527,4 +707,4 @@ let () =
     (Cmd.eval
        (Cmd.group
           (Cmd.info "ptsto" ~version:"1.0.0" ~doc)
-          [ stats_t; ir_t; query_t; client_t; compare_t; gen_t; alias_t; why_t; dot_t ]))
+          [ stats_t; ir_t; query_t; client_t; check_t; compare_t; gen_t; alias_t; why_t; dot_t ]))

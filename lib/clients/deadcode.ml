@@ -1,0 +1,75 @@
+let name = "deadcode"
+
+(* Both passes read only the Andersen whole-program results (call-graph
+   reachability and the PAG's load edges) — no CFL queries, so this is a
+   [ck_cheap] checker and its findings are engine-independent for free. *)
+let cheap (cx : Check.ctx) =
+  let pl = cx.Check.cx_pl in
+  let prog = pl.Pipeline.prog in
+  let pag = pl.Pipeline.pag in
+  let solver = pl.Pipeline.solver in
+  let ctable = prog.Ir.ctable in
+  let diags = ref [] in
+  let emit severity meth_pretty line message =
+    diags :=
+      {
+        Diag.d_checker = name;
+        d_severity = severity;
+        d_method = meth_pretty;
+        d_line = line;
+        d_message = message;
+        d_witness = [];
+      }
+      :: !diags
+  in
+  (* Unreachable methods. Prelude classes are library surface — callers
+     outside this program may use them — and the synthetic entry is the
+     root, so both are exempt. *)
+  Array.iter
+    (fun (m : Ir.meth) ->
+      let cls = Types.class_name ctable m.Ir.msig.Types.ms_class in
+      if
+        (not (List.mem cls Prelude.class_names))
+        && prog.Ir.entry <> Some m.Ir.id
+        && not (Pts_andersen.Solver.is_reachable solver m.Ir.id)
+      then emit Diag.Info m.Ir.pretty 0 (Printf.sprintf "method %s is unreachable" m.Ir.pretty))
+    prog.Ir.methods;
+  (* Dead stores: a field written somewhere reachable but loaded nowhere
+     in the whole PAG, and a global written but never read from a
+     reachable method. One diagnostic per field/global, located at the
+     first reachable method (in method order) that writes it. *)
+  let read_globals = Hashtbl.create 16 in
+  Array.iter
+    (fun (m : Ir.meth) ->
+      if Pts_andersen.Solver.is_reachable solver m.Ir.id then
+        List.iter
+          (function
+            | Ir.Load_global { glb; _ } -> Hashtbl.replace read_globals glb ()
+            | _ -> ())
+          m.Ir.body)
+    prog.Ir.methods;
+  let seen_fld = Hashtbl.create 16 and seen_glb = Hashtbl.create 16 in
+  Array.iter
+    (fun (m : Ir.meth) ->
+      if Pts_andersen.Solver.is_reachable solver m.Ir.id then
+        List.iter
+          (function
+            | Ir.Store { fld; _ }
+              when (not (Hashtbl.mem seen_fld fld)) && Pag.loads_of_field pag fld = [] ->
+              Hashtbl.replace seen_fld fld ();
+              emit Diag.Warning m.Ir.pretty 0
+                (Printf.sprintf "field %s is stored but never loaded"
+                   (Types.field_info ctable fld).Types.fld_name)
+            | Ir.Store_global { glb; _ }
+              when (not (Hashtbl.mem seen_glb glb)) && not (Hashtbl.mem read_globals glb) ->
+              Hashtbl.replace seen_glb glb ();
+              emit Diag.Warning m.Ir.pretty 0
+                (Printf.sprintf "global %s is stored but never read"
+                   (Types.global_info ctable glb).Types.glb_name)
+            | _ -> ())
+          m.Ir.body)
+    prog.Ir.methods;
+  List.rev !diags
+
+let checker =
+  Check.make name ~doc:"unreachable methods and dead stores, from the Andersen call graph" ~cheap

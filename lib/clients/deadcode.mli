@@ -1,0 +1,12 @@
+(** Unreachable-code / dead-store lint off the Andersen call graph.
+
+    Two cheap passes needing no CFL-reachability queries: methods the
+    whole-program call graph never reaches (prelude classes and the
+    synthetic entry exempt), and fields/globals that are written from
+    reachable code but read nowhere. Severities: unreachable method =
+    [Info] (often intentional in generated workloads), dead store =
+    [Warning] (the write is wasted work, or the read was forgotten). *)
+
+val name : string
+val cheap : Check.ctx -> Diag.t list
+val checker : Check.checker

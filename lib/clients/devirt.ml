@@ -1,6 +1,7 @@
 let name = "Devirt"
 
-let queries (pl : Pipeline.t) =
+let points (cx : Check.ctx) =
+  let pl = cx.Check.cx_pl in
   let prog = pl.Pipeline.prog in
   let ctable = prog.Ir.ctable in
   let null_cls = Types.null_class ctable in
@@ -17,31 +18,41 @@ let queries (pl : Pipeline.t) =
               | Some recv_cls ->
                 let cha_targets = Cha.dispatch_targets prog ~recv_cls ~mname in
                 if List.length cha_targets >= 2 then begin
+                  let impl_of obj_site =
+                    let a = prog.Ir.allocs.(obj_site) in
+                    if a.Ir.alloc_cls = null_cls then None
+                    else
+                      match Types.lookup_method ctable a.Ir.alloc_cls mname with
+                      | Some ms -> Some ms.Types.ms_id
+                      | None -> None
+                  in
+                  let impls sites =
+                    List.sort_uniq Int.compare (List.filter_map impl_of sites)
+                  in
                   let pred ts =
                     (* every non-null object must dispatch to one target *)
-                    let impls =
-                      List.filter_map
-                        (fun obj_site ->
-                          let a = prog.Ir.allocs.(obj_site) in
-                          if a.Ir.alloc_cls = null_cls then None
-                          else
-                            match Types.lookup_method ctable a.Ir.alloc_cls mname with
-                            | Some ms -> Some ms.Types.ms_id
-                            | None -> None)
-                        (Query.sites ts)
-                    in
-                    match List.sort_uniq Int.compare impls with
-                    | [] | [ _ ] -> true
-                    | _ :: _ :: _ -> false
+                    match impls (Query.sites ts) with [] | [ _ ] -> true | _ :: _ :: _ -> false
                   in
                   acc :=
                     {
-                      Client.q_node = Pag.local_node pl.Pipeline.pag ~meth:m.Ir.id ~var:recv;
-                      q_desc =
+                      Check.pt_node = Pag.local_node pl.Pipeline.pag ~meth:m.Ir.id ~var:recv;
+                      pt_desc =
                         Printf.sprintf "call@site%d %s.%s (%d CHA targets) in %s" site
                           (Types.class_name ctable recv_cls) mname (List.length cha_targets)
                           m.Ir.pretty;
-                      q_pred = pred;
+                      pt_method = m.Ir.pretty;
+                      pt_line = prog.Ir.calls.(site).Ir.cs_pos.Ast.line;
+                      pt_severity = Diag.Info;
+                      pt_pred = pred;
+                      pt_bad_sites = List.filter (fun s -> impl_of s <> None);
+                      pt_message =
+                        (fun bad ->
+                          Printf.sprintf
+                            "virtual call %s.%s cannot be devirtualised: %d implementations \
+                             reachable via %s"
+                            (Types.class_name ctable recv_cls) mname
+                            (List.length (impls bad))
+                            (Check.sites_blurb prog bad));
                     }
                     :: !acc
                 end)
@@ -52,3 +63,9 @@ let queries (pl : Pipeline.t) =
           m.Ir.body)
     prog.Ir.methods;
   List.rev !acc
+
+let checker =
+  Check.make name ~doc:"virtual calls with several CHA targets that still resolve to one impl"
+    ~points
+
+let queries pl = Check.queries_of pl checker

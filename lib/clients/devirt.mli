@@ -9,6 +9,12 @@
     analysis, so these queries measure precisely the value the
     context-sensitive analysis adds over CHA. *)
 
+val points : Check.ctx -> Check.point list
+
+val checker : Check.checker
+
 val queries : Pipeline.t -> Client.query list
+(** Derived from {!points} via {!Check.to_query}; kept for the bench
+    harness and the legacy [ptsto client] path. *)
 
 val name : string

@@ -1,0 +1,58 @@
+type severity = Info | Warning | Error
+
+let severity_to_string = function Info -> "info" | Warning -> "warning" | Error -> "error"
+
+let severity_of_string = function
+  | "info" -> Some Info
+  | "warning" -> Some Warning
+  | "error" -> Some Error
+  | _ -> None
+
+let severity_rank = function Info -> 0 | Warning -> 1 | Error -> 2
+let severity_geq a b = severity_rank a >= severity_rank b
+
+type t = {
+  d_checker : string;
+  d_severity : severity;
+  d_method : string;
+  d_line : int;
+  d_message : string;
+  d_witness : string list;
+}
+
+(* The report order: checker, then location, then message. Deliberately
+   independent of query evaluation order, engine, and job count — report
+   byte-identity across those axes is an acceptance criterion. *)
+let compare a b =
+  let c = String.compare a.d_checker b.d_checker in
+  if c <> 0 then c
+  else
+    let c = String.compare a.d_method b.d_method in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.d_line b.d_line in
+      if c <> 0 then c
+      else
+        let c = String.compare a.d_message b.d_message in
+        if c <> 0 then c
+        else
+          let c = Int.compare (severity_rank a.d_severity) (severity_rank b.d_severity) in
+          if c <> 0 then c else Stdlib.compare a.d_witness b.d_witness
+
+let to_json d =
+  Trace.Json.Obj
+    [
+      ("checker", Trace.Json.String d.d_checker);
+      ("severity", Trace.Json.String (severity_to_string d.d_severity));
+      ("method", Trace.Json.String d.d_method);
+      ("line", Trace.Json.Int d.d_line);
+      ("message", Trace.Json.String d.d_message);
+      ("witness", Trace.Json.List (List.map (fun l -> Trace.Json.String l) d.d_witness));
+    ]
+
+let location d = if d.d_line > 0 then Printf.sprintf "%s:%d" d.d_method d.d_line else d.d_method
+
+let pp fmt d =
+  Format.fprintf fmt "%-7s %-10s %-24s %s"
+    (severity_to_string d.d_severity)
+    d.d_checker (location d) d.d_message

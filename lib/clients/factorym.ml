@@ -13,7 +13,8 @@ let allocates prog (m : Ir.meth) =
         false)
     m.Ir.body
 
-let queries (pl : Pipeline.t) =
+let points (cx : Check.ctx) =
+  let pl = cx.Check.cx_pl in
   let prog = pl.Pipeline.prog in
   let cg = pl.Pipeline.callgraph in
   let acc = ref [] in
@@ -35,19 +36,24 @@ let queries (pl : Pipeline.t) =
               match (candidates, kind) with
               | [], _ | _, Ir.Ctor _ -> ()
               | _ :: _, (Ir.Virtual _ | Ir.Static _) ->
-                let pred ts =
-                  List.for_all
-                    (fun obj_site ->
-                      let a = prog.Ir.allocs.(obj_site) in
-                      a.Ir.alloc_is_null || List.mem a.Ir.alloc_meth targets)
-                    (Query.sites ts)
+                let site_ok obj_site =
+                  let a = prog.Ir.allocs.(obj_site) in
+                  a.Ir.alloc_is_null || List.mem a.Ir.alloc_meth targets
                 in
                 acc :=
                   {
-                    Client.q_node = Pag.local_node pl.Pipeline.pag ~meth:m.Ir.id ~var:dst;
-                    q_desc =
-                      Printf.sprintf "factory-call@site%d in %s" site m.Ir.pretty;
-                    q_pred = pred;
+                    Check.pt_node = Pag.local_node pl.Pipeline.pag ~meth:m.Ir.id ~var:dst;
+                    pt_desc = Printf.sprintf "factory-call@site%d in %s" site m.Ir.pretty;
+                    pt_method = m.Ir.pretty;
+                    pt_line = prog.Ir.calls.(site).Ir.cs_pos.Ast.line;
+                    pt_severity = Diag.Warning;
+                    pt_pred = (fun ts -> List.for_all site_ok (Query.sites ts));
+                    pt_bad_sites = List.filter (fun s -> not (site_ok s));
+                    pt_message =
+                      (fun bad ->
+                        Printf.sprintf
+                          "factory result %s may hold objects not allocated by the callee: %s"
+                          (Ir.var_name m dst) (Check.sites_blurb prog bad));
                   }
                   :: !acc)
             | Ir.Call { dst = None; _ }
@@ -57,3 +63,9 @@ let queries (pl : Pipeline.t) =
           m.Ir.body)
     prog.Ir.methods;
   List.rev !acc
+
+let checker =
+  Check.make name ~doc:"factory-style calls whose result escapes the factory's own allocations"
+    ~points
+
+let queries pl = Check.queries_of pl checker

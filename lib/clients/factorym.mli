@@ -8,6 +8,12 @@
     one of the site's callees (rather than, say, fetched from a cache or
     a static field). *)
 
+val points : Check.ctx -> Check.point list
+
+val checker : Check.checker
+
 val queries : Pipeline.t -> Client.query list
+(** Derived from {!points} via {!Check.to_query}; kept for the bench
+    harness and the legacy [ptsto client] path. *)
 
 val name : string

@@ -1,18 +1,23 @@
 let name = "NullDeref"
 
-let queries (pl : Pipeline.t) =
+let points (cx : Check.ctx) =
+  let pl = cx.Check.cx_pl in
   let prog = pl.Pipeline.prog in
   let acc = ref [] in
-  let n = ref 0 in
   Array.iter
     (fun (m : Ir.meth) ->
-      if Pts_andersen.Solver.is_reachable pl.Pipeline.solver m.Ir.id then
+      if Pts_andersen.Solver.is_reachable pl.Pipeline.solver m.Ir.id then begin
+        (* Numbering restarts per method so a diagnostic's index depends
+           only on its own method's body, not on how many dereferences
+           earlier methods happen to contain. *)
+        let n = ref 0 in
         List.iter
           (fun instr ->
             let base =
               match instr with
-              | Ir.Load { base; _ } | Ir.Store { base; _ } -> Some base
-              | Ir.Call { kind = Ir.Virtual { recv; _ }; _ } -> Some recv
+              | Ir.Load { base; _ } | Ir.Store { base; _ } -> Some (base, 0)
+              | Ir.Call { kind = Ir.Virtual { recv; _ }; site; _ } ->
+                Some (recv, prog.Ir.calls.(site).Ir.cs_pos.Ast.line)
               | Ir.Call { kind = Ir.Static _ | Ir.Ctor _; _ }
               | Ir.Alloc _ | Ir.Move _ | Ir.Load_global _ | Ir.Store_global _ | Ir.Return _
               | Ir.Cast_move _ ->
@@ -20,18 +25,34 @@ let queries (pl : Pipeline.t) =
             in
             match base with
             | None -> ()
-            | Some base ->
+            | Some (base, line) ->
               incr n;
+              let i = !n in
               let pred ts =
-                List.for_all (fun site -> not prog.Ir.allocs.(site).Ir.alloc_is_null) (Query.sites ts)
+                List.for_all
+                  (fun site -> not prog.Ir.allocs.(site).Ir.alloc_is_null)
+                  (Query.sites ts)
               in
               acc :=
                 {
-                  Client.q_node = Pag.local_node pl.Pipeline.pag ~meth:m.Ir.id ~var:base;
-                  q_desc = Printf.sprintf "deref#%d of %s in %s" !n (Ir.var_name m base) m.Ir.pretty;
-                  q_pred = pred;
+                  Check.pt_node = Pag.local_node pl.Pipeline.pag ~meth:m.Ir.id ~var:base;
+                  pt_desc = Printf.sprintf "deref#%d of %s in %s" i (Ir.var_name m base) m.Ir.pretty;
+                  pt_method = m.Ir.pretty;
+                  pt_line = line;
+                  pt_severity = Diag.Error;
+                  pt_pred = pred;
+                  pt_bad_sites =
+                    List.filter (fun site -> prog.Ir.allocs.(site).Ir.alloc_is_null);
+                  pt_message =
+                    (fun _ ->
+                      Printf.sprintf "deref#%d: %s may be null when dereferenced" i
+                        (Ir.var_name m base));
                 }
                 :: !acc)
-          m.Ir.body)
+          m.Ir.body
+      end)
     prog.Ir.methods;
   List.rev !acc
+
+let checker = Check.make name ~doc:"dereferenced variables whose answer contains a null site" ~points
+let queries pl = Check.queries_of pl checker

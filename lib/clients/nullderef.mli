@@ -7,6 +7,12 @@
     approximations smear nulls across unrelated heap locations, so
     REFINEPTS rarely terminates early on it. *)
 
+val points : Check.ctx -> Check.point list
+
+val checker : Check.checker
+
 val queries : Pipeline.t -> Client.query list
+(** Derived from {!points} via {!Check.to_query}; kept for the bench
+    harness and the legacy [ptsto client] path. *)
 
 val name : string

@@ -1,6 +1,7 @@
 let name = "SafeCast"
 
-let queries (pl : Pipeline.t) =
+let points (cx : Check.ctx) =
+  let pl = cx.Check.cx_pl in
   let prog = pl.Pipeline.prog in
   let ctable = prog.Ir.ctable in
   let null_cls = Types.null_class ctable in
@@ -15,19 +16,28 @@ let queries (pl : Pipeline.t) =
              let node =
                Pag.local_node pl.Pipeline.pag ~meth:c.Ir.cast_meth ~var:c.Ir.cast_src
              in
-             let pred ts =
-               List.for_all
-                 (fun site ->
-                   let cls = prog.Ir.allocs.(site).Ir.alloc_cls in
-                   cls = null_cls || Types.subclass ctable cls target_cls)
-                 (Query.sites ts)
+             let site_ok site =
+               let cls = prog.Ir.allocs.(site).Ir.alloc_cls in
+               cls = null_cls || Types.subclass ctable cls target_cls
              in
+             let target_str = Format.asprintf "%a" Ast.pp_typ c.Ir.cast_target in
              Some
                {
-                 Client.q_node = node;
-                 q_desc =
-                   Printf.sprintf "cast@%d (%s) in %s" c.Ir.cast_pos.Ast.line
-                     (Format.asprintf "%a" Ast.pp_typ c.Ir.cast_target)
+                 Check.pt_node = node;
+                 pt_desc =
+                   Printf.sprintf "cast@%d (%s) in %s" c.Ir.cast_pos.Ast.line target_str
                      prog.Ir.methods.(c.Ir.cast_meth).Ir.pretty;
-                 q_pred = pred;
+                 pt_method = prog.Ir.methods.(c.Ir.cast_meth).Ir.pretty;
+                 pt_line = c.Ir.cast_pos.Ast.line;
+                 pt_severity = Diag.Error;
+                 pt_pred = (fun ts -> List.for_all site_ok (Query.sites ts));
+                 pt_bad_sites = List.filter (fun site -> not (site_ok site));
+                 pt_message =
+                   (fun bad ->
+                     Printf.sprintf "cast to %s may fail: %s reaches %s" target_str
+                       (Ir.var_name prog.Ir.methods.(c.Ir.cast_meth) c.Ir.cast_src)
+                       (Check.sites_blurb prog bad));
                })
+
+let checker = Check.make name ~doc:"downcasts that can only see subtypes of their target" ~points
+let queries pl = Check.queries_of pl checker

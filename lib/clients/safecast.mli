@@ -5,7 +5,13 @@
     safe when every abstract object's allocation class is a subtype of
     [C]. Null pseudo-objects are benign (casting null always succeeds). *)
 
+val points : Check.ctx -> Check.point list
+
+val checker : Check.checker
+
 val queries : Pipeline.t -> Client.query list
-(** One query per reachable non-trivial cast, in cast-site order. *)
+(** Derived from {!points} via {!Check.to_query}; kept for the bench
+    harness and the legacy [ptsto client] path. One query per reachable
+    non-trivial cast, in cast-site order. *)
 
 val name : string

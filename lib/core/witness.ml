@@ -19,6 +19,44 @@ module Tbl = Hashtbl.Make (Key)
 let key (s : step) =
   (s.w_node, Hstack.id s.w_fstack, Ppta.state_to_int s.w_state, Hstack.id s.w_ctx)
 
+(* Worklist successors of [st] given its local summary: one step per
+   method-boundary crossing (exit/entry/global edge) reachable from a
+   frontier tuple, in the same order Algorithm 4 visits them. Shared
+   between [explain] (forward search) and [validate] (chain checking) so
+   the two can never disagree about what a legal step is. *)
+let successors pag (summary : Ppta.summary) (st : step) =
+  let acc = ref [] in
+  let go node fstack state ctx =
+    acc := { w_node = node; w_fstack = fstack; w_state = state; w_ctx = ctx } :: !acc
+  in
+  List.iter
+    (fun (x, f1, s1) ->
+      match s1 with
+      | Ppta.S1 ->
+        List.iter
+          (fun (i, y) -> go y f1 Ppta.S1 (Kernel.push_ctx pag st.w_ctx i))
+          (Pag.exit_in pag x);
+        List.iter
+          (fun (i, y) ->
+            match Kernel.pop_ctx pag st.w_ctx i with
+            | Some c' -> go y f1 Ppta.S1 c'
+            | None -> ())
+          (Pag.entry_in pag x);
+        List.iter (fun y -> go y f1 Ppta.S1 Hstack.empty) (Pag.global_in pag x)
+      | Ppta.S2 ->
+        List.iter
+          (fun (i, y) ->
+            match Kernel.pop_ctx pag st.w_ctx i with
+            | Some c' -> go y f1 Ppta.S2 c'
+            | None -> ())
+          (Pag.exit_out pag x);
+        List.iter
+          (fun (i, y) -> go y f1 Ppta.S2 (Kernel.push_ctx pag st.w_ctx i))
+          (Pag.entry_out pag x);
+        List.iter (fun y -> go y f1 Ppta.S2 Hstack.empty) (Pag.global_out pag x))
+    summary.Ppta.tuples;
+  List.rev !acc
+
 (* A re-run of Algorithm 4's worklist that records each state's parent.
    Kept separate from the production loop so the hot path stays lean. *)
 let explain ?(conf = Conf.default) pag v ~site =
@@ -52,36 +90,7 @@ let explain ?(conf = Conf.default) pag v ~site =
        Budget.step budget;
        let summary = summarise st.w_node st.w_fstack st.w_state in
        if List.mem site summary.Ppta.objs then found := Some st
-       else
-         List.iter
-           (fun (x, f1, s1) ->
-             let go node fstack state ctx =
-               propagate (Some st) { w_node = node; w_fstack = fstack; w_state = state; w_ctx = ctx }
-             in
-             match s1 with
-             | Ppta.S1 ->
-               List.iter
-                 (fun (i, y) -> go y f1 Ppta.S1 (Kernel.push_ctx pag st.w_ctx i))
-                 (Pag.exit_in pag x);
-               List.iter
-                 (fun (i, y) ->
-                   match Kernel.pop_ctx pag st.w_ctx i with
-                   | Some c' -> go y f1 Ppta.S1 c'
-                   | None -> ())
-                 (Pag.entry_in pag x);
-               List.iter (fun y -> go y f1 Ppta.S1 Hstack.empty) (Pag.global_in pag x)
-             | Ppta.S2 ->
-               List.iter
-                 (fun (i, y) ->
-                   match Kernel.pop_ctx pag st.w_ctx i with
-                   | Some c' -> go y f1 Ppta.S2 c'
-                   | None -> ())
-                 (Pag.exit_out pag x);
-               List.iter
-                 (fun (i, y) -> go y f1 Ppta.S2 (Kernel.push_ctx pag st.w_ctx i))
-                 (Pag.entry_out pag x);
-               List.iter (fun y -> go y f1 Ppta.S2 Hstack.empty) (Pag.global_out pag x))
-           summary.Ppta.tuples
+       else List.iter (propagate (Some st)) (successors pag summary st)
      done
    with Budget.Out_of_budget -> found := None);
   match !found with
@@ -94,6 +103,33 @@ let explain ?(conf = Conf.default) pag v ~site =
       | Some None | None -> st :: acc
     in
     Some (chain [] last)
+
+(* A chain is well formed iff it starts at the query's initial state,
+   every consecutive pair is joined by a legal worklist transition (the
+   successor sets above — so adjacent steps share their boundary-edge
+   endpoint by construction), and the final step's local summary exposes
+   the site. Summaries are recomputed from scratch: validation must not
+   trust whatever cache produced the chain. *)
+let validate ?(conf = Conf.default) pag ~query ~site steps =
+  let budget = Budget.create ~limit:conf.Conf.budget_limit in
+  let summarise u f s =
+    if not (Pag.has_local_edges pag u) then { Ppta.objs = []; tuples = [ (u, f, s) ] }
+    else Ppta.compute pag conf budget u f s
+  in
+  let rec walk = function
+    | [] -> false
+    | [ last ] ->
+      List.mem site (summarise last.w_node last.w_fstack last.w_state).Ppta.objs
+    | a :: (b :: _ as rest) ->
+      let succs = successors pag (summarise a.w_node a.w_fstack a.w_state) a in
+      List.exists (fun s -> key s = key b) succs && walk rest
+  in
+  match steps with
+  | [] -> false
+  | first :: _ ->
+    key first
+    = (query, Hstack.id Hstack.empty, Ppta.state_to_int Ppta.S1, Hstack.id Hstack.empty)
+    && (try walk steps with Budget.Out_of_budget -> false)
 
 let render pag steps =
   let prog = Pag.program pag in

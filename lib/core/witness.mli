@@ -21,5 +21,14 @@ val explain :
     state whose local summary exposed [site] (last element). [None] when
     the site is not in the answer (or the budget runs out). *)
 
+val validate :
+  ?conf:Conf.t -> Pag.t -> query:Pag.node -> site:int -> step list -> bool
+(** Checks that a chain is well formed: the first step is the query's
+    initial state [(query, ε, S1, ε)], every consecutive pair of steps is
+    a legal worklist transition (so adjacent steps share the endpoint of
+    the boundary edge that joins them), and the last step's local summary
+    exposes [site]. Summaries are recomputed from scratch — validation
+    does not trust the cache that produced the chain. *)
+
 val render : Pag.t -> step list -> string list
 (** Human-readable lines, one per step. *)

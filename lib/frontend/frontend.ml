@@ -17,6 +17,11 @@ let compile source =
 let compile_no_prelude source =
   wrap (fun () -> Lower.lower_program (Parser.parse_program source))
 
+let annotations source =
+  List.filter_map
+    (fun (text, pos) -> if String.contains text '@' then Some (String.trim text, pos) else None)
+    (Lexer.comments source)
+
 let compile_file path =
   let source =
     try

@@ -17,3 +17,10 @@ val compile_file : string -> Ir.program
 val compile_no_prelude : string -> Ir.program
 (** For tests that define their own [Object]; ordinary callers want
     {!compile}. *)
+
+val annotations : string -> (string * Ast.pos) list
+(** Annotation comments: every comment whose text contains ['@'], trimmed,
+    with the position of its opening delimiter, in source order. The
+    prelude is parsed separately, so these positions are the user's own
+    line numbers — the same lines {!Ir} instruction positions carry.
+    Never raises. *)

@@ -193,6 +193,70 @@ let next_token st : Token.t * Ast.pos =
       else raise (Error ("expected '||'", p))
     | _ -> raise (Error (Printf.sprintf "unexpected character %C" c, p)))
 
+(* Comment texts with the position of the opening delimiter. A lenient
+   side scanner for annotation extraction: it tracks string literals so a
+   "//" inside one is not mistaken for a comment, but it never raises —
+   unterminated literals or block comments simply end at EOF. *)
+let comments src =
+  let st = { src; idx = 0; line = 1; bol = 0 } in
+  let acc = ref [] in
+  let rec go () =
+    match peek st with
+    | None -> ()
+    | Some '/' when peek2 st = Some '/' ->
+      let p = pos st in
+      advance st;
+      advance st;
+      let start = st.idx in
+      let rec to_eol () =
+        match peek st with Some '\n' | None -> () | Some _ -> advance st; to_eol ()
+      in
+      to_eol ();
+      acc := (String.sub st.src start (st.idx - start), p) :: !acc;
+      go ()
+    | Some '/' when peek2 st = Some '*' ->
+      let p = pos st in
+      advance st;
+      advance st;
+      let start = st.idx in
+      let rec to_close () =
+        match peek st with
+        | None -> st.idx - start
+        | Some '*' when peek2 st = Some '/' ->
+          let len = st.idx - start in
+          advance st;
+          advance st;
+          len
+        | Some _ ->
+          advance st;
+          to_close ()
+      in
+      let len = to_close () in
+      acc := (String.sub st.src start len, p) :: !acc;
+      go ()
+    | Some '"' ->
+      advance st;
+      let rec to_quote () =
+        match peek st with
+        | None -> ()
+        | Some '"' -> advance st
+        | Some '\\' ->
+          advance st;
+          (match peek st with Some _ -> advance st | None -> ());
+          to_quote ()
+        | Some _ ->
+          advance st;
+          to_quote ()
+      in
+      to_quote ();
+      go ()
+    | Some _ ->
+      advance st;
+      go ()
+  in
+  go ();
+  List.rev !acc
+
 let tokenize src =
   let st = { src; idx = 0; line = 1; bol = 0 } in
   let rec go acc =

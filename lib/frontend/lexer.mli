@@ -10,3 +10,10 @@ exception Error of string * Ast.pos
 val tokenize : string -> (Token.t * Ast.pos) list
 (** Whole-input tokenization, ending with [EOF]. @raise Error on an
     unexpected character, unterminated string or comment. *)
+
+val comments : string -> (string * Ast.pos) list
+(** Every comment's text paired with the position of its opening
+    delimiter, in source order. String literals are skipped so a ["//"]
+    inside one is not mistaken for a comment. Never raises: malformed
+    input simply truncates at EOF. Used for checker annotations such as
+    [// @taint-source]. *)

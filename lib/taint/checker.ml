@@ -1,0 +1,64 @@
+module Stats = Pts_util.Stats
+module Check = Pts_clients.Check
+module Diag = Pts_clients.Diag
+module Pipeline = Pts_clients.Pipeline
+
+let name = "taint"
+
+let points ~spec (cx : Check.ctx) =
+  let pl = cx.Check.cx_pl in
+  let prog = pl.Pipeline.prog in
+  let pag = pl.Pipeline.pag in
+  let stats = cx.Check.cx_stats in
+  let sources = Spec.source_sites spec prog in
+  if sources = [] then []
+  else begin
+    let sinks =
+      Spec.sinks spec ~is_reachable:(Pts_andersen.Solver.is_reachable pl.Pipeline.solver) prog
+    in
+    Stats.add stats "taint_sources" (List.length sources);
+    Stats.add stats "taint_sinks" (List.length sinks);
+    let flow = Flow.run ~stats pag ~sources in
+    List.filter_map
+      (fun (sk : Spec.sink) ->
+        let node = Pag.local_node pag ~meth:sk.Spec.sk_meth ~var:sk.Spec.sk_var in
+        (* Two sound pre-filters, cheapest first. The Andersen oracle row
+           over-approximates every demand answer, and the flow sweep
+           over-approximates the source->sink relation, so a miss in
+           either means no engine can find the flow and the sink needs no
+           CFL traversal at all. *)
+        if not (List.exists (fun s -> Pag.oracle_mem pag node s) sources) then begin
+          Stats.bump stats "taint_oracle_skips";
+          None
+        end
+        else if not (Flow.any flow node) then begin
+          Stats.bump stats "taint_flow_skips";
+          None
+        end
+        else begin
+          let meth = prog.Ir.methods.(sk.Spec.sk_meth) in
+          Some
+            {
+              Check.pt_node = node;
+              pt_desc =
+                Printf.sprintf "taint@%d %s in %s" sk.Spec.sk_line sk.Spec.sk_desc meth.Ir.pretty;
+              pt_method = meth.Ir.pretty;
+              pt_line = sk.Spec.sk_line;
+              pt_severity = Diag.Error;
+              pt_pred =
+                (fun ts ->
+                  not (List.exists (fun site -> List.mem site sources) (Query.sites ts)));
+              pt_bad_sites = List.filter (fun site -> List.mem site sources);
+              pt_message =
+                (fun bad ->
+                  Printf.sprintf "tainted: %s reaches %s" (Check.sites_blurb prog bad)
+                    sk.Spec.sk_desc);
+            }
+        end)
+      sinks
+  end
+
+let checker ?(spec = Spec.default) () =
+  Check.make name ~doc:"source objects reaching designated sink positions" ~points:(points ~spec)
+
+let queries ?(spec = Spec.default) pl = Check.queries_of pl (checker ~spec ())

@@ -1,0 +1,23 @@
+(** The demand-driven taint checker: "does any source object reach this
+    sink?" asked as one points-to query per sink through whatever engine
+    the driver runs — all four registry engines serve it, and their
+    verdicts can be cross-checked.
+
+    A sink is tainted iff the demand points-to set of its variable
+    intersects the source allocation sites; the predicate is
+    anti-monotone like every other client's. Before any CFL traversal,
+    each sink passes two sound pre-filters (skips counted in
+    [taint_oracle_skips] / [taint_flow_skips]): the Andersen oracle row
+    must contain some source, and the {!Flow} sweep must reach the sink
+    variable. Refutations surface as [Error] diagnostics whose witness
+    is the CFL path from the sink variable back to the source
+    allocation. *)
+
+val name : string
+
+val points : spec:Spec.t -> Pts_clients.Check.ctx -> Pts_clients.Check.point list
+
+val checker : ?spec:Spec.t -> unit -> Pts_clients.Check.checker
+
+val queries : ?spec:Spec.t -> Pts_clients.Pipeline.t -> Pts_clients.Client.query list
+(** Legacy [Client.query] view, for the bench harness. *)

@@ -1,0 +1,21 @@
+(** Whole-graph taint pre-filter: a field-based, context-insensitive
+    forward reachability sweep from each source object over the PAG's
+    new/assign/global/entry/exit edges, with store/load coupled through
+    the field alone (no base-alias check). Strictly coarser than the
+    CFL-reachability relation the engines decide — both dropped
+    conditions (call-stack balance, base aliasing) only add flows — so a
+    sink the sweep cannot reach needs no demand query.
+
+    Local assign closures are computed once per node into a summary
+    table mirroring {!Pts_core.Ppta}'s per-method summaries and shared
+    by every source; reuse is counted in [taint_summary_hits] /
+    [taint_summary_misses]. *)
+
+type t
+
+val run : ?stats:Pts_util.Stats.t -> Pag.t -> sources:int list -> t
+
+val reaches : t -> Pag.node -> int list
+(** Source sites whose sweep reaches the node, in [sources] order. *)
+
+val any : t -> Pag.node -> bool

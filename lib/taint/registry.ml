@@ -1,0 +1,17 @@
+module Check = Pts_clients.Check
+
+let all ?(taint = Spec.default) () =
+  [
+    Pts_clients.Safecast.checker;
+    Pts_clients.Nullderef.checker;
+    Pts_clients.Factorym.checker;
+    Pts_clients.Devirt.checker;
+    Pts_clients.Deadcode.checker;
+    Checker.checker ~spec:taint ();
+  ]
+
+let names ?taint () = List.map (fun ck -> ck.Check.ck_name) (all ?taint ())
+
+let find checkers name =
+  let want = String.lowercase_ascii name in
+  List.find_opt (fun ck -> String.lowercase_ascii ck.Check.ck_name = want) checkers

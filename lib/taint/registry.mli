@@ -1,0 +1,13 @@
+(** Every checker the [ptsto check] driver can run. Lives here rather
+    than in [pts_clients] because the list includes the taint checker,
+    which sits above the clients library. *)
+
+val all : ?taint:Spec.t -> unit -> Pts_clients.Check.checker list
+(** SafeCast, NullDeref, FactoryM, Devirt, deadcode, taint — in that
+    order. [taint] configures the taint checker's sources and sinks
+    (default {!Spec.default}). *)
+
+val names : ?taint:Spec.t -> unit -> string list
+
+val find : Pts_clients.Check.checker list -> string -> Pts_clients.Check.checker option
+(** Case-insensitive lookup by checker name. *)

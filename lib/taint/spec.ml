@@ -1,0 +1,114 @@
+type t = {
+  source_prefixes : string list;
+  sink_prefixes : string list;
+  source_lines : int list;
+  sink_lines : int list;
+}
+
+let source_annotation = "@taint-source"
+let sink_annotation = "@taint-sink"
+
+let default =
+  { source_prefixes = [ "getSecret" ]; sink_prefixes = [ "send" ]; source_lines = []; sink_lines = [] }
+
+let make ?(source_prefixes = default.source_prefixes) ?(sink_prefixes = default.sink_prefixes)
+    ?(source_lines = []) ?(sink_lines = []) () =
+  {
+    source_prefixes;
+    sink_prefixes;
+    source_lines = List.sort_uniq Int.compare source_lines;
+    sink_lines = List.sort_uniq Int.compare sink_lines;
+  }
+
+let contains_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec at i = i + m <= n && (String.sub s i m = sub || at (i + 1)) in
+  m = 0 || at 0
+
+let of_source ?(base = default) source =
+  let anns = Frontend.annotations source in
+  let lines_with tag =
+    List.filter_map (fun (text, pos) -> if contains_sub text tag then Some pos.Ast.line else None) anns
+  in
+  {
+    base with
+    source_lines = List.sort_uniq Int.compare (base.source_lines @ lines_with source_annotation);
+    sink_lines = List.sort_uniq Int.compare (base.sink_lines @ lines_with sink_annotation);
+  }
+
+let prefix_match p s = String.length s >= String.length p && String.sub s 0 (String.length p) = p
+let is_source_method t mname = List.exists (fun p -> prefix_match p mname) t.source_prefixes
+let is_sink_method t mname = List.exists (fun p -> prefix_match p mname) t.sink_prefixes
+
+let source_sites t (prog : Ir.program) =
+  Array.to_list prog.Ir.allocs
+  |> List.filter_map (fun (a : Ir.alloc_site) ->
+         if a.Ir.alloc_is_null then None
+         else
+           let mname = prog.Ir.methods.(a.Ir.alloc_meth).Ir.msig.Types.ms_name in
+           if is_source_method t mname || List.mem a.Ir.alloc_pos.Ast.line t.source_lines then
+             Some a.Ir.site_id
+           else None)
+
+type sink = { sk_meth : int; sk_var : int; sk_line : int; sk_desc : string }
+
+let is_ref (m : Ir.meth) v =
+  match m.Ir.var_types.(v) with
+  | Ast.Tclass _ | Ast.Tarray _ -> true
+  | Ast.Tint | Ast.Tbool | Ast.Tvoid -> false
+
+let sinks t ?(is_reachable = fun _ -> true) (prog : Ir.program) =
+  let acc = ref [] in
+  Array.iter
+    (fun (m : Ir.meth) ->
+      if is_reachable m.Ir.id then
+        List.iter
+          (function
+            | Ir.Call { kind; args; site; _ } ->
+              let callee =
+                match kind with
+                | Ir.Virtual { mname; _ } -> mname
+                | Ir.Static { target } -> target.Types.ms_name
+                | Ir.Ctor { ctor; _ } -> ctor.Types.ms_name
+              in
+              let line = prog.Ir.calls.(site).Ir.cs_pos.Ast.line in
+              let by_prefix = is_sink_method t callee in
+              let by_line = List.mem line t.sink_lines in
+              if by_prefix || by_line then begin
+                List.iteri
+                  (fun i a ->
+                    if is_ref m a then
+                      acc :=
+                        {
+                          sk_meth = m.Ir.id;
+                          sk_var = a;
+                          sk_line = line;
+                          sk_desc =
+                            Printf.sprintf "arg %d (%s) of call to %s" (i + 1) (Ir.var_name m a)
+                              callee;
+                        }
+                        :: !acc)
+                  args;
+                (* For annotated call lines the receiver is a designated
+                   dereference position too; for prefix sinks it is just
+                   the API object (e.g. the channel [send] is invoked on)
+                   and flagging it would be noise. *)
+                match kind with
+                | Ir.Virtual { recv; _ } when by_line ->
+                  acc :=
+                    {
+                      sk_meth = m.Ir.id;
+                      sk_var = recv;
+                      sk_line = line;
+                      sk_desc =
+                        Printf.sprintf "receiver (%s) of call to %s" (Ir.var_name m recv) callee;
+                    }
+                    :: !acc
+                | _ -> ()
+              end
+            | Ir.Alloc _ | Ir.Move _ | Ir.Load _ | Ir.Store _ | Ir.Load_global _
+            | Ir.Store_global _ | Ir.Return _ | Ir.Cast_move _ ->
+              ())
+          m.Ir.body)
+    prog.Ir.methods;
+  List.rev !acc

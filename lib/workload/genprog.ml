@@ -17,6 +17,8 @@ type config = {
   bad_cast_rate : float;
   shared_rate : float;
   interact_rate : float;
+  n_taint_flows : int;
+  n_taint_clean : int;
 }
 
 let default =
@@ -37,21 +39,37 @@ let default =
     bad_cast_rate = 0.2;
     shared_rate = 0.3;
     interact_rate = 0.25;
+    n_taint_flows = 0;
+    n_taint_clean = 0;
   }
 
 let describe c =
   Printf.sprintf
-    "%s(seed=%d elems=%d containers=%d boxes=%d lists=%d factories=%d utils=%dx%d apps=%d globals=%d)"
+    "%s(seed=%d elems=%d containers=%d boxes=%d lists=%d factories=%d utils=%dx%d apps=%d globals=%d taint=%d/%d)"
     c.name c.seed c.n_elem_classes c.n_containers c.n_boxes c.n_lists c.n_factories c.n_utils
-    c.util_chain c.n_apps c.n_globals
+    c.util_chain c.n_apps c.n_globals c.n_taint_flows c.n_taint_clean
 
 (* ------------------------------------------------------------------ *)
 (* Emission helpers                                                    *)
 (* ------------------------------------------------------------------ *)
 
-type st = { buf : Buffer.t; cfg : config; rng : Prng.t }
+type taint_label = { tl_method : string; tl_line : int; tl_tainted : bool }
 
-let line st fmt = Printf.ksprintf (fun s -> Buffer.add_string st.buf s; Buffer.add_char st.buf '\n') fmt
+type st = {
+  buf : Buffer.t;
+  cfg : config;
+  rng : Prng.t;
+  mutable lineno : int; (* 1-based line the next [line] call lands on *)
+  mutable labels : taint_label list; (* reversed *)
+}
+
+let line st fmt =
+  Printf.ksprintf
+    (fun s ->
+      Buffer.add_string st.buf s;
+      Buffer.add_char st.buf '\n';
+      st.lineno <- st.lineno + 1 + String.fold_left (fun n c -> if c = '\n' then n + 1 else n) 0 s)
+    fmt
 
 let elem st i = Printf.sprintf "Item%d" (i mod st.cfg.n_elem_classes)
 let elem_sub st i = Printf.sprintf "Item%dSub" (i mod st.cfg.n_elem_classes)
@@ -380,6 +398,125 @@ let emit_app st a =
   line st "}";
   k
 
+(* ------------------------------------------------------------------ *)
+(* Seeded taint flows                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Everything below is emitted only when the config asks for taint
+   seeding, and draws nothing from the RNG — configs with
+   [n_taint_flows = n_taint_clean = 0] generate byte-identical programs
+   to what they generated before this section existed.
+
+   Each [TaintFlow<i>.go] routes the object allocated in
+   [TaintKit.getSecret<i>] (a distinct source site per flow) into
+   [TaintKit.send] through one of five carriers, cycling by index:
+   directly, through a fresh Box, through a dedicated TaintVault static
+   slot, through the Util pass chain, or — the annotation variant —
+   from a [// @taint-source] allocation into a [// @taint-sink] call on
+   a method ([log]) that matches no sink prefix. Each [TaintClean<j>.go]
+   performs the same dance with a benign object (and, for the direct
+   variant, additionally creates a secret it never sends), so a checker
+   with any precision loss across these carriers shows up as a false
+   positive against the ground-truth labels. *)
+let emit_taint_lib st ~flows ~clean =
+  if flows + clean > 0 then begin
+    line st "class Secret {";
+    line st "  int token;";
+    line st "  Secret() { this.token = 41; }";
+    line st "}";
+    line st "class TaintKit {";
+    line st "  TaintKit() {}";
+    for i = 0 to flows - 1 do
+      line st "  static Object getSecret%d() { return new Secret(); }" i
+    done;
+    line st "  static void send(Object x) { int h = x.hashCode(); }";
+    line st "  static void log(Object x) { int h = x.hashCode(); }";
+    line st "}";
+    line st "class TaintVault {";
+    for i = 0 to flows - 1 do
+      line st "  static Object fslot%d;" i
+    done;
+    for j = 0 to clean - 1 do
+      line st "  static Object cslot%d;" j
+    done;
+    line st "}"
+  end
+
+let taint_variant st i = match i mod 5 with 3 when st.cfg.n_utils = 0 -> 0 | v -> v
+
+let add_label st ~meth ~tainted =
+  st.labels <- { tl_method = meth; tl_line = st.lineno; tl_tainted = tainted } :: st.labels
+
+let emit_taint_flow st i =
+  let meth = Printf.sprintf "TaintFlow%d.go" i in
+  line st "class TaintFlow%d {" i;
+  line st "  static void go() {";
+  (match taint_variant st i with
+  | 0 ->
+    line st "    Object s = TaintKit.getSecret%d();" i;
+    add_label st ~meth ~tainted:true;
+    line st "    TaintKit.send(s);"
+  | 1 ->
+    line st "    Object s = TaintKit.getSecret%d();" i;
+    line st "    Box0 carrier = new Box0();";
+    line st "    carrier.put(s);";
+    line st "    Object out = carrier.take();";
+    add_label st ~meth ~tainted:true;
+    line st "    TaintKit.send(out);"
+  | 2 ->
+    line st "    Object s = TaintKit.getSecret%d();" i;
+    line st "    TaintVault.fslot%d = s;" i;
+    line st "    Object out = TaintVault.fslot%d;" i;
+    add_label st ~meth ~tainted:true;
+    line st "    TaintKit.send(out);"
+  | 3 ->
+    line st "    Object s = TaintKit.getSecret%d();" i;
+    line st "    Object out = Util0.pass0(s);";
+    add_label st ~meth ~tainted:true;
+    line st "    TaintKit.send(out);"
+  | _ ->
+    line st "    Object s = new Item0(); // @taint-source";
+    add_label st ~meth ~tainted:true;
+    line st "    TaintKit.log(s); // @taint-sink");
+  line st "  }";
+  line st "}"
+
+let emit_taint_clean st ~flows j =
+  let meth = Printf.sprintf "TaintClean%d.go" j in
+  line st "class TaintClean%d {" j;
+  line st "  static void go() {";
+  (match taint_variant st j with
+  | 0 ->
+    line st "    Object c = new Item0();";
+    (* a secret that is created but flows into no sink *)
+    if flows > 0 then line st "    Object drop = TaintKit.getSecret0();";
+    add_label st ~meth ~tainted:false;
+    line st "    TaintKit.send(c);"
+  | 1 ->
+    line st "    Object c = new Item0();";
+    line st "    Box0 carrier = new Box0();";
+    line st "    carrier.put(c);";
+    line st "    Object out = carrier.take();";
+    add_label st ~meth ~tainted:false;
+    line st "    TaintKit.send(out);"
+  | 2 ->
+    line st "    Object c = new Item0();";
+    line st "    TaintVault.cslot%d = c;" j;
+    line st "    Object out = TaintVault.cslot%d;" j;
+    add_label st ~meth ~tainted:false;
+    line st "    TaintKit.send(out);"
+  | 3 ->
+    line st "    Object c = new Item0();";
+    line st "    Object out = Util0.pass0(c);";
+    add_label st ~meth ~tainted:false;
+    line st "    TaintKit.send(out);"
+  | _ ->
+    line st "    Object c = new Item0();";
+    add_label st ~meth ~tainted:false;
+    line st "    TaintKit.log(c); // @taint-sink");
+  line st "  }";
+  line st "}"
+
 let emit_main st app_containers =
   let cfg = st.cfg in
   let rng = st.rng in
@@ -388,6 +525,12 @@ let emit_main st app_containers =
   for a = 0 to cfg.n_apps - 1 do
     line st "    App%d app%d = new App%d();" a a a;
     line st "    app%d.run();" a
+  done;
+  for i = 0 to cfg.n_taint_flows - 1 do
+    line st "    TaintFlow%d.go();" i
+  done;
+  for j = 0 to cfg.n_taint_clean - 1 do
+    line st "    TaintClean%d.go();" j
   done;
   (* cross-app pollution through shared containers *)
   for a = 0 to cfg.n_apps - 1 do
@@ -400,7 +543,7 @@ let emit_main st app_containers =
   line st "  }";
   line st "}"
 
-let generate cfg =
+let generate_with_truth cfg =
   if
     cfg.n_elem_classes <= 0 || cfg.n_containers <= 0 || cfg.n_apps <= 0 || cfg.n_boxes <= 0
     || cfg.n_lists <= 0 || cfg.n_factories <= 0 || cfg.n_globals <= 0
@@ -408,7 +551,9 @@ let generate cfg =
     invalid_arg
       "Genprog.generate: element, container, box, list, factory, global and app counts must be \
        positive (only n_utils may be 0)";
-  let st = { buf = Buffer.create 65536; cfg; rng = Prng.create cfg.seed } in
+  if cfg.n_taint_flows < 0 || cfg.n_taint_clean < 0 then
+    invalid_arg "Genprog.generate: taint counts must be non-negative";
+  let st = { buf = Buffer.create 65536; cfg; rng = Prng.create cfg.seed; lineno = 1; labels = [] } in
   emit_elements st;
   emit_containers st;
   emit_boxes st;
@@ -417,5 +562,14 @@ let generate cfg =
   if cfg.n_utils > 0 then emit_utils st;
   emit_registry st;
   let app_containers = List.init cfg.n_apps (fun a -> emit_app st a) in
+  emit_taint_lib st ~flows:cfg.n_taint_flows ~clean:cfg.n_taint_clean;
+  for i = 0 to cfg.n_taint_flows - 1 do
+    emit_taint_flow st i
+  done;
+  for j = 0 to cfg.n_taint_clean - 1 do
+    emit_taint_clean st ~flows:cfg.n_taint_flows j
+  done;
   emit_main st app_containers;
-  Buffer.contents st.buf
+  (Buffer.contents st.buf, List.rev st.labels)
+
+let generate cfg = fst (generate_with_truth cfg)

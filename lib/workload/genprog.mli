@@ -41,12 +41,29 @@ type config = {
   bad_cast_rate : float; (** P(a generated downcast is to the wrong class) *)
   shared_rate : float; (** P(an app also goes through the global registry) *)
   interact_rate : float; (** P(an app feeds another app's container) *)
+  n_taint_flows : int;
+      (** seeded source->sink taint flows with ground-truth labels; the
+          taint classes draw nothing from the RNG, so [0] (the default)
+          generates exactly the pre-seeding program text *)
+  n_taint_clean : int; (** known-clean taint look-alikes, also labelled *)
 }
 
 val default : config
 
+type taint_label = {
+  tl_method : string;  (** the sink's method, e.g. ["TaintFlow0.go"] *)
+  tl_line : int;  (** the sink call's source line *)
+  tl_tainted : bool;  (** ground truth: does a source object reach it? *)
+}
+
 val generate : config -> string
 (** The program source (prelude classes not included). *)
+
+val generate_with_truth : config -> string * taint_label list
+(** {!generate} plus the ground-truth labels of every seeded taint flow
+    and clean variant, in emission order — the reference a checker's
+    precision/recall is scored against. Empty unless the taint counts
+    are positive. *)
 
 val describe : config -> string
 (** One-line summary for logs. *)

@@ -17,6 +17,8 @@ let mk name seed ~elems ~containers ~boxes ~lists ~factories ~utils ~chain ~apps
     bad_cast_rate = bad;
     shared_rate = shared;
     interact_rate = interact;
+    n_taint_flows = 0;
+    n_taint_clean = 0;
   }
 
 (* Sizes scale with the paper's relative ordering (soot-c/bloat/jython
@@ -63,6 +65,19 @@ let scaled name k =
     Genprog.name = Printf.sprintf "%s-x%d" c.Genprog.name k;
     n_apps = c.Genprog.n_apps * k;
     n_elem_classes = c.Genprog.n_elem_classes * ((k + 1) / 2);
+  }
+
+(* The seeded-defect variant of a benchmark: same generator state (the
+   taint classes draw nothing from the RNG), plus [flows] known
+   source->sink flows and [clean] known-clean look-alikes with
+   ground-truth labels. *)
+let tainted ?(flows = 6) ?(clean = 6) name =
+  let c = config name in
+  {
+    c with
+    Genprog.name = Printf.sprintf "%s+taint%d/%d" c.Genprog.name flows clean;
+    n_taint_flows = flows;
+    n_taint_clean = clean;
   }
 
 let source_cache : (string, string) Hashtbl.t = Hashtbl.create 9

@@ -17,6 +17,14 @@ val scaled : string -> int -> Genprog.config
     element diversity) by [k], for scalability studies beyond the default
     laptop-sized suite. [scaled name 1 = config name]. *)
 
+val tainted : ?flows:int -> ?clean:int -> string -> Genprog.config
+(** [tainted name] is [config name] with [flows] (default 6) seeded
+    source->sink taint flows and [clean] (default 6) known-clean
+    variants added; ground truth comes from
+    {!Genprog.generate_with_truth}. The added classes draw nothing from
+    the generator's RNG, so the rest of the program is byte-identical to
+    the unseeded benchmark. *)
+
 val figure45_names : string list
 (** The three programs of Figures 4 and 5: soot-c, bloat, jython. *)
 

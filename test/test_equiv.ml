@@ -45,6 +45,8 @@ let small_config =
       bad_cast_rate = bad;
       shared_rate = shared;
       interact_rate = interact;
+      n_taint_flows = 0;
+      n_taint_clean = 0;
     }
 
 let config_arbitrary = QCheck.make ~print:G.describe small_config
