@@ -3,7 +3,7 @@
 
 DUNE ?= dune
 
-.PHONY: all build test smoke smoke-parallel smoke-prune smoke-check check bench bench-smoke bench-prune-smoke bench-taint-smoke verify clean
+.PHONY: all build test smoke smoke-parallel smoke-prune smoke-check smoke-minifun check bench bench-smoke bench-prune-smoke bench-taint-smoke bench-minifun verify clean
 
 all: build
 
@@ -61,7 +61,20 @@ smoke-check:
 	    assert r["counts"]["total"] == len(r["findings"]), r; \
 	    print("check smoke ok:", r["counts"]["total"], "findings, 0 errors")'
 
-check: build test smoke smoke-parallel smoke-prune smoke-check
+# The second surface language end to end: lex/parse/closure-convert the
+# committed MiniFun example, run every client over it, and let Devirtopt
+# monomorphize the provably-single-target closure calls. The python step
+# validates the metrics blob and that at least one site was rewritten.
+smoke-minifun:
+	$(DUNE) exec bin/ptsto.exe -- run --lang minifun examples/programs/closures.mf -e dynsum --metrics-json \
+	  | python3 -c 'import json,sys; out=sys.stdin.read().splitlines(); \
+	    m=json.loads(out[-1]); \
+	    assert m["schema"].startswith("ptsto.metrics/"), m; \
+	    dv=[l for l in out if l.startswith("devirtopt:")][0]; \
+	    n=int(dv.split()[1].split("/")[0]); assert n >= 1, dv; \
+	    print("minifun smoke ok:", n, "closure calls monomorphized")'
+
+check: build test smoke smoke-parallel smoke-prune smoke-check smoke-minifun
 
 bench:
 	$(DUNE) exec bench/main.exe
@@ -100,8 +113,20 @@ bench-taint-smoke:
 	  assert all(r["report_equal_vs_first"] for r in rows), rows; \
 	  print("bench-taint-smoke ok:", len(rows), "rows, recall 1.0, reports byte-equal")'
 
+# Cross-frontend parity and Devirtopt rewrite counts per engine on the
+# matched MiniJava/MiniFun pair suite; writes the committed artefact.
+bench-minifun:
+	$(DUNE) exec bench/main.exe -- minifun \
+	  | grep '^BENCH_minifun.json ' \
+	  | sed 's/^BENCH_minifun.json //' > BENCH_minifun.json
+	python3 -c 'import json; \
+	  rows=json.load(open("BENCH_minifun.json"))["rows"]; \
+	  assert all(r["verdicts_unchanged"] for r in rows), rows; \
+	  assert all(r["beyond_cha"] >= 1 for r in rows), rows; \
+	  print("bench-minifun ok:", len(rows), "rows, verdicts stable, beyond-CHA rewrites everywhere")'
+
 # Tier-1 plus the smokes in one command.
-verify: check bench-smoke bench-prune-smoke bench-taint-smoke
+verify: check bench-smoke bench-prune-smoke bench-taint-smoke bench-minifun
 
 clean:
 	$(DUNE) clean

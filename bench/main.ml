@@ -5,7 +5,8 @@
      dune exec bench/main.exe            -- everything
      dune exec bench/main.exe -- table4  -- one artefact (table1 table2
                                             table3 table4 figure4 figure5
-                                            ablation devirt scale micro)
+                                            ablation devirt minifun scale
+                                            micro)
 
    Wall-clock numbers are machine-dependent; the harness therefore also
    reports deterministic step counts (PAG edge traversals), and all
@@ -659,6 +660,89 @@ let devirt () =
   Table.print t;
   Bm.flush "devirt"
 
+(* --------------------------------------------------------------------- *)
+(* Extension — MiniFun frontend parity + Devirtopt rewriting              *)
+(* --------------------------------------------------------------------- *)
+
+(* The committed matched-pair suite: both surface languages lower through
+   the same [Ir.Emit] contract, so each pair's points-to verdicts must
+   agree between the MiniJava and MiniFun halves on every engine. On top,
+   the Devirtopt pass must monomorphize at least one beyond-CHA closure
+   call per half, and the rewritten program must re-analyze to the same
+   per-query verdicts — the acceptance row this artefact commits as
+   BENCH_minifun.json. *)
+let minifun () =
+  hr "Extension — MiniFun frontend parity and analysis-guided devirtualization";
+  let module Genpair = Pts_workload.Genpair in
+  let module Devirtopt = Pts_clients.Devirtopt in
+  let conf = Engine.conf ~budget_limit:2_000_000 () in
+  let mono_pred prog ts =
+    let nonnull =
+      List.filter (fun s -> not prog.Ir.allocs.(s).Ir.alloc_is_null) (Query.sites ts)
+    in
+    List.length nonnull <= 1
+  in
+  let verdicts pl engine_name (queries : Genpair.query_spec list) =
+    let prog = pl.Pipeline.prog in
+    List.map
+      (fun q ->
+        let node = Pipeline.find_local_any pl ~var:q.Genpair.q_var in
+        let engine = Engine.create ~conf engine_name pl.Pipeline.pag in
+        Client.verdict_of (mono_pred prog)
+          (engine.Engine.points_to ~satisfy:(mono_pred prog) node))
+      queries
+  in
+  let t =
+    Table.create
+      [
+        ("Pair", Table.Left);
+        ("lang", Table.Left);
+        ("engine", Table.Left);
+        ("virtual sites", Table.Right);
+        ("rewritten", Table.Right);
+        ("beyond CHA", Table.Right);
+        ("verdicts after rewrite", Table.Right);
+      ]
+  in
+  List.iter
+    (fun pname ->
+      let pair = Suite.pair pname in
+      List.iter
+        (fun lang ->
+          let pl = Suite.pair_pipeline pname lang in
+          List.iter
+            (fun engine_name ->
+              let dv = Devirtopt.run ~conf ~engine:engine_name pl in
+              let pl' = Pipeline.of_program dv.Devirtopt.dv_prog in
+              let before = verdicts pl engine_name pair.Genpair.p_queries in
+              let after = verdicts pl' engine_name pair.Genpair.p_queries in
+              let unchanged = before = after in
+              Bm.add "minifun"
+                [
+                  ("pair", Bm.Json.String pname);
+                  ("lang", Bm.Json.String (Loc.lang_name lang));
+                  ("engine", Bm.Json.String engine_name);
+                  ("virtual_sites", Bm.Json.Int dv.Devirtopt.dv_virtual_sites);
+                  ("rewrites", Bm.Json.Int (List.length dv.Devirtopt.dv_rewrites));
+                  ("beyond_cha", Bm.Json.Int (Devirtopt.analysis_rewrites dv));
+                  ("verdicts_unchanged", Bm.Json.Bool unchanged);
+                ];
+              Table.add_row t
+                [
+                  pname;
+                  Loc.lang_name lang;
+                  engine_name;
+                  string_of_int dv.Devirtopt.dv_virtual_sites;
+                  string_of_int (List.length dv.Devirtopt.dv_rewrites);
+                  string_of_int (Devirtopt.analysis_rewrites dv);
+                  (if unchanged then "unchanged" else "CHANGED");
+                ])
+            (Engine.names ()))
+        [ Loc.Mjava; Loc.Minifun ])
+    Suite.pair_names;
+  Table.print t;
+  Bm.flush "minifun"
+
 let ablation () =
   hr "Ablations (design choices called out in DESIGN.md)";
   ablation_cache ();
@@ -1198,6 +1282,7 @@ let () =
       ("figure5", figure5);
       ("ablation", ablation);
       ("devirt", devirt);
+      ("minifun", minifun);
       ("scale", scale);
       ("parallel", parallel);
       ("parallel_smoke", parallel_smoke);

@@ -27,7 +27,29 @@ let clients =
 (* ----------------------------- arguments ---------------------------- *)
 
 let file_arg =
-  Arg.(value & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"MiniJava source file.")
+  Arg.(
+    value & pos 0 (some string) None
+    & info [] ~docv:"FILE" ~doc:"Source file (MiniJava, or MiniFun with --lang minifun / a .mf extension).")
+
+let lang_arg =
+  Arg.(
+    value
+    & opt
+        (some
+           (enum
+              [ ("mjava", Loc.Mjava); ("minijava", Loc.Mjava); ("minifun", Loc.Minifun); ("mf", Loc.Minifun) ]))
+        None
+    & info [ "lang" ] ~docv:"LANG"
+        ~doc:
+          "Surface language of FILE (mjava|minifun). Default: inferred from the file extension \
+           ($(b,.mf)/$(b,.minifun) is MiniFun, anything else MiniJava).")
+
+(* the effective language: an explicit --lang wins over the extension *)
+let lang_of lang file =
+  match (lang, file) with
+  | Some l, _ -> l
+  | None, Some path -> Frontend.lang_of_path path
+  | None, None -> Loc.Mjava
 
 let bench_arg =
   Arg.(
@@ -115,11 +137,11 @@ let print_metrics rows = print_endline (Trace.Json.to_string (metrics_json rows)
 
 (* ------------------------------ commands ---------------------------- *)
 
-let with_pipeline file bench f =
+let with_pipeline ?lang file bench f =
   match (file, bench) with
   | _, Some name -> f (Pts_workload.Suite.pipeline name)
   | Some path, None -> (
-    match Frontend.compile_file path with
+    match Frontend.compile_file ?lang path with
     | prog -> f (Pipeline.of_program prog)
     | exception Frontend.Error msg ->
       Printf.eprintf "error: %s\n" msg;
@@ -128,8 +150,8 @@ let with_pipeline file bench f =
     Printf.eprintf "error: either FILE or --bench NAME is required\n";
     exit 1
 
-let stats_cmd file bench =
-  with_pipeline file bench (fun pl ->
+let stats_cmd lang file bench =
+  with_pipeline ?lang file bench (fun pl ->
       let pag = pl.Pipeline.pag in
       let c = Pag.edge_counts pag in
       let o, v, g = Pag.touched_counts pag in
@@ -153,11 +175,11 @@ let stats_cmd file bench =
       Table.add_row t [ "locality"; Table.fmt_pct (Pag.locality pag) ];
       Table.print t)
 
-let ir_cmd file bench =
-  with_pipeline file bench (fun pl -> Format.printf "%a@." Ir.pp_program pl.Pipeline.prog)
+let ir_cmd lang file bench =
+  with_pipeline ?lang file bench (fun pl -> Format.printf "%a@." Ir.pp_program pl.Pipeline.prog)
 
-let query_cmd file bench meth var engine_name budget prune trace metrics =
-  with_pipeline file bench (fun pl ->
+let query_cmd lang file bench meth var engine_name budget prune trace metrics =
+  with_pipeline ?lang file bench (fun pl ->
       with_trace trace (fun sink ->
           let conf = Engine.conf ~budget_limit:budget ~prune () in
           let engine = Engine.create ~conf ~trace:sink engine_name pl.Pipeline.pag in
@@ -180,7 +202,7 @@ let query_cmd file bench meth var engine_name budget prune trace metrics =
                 (fun site ->
                   let a = prog.Ir.allocs.(site) in
                   Printf.printf "  %-24s allocated in %s (line %d)\n" (Ir.alloc_name prog site)
-                    prog.Ir.methods.(a.Ir.alloc_meth).Ir.pretty a.Ir.alloc_pos.Ast.line)
+                    prog.Ir.methods.(a.Ir.alloc_meth).Ir.pretty a.Ir.alloc_pos.Loc.line)
                 (Query.sites ts));
             if metrics then print_metrics [ (None, engine) ]))
 
@@ -188,8 +210,8 @@ let query_cmd file bench meth var engine_name budget prune trace metrics =
    path below because the trace plumbing differs (a shared mutex-guarded
    writer instead of one sink) and per-domain reports replace the single
    engine's counters. *)
-let client_par_cmd file bench client_key engine_name budget prune cache_file trace metrics jobs rounds =
-  with_pipeline file bench (fun pl ->
+let client_par_cmd lang file bench client_key engine_name budget prune cache_file trace metrics jobs rounds =
+  with_pipeline ?lang file bench (fun pl ->
       let cname, queries_of = List.assoc client_key clients in
       if cache_file <> None then
         Printf.eprintf "warning: --cache is ignored in parallel batch mode\n";
@@ -267,11 +289,11 @@ let client_par_cmd file bench client_key engine_name budget prune cache_file tra
                   );
                 ])))
 
-let client_cmd file bench client_key engine_name budget prune cache_file trace metrics jobs rounds =
+let client_cmd lang file bench client_key engine_name budget prune cache_file trace metrics jobs rounds =
   if jobs <> 1 || rounds <> 1 then
-    client_par_cmd file bench client_key engine_name budget prune cache_file trace metrics jobs rounds
+    client_par_cmd lang file bench client_key engine_name budget prune cache_file trace metrics jobs rounds
   else
-  with_pipeline file bench (fun pl ->
+  with_pipeline ?lang file bench (fun pl ->
       with_trace trace (fun sink ->
           let cname, queries_of = List.assoc client_key clients in
           let conf = Engine.conf ~budget_limit:budget ~prune () in
@@ -318,8 +340,8 @@ let client_cmd file bench client_key engine_name budget prune cache_file trace m
           | None -> ());
           if metrics then print_metrics [ (None, engine) ]))
 
-let compare_cmd file bench budget prune trace metrics =
-  with_pipeline file bench (fun pl ->
+let compare_cmd lang file bench budget prune trace metrics =
+  with_pipeline ?lang file bench (fun pl ->
       with_trace trace (fun sink ->
       let conf = Engine.conf ~budget_limit:budget ~prune () in
       let t =
@@ -360,8 +382,8 @@ let compare_cmd file bench budget prune trace metrics =
       Table.print t;
       if metrics then print_metrics (List.rev !used)))
 
-let alias_cmd file bench meth var1 var2 engine_name budget prune =
-  with_pipeline file bench (fun pl ->
+let alias_cmd lang file bench meth var1 var2 engine_name budget prune =
+  with_pipeline ?lang file bench (fun pl ->
       let conf = Engine.conf ~budget_limit:budget ~prune () in
       let engine = Engine.create ~conf engine_name pl.Pipeline.pag in
       let node v =
@@ -382,8 +404,8 @@ let alias_cmd file bench meth var1 var2 engine_name budget prune =
         (show (Alias.may_alias ?pag engine x y))
         (show (Alias.may_alias_sites ?pag engine x y)))
 
-let why_cmd file bench meth var site =
-  with_pipeline file bench (fun pl ->
+let why_cmd lang file bench meth var site =
+  with_pipeline ?lang file bench (fun pl ->
       let pag = pl.Pipeline.pag in
       match Pipeline.find_local pl ~meth_pretty:meth ~var with
       | exception Not_found ->
@@ -397,8 +419,42 @@ let why_cmd file bench meth var site =
             (Ir.alloc_name pl.Pipeline.prog site);
           List.iter print_endline (Witness.render pag steps)))
 
-let dot_cmd file bench what out =
-  with_pipeline file bench (fun pl ->
+(* [run] is the quickstart driver: compile, answer every client's query
+   set with one engine, then close the loop with the Devirtopt pass and
+   report what the analysis let it rewrite. *)
+let run_cmd lang file bench engine_name budget prune metrics =
+  with_pipeline ?lang file bench (fun pl ->
+      let prog = pl.Pipeline.prog in
+      let conf = Engine.conf ~budget_limit:budget ~prune () in
+      Printf.printf "%s program: %d methods (%d reachable), %d allocation sites, %d call sites\n"
+        (Loc.lang_name prog.Ir.lang)
+        (Array.length prog.Ir.methods)
+        (List.length (Pts_andersen.Solver.reachable_methods pl.Pipeline.solver))
+        (Array.length prog.Ir.allocs) (Array.length prog.Ir.calls);
+      let used = ref [] in
+      List.iter
+        (fun (_, (cname, queries_of)) ->
+          let engine = Engine.create ~conf engine_name pl.Pipeline.pag in
+          used := (Some cname, engine) :: !used;
+          let queries = queries_of pl in
+          let r = Client.run engine queries in
+          Format.printf "%-9s %a (%d queries, %d steps)@." cname Client.pp_tally r.Client.tally
+            (List.length queries) r.Client.steps)
+        clients;
+      let module Devirtopt = Pts_clients.Devirtopt in
+      let dv = Devirtopt.run ~conf ~engine:engine_name pl in
+      Printf.printf "devirtopt: %d/%d virtual sites monomorphized (%d beyond CHA) with %s\n"
+        (List.length dv.Devirtopt.dv_rewrites)
+        dv.Devirtopt.dv_virtual_sites
+        (Devirtopt.analysis_rewrites dv)
+        engine_name;
+      List.iter
+        (fun rw -> Format.printf "  rewrote %a@." Devirtopt.pp_rewrite rw)
+        dv.Devirtopt.dv_rewrites;
+      if metrics then print_metrics (List.rev !used))
+
+let dot_cmd lang file bench what out =
+  with_pipeline ?lang file bench (fun pl ->
       let src =
         match what with
         | `Pag -> Dot.pag pl.Pipeline.pag
@@ -434,19 +490,21 @@ let check_source file bench tflows tclean =
     Printf.eprintf "error: either FILE or --bench NAME is required\n";
     exit 2
 
-let check_cmd file bench tflows tclean checker_names engine_name budget prune jobs rounds fail_on
+let check_cmd lang file bench tflows tclean checker_names engine_name budget prune jobs rounds fail_on
     report_json metrics =
   let module Check = Pts_clients.Check in
   let module Diag = Pts_clients.Diag in
   let source = check_source file bench tflows tclean in
+  (* benches are always MiniJava; for files --lang wins over the extension *)
+  let lang = match bench with Some _ -> Loc.Mjava | None -> lang_of lang file in
   let pl =
-    match Pipeline.of_source source with
+    match Pipeline.of_source ~lang source with
     | pl -> pl
     | exception Frontend.Error msg ->
       Printf.eprintf "error: %s\n" msg;
       exit 2
   in
-  let spec = Pts_taint.Spec.of_source source in
+  let spec = Pts_taint.Spec.of_source ~lang source in
   let available = Pts_taint.Registry.all ~taint:spec () in
   let checkers =
     match List.concat checker_names with
@@ -546,9 +604,9 @@ let gen_cmd bench out =
 
 let stats_t =
   Cmd.v (Cmd.info "stats" ~doc:"PAG and call-graph statistics")
-    Term.(const stats_cmd $ file_arg $ bench_arg)
+    Term.(const stats_cmd $ lang_arg $ file_arg $ bench_arg)
 
-let ir_t = Cmd.v (Cmd.info "ir" ~doc:"Dump the lowered IR") Term.(const ir_cmd $ file_arg $ bench_arg)
+let ir_t = Cmd.v (Cmd.info "ir" ~doc:"Dump the lowered IR") Term.(const ir_cmd $ lang_arg $ file_arg $ bench_arg)
 
 let query_t =
   let meth =
@@ -557,7 +615,7 @@ let query_t =
   let var = Arg.(required & opt (some string) None & info [ "var"; "v" ] ~docv:"V" ~doc:"Variable name.") in
   Cmd.v (Cmd.info "query" ~doc:"Answer one points-to query")
     Term.(
-      const query_cmd $ file_arg $ bench_arg $ meth $ var $ engine_arg $ budget_arg $ prune_arg
+      const query_cmd $ lang_arg $ file_arg $ bench_arg $ meth $ var $ engine_arg $ budget_arg $ prune_arg
       $ trace_arg $ metrics_arg)
 
 let client_t =
@@ -591,12 +649,12 @@ let client_t =
   in
   Cmd.v (Cmd.info "client" ~doc:"Run a client's query set")
     Term.(
-      const client_cmd $ file_arg $ bench_arg $ client $ engine_arg $ budget_arg $ prune_arg
+      const client_cmd $ lang_arg $ file_arg $ bench_arg $ client $ engine_arg $ budget_arg $ prune_arg
       $ cache $ trace_arg $ metrics_arg $ jobs $ rounds)
 
 let compare_t =
   Cmd.v (Cmd.info "compare" ~doc:"All engines on all clients")
-    Term.(const compare_cmd $ file_arg $ bench_arg $ budget_arg $ prune_arg $ trace_arg $ metrics_arg)
+    Term.(const compare_cmd $ lang_arg $ file_arg $ bench_arg $ budget_arg $ prune_arg $ trace_arg $ metrics_arg)
 
 let gen_t =
   let bench =
@@ -616,7 +674,7 @@ let alias_t =
   let var2 = Arg.(required & opt (some string) None & info [ "y" ] ~docv:"Y" ~doc:"Second variable.") in
   Cmd.v (Cmd.info "alias" ~doc:"May two variables alias?")
     Term.(
-      const alias_cmd $ file_arg $ bench_arg $ meth $ var1 $ var2 $ engine_arg $ budget_arg
+      const alias_cmd $ lang_arg $ file_arg $ bench_arg $ meth $ var1 $ var2 $ engine_arg $ budget_arg
       $ prune_arg)
 
 let why_t =
@@ -626,7 +684,7 @@ let why_t =
   let var = Arg.(required & opt (some string) None & info [ "var"; "v" ] ~docv:"V" ~doc:"Variable name.") in
   let site = Arg.(required & opt (some int) None & info [ "site"; "s" ] ~docv:"N" ~doc:"Allocation site id.") in
   Cmd.v (Cmd.info "why" ~doc:"Explain why a variable points to a site")
-    Term.(const why_cmd $ file_arg $ bench_arg $ meth $ var $ site)
+    Term.(const why_cmd $ lang_arg $ file_arg $ bench_arg $ meth $ var $ site)
 
 let check_t =
   let checker =
@@ -687,8 +745,16 @@ let check_t =
   in
   Cmd.v (Cmd.info "check" ~doc:"Run the demand-driven checkers and report diagnostics")
     Term.(
-      const check_cmd $ file_arg $ bench_arg $ taint_flows $ taint_clean $ checker $ engine_arg
+      const check_cmd $ lang_arg $ file_arg $ bench_arg $ taint_flows $ taint_clean $ checker $ engine_arg
       $ budget_arg $ prune_arg $ jobs $ rounds $ fail_on $ report_json $ metrics_arg)
+
+let run_t =
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:"Compile, run every client with one engine, and apply the Devirtopt rewrite")
+    Term.(
+      const run_cmd $ lang_arg $ file_arg $ bench_arg $ engine_arg $ budget_arg $ prune_arg
+      $ metrics_arg)
 
 let dot_t =
   let what =
@@ -699,7 +765,7 @@ let dot_t =
   in
   let out = Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output file.") in
   Cmd.v (Cmd.info "dot" ~doc:"Export the PAG or call graph as Graphviz DOT")
-    Term.(const dot_cmd $ file_arg $ bench_arg $ what $ out)
+    Term.(const dot_cmd $ lang_arg $ file_arg $ bench_arg $ what $ out)
 
 let () =
   let doc = "demand-driven summary-based points-to analysis (DYNSUM reproduction)" in
@@ -707,4 +773,4 @@ let () =
     (Cmd.eval
        (Cmd.group
           (Cmd.info "ptsto" ~version:"1.0.0" ~doc)
-          [ stats_t; ir_t; query_t; client_t; check_t; compare_t; gen_t; alias_t; why_t; dot_t ]))
+          [ run_t; stats_t; ir_t; query_t; client_t; check_t; compare_t; gen_t; alias_t; why_t; dot_t ]))

@@ -45,7 +45,7 @@ let () =
               if not a.Ir.alloc_is_null then
                 Printf.printf "        may hold %-20s (allocated in %s, line %d)\n"
                   (Types.class_name prog.Ir.ctable a.Ir.alloc_cls)
-                  prog.Ir.methods.(a.Ir.alloc_meth).Ir.pretty a.Ir.alloc_pos.Ast.line)
+                  prog.Ir.methods.(a.Ir.alloc_meth).Ir.pretty a.Ir.alloc_pos.Loc.line)
             (Query.sites ts)
         | Query.Exceeded -> ()))
     queries;

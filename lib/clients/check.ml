@@ -34,7 +34,7 @@ let site_name (prog : Ir.program) site =
   else
     Printf.sprintf "o%d:%s (new in %s:%d)" site
       (Types.class_name prog.Ir.ctable a.Ir.alloc_cls)
-      prog.Ir.methods.(a.Ir.alloc_meth).Ir.pretty a.Ir.alloc_pos.Ast.line
+      prog.Ir.methods.(a.Ir.alloc_meth).Ir.pretty a.Ir.alloc_pos.Loc.line
 
 let sites_blurb (prog : Ir.program) sites =
   let shown = List.filteri (fun i _ -> i < 3) sites in

@@ -22,14 +22,17 @@ let cheap (cx : Check.ctx) =
       }
       :: !diags
   in
-  (* Unreachable methods. Prelude classes are library surface — callers
+  (* Unreachable methods. Library classes are library surface — callers
      outside this program may use them — and the synthetic entry is the
-     root, so both are exempt. *)
+     root, so both are exempt. The list is the union of both frontends'
+     implicit classes (the MiniJava prelude; MiniFun synthesises no
+     library methods, so its builtins never appear here anyway). *)
+  let library_classes = [ "Object"; "String"; "Integer"; "Boolean" ] in
   Array.iter
     (fun (m : Ir.meth) ->
       let cls = Types.class_name ctable m.Ir.msig.Types.ms_class in
       if
-        (not (List.mem cls Prelude.class_names))
+        (not (List.mem cls library_classes))
         && prog.Ir.entry <> Some m.Ir.id
         && not (Pts_andersen.Solver.is_reachable solver m.Ir.id)
       then emit Diag.Info m.Ir.pretty 0 (Printf.sprintf "method %s is unreachable" m.Ir.pretty))

@@ -41,7 +41,7 @@ let points (cx : Check.ctx) =
                           (Types.class_name ctable recv_cls) mname (List.length cha_targets)
                           m.Ir.pretty;
                       pt_method = m.Ir.pretty;
-                      pt_line = prog.Ir.calls.(site).Ir.cs_pos.Ast.line;
+                      pt_line = prog.Ir.calls.(site).Ir.cs_pos.Loc.line;
                       pt_severity = Diag.Info;
                       pt_pred = pred;
                       pt_bad_sites = List.filter (fun s -> impl_of s <> None);

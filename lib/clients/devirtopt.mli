@@ -1,0 +1,38 @@
+(** Devirtopt: monomorphize provably-single-target virtual calls.
+
+    Where {!Devirt} only reports whether a site could be devirtualised,
+    this pass acts on the verdict the way a JIT would: every reachable
+    virtual call whose receiver's points-to set dispatches to exactly one
+    implementation is rewritten into a statically-bound instance call
+    ([Ir.Ctor] — the receiver still flows to [this], but call-graph
+    construction no longer dispatches on its points-to set). The rewritten
+    program is a fresh {!Ir.program}; re-analysing it must yield the same
+    verdicts, which the bench harness and tests check. *)
+
+type rewrite = {
+  rw_site : int;
+  rw_caller : string;
+  rw_mname : string;
+  rw_target : string;
+  rw_cha_targets : int;  (* CHA target count before the rewrite *)
+  rw_line : int;
+}
+
+type result = {
+  dv_prog : Ir.program;
+  dv_rewrites : rewrite list;  (* in site order *)
+  dv_virtual_sites : int;
+  dv_poly_cha : int;
+  dv_exceeded : int;
+}
+
+val run : ?conf:Engine.conf -> engine:string -> Pipeline.t -> result
+(** Query every reachable virtual site's receiver with a fresh [engine]
+    and rewrite the provably-monomorphic ones. The input pipeline and its
+    program are not mutated. *)
+
+val analysis_rewrites : result -> int
+(** Rewrites CHA could not justify alone ([rw_cha_targets >= 2]) — the
+    sites where the points-to engine earned its keep. *)
+
+val pp_rewrite : Format.formatter -> rewrite -> unit

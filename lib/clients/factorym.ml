@@ -1,6 +1,6 @@
 let name = "FactoryM"
 
-let is_reference = function Ast.Tclass _ | Ast.Tarray _ -> true | Ast.Tint | Ast.Tbool | Ast.Tvoid -> false
+let is_reference = function Ityp.Tclass _ | Ityp.Tarray _ -> true | Ityp.Tint | Ityp.Tbool | Ityp.Tvoid -> false
 
 (* A factory candidate must both return a reference and allocate something
    itself — accessors like [Vector.get] are not factories. *)
@@ -45,7 +45,7 @@ let points (cx : Check.ctx) =
                     Check.pt_node = Pag.local_node pl.Pipeline.pag ~meth:m.Ir.id ~var:dst;
                     pt_desc = Printf.sprintf "factory-call@site%d in %s" site m.Ir.pretty;
                     pt_method = m.Ir.pretty;
-                    pt_line = prog.Ir.calls.(site).Ir.cs_pos.Ast.line;
+                    pt_line = prog.Ir.calls.(site).Ir.cs_pos.Loc.line;
                     pt_severity = Diag.Warning;
                     pt_pred = (fun ts -> List.for_all site_ok (Query.sites ts));
                     pt_bad_sites = List.filter (fun s -> not (site_ok s));

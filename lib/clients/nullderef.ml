@@ -17,7 +17,7 @@ let points (cx : Check.ctx) =
               match instr with
               | Ir.Load { base; _ } | Ir.Store { base; _ } -> Some (base, 0)
               | Ir.Call { kind = Ir.Virtual { recv; _ }; site; _ } ->
-                Some (recv, prog.Ir.calls.(site).Ir.cs_pos.Ast.line)
+                Some (recv, prog.Ir.calls.(site).Ir.cs_pos.Loc.line)
               | Ir.Call { kind = Ir.Static _ | Ir.Ctor _; _ }
               | Ir.Alloc _ | Ir.Move _ | Ir.Load_global _ | Ir.Store_global _ | Ir.Return _
               | Ir.Cast_move _ ->

@@ -14,7 +14,7 @@ let of_program prog =
     callgraph = Pts_andersen.Solver.callgraph solver;
   }
 
-let of_source source = of_program (Frontend.compile source)
+let of_source ?lang source = of_program (Frontend.compile ?lang source)
 
 let find_local t ~meth_pretty ~var =
   let found = ref None in
@@ -24,6 +24,18 @@ let find_local t ~meth_pretty ~var =
         Array.iteri
           (fun v name -> if String.equal name var then found := Some (m.Ir.id, v))
           m.Ir.var_names)
+    t.prog.Ir.methods;
+  match !found with
+  | Some (meth, v) -> Pag.local_node t.pag ~meth ~var:v
+  | None -> raise Not_found
+
+let find_local_any t ~var =
+  let found = ref None in
+  Array.iter
+    (fun (m : Ir.meth) ->
+      Array.iteri
+        (fun v name -> if String.equal name var && !found = None then found := Some (m.Ir.id, v))
+        m.Ir.var_names)
     t.prog.Ir.methods;
   match !found with
   | Some (meth, v) -> Pag.local_node t.pag ~meth ~var:v

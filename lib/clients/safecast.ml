@@ -20,15 +20,15 @@ let points (cx : Check.ctx) =
                let cls = prog.Ir.allocs.(site).Ir.alloc_cls in
                cls = null_cls || Types.subclass ctable cls target_cls
              in
-             let target_str = Format.asprintf "%a" Ast.pp_typ c.Ir.cast_target in
+             let target_str = Format.asprintf "%a" Ityp.pp_typ c.Ir.cast_target in
              Some
                {
                  Check.pt_node = node;
                  pt_desc =
-                   Printf.sprintf "cast@%d (%s) in %s" c.Ir.cast_pos.Ast.line target_str
+                   Printf.sprintf "cast@%d (%s) in %s" c.Ir.cast_pos.Loc.line target_str
                      prog.Ir.methods.(c.Ir.cast_meth).Ir.pretty;
                  pt_method = prog.Ir.methods.(c.Ir.cast_meth).Ir.pretty;
-                 pt_line = c.Ir.cast_pos.Ast.line;
+                 pt_line = c.Ir.cast_pos.Loc.line;
                  pt_severity = Diag.Error;
                  pt_pred = (fun ts -> List.for_all site_ok (Query.sites ts));
                  pt_bad_sites = List.filter (fun site -> not (site_ok site));

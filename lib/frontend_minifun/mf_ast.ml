@@ -1,0 +1,113 @@
+(** Abstract syntax of MiniFun, the second frontend language.
+
+    MiniFun is a small expression language with the constructs MiniJava
+    cannot express: first-class functions and closures (capturing mutable
+    state through [ref] cells), and result-style sum types ([Ok]/[Err] with
+    [match]). A program is a sequence of top-level [let] bindings evaluated
+    in order; the binding named [main] (a zero-argument function) is the
+    program's entry point.
+
+    Lowering (see {!Mf_lower}) closure-converts onto the class-based IR:
+    every [fun] literal becomes a heap-allocated environment object whose
+    captured bindings are fields, every call an indirect [apply] dispatch,
+    so the same seven PAG edge kinds drive the analyses. *)
+
+type binop = Add | Sub | Mul | Div | Mod | Eq | Neq | Lt | Gt | Le | Ge | And | Or
+
+type expr = { desc : desc; pos : Loc.pos }
+
+and desc =
+  | Unit
+  | Int_lit of int
+  | Bool_lit of bool
+  | Str_lit of string
+  | Var of string
+  | Fun of { fname : string option; params : string list; body : expr }
+      (** [fun name(params) -> body]; the optional name labels the
+          synthesised closure class for diagnostics and determinism *)
+  | App of expr * expr list
+  | Let of { name : string; rhs : expr; body : expr }
+  | Seq of expr * expr
+  | Ref of expr (** [ref e]: a fresh heap cell holding [e] *)
+  | Deref of expr (** [!e] *)
+  | Setref of expr * expr (** [e1 := e2]; evaluates to unit *)
+  | Ok_ of expr
+  | Err_ of expr
+  | Match of {
+      scrut : expr;
+      ok_name : string;
+      ok_body : expr;
+      err_name : string;
+      err_body : expr;
+    } (** [match e with | Ok(x) -> e1 | Err(y) -> e2 end] *)
+  | If of expr * expr * expr
+  | Binop of binop * expr * expr
+  | Not of expr
+  | Neg of expr
+
+type decl = { d_name : string; d_rhs : expr; d_pos : Loc.pos }
+
+type program = decl list
+
+(** Structural equality, ignoring positions (the pretty→parse round-trip
+    property compares with this). *)
+let rec equal_expr a b =
+  match (a.desc, b.desc) with
+  | Unit, Unit -> true
+  | Int_lit x, Int_lit y -> x = y
+  | Bool_lit x, Bool_lit y -> x = y
+  | Str_lit x, Str_lit y -> String.equal x y
+  | Var x, Var y -> String.equal x y
+  | Fun f, Fun g ->
+    Option.equal String.equal f.fname g.fname
+    && List.length f.params = List.length g.params
+    && List.for_all2 String.equal f.params g.params
+    && equal_expr f.body g.body
+  | App (f, xs), App (g, ys) ->
+    equal_expr f g && List.length xs = List.length ys && List.for_all2 equal_expr xs ys
+  | Let l, Let m -> String.equal l.name m.name && equal_expr l.rhs m.rhs && equal_expr l.body m.body
+  | Seq (a1, a2), Seq (b1, b2) -> equal_expr a1 b1 && equal_expr a2 b2
+  | Ref x, Ref y | Deref x, Deref y | Ok_ x, Ok_ y | Err_ x, Err_ y | Not x, Not y | Neg x, Neg y
+    ->
+    equal_expr x y
+  | Setref (a1, a2), Setref (b1, b2) -> equal_expr a1 b1 && equal_expr a2 b2
+  | Match m, Match n ->
+    equal_expr m.scrut n.scrut
+    && String.equal m.ok_name n.ok_name
+    && equal_expr m.ok_body n.ok_body
+    && String.equal m.err_name n.err_name
+    && equal_expr m.err_body n.err_body
+  | If (c1, t1, e1), If (c2, t2, e2) -> equal_expr c1 c2 && equal_expr t1 t2 && equal_expr e1 e2
+  | Binop (o1, a1, b1), Binop (o2, a2, b2) -> o1 = o2 && equal_expr a1 a2 && equal_expr b1 b2
+  | ( ( Unit | Int_lit _ | Bool_lit _ | Str_lit _ | Var _ | Fun _ | App _ | Let _ | Seq _ | Ref _
+      | Deref _ | Setref _ | Ok_ _ | Err_ _ | Match _ | If _ | Binop _ | Not _ | Neg _ ),
+      _ ) ->
+    false
+
+let equal_program (p : program) (q : program) =
+  List.length p = List.length q
+  && List.for_all2
+       (fun d e -> String.equal d.d_name e.d_name && equal_expr d.d_rhs e.d_rhs)
+       p q
+
+(** Free variables of an expression (referenced but not bound within).
+    Used by closure conversion to compute captures; a [fun]'s label is not
+    a binder, so self-reference goes through an enclosing binding. *)
+let free_vars e =
+  let module S = Set.Make (String) in
+  let rec fv bound acc e =
+    match e.desc with
+    | Unit | Int_lit _ | Bool_lit _ | Str_lit _ -> acc
+    | Var x -> if S.mem x bound then acc else S.add x acc
+    | Fun { params; body; _ } -> fv (List.fold_left (fun b p -> S.add p b) bound params) acc body
+    | App (f, args) -> List.fold_left (fv bound) (fv bound acc f) args
+    | Let { name; rhs; body } -> fv (S.add name bound) (fv bound acc rhs) body
+    | Seq (a, b) | Setref (a, b) | Binop (_, a, b) -> fv bound (fv bound acc a) b
+    | Ref x | Deref x | Ok_ x | Err_ x | Not x | Neg x -> fv bound acc x
+    | Match { scrut; ok_name; ok_body; err_name; err_body } ->
+      let acc = fv bound acc scrut in
+      let acc = fv (S.add ok_name bound) acc ok_body in
+      fv (S.add err_name bound) acc err_body
+    | If (c, t, f) -> fv bound (fv bound (fv bound acc c) t) f
+  in
+  S.elements (fv S.empty S.empty e)

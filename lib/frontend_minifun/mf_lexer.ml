@@ -1,0 +1,368 @@
+(** Hand-written lexer for MiniFun. Comments are [//] to end of line and
+    [/* ... */]; both are collected by {!comments} for annotation scanning
+    (the taint checker's [@taint-source]/[@taint-sink] markers live in
+    them, exactly as in MiniJava sources). *)
+
+exception Error of string * Loc.pos
+
+type token =
+  | LET
+  | IN
+  | FUN
+  | REF
+  | IF
+  | THEN
+  | ELSE
+  | MATCH
+  | WITH
+  | END
+  | TRUE
+  | FALSE
+  | NOT
+  | OK
+  | ERR
+  | IDENT of string
+  | INT_LIT of int
+  | STR_LIT of string
+  | LPAREN
+  | RPAREN
+  | ARROW (* -> *)
+  | BAR (* | *)
+  | SEMI (* ; *)
+  | SEMISEMI (* ;; *)
+  | COMMA
+  | SETREF (* := *)
+  | BANG (* ! *)
+  | EQUAL (* = *)
+  | EQEQ (* == *)
+  | NEQ (* != *)
+  | LT
+  | GT
+  | LE
+  | GE
+  | ANDAND
+  | OROR
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | PERCENT
+  | EOF
+
+let token_to_string = function
+  | LET -> "let"
+  | IN -> "in"
+  | FUN -> "fun"
+  | REF -> "ref"
+  | IF -> "if"
+  | THEN -> "then"
+  | ELSE -> "else"
+  | MATCH -> "match"
+  | WITH -> "with"
+  | END -> "end"
+  | TRUE -> "true"
+  | FALSE -> "false"
+  | NOT -> "not"
+  | OK -> "Ok"
+  | ERR -> "Err"
+  | IDENT s -> Printf.sprintf "identifier %S" s
+  | INT_LIT n -> Printf.sprintf "integer %d" n
+  | STR_LIT s -> Printf.sprintf "string %S" s
+  | LPAREN -> "'('"
+  | RPAREN -> "')'"
+  | ARROW -> "'->'"
+  | BAR -> "'|'"
+  | SEMI -> "';'"
+  | SEMISEMI -> "';;'"
+  | COMMA -> "','"
+  | SETREF -> "':='"
+  | BANG -> "'!'"
+  | EQUAL -> "'='"
+  | EQEQ -> "'=='"
+  | NEQ -> "'!='"
+  | LT -> "'<'"
+  | GT -> "'>'"
+  | LE -> "'<='"
+  | GE -> "'>='"
+  | ANDAND -> "'&&'"
+  | OROR -> "'||'"
+  | PLUS -> "'+'"
+  | MINUS -> "'-'"
+  | STAR -> "'*'"
+  | SLASH -> "'/'"
+  | PERCENT -> "'%'"
+  | EOF -> "end of input"
+
+type state = {
+  src : string;
+  mutable idx : int;
+  mutable line : int;
+  mutable bol : int;
+}
+
+let pos st = { Loc.line = st.line; col = st.idx - st.bol + 1 }
+
+let peek st = if st.idx < String.length st.src then Some st.src.[st.idx] else None
+
+let peek2 st = if st.idx + 1 < String.length st.src then Some st.src.[st.idx + 1] else None
+
+let advance st =
+  (match peek st with
+  | Some '\n' ->
+    st.line <- st.line + 1;
+    st.bol <- st.idx + 1
+  | Some _ | None -> ());
+  st.idx <- st.idx + 1
+
+let is_digit c = c >= '0' && c <= '9'
+
+(* MiniFun identifiers start lowercase (or '_'); capitalised names are
+   reserved for the result constructors. *)
+let is_ident_start c = (c >= 'a' && c <= 'z') || c = '_'
+
+let is_ident_char c =
+  is_ident_start c || is_digit c || (c >= 'A' && c <= 'Z') || c = '\''
+
+let keyword = function
+  | "let" -> Some LET
+  | "in" -> Some IN
+  | "fun" -> Some FUN
+  | "ref" -> Some REF
+  | "if" -> Some IF
+  | "then" -> Some THEN
+  | "else" -> Some ELSE
+  | "match" -> Some MATCH
+  | "with" -> Some WITH
+  | "end" -> Some END
+  | "true" -> Some TRUE
+  | "false" -> Some FALSE
+  | "not" -> Some NOT
+  | _ -> None
+
+let rec skip_trivia st =
+  match peek st with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+    advance st;
+    skip_trivia st
+  | Some '/' when peek2 st = Some '/' ->
+    let rec to_eol () =
+      match peek st with
+      | Some '\n' | None -> ()
+      | Some _ ->
+        advance st;
+        to_eol ()
+    in
+    to_eol ();
+    skip_trivia st
+  | Some '/' when peek2 st = Some '*' ->
+    let start = pos st in
+    advance st;
+    advance st;
+    let rec to_close () =
+      match peek st with
+      | None -> raise (Error ("unterminated block comment", start))
+      | Some '*' when peek2 st = Some '/' ->
+        advance st;
+        advance st
+      | Some _ ->
+        advance st;
+        to_close ()
+    in
+    to_close ();
+    skip_trivia st
+  | Some _ | None -> ()
+
+let lex_ident st =
+  let start = st.idx in
+  while match peek st with Some c -> is_ident_char c | None -> false do
+    advance st
+  done;
+  String.sub st.src start (st.idx - start)
+
+let lex_int st =
+  let start = st.idx in
+  while match peek st with Some c -> is_digit c | None -> false do
+    advance st
+  done;
+  int_of_string (String.sub st.src start (st.idx - start))
+
+let lex_string st =
+  let start_pos = pos st in
+  advance st;
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek st with
+    | None -> raise (Error ("unterminated string literal", start_pos))
+    | Some '"' -> advance st
+    | Some '\\' -> (
+      advance st;
+      match peek st with
+      | Some 'n' ->
+        Buffer.add_char buf '\n';
+        advance st;
+        go ()
+      | Some 't' ->
+        Buffer.add_char buf '\t';
+        advance st;
+        go ()
+      | Some '\\' ->
+        Buffer.add_char buf '\\';
+        advance st;
+        go ()
+      | Some '"' ->
+        Buffer.add_char buf '"';
+        advance st;
+        go ()
+      | Some c -> raise (Error (Printf.sprintf "invalid escape '\\%c'" c, pos st))
+      | None -> raise (Error ("unterminated string literal", start_pos)))
+    | Some c ->
+      Buffer.add_char buf c;
+      advance st;
+      go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let next_token st : token * Loc.pos =
+  skip_trivia st;
+  let p = pos st in
+  match peek st with
+  | None -> (EOF, p)
+  | Some c when is_ident_start c ->
+    let name = lex_ident st in
+    let tok = match keyword name with Some kw -> kw | None -> IDENT name in
+    (tok, p)
+  | Some c when c >= 'A' && c <= 'Z' ->
+    let name = lex_ident st in
+    (match name with
+    | "Ok" -> (OK, p)
+    | "Err" -> (ERR, p)
+    | other -> raise (Error (Printf.sprintf "unknown constructor %s (expected Ok or Err)" other, p)))
+  | Some c when is_digit c -> (INT_LIT (lex_int st), p)
+  | Some '"' -> (STR_LIT (lex_string st), p)
+  | Some c ->
+    let simple tok =
+      advance st;
+      (tok, p)
+    in
+    let two_char ~second ~double ~single =
+      advance st;
+      if peek st = Some second then begin
+        advance st;
+        (double, p)
+      end
+      else (single, p)
+    in
+    (match c with
+    | '(' -> simple LPAREN
+    | ')' -> simple RPAREN
+    | ',' -> simple COMMA
+    | '|' ->
+      advance st;
+      if peek st = Some '|' then begin
+        advance st;
+        (OROR, p)
+      end
+      else (BAR, p)
+    | ';' -> two_char ~second:';' ~double:SEMISEMI ~single:SEMI
+    | ':' ->
+      advance st;
+      if peek st = Some '=' then begin
+        advance st;
+        (SETREF, p)
+      end
+      else raise (Error ("expected ':='", p))
+    | '!' -> two_char ~second:'=' ~double:NEQ ~single:BANG
+    | '=' -> two_char ~second:'=' ~double:EQEQ ~single:EQUAL
+    | '<' -> two_char ~second:'=' ~double:LE ~single:LT
+    | '>' -> two_char ~second:'=' ~double:GE ~single:GT
+    | '-' -> two_char ~second:'>' ~double:ARROW ~single:MINUS
+    | '+' -> simple PLUS
+    | '*' -> simple STAR
+    | '/' -> simple SLASH
+    | '%' -> simple PERCENT
+    | '&' ->
+      advance st;
+      if peek st = Some '&' then begin
+        advance st;
+        (ANDAND, p)
+      end
+      else raise (Error ("expected '&&'", p))
+    | _ -> raise (Error (Printf.sprintf "unexpected character %C" c, p)))
+
+let tokenize src =
+  let st = { src; idx = 0; line = 1; bol = 0 } in
+  let rec go acc =
+    let tok, p = next_token st in
+    match tok with
+    | EOF -> List.rev ((EOF, p) :: acc)
+    | _ -> go ((tok, p) :: acc)
+  in
+  go []
+
+(* Comment texts with the position of the opening delimiter — a lenient
+   side scanner for annotation extraction, same contract as the MiniJava
+   lexer's: string-literal aware, never raises. *)
+let comments src =
+  let st = { src; idx = 0; line = 1; bol = 0 } in
+  let acc = ref [] in
+  let rec go () =
+    match peek st with
+    | None -> ()
+    | Some '/' when peek2 st = Some '/' ->
+      let p = pos st in
+      advance st;
+      advance st;
+      let start = st.idx in
+      let rec to_eol () =
+        match peek st with
+        | Some '\n' | None -> ()
+        | Some _ ->
+          advance st;
+          to_eol ()
+      in
+      to_eol ();
+      acc := (String.sub st.src start (st.idx - start), p) :: !acc;
+      go ()
+    | Some '/' when peek2 st = Some '*' ->
+      let p = pos st in
+      advance st;
+      advance st;
+      let start = st.idx in
+      let rec to_close () =
+        match peek st with
+        | None -> st.idx - start
+        | Some '*' when peek2 st = Some '/' ->
+          let len = st.idx - start in
+          advance st;
+          advance st;
+          len
+        | Some _ ->
+          advance st;
+          to_close ()
+      in
+      let len = to_close () in
+      acc := (String.sub st.src start len, p) :: !acc;
+      go ()
+    | Some '"' ->
+      advance st;
+      let rec to_quote () =
+        match peek st with
+        | None -> ()
+        | Some '"' -> advance st
+        | Some '\\' ->
+          advance st;
+          (match peek st with Some _ -> advance st | None -> ());
+          to_quote ()
+        | Some _ ->
+          advance st;
+          to_quote ()
+      in
+      to_quote ();
+      go ()
+    | Some _ ->
+      advance st;
+      go ()
+  in
+  go ();
+  List.rev !acc

@@ -1,0 +1,371 @@
+(** Closure conversion of MiniFun onto the class-based {!Ir}.
+
+    MiniFun is dynamically typed, so lowering performs no type checking —
+    only name resolution — and maps every construct onto the heap shapes
+    the frontend-agnostic IR already speaks:
+
+    - every [fun] literal becomes a synthesised class [$Clo<i>$<label>]
+      extending the arity-indexed base [$Fun$<k>], with one instance field
+      per captured binding and a virtual [apply] method; creating the
+      closure is an allocation plus one store per capture, and entering
+      [apply] reloads each capture into a local, so environments flow
+      through ordinary new/store/load edges;
+    - every application [f(a, ..)] is an {e indirect} call: the callee
+      value is copied into a receiver temporary whose static type is
+      [$Fun$<k>], and the call dispatches virtually on [apply] — CHA sees
+      every arity-[k] closure as a feasible target, and the points-to
+      analyses narrow that set exactly as they narrow MiniJava virtual
+      calls;
+    - [ref] cells are [$Ref] objects with a single [contents] field;
+      [!e] / [e := v] are field loads/stores;
+    - [Ok]/[Err] are [$Ok]/[$Err] objects sharing the [value] field of
+      their common base [$Result]; [match] loads that field into both
+      branch binders (the analyses are flow-insensitive, so both branches
+      simply merge);
+    - top-level [let] bindings are globals of the synthetic [$Top] class,
+      stored by the entry method [$Top.main] which evaluates the bindings
+      in order and finally applies the binding named [main], if any.
+
+    Ints, bools and unit lower to edge-free temporaries — exactly the
+    treatment MiniJava gives its arithmetic. *)
+
+exception Error of string * Loc.pos
+
+let err msg pos = raise (Error (msg, pos))
+
+let t_object = Ityp.Tclass Ityp.object_class
+
+type ctx = {
+  ctable : Types.t;
+  mutable allocs : Ir.alloc_site list; (* reversed *)
+  mutable n_allocs : int;
+  mutable call_sites : Ir.call_site list; (* reversed *)
+  mutable n_calls : int;
+  mutable lowered : Ir.meth list; (* any order; indexed later by id *)
+  mutable n_closures : int;
+  mutable arity_classes : (int * Types.cls) list;
+  globals : (string, Types.global_info) Hashtbl.t;
+  c_string : Types.cls;
+  c_ref : Types.cls;
+  ref_fld : Types.field_info;
+  c_ok : Types.cls;
+  c_err : Types.cls;
+  result_fld : Types.field_info;
+}
+
+type menv = {
+  ctx : ctx;
+  msig : Types.method_sig;
+  this_var : Ir.var option;
+  mutable scopes : (string * Ir.var) list; (* innermost binding first *)
+  mutable nvars : int;
+  mutable names : string list; (* reversed *)
+  mutable typs : Ityp.typ list; (* reversed *)
+  mutable code : Ir.instr list; (* reversed *)
+}
+
+let fresh_var env name typ =
+  let v = env.nvars in
+  env.nvars <- v + 1;
+  env.names <- name :: env.names;
+  env.typs <- typ :: env.typs;
+  v
+
+let fresh_tmp env typ = fresh_var env (Printf.sprintf "$t%d" env.nvars) typ
+
+let emit env instr = env.code <- instr :: env.code
+
+let fresh_alloc_site env cls pos =
+  let site = env.ctx.n_allocs in
+  env.ctx.n_allocs <- site + 1;
+  env.ctx.allocs <-
+    { Ir.site_id = site; alloc_cls = cls; alloc_meth = env.msig.Types.ms_id; alloc_pos = pos;
+      alloc_is_null = false }
+    :: env.ctx.allocs;
+  site
+
+let fresh_call_site env pos =
+  let site = env.ctx.n_calls in
+  env.ctx.n_calls <- site + 1;
+  env.ctx.call_sites <-
+    { Ir.cs_id = site; cs_meth = env.msig.Types.ms_id; cs_pos = pos } :: env.ctx.call_sites;
+  site
+
+(* Allocate an object of [cls] into a fresh temporary of its own type. *)
+let alloc_into env cls pos =
+  let dst = fresh_tmp env (Ityp.Tclass (Types.class_name env.ctx.ctable cls)) in
+  let site = fresh_alloc_site env cls pos in
+  emit env (Ir.Alloc { dst; cls; site });
+  dst
+
+(* The arity-indexed closure base class, created on first use. Every
+   arity-[k] closure class extends [$Fun$k], and every [k]-argument
+   application dispatches on a receiver statically typed as [$Fun$k], so
+   the class hierarchy alone (CHA) bounds indirect-call targets by arity. *)
+let fun_class ctx k =
+  match List.assoc_opt k ctx.arity_classes with
+  | Some c -> c
+  | None ->
+    let c = Types.declare_class ctx.ctable (Printf.sprintf "$Fun$%d" k) Loc.dummy_pos in
+    (match Types.find_class ctx.ctable Ityp.object_class with
+    | Some obj -> Types.set_super ctx.ctable c obj Loc.dummy_pos
+    | None -> ());
+    ctx.arity_classes <- (k, c) :: ctx.arity_classes;
+    c
+
+let finish_method env ~param_vars ~this_var =
+  {
+    Ir.id = env.msig.Types.ms_id;
+    msig = env.msig;
+    pretty = Types.method_pretty env.ctx.ctable env.msig;
+    this_var;
+    param_vars;
+    body = List.rev env.code;
+    nvars = env.nvars;
+    var_names = Array.of_list (List.rev env.names);
+    var_types = Array.of_list (List.rev env.typs);
+  }
+
+let make_menv ctx msig ~this_var =
+  { ctx; msig; this_var; scopes = []; nvars = 0; names = []; typs = []; code = [] }
+
+(* MiniFun allows shadowing: resolution walks the binding stack innermost
+   first, then the top-level globals. *)
+let resolve env name pos =
+  match List.assoc_opt name env.scopes with
+  | Some v -> v
+  | None -> (
+    match Hashtbl.find_opt env.ctx.globals name with
+    | Some g ->
+      let dst = fresh_tmp env g.Types.glb_typ in
+      emit env (Ir.Load_global { dst; glb = g.Types.glb_id });
+      dst
+    | None -> err (Printf.sprintf "unbound variable %s" name) pos)
+
+let in_scope env bindings f =
+  let saved = env.scopes in
+  env.scopes <- bindings @ saved;
+  let r = f () in
+  env.scopes <- saved;
+  r
+
+let rec lower_expr env (e : Mf_ast.expr) : Ir.var =
+  let pos = e.Mf_ast.pos in
+  match e.Mf_ast.desc with
+  | Mf_ast.Unit -> fresh_tmp env Ityp.Tint
+  | Mf_ast.Int_lit _ -> fresh_tmp env Ityp.Tint
+  | Mf_ast.Bool_lit _ -> fresh_tmp env Ityp.Tbool
+  | Mf_ast.Str_lit _ -> alloc_into env env.ctx.c_string pos
+  | Mf_ast.Var x -> resolve env x pos
+  | Mf_ast.Fun { fname; params; body } -> lower_fun env pos ~fname ~params ~body
+  | Mf_ast.App (f, args) ->
+    let vf = lower_expr env f in
+    let vargs = List.map (lower_expr env) args in
+    let k = List.length args in
+    let base = fun_class env.ctx k in
+    (* the receiver temporary's static type drives CHA dispatch *)
+    let recv = fresh_var env (Printf.sprintf "$recv%d" env.nvars)
+        (Ityp.Tclass (Types.class_name env.ctx.ctable base)) in
+    emit env (Ir.Move { dst = recv; src = vf });
+    let dst = fresh_tmp env t_object in
+    let site = fresh_call_site env pos in
+    emit env (Ir.Call { dst = Some dst; kind = Ir.Virtual { recv; mname = "apply" }; args = vargs; site });
+    dst
+  | Mf_ast.Let { name; rhs; body } ->
+    let v = lower_expr env rhs in
+    (* re-alias into a variable carrying the source name, so diagnostics
+       and node lookups see [name] rather than a temporary *)
+    let named = fresh_var env name t_object in
+    emit env (Ir.Move { dst = named; src = v });
+    in_scope env [ (name, named) ] (fun () -> lower_expr env body)
+  | Mf_ast.Seq (a, b) ->
+    let _ = lower_expr env a in
+    lower_expr env b
+  | Mf_ast.Ref x ->
+    let v = lower_expr env x in
+    let dst = alloc_into env env.ctx.c_ref pos in
+    emit env (Ir.Store { base = dst; fld = env.ctx.ref_fld.Types.fld_id; src = v });
+    dst
+  | Mf_ast.Deref x ->
+    let base = lower_expr env x in
+    let dst = fresh_tmp env t_object in
+    emit env (Ir.Load { dst; base; fld = env.ctx.ref_fld.Types.fld_id });
+    dst
+  | Mf_ast.Setref (r, v) ->
+    let base = lower_expr env r in
+    let src = lower_expr env v in
+    emit env (Ir.Store { base; fld = env.ctx.ref_fld.Types.fld_id; src });
+    fresh_tmp env Ityp.Tint (* unit *)
+  | Mf_ast.Ok_ x -> lower_result env pos env.ctx.c_ok x
+  | Mf_ast.Err_ x -> lower_result env pos env.ctx.c_err x
+  | Mf_ast.Match { scrut; ok_name; ok_body; err_name; err_body } ->
+    let vs = lower_expr env scrut in
+    let res = fresh_tmp env t_object in
+    let branch name body =
+      let bound = fresh_var env name t_object in
+      emit env (Ir.Load { dst = bound; base = vs; fld = env.ctx.result_fld.Types.fld_id });
+      let v = in_scope env [ (name, bound) ] (fun () -> lower_expr env body) in
+      emit env (Ir.Move { dst = res; src = v })
+    in
+    branch ok_name ok_body;
+    branch err_name err_body;
+    res
+  | Mf_ast.If (c, t, f) ->
+    let _ = lower_expr env c in
+    let res = fresh_tmp env t_object in
+    let vt = lower_expr env t in
+    emit env (Ir.Move { dst = res; src = vt });
+    let vf = lower_expr env f in
+    emit env (Ir.Move { dst = res; src = vf });
+    res
+  | Mf_ast.Binop (_, a, b) ->
+    let _ = lower_expr env a in
+    let _ = lower_expr env b in
+    fresh_tmp env Ityp.Tint
+  | Mf_ast.Not x | Mf_ast.Neg x ->
+    let _ = lower_expr env x in
+    fresh_tmp env Ityp.Tint
+
+and lower_result env pos cls x =
+  let v = lower_expr env x in
+  let dst = alloc_into env cls pos in
+  emit env (Ir.Store { base = dst; fld = env.ctx.result_fld.Types.fld_id; src = v });
+  dst
+
+and lower_fun env pos ~fname ~params ~body =
+  let ctx = env.ctx in
+  let k = List.length params in
+  let base = fun_class ctx k in
+  let idx = ctx.n_closures in
+  ctx.n_closures <- idx + 1;
+  let label = match fname with Some n -> n | None -> "anon" in
+  let cname = Printf.sprintf "$Clo%d$%s" idx label in
+  let cls = Types.declare_class ctx.ctable cname pos in
+  Types.set_super ctx.ctable cls base pos;
+  (* captures: free variables bound as locals in the enclosing method.
+     Free names that are top-level globals resolve globally inside the
+     body; anything else is reported there, with a precise position. *)
+  let frees = Mf_ast.free_vars { Mf_ast.desc = Mf_ast.Fun { fname; params; body }; pos } in
+  let captures =
+    List.filter_map
+      (fun x -> Option.map (fun v -> (x, v)) (List.assoc_opt x env.scopes))
+      frees
+  in
+  let cap_fields =
+    List.map
+      (fun (x, v) -> (x, v, Types.add_field ctx.ctable cls ~name:x ~typ:t_object pos))
+      captures
+  in
+  let msig =
+    Types.add_method ctx.ctable cls ~name:"apply" ~static:false ~is_ctor:false ~ret:t_object
+      ~params:(List.init k (fun _ -> t_object)) pos
+  in
+  (* the apply method: reload captures, then the body *)
+  let aenv = make_menv ctx msig ~this_var:None in
+  let this_v = fresh_var aenv "this" (Ityp.Tclass cname) in
+  let param_vars = List.map (fun p -> fresh_var aenv p t_object) params in
+  let aenv = { aenv with this_var = Some this_v } in
+  let param_bindings = List.combine params param_vars in
+  let cap_bindings =
+    List.map
+      (fun (x, _, (fld : Types.field_info)) ->
+        let v = fresh_var aenv x t_object in
+        emit aenv (Ir.Load { dst = v; base = this_v; fld = fld.Types.fld_id });
+        (x, v))
+      cap_fields
+  in
+  aenv.scopes <- cap_bindings @ param_bindings;
+  let r = lower_expr aenv body in
+  emit aenv (Ir.Return { src = Some r });
+  ctx.lowered <- finish_method aenv ~param_vars ~this_var:(Some this_v) :: ctx.lowered;
+  (* back in the enclosing method: allocate the environment object and
+     store each captured value into its field *)
+  let dst = alloc_into env cls pos in
+  List.iter
+    (fun (_, v, (fld : Types.field_info)) ->
+      emit env (Ir.Store { base = dst; fld = fld.Types.fld_id; src = v }))
+    cap_fields;
+  dst
+
+let entry_class_name = "$Top"
+
+let entry_method_name = "main"
+
+let lower_program (prog : Mf_ast.program) : Ir.program =
+  let ctable = Types.create () in
+  let c_object = Types.declare_class ctable Ityp.object_class Loc.dummy_pos in
+  let c_string = Types.declare_class ctable Ityp.string_class Loc.dummy_pos in
+  Types.set_super ctable c_string c_object Loc.dummy_pos;
+  let declare name =
+    let c = Types.declare_class ctable name Loc.dummy_pos in
+    Types.set_super ctable c c_object Loc.dummy_pos;
+    c
+  in
+  let c_ref = declare "$Ref" in
+  let ref_fld = Types.add_field ctable c_ref ~name:"contents" ~typ:t_object Loc.dummy_pos in
+  let c_result = declare "$Result" in
+  let result_fld = Types.add_field ctable c_result ~name:"value" ~typ:t_object Loc.dummy_pos in
+  let c_ok = Types.declare_class ctable "$Ok" Loc.dummy_pos in
+  Types.set_super ctable c_ok c_result Loc.dummy_pos;
+  let c_err = Types.declare_class ctable "$Err" Loc.dummy_pos in
+  Types.set_super ctable c_err c_result Loc.dummy_pos;
+  let c_top = declare entry_class_name in
+  let ctx =
+    {
+      ctable; allocs = []; n_allocs = 0; call_sites = []; n_calls = 0; lowered = [];
+      n_closures = 0; arity_classes = []; globals = Hashtbl.create 16;
+      c_string; c_ref; ref_fld; c_ok; c_err; result_fld;
+    }
+  in
+  (* all top-level names are in scope everywhere (mutual recursion) *)
+  List.iter
+    (fun (d : Mf_ast.decl) ->
+      if Hashtbl.mem ctx.globals d.Mf_ast.d_name then
+        err (Printf.sprintf "top-level binding %s is already declared" d.Mf_ast.d_name)
+          d.Mf_ast.d_pos;
+      Hashtbl.add ctx.globals d.Mf_ast.d_name
+        (Types.add_global ctable c_top ~name:d.Mf_ast.d_name ~typ:t_object d.Mf_ast.d_pos))
+    prog;
+  let msig =
+    Types.add_method ctable c_top ~name:entry_method_name ~static:true ~is_ctor:false
+      ~ret:Ityp.Tvoid ~params:[] Loc.dummy_pos
+  in
+  let env = make_menv ctx msig ~this_var:None in
+  List.iter
+    (fun (d : Mf_ast.decl) ->
+      let v = lower_expr env d.Mf_ast.d_rhs in
+      let named = fresh_var env d.Mf_ast.d_name t_object in
+      emit env (Ir.Move { dst = named; src = v });
+      let g = Hashtbl.find ctx.globals d.Mf_ast.d_name in
+      emit env (Ir.Store_global { glb = g.Types.glb_id; src = named }))
+    prog;
+  (* run the program: apply the binding named [main], if any *)
+  (match Hashtbl.find_opt ctx.globals "main" with
+  | Some g ->
+    let vm = fresh_tmp env t_object in
+    emit env (Ir.Load_global { dst = vm; glb = g.Types.glb_id });
+    let base = fun_class ctx 0 in
+    let recv = fresh_var env "$mainrecv" (Ityp.Tclass (Types.class_name ctable base)) in
+    emit env (Ir.Move { dst = recv; src = vm });
+    let site = fresh_call_site env Loc.dummy_pos in
+    emit env (Ir.Call { dst = None; kind = Ir.Virtual { recv; mname = "apply" }; args = []; site })
+  | None -> ());
+  let entry = finish_method env ~param_vars:[] ~this_var:None in
+  ctx.lowered <- entry :: ctx.lowered;
+  let n_methods = Types.method_count ctable in
+  let methods = Array.make n_methods entry in
+  List.iter (fun (m : Ir.meth) -> methods.(m.Ir.id) <- m) ctx.lowered;
+  Array.iteri
+    (fun i m ->
+      if m.Ir.id <> i then
+        invalid_arg (Printf.sprintf "Mf_lower: method id %d has no body (%s)" i m.Ir.pretty))
+    methods;
+  {
+    Ir.ctable;
+    methods;
+    allocs = Array.of_list (List.rev ctx.allocs);
+    calls = Array.of_list (List.rev ctx.call_sites);
+    casts = [||];
+    entry = Some entry.Ir.id;
+    lang = Loc.Minifun;
+  }

@@ -1,0 +1,301 @@
+(** Recursive-descent parser for MiniFun.
+
+    Precedence, loosest to tightest: binders ([let]/[fun]/[if]/[match],
+    extending maximally right), sequence [;] (right-associative),
+    ref-assignment [:=] (right-associative), [||], [&&], comparisons
+    (non-associative), additive, multiplicative, prefix operators
+    ([!], [-], [not], [ref]), application [f(a, b)], atoms. *)
+
+exception Error of string * Loc.pos
+
+type state = { toks : (Mf_lexer.token * Loc.pos) array; mutable idx : int }
+
+let peek st = fst st.toks.(st.idx)
+
+let peek_pos st = snd st.toks.(st.idx)
+
+let advance st = if st.idx < Array.length st.toks - 1 then st.idx <- st.idx + 1
+
+let err st msg = raise (Error (msg, peek_pos st))
+
+let expect st tok =
+  if peek st = tok then advance st
+  else
+    err st
+      (Printf.sprintf "expected %s but found %s" (Mf_lexer.token_to_string tok)
+         (Mf_lexer.token_to_string (peek st)))
+
+let expect_ident st =
+  match peek st with
+  | Mf_lexer.IDENT name ->
+    advance st;
+    name
+  | t -> err st (Printf.sprintf "expected an identifier but found %s" (Mf_lexer.token_to_string t))
+
+let mk pos desc = { Mf_ast.desc; pos }
+
+let rec parse_expr st : Mf_ast.expr =
+  let pos = peek_pos st in
+  match peek st with
+  | Mf_lexer.LET ->
+    advance st;
+    let name = expect_ident st in
+    expect st Mf_lexer.EQUAL;
+    let rhs = parse_expr st in
+    expect st Mf_lexer.IN;
+    let body = parse_expr st in
+    mk pos (Mf_ast.Let { name; rhs; body })
+  | Mf_lexer.FUN ->
+    advance st;
+    let fname = match peek st with
+      | Mf_lexer.IDENT name ->
+        advance st;
+        Some name
+      | _ -> None
+    in
+    expect st Mf_lexer.LPAREN;
+    let params = parse_params st in
+    expect st Mf_lexer.RPAREN;
+    expect st Mf_lexer.ARROW;
+    let body = parse_expr st in
+    mk pos (Mf_ast.Fun { fname; params; body })
+  | Mf_lexer.IF ->
+    advance st;
+    let cond = parse_expr st in
+    expect st Mf_lexer.THEN;
+    let then_ = parse_expr st in
+    expect st Mf_lexer.ELSE;
+    let else_ = parse_expr st in
+    mk pos (Mf_ast.If (cond, then_, else_))
+  | Mf_lexer.MATCH ->
+    advance st;
+    let scrut = parse_expr st in
+    expect st Mf_lexer.WITH;
+    (match peek st with Mf_lexer.BAR -> advance st | _ -> ());
+    expect st Mf_lexer.OK;
+    expect st Mf_lexer.LPAREN;
+    let ok_name = expect_ident st in
+    expect st Mf_lexer.RPAREN;
+    expect st Mf_lexer.ARROW;
+    let ok_body = parse_expr st in
+    expect st Mf_lexer.BAR;
+    expect st Mf_lexer.ERR;
+    expect st Mf_lexer.LPAREN;
+    let err_name = expect_ident st in
+    expect st Mf_lexer.RPAREN;
+    expect st Mf_lexer.ARROW;
+    let err_body = parse_expr st in
+    expect st Mf_lexer.END;
+    mk pos (Mf_ast.Match { scrut; ok_name; ok_body; err_name; err_body })
+  | _ -> parse_seq st
+
+and parse_params st =
+  match peek st with
+  | Mf_lexer.RPAREN -> []
+  | _ ->
+    let first = expect_ident st in
+    let rec more acc =
+      match peek st with
+      | Mf_lexer.COMMA ->
+        advance st;
+        more (expect_ident st :: acc)
+      | _ -> List.rev acc
+    in
+    more [ first ]
+
+and parse_seq st =
+  let pos = peek_pos st in
+  let a = parse_assign st in
+  match peek st with
+  | Mf_lexer.SEMI ->
+    advance st;
+    let b = parse_expr st in
+    mk pos (Mf_ast.Seq (a, b))
+  | _ -> a
+
+and parse_assign st =
+  let pos = peek_pos st in
+  let a = parse_or st in
+  match peek st with
+  | Mf_lexer.SETREF ->
+    advance st;
+    let b = parse_assign st in
+    mk pos (Mf_ast.Setref (a, b))
+  | _ -> a
+
+and parse_or st =
+  let pos = peek_pos st in
+  let rec go acc =
+    match peek st with
+    | Mf_lexer.OROR ->
+      advance st;
+      go (mk pos (Mf_ast.Binop (Mf_ast.Or, acc, parse_and st)))
+    | _ -> acc
+  in
+  go (parse_and st)
+
+and parse_and st =
+  let pos = peek_pos st in
+  let rec go acc =
+    match peek st with
+    | Mf_lexer.ANDAND ->
+      advance st;
+      go (mk pos (Mf_ast.Binop (Mf_ast.And, acc, parse_cmp st)))
+    | _ -> acc
+  in
+  go (parse_cmp st)
+
+and parse_cmp st =
+  let pos = peek_pos st in
+  let a = parse_add st in
+  let bin op =
+    advance st;
+    mk pos (Mf_ast.Binop (op, a, parse_add st))
+  in
+  match peek st with
+  | Mf_lexer.EQEQ -> bin Mf_ast.Eq
+  | Mf_lexer.NEQ -> bin Mf_ast.Neq
+  | Mf_lexer.LT -> bin Mf_ast.Lt
+  | Mf_lexer.GT -> bin Mf_ast.Gt
+  | Mf_lexer.LE -> bin Mf_ast.Le
+  | Mf_lexer.GE -> bin Mf_ast.Ge
+  | _ -> a
+
+and parse_add st =
+  let pos = peek_pos st in
+  let rec go acc =
+    match peek st with
+    | Mf_lexer.PLUS ->
+      advance st;
+      go (mk pos (Mf_ast.Binop (Mf_ast.Add, acc, parse_mul st)))
+    | Mf_lexer.MINUS ->
+      advance st;
+      go (mk pos (Mf_ast.Binop (Mf_ast.Sub, acc, parse_mul st)))
+    | _ -> acc
+  in
+  go (parse_mul st)
+
+and parse_mul st =
+  let pos = peek_pos st in
+  let rec go acc =
+    match peek st with
+    | Mf_lexer.STAR ->
+      advance st;
+      go (mk pos (Mf_ast.Binop (Mf_ast.Mul, acc, parse_unary st)))
+    | Mf_lexer.SLASH ->
+      advance st;
+      go (mk pos (Mf_ast.Binop (Mf_ast.Div, acc, parse_unary st)))
+    | Mf_lexer.PERCENT ->
+      advance st;
+      go (mk pos (Mf_ast.Binop (Mf_ast.Mod, acc, parse_unary st)))
+    | _ -> acc
+  in
+  go (parse_unary st)
+
+and parse_unary st =
+  let pos = peek_pos st in
+  match peek st with
+  | Mf_lexer.BANG ->
+    advance st;
+    mk pos (Mf_ast.Deref (parse_unary st))
+  | Mf_lexer.MINUS ->
+    advance st;
+    mk pos (Mf_ast.Neg (parse_unary st))
+  | Mf_lexer.NOT ->
+    advance st;
+    mk pos (Mf_ast.Not (parse_unary st))
+  | Mf_lexer.REF ->
+    advance st;
+    mk pos (Mf_ast.Ref (parse_unary st))
+  | _ -> parse_app st
+
+and parse_app st =
+  let e = parse_atom st in
+  let rec go acc =
+    match peek st with
+    | Mf_lexer.LPAREN ->
+      let pos = peek_pos st in
+      advance st;
+      let args = parse_args st in
+      expect st Mf_lexer.RPAREN;
+      go (mk pos (Mf_ast.App (acc, args)))
+    | _ -> acc
+  in
+  go e
+
+and parse_args st =
+  match peek st with
+  | Mf_lexer.RPAREN -> []
+  | _ ->
+    let first = parse_expr st in
+    let rec more acc =
+      match peek st with
+      | Mf_lexer.COMMA ->
+        advance st;
+        more (parse_expr st :: acc)
+      | _ -> List.rev acc
+    in
+    more [ first ]
+
+and parse_atom st =
+  let pos = peek_pos st in
+  match peek st with
+  | Mf_lexer.INT_LIT n ->
+    advance st;
+    mk pos (Mf_ast.Int_lit n)
+  | Mf_lexer.STR_LIT s ->
+    advance st;
+    mk pos (Mf_ast.Str_lit s)
+  | Mf_lexer.TRUE ->
+    advance st;
+    mk pos (Mf_ast.Bool_lit true)
+  | Mf_lexer.FALSE ->
+    advance st;
+    mk pos (Mf_ast.Bool_lit false)
+  | Mf_lexer.IDENT name ->
+    advance st;
+    mk pos (Mf_ast.Var name)
+  | Mf_lexer.OK ->
+    advance st;
+    expect st Mf_lexer.LPAREN;
+    let e = parse_expr st in
+    expect st Mf_lexer.RPAREN;
+    mk pos (Mf_ast.Ok_ e)
+  | Mf_lexer.ERR ->
+    advance st;
+    expect st Mf_lexer.LPAREN;
+    let e = parse_expr st in
+    expect st Mf_lexer.RPAREN;
+    mk pos (Mf_ast.Err_ e)
+  | Mf_lexer.LPAREN -> (
+    advance st;
+    match peek st with
+    | Mf_lexer.RPAREN ->
+      advance st;
+      mk pos Mf_ast.Unit
+    | _ ->
+      let e = parse_expr st in
+      expect st Mf_lexer.RPAREN;
+      e)
+  | t -> err st (Printf.sprintf "unexpected %s" (Mf_lexer.token_to_string t))
+
+let parse_program source : Mf_ast.program =
+  let toks = Array.of_list (Mf_lexer.tokenize source) in
+  let st = { toks; idx = 0 } in
+  let rec go acc =
+    match peek st with
+    | Mf_lexer.EOF -> List.rev acc
+    | Mf_lexer.LET ->
+      let d_pos = peek_pos st in
+      advance st;
+      let d_name = expect_ident st in
+      expect st Mf_lexer.EQUAL;
+      let d_rhs = parse_expr st in
+      expect st Mf_lexer.SEMISEMI;
+      go ({ Mf_ast.d_name; d_rhs; d_pos } :: acc)
+    | t ->
+      err st
+        (Printf.sprintf "expected a top-level 'let' binding but found %s"
+           (Mf_lexer.token_to_string t))
+  in
+  go []

@@ -1,0 +1,193 @@
+(** MiniFun pretty-printer.
+
+    [program_to_string] emits concrete syntax that re-parses to an equal
+    AST (the QCheck round-trip property pins this). Parenthesisation
+    mirrors the parser's precedence ladder; binders are always wrapped
+    when they appear in an operand position, which keeps the printer
+    simple and the output unambiguous. *)
+
+(* Precedence levels, loosest to tightest; an expression is printed with
+   parens whenever its own level is looser than its context requires. *)
+let lv_binder = 0 (* let/fun/if/match *)
+let lv_seq = 1
+let lv_assign = 2
+let lv_or = 3
+let lv_and = 4
+let lv_cmp = 5
+let lv_add = 6
+let lv_mul = 7
+let lv_unary = 8
+let lv_app = 9
+let lv_atom = 10
+
+let level (e : Mf_ast.expr) =
+  match e.desc with
+  | Mf_ast.Let _ | Mf_ast.Fun _ | Mf_ast.If _ | Mf_ast.Match _ -> lv_binder
+  | Mf_ast.Seq _ -> lv_seq
+  | Mf_ast.Setref _ -> lv_assign
+  | Mf_ast.Binop ((Mf_ast.Or : Mf_ast.binop), _, _) -> lv_or
+  | Mf_ast.Binop (Mf_ast.And, _, _) -> lv_and
+  | Mf_ast.Binop ((Mf_ast.Eq | Mf_ast.Neq | Mf_ast.Lt | Mf_ast.Gt | Mf_ast.Le | Mf_ast.Ge), _, _)
+    ->
+    lv_cmp
+  | Mf_ast.Binop ((Mf_ast.Add | Mf_ast.Sub), _, _) -> lv_add
+  | Mf_ast.Binop ((Mf_ast.Mul | Mf_ast.Div | Mf_ast.Mod), _, _) -> lv_mul
+  | Mf_ast.Ref _ | Mf_ast.Deref _ | Mf_ast.Not _ | Mf_ast.Neg _ -> lv_unary
+  | Mf_ast.App _ -> lv_app
+  | Mf_ast.Unit | Mf_ast.Int_lit _ | Mf_ast.Bool_lit _ | Mf_ast.Str_lit _ | Mf_ast.Var _
+  | Mf_ast.Ok_ _ | Mf_ast.Err_ _ ->
+    lv_atom
+
+let binop_str = function
+  | Mf_ast.Add -> "+"
+  | Mf_ast.Sub -> "-"
+  | Mf_ast.Mul -> "*"
+  | Mf_ast.Div -> "/"
+  | Mf_ast.Mod -> "%"
+  | Mf_ast.Eq -> "=="
+  | Mf_ast.Neq -> "!="
+  | Mf_ast.Lt -> "<"
+  | Mf_ast.Gt -> ">"
+  | Mf_ast.Le -> "<="
+  | Mf_ast.Ge -> ">="
+  | Mf_ast.And -> "&&"
+  | Mf_ast.Or -> "||"
+
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let rec emit buf ~min (e : Mf_ast.expr) =
+  let parens = level e < min in
+  if parens then Buffer.add_char buf '(';
+  (match e.desc with
+  | Mf_ast.Unit -> Buffer.add_string buf "()"
+  | Mf_ast.Int_lit n ->
+    if n < 0 then Buffer.add_string buf (Printf.sprintf "(%d)" n)
+    else Buffer.add_string buf (string_of_int n)
+  | Mf_ast.Bool_lit b -> Buffer.add_string buf (string_of_bool b)
+  | Mf_ast.Str_lit s ->
+    Buffer.add_char buf '"';
+    Buffer.add_string buf (escape s);
+    Buffer.add_char buf '"'
+  | Mf_ast.Var x -> Buffer.add_string buf x
+  | Mf_ast.Fun { fname; params; body } ->
+    Buffer.add_string buf "fun ";
+    (match fname with
+    | Some n ->
+      Buffer.add_string buf n;
+      Buffer.add_char buf ' '
+    | None -> ());
+    Buffer.add_char buf '(';
+    List.iteri
+      (fun i p ->
+        if i > 0 then Buffer.add_string buf ", ";
+        Buffer.add_string buf p)
+      params;
+    Buffer.add_string buf ") -> ";
+    emit buf ~min:lv_binder body
+  | Mf_ast.App (f, args) ->
+    (* the callee must be app-level or tighter: [f(x)(y)] round-trips *)
+    emit buf ~min:lv_app f;
+    Buffer.add_char buf '(';
+    List.iteri
+      (fun i a ->
+        if i > 0 then Buffer.add_string buf ", ";
+        emit buf ~min:lv_binder a)
+      args;
+    Buffer.add_char buf ')'
+  | Mf_ast.Let { name; rhs; body } ->
+    Buffer.add_string buf "let ";
+    Buffer.add_string buf name;
+    Buffer.add_string buf " = ";
+    emit buf ~min:lv_binder rhs;
+    Buffer.add_string buf " in ";
+    emit buf ~min:lv_binder body
+  | Mf_ast.Seq (a, b) ->
+    (* the head of a sequence must not swallow the tail: binders extend
+       right, so a binder head needs parens *)
+    emit buf ~min:lv_assign a;
+    Buffer.add_string buf "; ";
+    emit buf ~min:lv_seq b
+  | Mf_ast.Ref x ->
+    Buffer.add_string buf "ref ";
+    emit buf ~min:lv_unary x
+  | Mf_ast.Deref x ->
+    Buffer.add_char buf '!';
+    emit buf ~min:lv_unary x
+  | Mf_ast.Setref (r, v) ->
+    emit buf ~min:lv_or r;
+    Buffer.add_string buf " := ";
+    emit buf ~min:lv_assign v
+  | Mf_ast.Ok_ x ->
+    Buffer.add_string buf "Ok(";
+    emit buf ~min:lv_binder x;
+    Buffer.add_char buf ')'
+  | Mf_ast.Err_ x ->
+    Buffer.add_string buf "Err(";
+    emit buf ~min:lv_binder x;
+    Buffer.add_char buf ')'
+  | Mf_ast.Match { scrut; ok_name; ok_body; err_name; err_body } ->
+    Buffer.add_string buf "match ";
+    emit buf ~min:lv_binder scrut;
+    Buffer.add_string buf " with | Ok(";
+    Buffer.add_string buf ok_name;
+    Buffer.add_string buf ") -> ";
+    emit buf ~min:lv_binder ok_body;
+    Buffer.add_string buf " | Err(";
+    Buffer.add_string buf err_name;
+    Buffer.add_string buf ") -> ";
+    emit buf ~min:lv_binder err_body;
+    Buffer.add_string buf " end"
+  | Mf_ast.If (c, t, f) ->
+    Buffer.add_string buf "if ";
+    emit buf ~min:lv_binder c;
+    Buffer.add_string buf " then ";
+    emit buf ~min:lv_binder t;
+    Buffer.add_string buf " else ";
+    emit buf ~min:lv_binder f
+  | Mf_ast.Binop (op, a, b) ->
+    let lv = level e in
+    (* left-associative chains re-parse flat; comparisons are
+       non-associative so both sides step down a level *)
+    let lmin = match op with Mf_ast.Eq | Mf_ast.Neq | Mf_ast.Lt | Mf_ast.Gt | Mf_ast.Le | Mf_ast.Ge -> lv + 1 | _ -> lv in
+    emit buf ~min:lmin a;
+    Buffer.add_char buf ' ';
+    Buffer.add_string buf (binop_str op);
+    Buffer.add_char buf ' ';
+    emit buf ~min:(lv + 1) b
+  | Mf_ast.Not x ->
+    Buffer.add_string buf "not ";
+    emit buf ~min:lv_unary x
+  | Mf_ast.Neg x ->
+    Buffer.add_string buf "-";
+    emit buf ~min:lv_unary x);
+  if parens then Buffer.add_char buf ')'
+
+let expr_to_string e =
+  let buf = Buffer.create 256 in
+  emit buf ~min:lv_binder e;
+  Buffer.contents buf
+
+let program_to_string (p : Mf_ast.program) =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun (d : Mf_ast.decl) ->
+      Buffer.add_string buf "let ";
+      Buffer.add_string buf d.Mf_ast.d_name;
+      Buffer.add_string buf " = ";
+      emit buf ~min:lv_binder d.Mf_ast.d_rhs;
+      Buffer.add_string buf ";;\n")
+    p;
+  Buffer.contents buf
+
+let equal_program = Mf_ast.equal_program

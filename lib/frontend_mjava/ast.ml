@@ -8,32 +8,26 @@
     parsed and type-checked but are irrelevant to the (flow-insensitive)
     analyses, exactly as in §2 of the paper. *)
 
-type pos = { line : int; col : int }
+(* Positions and types are re-exports of the frontend-agnostic IR core:
+   MiniJava's surface types lower one-for-one, so the AST uses the IR's
+   [Ityp.typ] directly (as transparent aliases — constructors coincide). *)
 
-let dummy_pos = { line = 0; col = 0 }
+type pos = Loc.pos = { line : int; col : int }
 
-let pp_pos fmt { line; col } = Format.fprintf fmt "%d:%d" line col
+let dummy_pos = Loc.dummy_pos
 
-type typ =
+let pp_pos = Loc.pp_pos
+
+type typ = Ityp.typ =
   | Tint
   | Tbool
   | Tvoid (* return type only *)
   | Tclass of string
   | Tarray of typ
 
-let rec pp_typ fmt = function
-  | Tint -> Format.pp_print_string fmt "int"
-  | Tbool -> Format.pp_print_string fmt "boolean"
-  | Tvoid -> Format.pp_print_string fmt "void"
-  | Tclass c -> Format.pp_print_string fmt c
-  | Tarray t -> Format.fprintf fmt "%a[]" pp_typ t
+let pp_typ = Ityp.pp_typ
 
-let rec typ_equal a b =
-  match (a, b) with
-  | Tint, Tint | Tbool, Tbool | Tvoid, Tvoid -> true
-  | Tclass c, Tclass d -> String.equal c d
-  | Tarray t, Tarray u -> typ_equal t u
-  | (Tint | Tbool | Tvoid | Tclass _ | Tarray _), _ -> false
+let typ_equal = Ityp.typ_equal
 
 type binop = Add | Sub | Mul | Div | Mod | Eq | Neq | Lt | Gt | Le | Ge | And | Or
 
@@ -101,8 +95,8 @@ type class_decl = {
 type program = class_decl list
 
 (** Names of classes every program implicitly knows (see {!Prelude}). *)
-let object_class = "Object"
+let object_class = Ityp.object_class
 
-let string_class = "String"
+let string_class = Ityp.string_class
 
-let null_class = "$Null" (* pseudo-class of null pseudo-allocations *)
+let null_class = Ityp.null_class (* pseudo-class of null pseudo-allocations *)

@@ -565,9 +565,7 @@ let declare_program ctable (prog : Ast.program) =
           if Ast.typ_equal f.Ast.f_typ Ast.Tvoid then err "field of type void" f.Ast.f_pos;
           check_typ_decl ctable f.Ast.f_typ f.Ast.f_pos;
           if f.Ast.f_static then
-            ignore
-              (Types.add_global ctable cid ~name:f.Ast.f_name ~typ:f.Ast.f_typ ~init:f.Ast.f_init
-                 f.Ast.f_pos)
+            ignore (Types.add_global ctable cid ~name:f.Ast.f_name ~typ:f.Ast.f_typ f.Ast.f_pos)
           else ignore (Types.add_field ctable cid ~name:f.Ast.f_name ~typ:f.Ast.f_typ f.Ast.f_pos))
         c.Ast.c_fields;
       List.iter
@@ -787,4 +785,5 @@ let lower_program (prog : Ast.program) : Ir.program =
     calls = Array.of_list (List.rev ctx.call_sites);
     casts = Array.of_list (List.rev ctx.casts);
     entry = Some entry.Ir.id;
+    lang = Loc.Mjava;
   }

@@ -41,26 +41,26 @@ type meth = {
   body : instr list;
   nvars : int;
   var_names : string array;
-  var_types : Ast.typ array;
+  var_types : Ityp.typ array;
 }
 
 type alloc_site = {
   site_id : int;
   alloc_cls : Types.cls;
   alloc_meth : int;
-  alloc_pos : Ast.pos;
+  alloc_pos : Loc.pos;
   alloc_is_null : bool; (** a lowered [null] pseudo-allocation *)
 }
 
-type call_site = { cs_id : int; cs_meth : int; cs_pos : Ast.pos }
+type call_site = { cs_id : int; cs_meth : int; cs_pos : Loc.pos }
 
 type cast_site = {
   cast_id : int;
   cast_meth : int;
-  cast_target : Ast.typ;
+  cast_target : Ityp.typ;
   cast_src : var;
   cast_dst : var;
-  cast_pos : Ast.pos;
+  cast_pos : Loc.pos;
   cast_trivial : bool; (** statically guaranteed (upcast): not queried *)
 }
 
@@ -71,13 +71,14 @@ type program = {
   calls : call_site array;
   casts : cast_site array;
   entry : int option; (** synthetic entry method id *)
+  lang : Loc.lang; (** surface language the program was lowered from *)
 }
 
 let method_of_program p id = p.methods.(id)
 
 let alloc_name p site =
   let a = p.allocs.(site) in
-  if a.alloc_is_null then Printf.sprintf "null@%d" a.alloc_pos.Ast.line
+  if a.alloc_is_null then Printf.sprintf "null@%d" a.alloc_pos.Loc.line
   else Printf.sprintf "o%d:%s" site (Types.class_name p.ctable a.alloc_cls)
 
 let var_name (m : meth) v =
@@ -128,3 +129,87 @@ let pp_method ctable fmt (m : meth) =
 
 let pp_program fmt p =
   Array.iter (fun m -> Format.fprintf fmt "%a@.@." (pp_method p.ctable) m) p.methods
+
+(** The lowering contract between frontends and the PAG builder.
+
+    [Emit] re-expresses a method body as the seven PAG edge kinds of the
+    paper — new, assign, assign-global, load, store, entry, exit — plus the
+    call descriptors the call-graph layer needs. It is the {e only} view of
+    the instruction set that [lib/pag/builder.ml] consumes: a frontend is
+    correct iff its lowered instructions project onto these events with the
+    invariants below, and the analyses can never observe anything else.
+
+    Invariants every frontend must uphold:
+    - [New]: the destination variable is {e unique} to its allocation site
+      (a fresh temporary) — required by the new/n̄ew direction flip of the
+      paper's Algorithms 1 and 3;
+    - [New] site ids and [call] site ids are dense, program-wide, and
+      consistent with [program.allocs] / [program.calls];
+    - field ids in [Load]/[Store] are interned in the program's class
+      table; global ids likewise;
+    - every variable mentioned is method-local ([< meth.nvars]);
+    - calls carry the callee view needed for entry/exit edges: receiver
+      (virtual and statically-bound instance calls), actuals in formal
+      order, and an optional destination for returned values. *)
+module Emit = struct
+  (** One intra-method PAG edge event. [Assign] covers moves and casts
+      (a cast is an identity at the points-to level); global accesses are
+      the assign-global edge kind, split by direction. *)
+  type edge =
+    | New of { site : int; dst : var }
+    | Assign of { src : var; dst : var }
+    | Load of { base : var; fld : int; dst : var }
+    | Store of { base : var; fld : int; src : var }
+    | Global_load of { glb : int; dst : var }
+    | Global_store of { src : var; glb : int }
+
+  (** A call, in caller-local terms. Entry edges connect [receiver]/[args]
+      to the callee's [this]/formals; exit edges connect the callee's
+      returns to [dst]. *)
+  type call = { site : int; kind : call_kind; args : var list; dst : var option }
+
+  let iter_edges (m : meth) f =
+    List.iter
+      (fun instr ->
+        match instr with
+        | Alloc { dst; cls = _; site } -> f (New { site; dst })
+        | Move { dst; src } -> f (Assign { src; dst })
+        | Cast_move { dst; src; cast = _ } -> f (Assign { src; dst })
+        | Load { dst; base; fld } -> f (Load { base; fld; dst })
+        | Store { base; fld; src } -> f (Store { base; fld; src })
+        | Load_global { dst; glb } -> f (Global_load { glb; dst })
+        | Store_global { glb; src } -> f (Global_store { src; glb })
+        | Call _ | Return _ -> ())
+      m.body
+
+  let calls (m : meth) =
+    List.filter_map
+      (function
+        | Call { dst; kind; args; site } -> Some { site; kind; args; dst }
+        | Alloc _ | Move _ | Cast_move _ | Load _ | Store _ | Load_global _ | Store_global _
+        | Return _ ->
+          None)
+      m.body
+
+  (** Variables returned by the method (one per [return v] instruction). *)
+  let returns (m : meth) =
+    List.filter_map
+      (function
+        | Return { src } -> src
+        | Alloc _ | Move _ | Cast_move _ | Load _ | Store _ | Load_global _ | Store_global _
+        | Call _ ->
+          None)
+      m.body
+
+  (** The caller-side receiver of a call, for dispatch ([Virtual]) or the
+      [this] entry edge ([Virtual] and [Ctor]); [None] for static calls. *)
+  let receiver = function
+    | Virtual { recv; _ } | Ctor { recv; _ } -> Some recv
+    | Static _ -> None
+
+  (** The receiver a dispatch decision is made on: only virtual calls
+      dispatch; statically-bound instance calls ([Ctor]) do not. *)
+  let dispatch_receiver = function
+    | Virtual { recv; _ } -> Some recv
+    | Static _ | Ctor _ -> None
+end

@@ -1,0 +1,39 @@
+(** IR-level types.
+
+    Every frontend lowers its surface types into this little lattice; the
+    class table ({!Types}) and the IR ({!Ir}) know no other notion of type.
+    MiniJava maps its types one-for-one; MiniFun maps every reference value
+    (closure, ref cell, result constructor, string) to [Tclass] of a
+    synthesised class and every ground value to [Tint]/[Tbool]. *)
+
+type typ =
+  | Tint
+  | Tbool
+  | Tvoid (* return type only *)
+  | Tclass of string
+  | Tarray of typ
+
+let rec pp_typ fmt = function
+  | Tint -> Format.pp_print_string fmt "int"
+  | Tbool -> Format.pp_print_string fmt "boolean"
+  | Tvoid -> Format.pp_print_string fmt "void"
+  | Tclass c -> Format.pp_print_string fmt c
+  | Tarray t -> Format.fprintf fmt "%a[]" pp_typ t
+
+let rec typ_equal a b =
+  match (a, b) with
+  | Tint, Tint | Tbool, Tbool | Tvoid, Tvoid -> true
+  | Tclass c, Tclass d -> String.equal c d
+  | Tarray t, Tarray u -> typ_equal t u
+  | (Tint | Tbool | Tvoid | Tclass _ | Tarray _), _ -> false
+
+let is_reference = function
+  | Tclass _ | Tarray _ -> true
+  | Tint | Tbool | Tvoid -> false
+
+(** Names of classes every class table knows (see {!Types.create}). *)
+let object_class = "Object"
+
+let string_class = "String"
+
+let null_class = "$Null" (* pseudo-class of null pseudo-allocations *)

@@ -1,0 +1,24 @@
+(** Source locations and source-language tags, shared by every frontend.
+
+    The IR core is frontend-agnostic: positions and the language tag are
+    the only provenance a lowered program carries, and both live here so
+    that neither the PAG builder nor the clients ever depend on a surface
+    syntax module. *)
+
+type pos = { line : int; col : int }
+
+let dummy_pos = { line = 0; col = 0 }
+
+let pp_pos fmt { line; col } = Format.fprintf fmt "%d:%d" line col
+
+(** The surface language a program (or allocation site) was lowered from.
+    Purely informational — analyses never branch on it — but carried for
+    diagnostics, DOT labels and mixed-frontend debugging. *)
+type lang = Mjava | Minifun
+
+let lang_name = function Mjava -> "mjava" | Minifun -> "minifun"
+
+let lang_of_string = function
+  | "mjava" | "minijava" | "mj" -> Some Mjava
+  | "minifun" | "mf" -> Some Minifun
+  | _ -> None

@@ -1,4 +1,4 @@
-exception Error of string * Ast.pos
+exception Error of string * Loc.pos
 
 type cls = int
 
@@ -6,15 +6,14 @@ type field_info = {
   fld_id : int;
   fld_class : cls;
   fld_name : string;
-  fld_typ : Ast.typ;
+  fld_typ : Ityp.typ;
 }
 
 type global_info = {
   glb_id : int;
   glb_class : cls;
   glb_name : string;
-  glb_typ : Ast.typ;
-  glb_init : Ast.expr option;
+  glb_typ : Ityp.typ;
 }
 
 type method_sig = {
@@ -23,8 +22,8 @@ type method_sig = {
   ms_name : string;
   ms_static : bool;
   ms_is_ctor : bool;
-  ms_ret : Ast.typ;
-  ms_params : Ast.typ list;
+  ms_ret : Ityp.typ;
+  ms_params : Ityp.typ list;
 }
 
 type class_info = {
@@ -48,7 +47,7 @@ type t = {
   mutable n_globals : int;
   mutable sigs : method_sig list; (* reversed *)
   mutable n_methods : int;
-  arr_cache : (Ast.typ, cls) Hashtbl.t;
+  arr_cache : (Ityp.typ, cls) Hashtbl.t;
   mutable arr : field_info option;
   mutable c_null : cls;
 }
@@ -129,13 +128,13 @@ let create () =
   in
   (* The null pseudo-class is internal; Object/String come from the prelude
      source so they behave like ordinary classes. *)
-  (match declare_class_raw t Ast.null_class ~is_array:false with
+  (match declare_class_raw t Ityp.null_class ~is_array:false with
   | Some c -> t.c_null <- c
   | None -> assert false);
   (* The collapsed array-element field (§2 of the paper): all array classes
      share this single field id. It is not a member of any class; lowering
      uses it directly for every array element access. *)
-  let arr = { fld_id = 0; fld_class = t.c_null; fld_name = "arr"; fld_typ = Ast.Tclass Ast.object_class } in
+  let arr = { fld_id = 0; fld_class = t.c_null; fld_name = "arr"; fld_typ = Ityp.Tclass Ityp.object_class } in
   t.arr <- Some arr;
   t.fields <- [ arr ];
   t.n_fields <- 1;
@@ -144,12 +143,12 @@ let create () =
 let arr_field t = match t.arr with Some f -> f | None -> assert false
 
 let object_class t =
-  match find_class t Ast.object_class with
+  match find_class t Ityp.object_class with
   | Some c -> c
   | None -> invalid_arg "Types.object_class: prelude not loaded"
 
 let string_class t =
-  match find_class t Ast.string_class with
+  match find_class t Ityp.string_class with
   | Some c -> c
   | None -> invalid_arg "Types.string_class: prelude not loaded"
 
@@ -163,11 +162,11 @@ let add_field t c ~name ~typ pos =
   ci.ci_fields <- (name, f) :: ci.ci_fields;
   f
 
-let add_global t c ~name ~typ ~init pos =
+let add_global t c ~name ~typ pos =
   let ci = info t c in
   if List.mem_assoc name ci.ci_fields || List.mem_assoc name ci.ci_globals then
     err (Printf.sprintf "field %s.%s is already declared" ci.ci_name name) pos;
-  let g = { glb_id = t.n_globals; glb_class = c; glb_name = name; glb_typ = typ; glb_init = init } in
+  let g = { glb_id = t.n_globals; glb_class = c; glb_name = name; glb_typ = typ } in
   t.globals_rev <- g :: t.globals_rev;
   t.n_globals <- t.n_globals + 1;
   ci.ci_globals <- (name, g) :: ci.ci_globals;
@@ -246,8 +245,8 @@ let rec array_class t elem =
   | Some c -> c
   | None ->
     (* Normalise nested element classes first so names are deterministic. *)
-    (match elem with Ast.Tarray inner -> ignore (array_class t inner) | _ -> ());
-    let name = Format.asprintf "%a[]" Ast.pp_typ elem in
+    (match elem with Ityp.Tarray inner -> ignore (array_class t inner) | _ -> ());
+    let name = Format.asprintf "%a[]" Ityp.pp_typ elem in
     let c =
       match declare_class_raw t name ~is_array:true with
       | Some c ->
@@ -259,17 +258,17 @@ let rec array_class t elem =
     c
 
 let class_of_typ t = function
-  | Ast.Tclass name -> find_class t name
-  | Ast.Tarray elem -> Some (array_class t elem)
-  | Ast.Tint | Ast.Tbool | Ast.Tvoid -> None
+  | Ityp.Tclass name -> find_class t name
+  | Ityp.Tarray elem -> Some (array_class t elem)
+  | Ityp.Tint | Ityp.Tbool | Ityp.Tvoid -> None
 
 let rec subtype t a b =
   match (a, b) with
-  | Ast.Tint, Ast.Tint | Ast.Tbool, Ast.Tbool | Ast.Tvoid, Ast.Tvoid -> true
-  | Ast.Tclass ca, Ast.Tclass cb -> (
+  | Ityp.Tint, Ityp.Tint | Ityp.Tbool, Ityp.Tbool | Ityp.Tvoid, Ityp.Tvoid -> true
+  | Ityp.Tclass ca, Ityp.Tclass cb -> (
     match (find_class t ca, find_class t cb) with
     | Some ia, Some ib -> subclass t ia ib
     | _ -> false)
-  | Ast.Tarray ea, Ast.Tarray eb -> subtype t ea eb (* covariant, as in Java *)
-  | Ast.Tarray _, Ast.Tclass cb -> String.equal cb Ast.object_class
-  | (Ast.Tint | Ast.Tbool | Ast.Tvoid | Ast.Tclass _ | Ast.Tarray _), _ -> false
+  | Ityp.Tarray ea, Ityp.Tarray eb -> subtype t ea eb (* covariant, as in Java *)
+  | Ityp.Tarray _, Ityp.Tclass cb -> String.equal cb Ityp.object_class
+  | (Ityp.Tint | Ityp.Tbool | Ityp.Tvoid | Ityp.Tclass _ | Ityp.Tarray _), _ -> false

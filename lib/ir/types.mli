@@ -12,21 +12,20 @@ type t
 type cls = int
 (** Dense class id. *)
 
-exception Error of string * Ast.pos
+exception Error of string * Loc.pos
 
 type field_info = {
   fld_id : int;
   fld_class : cls; (** declaring class *)
   fld_name : string;
-  fld_typ : Ast.typ;
+  fld_typ : Ityp.typ;
 }
 
 type global_info = {
   glb_id : int;
   glb_class : cls;
   glb_name : string;
-  glb_typ : Ast.typ;
-  glb_init : Ast.expr option;
+  glb_typ : Ityp.typ;
 }
 
 type method_sig = {
@@ -35,8 +34,8 @@ type method_sig = {
   ms_name : string;
   ms_static : bool;
   ms_is_ctor : bool;
-  ms_ret : Ast.typ;
-  ms_params : Ast.typ list;
+  ms_ret : Ityp.typ;
+  ms_params : Ityp.typ list;
 }
 
 val create : unit -> t
@@ -45,11 +44,11 @@ val create : unit -> t
 
 (** {2 Classes} *)
 
-val declare_class : t -> string -> Ast.pos -> cls
+val declare_class : t -> string -> Loc.pos -> cls
 (** @raise Error if the name is already declared. *)
 
 val find_class : t -> string -> cls option
-val find_class_exn : t -> string -> Ast.pos -> cls
+val find_class_exn : t -> string -> Loc.pos -> cls
 val class_name : t -> cls -> string
 val class_count : t -> int
 val classes : t -> cls list
@@ -58,7 +57,7 @@ val string_class : t -> cls
 val null_class : t -> cls
 val is_array_class : t -> cls -> bool
 
-val set_super : t -> cls -> cls -> Ast.pos -> unit
+val set_super : t -> cls -> cls -> Loc.pos -> unit
 (** @raise Error if this would create a hierarchy cycle. *)
 
 val super : t -> cls -> cls option
@@ -67,15 +66,15 @@ val super : t -> cls -> cls option
 val subclass : t -> cls -> cls -> bool
 (** [subclass t c d] — is [c] equal to or a descendant of [d]? *)
 
-val array_class : t -> Ast.typ -> cls
+val array_class : t -> Ityp.typ -> cls
 (** Array class for the given element type, created on demand; its
     superclass is [Object]. *)
 
-val class_of_typ : t -> Ast.typ -> cls option
+val class_of_typ : t -> Ityp.typ -> cls option
 (** The class implementing a reference type ([Tclass] or [Tarray]); [None]
     for primitive types. Unknown class names yield [None]. *)
 
-val subtype : t -> Ast.typ -> Ast.typ -> bool
+val subtype : t -> Ityp.typ -> Ityp.typ -> bool
 (** Assignability: reflexive, class subtyping, covariant arrays (as in
     Java), any array type is a subtype of [Object]. Primitives are subtypes
     of themselves only. *)
@@ -85,10 +84,10 @@ val subtype : t -> Ast.typ -> Ast.typ -> bool
 val arr_field : t -> field_info
 (** The special collapsed array-element field. *)
 
-val add_field : t -> cls -> name:string -> typ:Ast.typ -> Ast.pos -> field_info
+val add_field : t -> cls -> name:string -> typ:Ityp.typ -> Loc.pos -> field_info
 (** Instance field. @raise Error on a duplicate in the same class. *)
 
-val add_global : t -> cls -> name:string -> typ:Ast.typ -> init:Ast.expr option -> Ast.pos -> global_info
+val add_global : t -> cls -> name:string -> typ:Ityp.typ -> Loc.pos -> global_info
 (** Static field. @raise Error on a duplicate in the same class. *)
 
 val lookup_field : t -> cls -> string -> [ `Instance of field_info | `Static of global_info ] option
@@ -103,7 +102,7 @@ val globals : t -> global_info list
 (** {2 Methods} *)
 
 val add_method :
-  t -> cls -> name:string -> static:bool -> is_ctor:bool -> ret:Ast.typ -> params:Ast.typ list -> Ast.pos -> method_sig
+  t -> cls -> name:string -> static:bool -> is_ctor:bool -> ret:Ityp.typ -> params:Ityp.typ list -> Loc.pos -> method_sig
 (** @raise Error on a duplicate method name in the same class. Ordinary
     methods cannot be overloaded; constructors may be overloaded by arity
     (the paper's Figure 2 example needs this). *)

@@ -1,3 +1,8 @@
+(* The builder consumes method bodies exclusively through the {!Ir.Emit}
+   lowering contract: the seven edge kinds plus call descriptors. It never
+   inspects [Ir.instr] directly, so any frontend whose lowering satisfies
+   the [Emit] invariants drives the same construction. *)
+
 type call_desc = {
   cd_site : int;
   cd_caller : int;
@@ -10,60 +15,45 @@ let add_method_body pag mid =
   let prog = Pag.program pag in
   let m = prog.Ir.methods.(mid) in
   let node v = Pag.local_node pag ~meth:mid ~var:v in
-  let calls = ref [] in
-  List.iter
-    (fun instr ->
-      match instr with
-      | Ir.Alloc { dst; cls = _; site } -> Pag.add_new pag ~obj_:(Pag.obj_node pag site) ~dst:(node dst)
-      | Ir.Move { dst; src } -> Pag.add_assign pag ~src:(node src) ~dst:(node dst)
-      | Ir.Cast_move { dst; src; cast = _ } -> Pag.add_assign pag ~src:(node src) ~dst:(node dst)
-      | Ir.Load { dst; base; fld } -> Pag.add_load pag ~base:(node base) ~fld ~dst:(node dst)
-      | Ir.Store { base; fld; src } -> Pag.add_store pag ~base:(node base) ~fld ~src:(node src)
-      | Ir.Load_global { dst; glb } ->
+  Ir.Emit.iter_edges m (fun edge ->
+      match edge with
+      | Ir.Emit.New { site; dst } -> Pag.add_new pag ~obj_:(Pag.obj_node pag site) ~dst:(node dst)
+      | Ir.Emit.Assign { src; dst } -> Pag.add_assign pag ~src:(node src) ~dst:(node dst)
+      | Ir.Emit.Load { base; fld; dst } -> Pag.add_load pag ~base:(node base) ~fld ~dst:(node dst)
+      | Ir.Emit.Store { base; fld; src } -> Pag.add_store pag ~base:(node base) ~fld ~src:(node src)
+      | Ir.Emit.Global_load { glb; dst } ->
         Pag.add_assign_global pag ~src:(Pag.global_node pag glb) ~dst:(node dst)
-      | Ir.Store_global { glb; src } ->
-        Pag.add_assign_global pag ~src:(node src) ~dst:(Pag.global_node pag glb)
-      | Ir.Call { dst; kind; args; site } ->
-        calls :=
-          {
-            cd_site = site;
-            cd_caller = mid;
-            cd_kind = kind;
-            cd_args = List.map node args;
-            cd_dst = Option.map node dst;
-          }
-          :: !calls
-      | Ir.Return _ -> ())
-    m.Ir.body;
-  List.rev !calls
+      | Ir.Emit.Global_store { src; glb } ->
+        Pag.add_assign_global pag ~src:(node src) ~dst:(Pag.global_node pag glb));
+  List.map
+    (fun (c : Ir.Emit.call) ->
+      {
+        cd_site = c.Ir.Emit.site;
+        cd_caller = mid;
+        cd_kind = c.Ir.Emit.kind;
+        cd_args = List.map node c.Ir.Emit.args;
+        cd_dst = Option.map node c.Ir.Emit.dst;
+      })
+    (Ir.Emit.calls m)
 
 let return_nodes pag (m : Ir.meth) =
-  List.filter_map
-    (function
-      | Ir.Return { src = Some v } -> Some (Pag.local_node pag ~meth:m.Ir.id ~var:v)
-      | Ir.Return { src = None } | Ir.Alloc _ | Ir.Move _ | Ir.Load _ | Ir.Store _
-      | Ir.Load_global _ | Ir.Store_global _ | Ir.Call _ | Ir.Cast_move _ ->
-        None)
-    m.Ir.body
+  List.map (fun v -> Pag.local_node pag ~meth:m.Ir.id ~var:v) (Ir.Emit.returns m)
 
 let receiver_node pag cd =
-  match cd.cd_kind with
-  | Ir.Virtual { recv; _ } -> Some (Pag.local_node pag ~meth:cd.cd_caller ~var:recv)
-  | Ir.Static _ | Ir.Ctor _ -> None
+  Option.map
+    (fun v -> Pag.local_node pag ~meth:cd.cd_caller ~var:v)
+    (Ir.Emit.dispatch_receiver cd.cd_kind)
 
 let connect_call pag cd ~target =
   let site = cd.cd_site in
   let formal v = Pag.local_node pag ~meth:target.Ir.id ~var:v in
   (* receiver to [this] *)
-  (match (cd.cd_kind, target.Ir.this_var) with
-  | Ir.Virtual { recv; _ }, Some this_v ->
+  (match (Ir.Emit.receiver cd.cd_kind, target.Ir.this_var) with
+  | Some recv, Some this_v ->
     Pag.add_entry pag ~site ~actual:(Pag.local_node pag ~meth:cd.cd_caller ~var:recv)
       ~formal:(formal this_v)
-  | Ir.Ctor { recv; _ }, Some this_v ->
-    Pag.add_entry pag ~site ~actual:(Pag.local_node pag ~meth:cd.cd_caller ~var:recv)
-      ~formal:(formal this_v)
-  | (Ir.Virtual _ | Ir.Ctor _), None -> invalid_arg "Builder.connect_call: instance target without this"
-  | Ir.Static _, _ -> ());
+  | Some _, None -> invalid_arg "Builder.connect_call: instance target without this"
+  | None, _ -> ());
   (* actuals to formals *)
   List.iter2
     (fun actual formal_var -> Pag.add_entry pag ~site ~actual ~formal:(formal formal_var))

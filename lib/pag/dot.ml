@@ -13,22 +13,34 @@ let touched pag n =
 
 let pag ?(max_nodes = 400) pag_ =
   let prog = Pag.program pag_ in
+  let lang = Loc.lang_name prog.Ir.lang in
   let buf = Buffer.create 8192 in
   let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   pr "digraph pag {\n  rankdir=LR;\n  node [fontsize=9];\n";
+  pr "  label=\"source language: %s\";\n  labelloc=t;\n" (escape lang);
   let included = Hashtbl.create 256 in
   let count = ref 0 in
   for n = 0 to Pag.node_count pag_ - 1 do
     if touched pag_ n && !count < max_nodes then begin
       Hashtbl.add included n ();
       incr count;
-      let shape, style =
+      (* Allocation nodes carry their provenance: which method allocated,
+         at which source line of which language — so a graph mixing
+         synthesized closure classes with user code stays attributable. *)
+      let shape, style, label =
         match Pag.kind pag_ n with
-        | Pag.Obj _ -> ("box", ",style=filled,fillcolor=lightyellow")
-        | Pag.Global _ -> ("diamond", ",style=filled,fillcolor=lightblue")
-        | Pag.Local _ -> ("ellipse", "")
+        | Pag.Obj site ->
+          let a = prog.Ir.allocs.(site) in
+          let provenance =
+            Printf.sprintf "\\n%s:%d in %s" lang a.Ir.alloc_pos.Loc.line
+              (escape prog.Ir.methods.(a.Ir.alloc_meth).Ir.pretty)
+          in
+          ("box", ",style=filled,fillcolor=lightyellow",
+           escape (Pag.node_name pag_ n) ^ provenance)
+        | Pag.Global _ -> ("diamond", ",style=filled,fillcolor=lightblue", escape (Pag.node_name pag_ n))
+        | Pag.Local _ -> ("ellipse", "", escape (Pag.node_name pag_ n))
       in
-      pr "  n%d [label=\"%s\",shape=%s%s];\n" n (escape (Pag.node_name pag_ n)) shape style
+      pr "  n%d [label=\"%s\",shape=%s%s];\n" n label shape style
     end
   done;
   if !count >= max_nodes then pr "  // graph truncated at %d nodes\n" max_nodes;

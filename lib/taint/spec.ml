@@ -25,10 +25,10 @@ let contains_sub s sub =
   let rec at i = i + m <= n && (String.sub s i m = sub || at (i + 1)) in
   m = 0 || at 0
 
-let of_source ?(base = default) source =
-  let anns = Frontend.annotations source in
+let of_source ?(base = default) ?lang source =
+  let anns = Frontend.annotations ?lang source in
   let lines_with tag =
-    List.filter_map (fun (text, pos) -> if contains_sub text tag then Some pos.Ast.line else None) anns
+    List.filter_map (fun (text, pos) -> if contains_sub text tag then Some pos.Loc.line else None) anns
   in
   {
     base with
@@ -46,7 +46,7 @@ let source_sites t (prog : Ir.program) =
          if a.Ir.alloc_is_null then None
          else
            let mname = prog.Ir.methods.(a.Ir.alloc_meth).Ir.msig.Types.ms_name in
-           if is_source_method t mname || List.mem a.Ir.alloc_pos.Ast.line t.source_lines then
+           if is_source_method t mname || List.mem a.Ir.alloc_pos.Loc.line t.source_lines then
              Some a.Ir.site_id
            else None)
 
@@ -54,8 +54,8 @@ type sink = { sk_meth : int; sk_var : int; sk_line : int; sk_desc : string }
 
 let is_ref (m : Ir.meth) v =
   match m.Ir.var_types.(v) with
-  | Ast.Tclass _ | Ast.Tarray _ -> true
-  | Ast.Tint | Ast.Tbool | Ast.Tvoid -> false
+  | Ityp.Tclass _ | Ityp.Tarray _ -> true
+  | Ityp.Tint | Ityp.Tbool | Ityp.Tvoid -> false
 
 let sinks t ?(is_reachable = fun _ -> true) (prog : Ir.program) =
   let acc = ref [] in
@@ -71,7 +71,7 @@ let sinks t ?(is_reachable = fun _ -> true) (prog : Ir.program) =
                 | Ir.Static { target } -> target.Types.ms_name
                 | Ir.Ctor { ctor; _ } -> ctor.Types.ms_name
               in
-              let line = prog.Ir.calls.(site).Ir.cs_pos.Ast.line in
+              let line = prog.Ir.calls.(site).Ir.cs_pos.Loc.line in
               let by_prefix = is_sink_method t callee in
               let by_line = List.mem line t.sink_lines in
               if by_prefix || by_line then begin

@@ -40,9 +40,10 @@ val make :
   unit ->
   t
 
-val of_source : ?base:t -> string -> t
+val of_source : ?base:t -> ?lang:Loc.lang -> string -> t
 (** [base] (default {!default}) extended with the annotation lines
-    scanned from the program text. *)
+    scanned from the program text with the selected language's lexer
+    ([lang] defaults to MiniJava). *)
 
 val is_source_method : t -> string -> bool
 val is_sink_method : t -> string -> bool

@@ -99,3 +99,32 @@ let pipeline name =
     let p = Pts_clients.Pipeline.of_source (source name) in
     Hashtbl.add pipeline_cache name p;
     p
+
+(* -------------------- cross-frontend matched pairs ------------------- *)
+
+let pair_names = Genpair.names
+
+let pair_cache : (string, Genpair.pair) Hashtbl.t = Hashtbl.create 3
+
+let pair name =
+  match Hashtbl.find_opt pair_cache name with
+  | Some p -> p
+  | None ->
+    let p = Genpair.get name in
+    Hashtbl.add pair_cache name p;
+    p
+
+let pair_pipeline_cache : (string * Loc.lang, Pts_clients.Pipeline.t) Hashtbl.t = Hashtbl.create 6
+
+(* One analysed pipeline per pair half, memoised like [pipeline] — the
+   equivalence tests hit every engine x prune x jobs combination on the
+   same halves, so rebuilding each time would dominate the suite. *)
+let pair_pipeline name lang =
+  match Hashtbl.find_opt pair_pipeline_cache (name, lang) with
+  | Some p -> p
+  | None ->
+    let pr = pair name in
+    let src = match lang with Loc.Mjava -> pr.Genpair.p_mjava | Loc.Minifun -> pr.Genpair.p_minifun in
+    let p = Pts_clients.Pipeline.of_source ~lang src in
+    Hashtbl.add pair_pipeline_cache (name, lang) p;
+    p

@@ -37,3 +37,15 @@ val source : string -> string
 
 val pipeline : string -> Pts_clients.Pipeline.t
 (** Compiled and Andersen-analysed (memoised). *)
+
+val pair_names : string list
+(** The committed cross-frontend pair suite ({!Genpair.configs}):
+    pair-s, pair-m, pair-l. *)
+
+val pair : string -> Genpair.pair
+(** Matched MiniJava/MiniFun renderings plus query specs (memoised).
+    @raise Not_found for unknown names. *)
+
+val pair_pipeline : string -> Loc.lang -> Pts_clients.Pipeline.t
+(** The analysed pipeline for one half of a pair (memoised per
+    [name, lang]). *)

@@ -265,8 +265,8 @@ let test_annotations () =
   Alcotest.(check int) "only @-comments" 2 (List.length anns);
   (match anns with
   | (a, p1) :: (b, p2) :: [] ->
-    Alcotest.(check bool) "source ann" true (String.length a >= 2 && p1.Ast.line = 4);
-    Alcotest.(check bool) "sink ann" true (String.length b >= 2 && p2.Ast.line = 5)
+    Alcotest.(check bool) "source ann" true (String.length a >= 2 && p1.Loc.line = 4);
+    Alcotest.(check bool) "sink ann" true (String.length b >= 2 && p2.Loc.line = 5)
   | _ -> Alcotest.fail "expected two annotations");
   let spec = Spec.of_source src in
   Alcotest.(check (list int)) "source lines" [ 4 ] spec.Spec.source_lines;

@@ -10,61 +10,10 @@
 
 module G = Pts_workload.Genprog
 
-let small_config =
-  let open QCheck.Gen in
-  let* seed = int_bound 10_000 in
-  let* elems = int_range 2 5 in
-  let* containers = int_range 1 3 in
-  let* boxes = int_range 1 3 in
-  let* lists = int_range 1 2 in
-  let* factories = int_range 1 2 in
-  let* utils = int_range 0 2 in
-  let* chain = int_range 2 4 in
-  let* apps = int_range 2 5 in
-  let* globals = int_range 1 3 in
-  let* churn = int_range 0 4 in
-  let* null_rate = float_bound_inclusive 0.5 in
-  let* bad = float_bound_inclusive 0.4 in
-  let* shared = float_bound_inclusive 0.6 in
-  let* interact = float_bound_inclusive 0.5 in
-  return
-    {
-      G.name = "prop";
-      seed;
-      n_elem_classes = elems;
-      n_containers = containers;
-      n_boxes = boxes;
-      n_lists = lists;
-      n_factories = factories;
-      n_utils = utils;
-      util_chain = chain;
-      n_apps = apps;
-      n_globals = globals;
-      churn;
-      null_rate;
-      bad_cast_rate = bad;
-      shared_rate = shared;
-      interact_rate = interact;
-      n_taint_flows = 0;
-      n_taint_clean = 0;
-    }
-
-let config_arbitrary = QCheck.make ~print:G.describe small_config
-
-(* One frontend+Andersen run per distinct configuration: the five
-   properties below draw from the same generator, so identical configs
-   recur across tests and each used to recompile the program and re-run
-   the whole-program solver from scratch. The config record is plain
-   scalars, so structural equality is a sound memo key. *)
-let build_cache : (G.config, Pts_clients.Pipeline.t) Hashtbl.t = Hashtbl.create 16
-
-let build cfg =
-  match Hashtbl.find_opt build_cache cfg with
-  | Some pl -> pl
-  | None ->
-    let pl = Pts_clients.Pipeline.of_source (G.generate cfg) in
-    Hashtbl.add build_cache cfg pl;
-    pl
+(* config generation and the memoised frontend+Andersen build live in
+   the shared [Support] module *)
+let config_arbitrary = Support.config_arbitrary ~name:"prop"
+let build = Support.build
 
 let all_queries pl =
   Pts_clients.Safecast.queries pl @ Pts_clients.Factorym.queries pl

@@ -27,15 +27,15 @@ let test_lexer_strings () =
   | [ STR_LIT "hi\n\"there\""; EOF ] -> ()
   | _ -> Alcotest.fail "string escapes");
   Alcotest.check_raises "unterminated"
-    (Lexer.Error ("unterminated string literal", { Ast.line = 1; col = 1 }))
+    (Lexer.Error ("unterminated string literal", { Loc.line = 1; col = 1 }))
     (fun () -> ignore (Lexer.tokenize "\"oops"))
 
 let test_lexer_positions () =
   let all = Lexer.tokenize "x\n  y" in
   match all with
   | [ (IDENT "x", p1); (IDENT "y", p2); (EOF, _) ] ->
-    check Alcotest.int "line 1" 1 p1.Ast.line;
-    check Alcotest.int "line 2" 2 p2.Ast.line;
+    check Alcotest.int "line 1" 1 p1.Loc.line;
+    check Alcotest.int "line 2" 2 p2.Loc.line;
     check Alcotest.int "col 3" 3 p2.Ast.col
   | _ -> Alcotest.fail "positions"
 
@@ -144,7 +144,7 @@ let roundtrips src =
   | ast' -> Pretty.equal_program ast ast'
   | exception Parser.Error (msg, pos) ->
     Alcotest.fail
-      (Printf.sprintf "printed program does not reparse (%d:%d %s):\n%s" pos.Ast.line pos.Ast.col
+      (Printf.sprintf "printed program does not reparse (%d:%d %s):\n%s" pos.Loc.line pos.Ast.col
          msg printed)
 
 let test_pretty_roundtrip_handwritten () =

@@ -1,0 +1,228 @@
+(* MiniFun frontend: pretty->parse round-trip (the QCheck property the
+   MiniJava frontend already pins, for the second surface language),
+   annotation scanning in comments, and closure-conversion smoke tests
+   against the lowering contract. *)
+
+module Mf_ast = Pts_frontend_minifun.Mf_ast
+module Mf_parser = Pts_frontend_minifun.Mf_parser
+module Mf_pretty = Pts_frontend_minifun.Mf_pretty
+
+let check = Alcotest.check
+
+(* ------------------------ random AST generator ----------------------- *)
+
+let dummy = Loc.dummy_pos
+let mk desc = { Mf_ast.desc; pos = dummy }
+
+let gen_ident = QCheck.Gen.oneofl [ "a"; "b"; "c"; "f"; "g"; "acc" ]
+
+(* Only shapes the printer guarantees to round-trip: non-negative int
+   literals (negative ones re-parse as [Neg]) and strings over the
+   escaped-or-safe charset. *)
+let gen_leaf =
+  let open QCheck.Gen in
+  oneof
+    [
+      return (mk Mf_ast.Unit);
+      map (fun n -> mk (Mf_ast.Int_lit n)) (int_bound 1000);
+      map (fun b -> mk (Mf_ast.Bool_lit b)) bool;
+      map (fun s -> mk (Mf_ast.Str_lit s)) (string_size ~gen:(char_range 'a' 'z') (int_bound 6));
+      map (fun x -> mk (Mf_ast.Var x)) gen_ident;
+    ]
+
+let gen_binop =
+  QCheck.Gen.oneofl
+    [
+      Mf_ast.Add; Mf_ast.Sub; Mf_ast.Mul; Mf_ast.Div; Mf_ast.Mod; Mf_ast.Eq; Mf_ast.Neq;
+      Mf_ast.Lt; Mf_ast.Gt; Mf_ast.Le; Mf_ast.Ge; Mf_ast.And; Mf_ast.Or;
+    ]
+
+let gen_expr =
+  let open QCheck.Gen in
+  sized
+  @@ fix (fun self n ->
+         if n <= 0 then gen_leaf
+         else
+           let sub = self (n / 2) in
+           oneof
+             [
+               gen_leaf;
+               (let* fname = opt gen_ident in
+                let* params = list_size (int_range 0 2) gen_ident in
+                let* body = sub in
+                return (mk (Mf_ast.Fun { fname; params; body })));
+               (let* f = sub in
+                let* args = list_size (int_range 0 2) sub in
+                return (mk (Mf_ast.App (f, args))));
+               (let* name = gen_ident in
+                let* rhs = sub in
+                let* body = sub in
+                return (mk (Mf_ast.Let { name; rhs; body })));
+               (let* a = sub in
+                let* b = sub in
+                return (mk (Mf_ast.Seq (a, b))));
+               map (fun e -> mk (Mf_ast.Ref e)) sub;
+               map (fun e -> mk (Mf_ast.Deref e)) sub;
+               (let* r = sub in
+                let* v = sub in
+                return (mk (Mf_ast.Setref (r, v))));
+               map (fun e -> mk (Mf_ast.Ok_ e)) sub;
+               map (fun e -> mk (Mf_ast.Err_ e)) sub;
+               (let* scrut = sub in
+                let* ok_name = gen_ident in
+                let* ok_body = sub in
+                let* err_name = gen_ident in
+                let* err_body = sub in
+                return (mk (Mf_ast.Match { scrut; ok_name; ok_body; err_name; err_body })));
+               (let* c = sub in
+                let* t = sub in
+                let* e = sub in
+                return (mk (Mf_ast.If (c, t, e))));
+               (let* op = gen_binop in
+                let* a = sub in
+                let* b = sub in
+                return (mk (Mf_ast.Binop (op, a, b))));
+               map (fun e -> mk (Mf_ast.Not e)) sub;
+               map (fun e -> mk (Mf_ast.Neg e)) sub;
+             ])
+
+let gen_program =
+  let open QCheck.Gen in
+  list_size (int_range 1 4)
+    (let* d_name = gen_ident in
+     let* d_rhs = gen_expr in
+     return { Mf_ast.d_name; d_rhs; d_pos = dummy })
+
+let program_arbitrary = QCheck.make ~print:Mf_pretty.program_to_string gen_program
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"minifun pretty->parse roundtrip" ~count:200 program_arbitrary
+    (fun ast ->
+      let printed = Mf_pretty.program_to_string ast in
+      match Mf_parser.parse_program printed with
+      | ast' -> Mf_ast.equal_program ast ast'
+      | exception Mf_parser.Error (msg, pos) ->
+        QCheck.Test.fail_reportf "printed program does not reparse (%d:%d %s):\n%s" pos.Loc.line
+          pos.Loc.col msg printed)
+
+let test_roundtrip_committed () =
+  (* the committed pair suite's MiniFun halves round-trip too *)
+  List.iter
+    (fun name ->
+      let p = Pts_workload.Suite.pair name in
+      let ast = Mf_parser.parse_program p.Pts_workload.Genpair.p_minifun in
+      let printed = Mf_pretty.program_to_string ast in
+      check Alcotest.bool name true (Mf_ast.equal_program ast (Mf_parser.parse_program printed)))
+    Pts_workload.Suite.pair_names
+
+(* -------------------------- annotations ------------------------------ *)
+
+let test_annotations () =
+  let src =
+    "let secret = fun secret () -> ref 0;; // @taint-source\n\
+     let send = fun send (x) -> x;; // @taint-sink\n\
+     /* a block comment, no at-sign */\n\
+     let main = fun main () -> send(secret());;\n"
+  in
+  let anns = Frontend.annotations ~lang:Loc.Minifun src in
+  check Alcotest.int "two annotations" 2 (List.length anns);
+  let texts = List.map fst anns and lines = List.map (fun (_, p) -> p.Loc.line) anns in
+  check Alcotest.bool "source annotation" true
+    (List.exists (fun t -> t = "@taint-source") texts);
+  check Alcotest.bool "sink annotation" true (List.exists (fun t -> t = "@taint-sink") texts);
+  check (Alcotest.list Alcotest.int) "lines" [ 1; 2 ] lines;
+  (* and the taint spec picks the lines up through the facade *)
+  let spec = Pts_taint.Spec.of_source ~lang:Loc.Minifun src in
+  let pl = Pts_clients.Pipeline.of_source ~lang:Loc.Minifun src in
+  check Alcotest.bool "source site on line 1" true
+    (Pts_taint.Spec.source_sites spec pl.Pts_clients.Pipeline.prog <> [])
+
+let test_comments_never_raise () =
+  List.iter
+    (fun src -> ignore (Frontend.comments ~lang:Loc.Minifun src))
+    [ ""; "// unterminated"; "(* unterminated"; "\"open string"; "let x = 1;;" ]
+
+(* ------------------------- lowering smoke ---------------------------- *)
+
+let compile_mf src = Frontend.compile ~lang:Loc.Minifun src
+
+let test_closure_classes () =
+  let prog =
+    compile_mf
+      "let make = fun make (s) -> (let cell = ref s in fun bump (by) -> (cell := !cell + by; !cell));;\n\
+       let main = fun main () -> (let inc = make(1) in inc(2));;"
+  in
+  check Alcotest.string "language" "minifun" (Loc.lang_name prog.Ir.lang);
+  let has_class n = Types.find_class prog.Ir.ctable n <> None in
+  check Alcotest.bool "arity-1 base class" true (has_class "$Fun$1");
+  check Alcotest.bool "ref cell class" true (has_class "$Ref");
+  (* the closure for [bump] captures [cell]: its class has one field *)
+  let bump_cls =
+    Array.to_list prog.Ir.methods
+    |> List.find_map (fun (m : Ir.meth) ->
+           if m.Ir.pretty = "$Clo1$bump.apply" then
+             Types.class_of_typ prog.Ir.ctable m.Ir.var_types.(Option.get m.Ir.this_var)
+           else None)
+  in
+  match bump_cls with
+  | None -> Alcotest.fail "no $Clo1$bump.apply method"
+  | Some cls ->
+    let ct = prog.Ir.ctable in
+    let captured = ref 0 in
+    for i = 0 to Types.field_count ct - 1 do
+      if Types.class_name ct (Types.field_info ct i).Types.fld_class = Types.class_name ct cls then
+        incr captured
+    done;
+    check Alcotest.int "one captured field" 1 !captured
+
+let test_apply_dispatches () =
+  (* two same-arity closures reachable from one apply site: the Andersen
+     call graph must include both targets *)
+  let pl =
+    Pts_clients.Pipeline.of_source ~lang:Loc.Minifun
+      "let ida = fun ida (x) -> x;;\n\
+       let idb = fun idb (y) -> y;;\n\
+       let main = fun main () -> (let f = if 1 > 0 then ida else idb in f(ref 0));;"
+  in
+  let prog = pl.Pts_clients.Pipeline.prog in
+  let reach (m : Ir.meth) =
+    Pts_andersen.Solver.is_reachable pl.Pts_clients.Pipeline.solver m.Ir.id
+  in
+  let applies =
+    Array.to_list prog.Ir.methods
+    |> List.filter (fun (m : Ir.meth) ->
+           reach m
+           && m.Ir.msig.Types.ms_name = "apply"
+           && (m.Ir.pretty = "$Clo0$ida.apply" || m.Ir.pretty = "$Clo1$idb.apply"))
+  in
+  check Alcotest.int "both closures' apply reachable" 2 (List.length applies)
+
+let test_lower_errors () =
+  let fails src =
+    match compile_mf src with
+    | exception Frontend.Error _ -> ()
+    | _ -> Alcotest.fail ("should not lower: " ^ src)
+  in
+  fails "let main = fun main () -> nope;;" (* unbound variable *);
+  fails "let main = fun main () -> (let r = ref 0 in 1 + whoops);;" (* unbound in operand *)
+
+let () =
+  Alcotest.run "minifun"
+    [
+      ( "pretty",
+        [
+          QCheck_alcotest.to_alcotest ~long:false prop_roundtrip;
+          Alcotest.test_case "committed pairs roundtrip" `Quick test_roundtrip_committed;
+        ] );
+      ( "lexer",
+        [
+          Alcotest.test_case "taint annotations" `Quick test_annotations;
+          Alcotest.test_case "comments never raise" `Quick test_comments_never_raise;
+        ] );
+      ( "lower",
+        [
+          Alcotest.test_case "closure classes" `Quick test_closure_classes;
+          Alcotest.test_case "apply dispatches" `Quick test_apply_dispatches;
+          Alcotest.test_case "errors" `Quick test_lower_errors;
+        ] );
+    ]
