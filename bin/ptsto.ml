@@ -91,6 +91,38 @@ let metrics_arg =
     value & flag
     & info [ "metrics-json" ] ~doc:"Emit a machine-readable per-engine metrics object on stdout.")
 
+(* --jobs N|auto: "auto" resolves at parse time, so every consumer just
+   sees a validated positive int. *)
+let jobs_conv =
+  let parse = function
+    | "auto" -> Ok (Domain.recommended_domain_count ())
+    | s -> (
+      match int_of_string_opt s with
+      | Some n when n >= 1 -> Ok n
+      | Some n -> Error (`Msg (Printf.sprintf "JOBS must be >= 1 (got %d)" n))
+      | None -> Error (`Msg (Printf.sprintf "JOBS must be a positive integer or 'auto' (got %s)" s)))
+  in
+  Arg.conv ~docv:"JOBS" (parse, Format.pp_print_int)
+
+let jobs_arg ~doc =
+  Arg.(
+    value & opt jobs_conv 1
+    & info [ "jobs"; "j" ] ~docv:"JOBS"
+        ~doc:
+          (doc
+         ^ " $(docv) is a positive integer, or $(b,auto) for the host's recommended domain \
+            count — e.g. $(b,--jobs auto)."))
+
+let schedule_arg =
+  Arg.(
+    value
+    & opt (enum [ ("steal", Parsolve.Steal); ("static", Parsolve.Static) ]) Parsolve.Steal
+    & info [ "schedule" ] ~docv:"POLICY"
+        ~doc:
+          "Parallel batch scheduling policy: $(b,steal) (per-domain work-stealing deques seeded \
+           longest-first by the cost model; default) or $(b,static) (fixed round-robin shards — \
+           the A/B baseline). Answers are identical either way.")
+
 (* One shared sink per invocation: a [--trace FILE] JSONL writer, or null. *)
 let with_trace trace f =
   let sink =
@@ -210,7 +242,8 @@ let query_cmd lang file bench meth var engine_name budget prune trace metrics =
    path below because the trace plumbing differs (a shared mutex-guarded
    writer instead of one sink) and per-domain reports replace the single
    engine's counters. *)
-let client_par_cmd lang file bench client_key engine_name budget prune cache_file trace metrics jobs rounds =
+let client_par_cmd lang file bench client_key engine_name budget prune cache_file trace metrics jobs rounds
+    schedule =
   with_pipeline ?lang file bench (fun pl ->
       let cname, queries_of = List.assoc client_key clients in
       if cache_file <> None then
@@ -223,7 +256,7 @@ let client_par_cmd lang file bench client_key engine_name budget prune cache_fil
           (List.map (fun q -> Parsolve.query ~satisfy:q.Client.q_pred q.Client.q_node) queries)
       in
       let r =
-        Parsolve.run ~conf ?trace_writer:writer ~jobs ~rounds ~engine:engine_name
+        Parsolve.run ~conf ?trace_writer:writer ~jobs ~rounds ~schedule ~engine:engine_name
           pl.Pipeline.pag qarr
       in
       Option.iter Trace.writer_close writer;
@@ -240,15 +273,19 @@ let client_par_cmd lang file bench client_key engine_name budget prune cache_fil
           { Client.proved = 0; refuted = 0; unknown = 0 }
           verdicts
       in
-      Printf.printf "%s with %s: %d queries in %.3fs (%d jobs, %d rounds, %d merged summaries)\n"
+      Printf.printf
+        "%s with %s: %d queries in %.3fs (%d jobs, %d rounds, %s schedule, %d steals, %d unique \
+         summaries)\n"
         cname engine_name (Array.length qarr) r.Parsolve.wall_seconds r.Parsolve.jobs
-        r.Parsolve.rounds r.Parsolve.merged_summaries;
+        r.Parsolve.rounds
+        (Parsolve.schedule_name r.Parsolve.schedule)
+        r.Parsolve.steals r.Parsolve.unique_summaries;
       Format.printf "  %a@." Client.pp_tally tally;
       List.iter
         (fun d ->
-          Printf.printf "  round %d domain %d: %d queries, %d steps, %.3fs, %d summaries\n"
+          Printf.printf "  round %d domain %d: %d queries, %d steps, %.3fs, %d summaries, %d steals\n"
             d.Parsolve.dr_round d.Parsolve.dr_domain d.Parsolve.dr_queries d.Parsolve.dr_steps
-            d.Parsolve.dr_seconds d.Parsolve.dr_summaries)
+            d.Parsolve.dr_seconds d.Parsolve.dr_summaries d.Parsolve.dr_steals)
         r.Parsolve.reports;
       List.iter
         (fun (q, v) ->
@@ -263,13 +300,18 @@ let client_par_cmd lang file bench client_key engine_name budget prune cache_fil
           (to_string
              (Obj
                 [
-                  ("schema", String "ptsto.parallel-metrics/1");
+                  ("schema", String "ptsto.parallel-metrics/2");
                   ("engine", String engine_name);
                   ("jobs", Int r.Parsolve.jobs);
+                  ("recommended_domains", Int (Domain.recommended_domain_count ()));
                   ("rounds", Int r.Parsolve.rounds);
+                  ("schedule", String (Parsolve.schedule_name r.Parsolve.schedule));
                   ("queries", Int (Array.length qarr));
                   ("wall_seconds", Float r.Parsolve.wall_seconds);
+                  ("steals", Int r.Parsolve.steals);
+                  ("predicted_cost_corr", Float r.Parsolve.cost_corr);
                   ("merged_summaries", Int r.Parsolve.merged_summaries);
+                  ("unique_summaries", Int r.Parsolve.unique_summaries);
                   ( "domains",
                     List
                       (List.map
@@ -282,6 +324,7 @@ let client_par_cmd lang file bench client_key engine_name budget prune cache_fil
                                ("steps", Int d.Parsolve.dr_steps);
                                ("seconds", Float d.Parsolve.dr_seconds);
                                ("summaries", Int d.Parsolve.dr_summaries);
+                               ("steals", Int d.Parsolve.dr_steals);
                              ])
                          r.Parsolve.reports) );
                   ( "counters",
@@ -289,9 +332,11 @@ let client_par_cmd lang file bench client_key engine_name budget prune cache_fil
                   );
                 ])))
 
-let client_cmd lang file bench client_key engine_name budget prune cache_file trace metrics jobs rounds =
+let client_cmd lang file bench client_key engine_name budget prune cache_file trace metrics jobs rounds
+    schedule =
   if jobs <> 1 || rounds <> 1 then
     client_par_cmd lang file bench client_key engine_name budget prune cache_file trace metrics jobs rounds
+      schedule
   else
   with_pipeline ?lang file bench (fun pl ->
       with_trace trace (fun sink ->
@@ -490,8 +535,8 @@ let check_source file bench tflows tclean =
     Printf.eprintf "error: either FILE or --bench NAME is required\n";
     exit 2
 
-let check_cmd lang file bench tflows tclean checker_names engine_name budget prune jobs rounds fail_on
-    report_json metrics =
+let check_cmd lang file bench tflows tclean checker_names engine_name budget prune jobs rounds schedule
+    fail_on report_json metrics =
   let module Check = Pts_clients.Check in
   let module Diag = Pts_clients.Diag in
   let source = check_source file bench tflows tclean in
@@ -521,7 +566,15 @@ let check_cmd lang file bench tflows tclean checker_names engine_name budget pru
         names
   in
   let conf = Engine.conf ~budget_limit:budget ~prune () in
-  let opts = { Check.o_engine = engine_name; o_conf = conf; o_jobs = jobs; o_rounds = rounds } in
+  let opts =
+    {
+      Check.o_engine = engine_name;
+      o_conf = conf;
+      o_jobs = jobs;
+      o_rounds = rounds;
+      o_schedule = schedule;
+    }
+  in
   let report = Check.run ~opts ~checkers pl in
   let t =
     Table.create
@@ -632,25 +685,23 @@ let client_t =
           ~doc:"Persist the dynsum summary cache across runs (load before, save after).")
   in
   let jobs =
-    Arg.(
-      value & opt int 1
-      & info [ "jobs"; "j" ] ~docv:"N"
-          ~doc:
-            "Answer the query batch on $(docv) worker domains over the shared frozen PAG \
-             (parallel batch mode when > 1).")
+    jobs_arg
+      ~doc:
+        "Answer the query batch on $(docv) worker domains over the shared frozen PAG (parallel \
+         batch mode when > 1)."
   in
   let rounds =
     Arg.(
       value & opt int 1
       & info [ "rounds" ] ~docv:"N"
           ~doc:
-            "Split the batch into $(docv) consecutive rounds, merging the per-domain dynsum \
-             summary caches between rounds.")
+            "Split the batch into $(docv) consecutive rounds, publishing the per-domain dynsum \
+             summaries to a shared base tier between rounds.")
   in
   Cmd.v (Cmd.info "client" ~doc:"Run a client's query set")
     Term.(
       const client_cmd $ lang_arg $ file_arg $ bench_arg $ client $ engine_arg $ budget_arg $ prune_arg
-      $ cache $ trace_arg $ metrics_arg $ jobs $ rounds)
+      $ cache $ trace_arg $ metrics_arg $ jobs $ rounds $ schedule_arg)
 
 let compare_t =
   Cmd.v (Cmd.info "compare" ~doc:"All engines on all clients")
@@ -707,12 +758,7 @@ let check_t =
       & info [ "taint-clean" ] ~docv:"N"
           ~doc:"With $(b,--bench): seed $(docv) known-clean taint look-alikes.")
   in
-  let jobs =
-    Arg.(
-      value & opt int 1
-      & info [ "jobs"; "j" ] ~docv:"N"
-          ~doc:"Answer the checker query batch on $(docv) worker domains.")
-  in
+  let jobs = jobs_arg ~doc:"Answer the checker query batch on $(docv) worker domains." in
   let rounds =
     Arg.(
       value & opt int 1
@@ -746,7 +792,7 @@ let check_t =
   Cmd.v (Cmd.info "check" ~doc:"Run the demand-driven checkers and report diagnostics")
     Term.(
       const check_cmd $ lang_arg $ file_arg $ bench_arg $ taint_flows $ taint_clean $ checker $ engine_arg
-      $ budget_arg $ prune_arg $ jobs $ rounds $ fail_on $ report_json $ metrics_arg)
+      $ budget_arg $ prune_arg $ jobs $ rounds $ schedule_arg $ fail_on $ report_json $ metrics_arg)
 
 let run_t =
   Cmd.v

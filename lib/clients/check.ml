@@ -42,9 +42,22 @@ let sites_blurb (prog : Ir.program) sites =
   String.concat ", " (List.map (site_name prog) shown)
   ^ (if extra > 0 then Printf.sprintf " (+%d more)" extra else "")
 
-type opts = { o_engine : string; o_conf : Conf.t; o_jobs : int; o_rounds : int }
+type opts = {
+  o_engine : string;
+  o_conf : Conf.t;
+  o_jobs : int;
+  o_rounds : int;
+  o_schedule : Parsolve.schedule;
+}
 
-let default_opts = { o_engine = "dynsum"; o_conf = Conf.default; o_jobs = 1; o_rounds = 1 }
+let default_opts =
+  {
+    o_engine = "dynsum";
+    o_conf = Conf.default;
+    o_jobs = 1;
+    o_rounds = 1;
+    o_schedule = Parsolve.Steal;
+  }
 
 type report = {
   r_diags : Diag.t list;
@@ -92,7 +105,7 @@ let run ?(opts = default_opts) ~checkers pl =
             let qs = Array.map (fun n -> Parsolve.query n) nodes in
             let res =
               Parsolve.run ~conf:opts.o_conf ~jobs:opts.o_jobs ~rounds:opts.o_rounds
-                ~engine:opts.o_engine pag qs
+                ~schedule:opts.o_schedule ~engine:opts.o_engine pag qs
             in
             Stats.merge_into ~into:stats res.Parsolve.stats;
             res.Parsolve.outcomes

@@ -69,6 +69,7 @@ type opts = {
   o_conf : Conf.t;
   o_jobs : int;  (** {!Parsolve} worker domains; default 1 *)
   o_rounds : int;
+  o_schedule : Parsolve.schedule;  (** batch scheduling policy; default {!Parsolve.Steal} *)
 }
 
 val default_opts : opts

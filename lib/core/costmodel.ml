@@ -1,0 +1,58 @@
+(* Per-query cost prediction from the Andersen oracle.
+
+   The batch scheduler wants queries sorted longest-first so stragglers
+   start early; all it needs from us is a ranking that correlates with
+   actual kernel steps. The signal we have before running anything is
+   the oracle row of the query root: a query can only traverse towards
+   allocation sites its root may point to, so row size bounds how much
+   of the graph the CFL search can touch. Two regimes:
+
+   - empty row + pruning on: the kernel answers from the fast path
+     without entering the worklist at all (see [Kernel.should_prune]),
+     so the prediction collapses to a constant;
+   - otherwise cost grows with row size. The true relationship is
+     superlinear in bad cases (field-stack blowup), but a monotone
+     affine map preserves the *ranking*, which is all scheduling uses,
+     and keeps the model trivially auditable.
+
+   The constants are step-scale (the kernel charges 1 budget step per
+   worklist pop): [base_cost] is the typical pop count of a tiny query,
+   [per_site_cost] the marginal pops per reachable allocation site on
+   the bundled benchmarks. They only need to be ordered sensibly —
+   predictions are compared against each other, never against a
+   deadline. *)
+
+let fastpath_cost = 1
+
+let base_cost = 64
+
+let per_site_cost = 48
+
+let predict_of_row ~empty row_size =
+  if empty then fastpath_cost else base_cost + (per_site_cost * max 0 row_size)
+
+let predict ?(prune = true) pag node =
+  if not (Pag.has_oracle pag) then base_cost
+  else
+    let empty = prune && Pag.oracle_row_empty pag node in
+    predict_of_row ~empty (Pag.oracle_row_size pag node)
+
+(* Pearson correlation of predicted vs actual cost, reported in
+   [--metrics-json] and the bench artefact so the model stays honest.
+   [nan] when undefined (fewer than two points, or a constant side). *)
+let pearson xs ys =
+  let n = Array.length xs in
+  if n <> Array.length ys then invalid_arg "Costmodel.pearson: length mismatch";
+  if n < 2 then nan
+  else begin
+    let mean a = Array.fold_left ( +. ) 0.0 a /. float_of_int n in
+    let mx = mean xs and my = mean ys in
+    let sxy = ref 0.0 and sxx = ref 0.0 and syy = ref 0.0 in
+    for i = 0 to n - 1 do
+      let dx = xs.(i) -. mx and dy = ys.(i) -. my in
+      sxy := !sxy +. (dx *. dy);
+      sxx := !sxx +. (dx *. dx);
+      syy := !syy +. (dy *. dy)
+    done;
+    if !sxx = 0.0 || !syy = 0.0 then nan else !sxy /. sqrt (!sxx *. !syy)
+  end

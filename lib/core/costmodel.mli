@@ -1,0 +1,27 @@
+(** Predicted per-query step cost from the Andersen oracle.
+
+    {!Parsolve} seeds its work-stealing deques longest-first by this
+    model; only the {e ranking} of predictions matters, so the model is
+    a deliberately simple monotone map from oracle row size to a step
+    count, with a constant for the pruner's empty-row fast path. *)
+
+val fastpath_cost : int
+val base_cost : int
+val per_site_cost : int
+
+val predict_of_row : empty:bool -> int -> int
+(** [predict_of_row ~empty row_size] — pure core of the model.
+    [empty] selects the fast-path constant ({!fastpath_cost});
+    otherwise the result is affine in [row_size] and monotone:
+    a larger row never predicts cheaper. *)
+
+val predict : ?prune:bool -> Pag.t -> Pag.node -> int
+(** Predicted steps for a query rooted at the node. [prune] (default
+    [true]) says whether the engine will run with oracle pruning — only
+    then does an empty row hit the fast path. Falls back to
+    {!base_cost} when the PAG carries no oracle. *)
+
+val pearson : float array -> float array -> float
+(** Sample Pearson correlation coefficient; [nan] when undefined
+    (fewer than 2 points or zero variance on either side).
+    @raise Invalid_argument on length mismatch. *)

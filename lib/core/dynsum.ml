@@ -4,6 +4,13 @@ module Stats = Pts_util.Stats
 module Cache_key = Kernel.Key
 module Cache = Kernel.Key_tbl
 
+(* Shared read-only base tier: merged summaries of earlier rounds, keyed
+   structurally ((node, stack symbols, state)) so the table crosses
+   domains without hash-cons rebasing. Workers never write it — the main
+   domain grows it between rounds, after all workers have joined — so
+   plain Hashtbl reads from many domains are safe. *)
+type base = (int * int list * int, int list * (int * int list * int) list) Hashtbl.t
+
 type t = {
   pag : Pag.t;
   conf : Conf.t;
@@ -12,6 +19,7 @@ type t = {
   sink : Trace.sink;
   cache : Ppta.summary Cache.t;
   key_stacks : Pts_util.Hstack.t Cache.t; (* key -> its field stack, for persistence *)
+  mutable base : base option; (* shared lower tier; overlay = cache above it *)
 }
 
 let name = "dynsum"
@@ -32,9 +40,12 @@ let create ?(conf = Conf.default) ?(trace = Trace.null) pag =
     sink = Trace.tee (Trace.counting ~rename stats) trace;
     cache = Cache.create 4096;
     key_stacks = Cache.create 4096;
+    base = None;
   }
 
 let summary_count t = Cache.length t.cache
+
+let new_summary_count t = Cache.length t.key_stacks
 
 let summary_points t =
   let pts = Hashtbl.create 256 in
@@ -71,7 +82,11 @@ type snapshot = entry_image list
 
 let snapshot t : snapshot =
   (* the cache key holds only the domain-local hash-cons id of the field
-     stack; the parallel key_stacks table provides the structural stack *)
+     stack; the parallel key_stacks table provides the structural stack.
+     Keys absent from key_stacks — memoised hits against the shared base
+     tier — are deliberately skipped: a snapshot carries only summaries
+     this engine computed itself. Sorted so the marshalled bytes don't
+     depend on insertion (and hence scheduling) order. *)
   let images = ref [] in
   Cache.iter
     (fun ((node, _fid, state) as key) summary ->
@@ -87,7 +102,7 @@ let snapshot t : snapshot =
           ((node, Hstack.to_list stack, state, summary.Ppta.objs, tuples) : entry_image)
           :: !images)
     t.cache;
-  !images
+  List.sort compare !images
 
 let state_of_int = function 1 -> Ppta.S1 | _ -> Ppta.S2
 
@@ -141,6 +156,29 @@ let snapshot_union (snaps : snapshot list) : snapshot =
     snaps;
   Hashtbl.fold (fun _ img acc -> img :: acc) tbl [] |> List.sort compare
 
+(* ---------------------------- base tier ----------------------------- *)
+
+let base_create () : base = Hashtbl.create 1024
+
+let base_add (b : base) (s : snapshot) =
+  (* first writer wins, like [absorb_images]: summaries for the same key
+     are equal sets (PPTA is deterministic), so keeping the incumbent
+     only pins representation. Returns how many keys were new. *)
+  let fresh = ref 0 in
+  List.iter
+    (fun ((node, syms, state, objs, tuples) : entry_image) ->
+      let key = (node, syms, state) in
+      if not (Hashtbl.mem b key) then begin
+        incr fresh;
+        Hashtbl.add b key (objs, tuples)
+      end)
+    s;
+  !fresh
+
+let base_length (b : base) = Hashtbl.length b
+
+let set_base t b = t.base <- Some b
+
 let save_cache t path =
   let oc = open_out_bin path in
   Fun.protect
@@ -175,11 +213,35 @@ let summarise t u f s =
       Trace.emit t.sink (Trace.Summary_hit { engine = name; node = u });
       summary
     | None ->
-      Trace.emit t.sink (Trace.Summary_miss { engine = name; node = u });
-      let summary = Ppta.compute t.pag t.conf t.budget u f s in
-      Cache.add t.cache key summary;
-      Cache.add t.key_stacks key f;
-      summary
+      (* Overlay miss: probe the shared base tier (structural key, so no
+         rebase needed) before paying for a PPTA run. A base hit is
+         memoised in the local cache but {e not} in [key_stacks], so the
+         next [snapshot] won't re-export a summary this engine merely
+         borrowed. *)
+      let from_base =
+        match t.base with
+        | None -> None
+        | Some b -> Hashtbl.find_opt b (u, Hstack.to_list f, Ppta.state_to_int s)
+      in
+      (match from_base with
+      | Some (objs, tuples) ->
+        Trace.emit t.sink (Trace.Summary_hit { engine = name; node = u });
+        Trace.emit t.sink (Trace.Counter { engine = name; name = "base_hits"; delta = 1 });
+        let summary =
+          {
+            Ppta.objs;
+            tuples =
+              List.map (fun (tn, tf, ts) -> (tn, Hstack.of_list tf, state_of_int ts)) tuples;
+          }
+        in
+        Cache.add t.cache key summary;
+        summary
+      | None ->
+        Trace.emit t.sink (Trace.Summary_miss { engine = name; node = u });
+        let summary = Ppta.compute t.pag t.conf t.budget u f s in
+        Cache.add t.cache key summary;
+        Cache.add t.key_stacks key f;
+        summary)
   end
 
 let expand t u f s =

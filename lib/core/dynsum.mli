@@ -71,6 +71,11 @@ type snapshot
     in one domain can be absorbed in any other. *)
 
 val snapshot : t -> snapshot
+(** Image of the summaries {e this engine computed itself}: entries
+    memoised from a shared {!base} tier are excluded, so per-round
+    snapshots in the parallel scheduler count each summary's derivation
+    exactly once. Sorted, so the marshalled bytes are independent of
+    insertion (and hence scheduling) order. *)
 
 val snapshot_length : snapshot -> int
 
@@ -86,6 +91,40 @@ val snapshot_union : snapshot list -> snapshot
     [(node, stack, state)] keys; result is sorted so it does not depend
     on how the entries were distributed across the inputs. The parallel
     batch scheduler merges per-domain caches with this between rounds. *)
+
+(** {2 Shared base tier}
+
+    The parallel batch scheduler used to re-absorb the full merged cache
+    into every worker each round — N domains × M summaries of re-interning,
+    all counted again in [merged_summaries]. Instead, the merged summaries
+    of earlier rounds now live in a {!base}: a structurally-keyed table
+    built once on the main domain and shared {e by reference} across
+    worker engines, read-only for its whole lifetime after {!set_base}
+    (the main domain only grows it between rounds, after every worker has
+    joined). Lookups re-intern lazily on first use and memoise into the
+    engine's local overlay cache; such borrowed entries never appear in
+    the engine's own {!snapshot}. *)
+
+type base
+(** Immutable-by-convention merged summary table, shareable across
+    domains because its keys and payloads are structural (no hash-cons
+    ids). *)
+
+val base_create : unit -> base
+
+val base_add : base -> snapshot -> int
+(** Merge a snapshot into the base, first-writer-wins per key; returns
+    how many keys were new. Must only be called while no domain is
+    reading the base (between parallel rounds). *)
+
+val base_length : base -> int
+
+val set_base : t -> base -> unit
+(** Attach a shared base tier below this engine's cache. *)
+
+val new_summary_count : t -> int
+(** Summaries this engine computed itself (excludes base-tier memos) —
+    the per-round "new work" figure the scheduler reports. *)
 
 val save_cache : t -> string -> unit
 (** Write the cache to a file. @raise Sys_error on IO failure. *)

@@ -5,6 +5,15 @@ type query = { node : Pag.node; satisfy : (Query.Target_set.t -> bool) option }
 
 let query ?satisfy node = { node; satisfy }
 
+type schedule = Static | Steal
+
+let schedule_name = function Static -> "static" | Steal -> "steal"
+
+let schedule_of_string = function
+  | "static" -> Some Static
+  | "steal" -> Some Steal
+  | _ -> None
+
 type domain_report = {
   dr_round : int;
   dr_domain : int;
@@ -12,6 +21,7 @@ type domain_report = {
   dr_steps : int;
   dr_seconds : float;
   dr_summaries : int;
+  dr_steals : int;
 }
 
 type result = {
@@ -21,7 +31,14 @@ type result = {
   wall_seconds : float;
   jobs : int;
   rounds : int;
+  schedule : schedule;
+  steals : int;
+  predicted_steps : int array;
+  actual_steps : int array;
+  cost_corr : float;
   merged_summaries : int;
+  unique_summaries : int;
+  summaries : Dynsum.snapshot;
 }
 
 (* What one domain hands back from one round. Everything in here is
@@ -32,16 +49,17 @@ type result = {
    them as keys (see {!Pts_util.Hstack.rebase}); [wr_snapshot] is already
    structural and travels freely. *)
 type worker_result = {
-  wr_outcomes : (int * Query.outcome) list;
+  wr_outcomes : (int * Query.outcome * int) list; (* index, outcome, steps *)
   wr_stats : Stats.t;
   wr_steps : int;
   wr_seconds : float;
   wr_summaries : int;
+  wr_steals : int;
   wr_snapshot : Dynsum.snapshot option;
 }
 
 (* DYNSUM is special-cased by registry name: the uniform [Engine.engine]
-   record hides the concrete engine, and the summary-cache snapshot/absorb
+   record hides the concrete engine, and the summary base/snapshot
    protocol only exists for DYNSUM (STASUM's table is a pure function of
    the PAG, the SB engines have no cross-query state). *)
 let build_engine ~conf ~trace name pag =
@@ -65,26 +83,91 @@ let rebase_outcome = function
              acc)
          ts Query.Target_set.empty)
 
-let run_worker ~conf ~trace_writer ~engine_name ~pag ~pool items () =
+(* The two ways a worker obtains its tasks. [Fixed] is the legacy static
+   shard: a private list, no cross-domain traffic. [Deques] is the
+   work-stealing pool: the worker owns [w_deques.(w_self)] (ownership
+   transferred by the main domain across [Domain.spawn]) and steals from
+   the fullest peer once its own deque runs dry. Tasks are only ever
+   seeded before the round starts, so "every deque empty" is a stable
+   termination condition — [Wsdeque.steal] returning [None] on a lost
+   race just sends the thief back to rescan. *)
+type feed =
+  | Fixed of (int * query) list
+  | Deques of { w_self : int; w_deques : (int * query) Wsdeque.t array }
+
+let run_worker ~conf ~trace_writer ~engine_name ~pag ~base ~feed () =
   let trace = Option.map Trace.buffered_jsonl trace_writer in
   let eng, dyn = build_engine ~conf ~trace engine_name pag in
-  (match dyn with Some d -> ignore (Dynsum.absorb d pool) | None -> ());
-  let outs, seconds =
+  (match dyn, base with Some d, Some b -> Dynsum.set_base d b | _ -> ());
+  let outs = ref [] in
+  let steals = ref 0 in
+  let run_task (i, q) =
+    let before = Budget.total_steps eng.Engine.budget in
+    let o = eng.Engine.points_to ?satisfy:q.satisfy q.node in
+    outs := (i, o, Budget.total_steps eng.Engine.budget - before) :: !outs
+  in
+  let (), seconds =
     Stats.time (fun () ->
-        List.map (fun (i, q) -> (i, eng.Engine.points_to ?satisfy:q.satisfy q.node)) items)
+        match feed with
+        | Fixed items -> List.iter run_task items
+        | Deques { w_self; w_deques } ->
+          let jobs = Array.length w_deques in
+          let rec drain () =
+            match Wsdeque.pop w_deques.(w_self) with
+            | Some t ->
+              run_task t;
+              drain ()
+            | None -> scavenge ()
+          and scavenge () =
+            (* own deque dry: raid the fullest peer (FIFO end, i.e. its
+               cheapest remaining task under longest-first seeding) *)
+            let victim = ref (-1) and depth = ref 0 in
+            for d = 0 to jobs - 1 do
+              if d <> w_self then begin
+                let s = Wsdeque.size w_deques.(d) in
+                if s > !depth then begin
+                  victim := d;
+                  depth := s
+                end
+              end
+            done;
+            if !victim >= 0 then begin
+              (match trace with
+              | Some s ->
+                Trace.emit s
+                  (Trace.Queue_depth { engine = engine_name; domain = !victim; depth = !depth })
+              | None -> ());
+              match Wsdeque.steal w_deques.(!victim) with
+              | Some t ->
+                incr steals;
+                (match trace with
+                | Some s ->
+                  Trace.emit s
+                    (Trace.Steal { engine = engine_name; thief = w_self; victim = !victim })
+                | None -> ());
+                run_task t;
+                drain ()
+              | None -> scavenge () (* lost the race; someone made progress *)
+            end
+            (* else: every deque empty — in-flight tasks belong to their
+               takers, nothing left for us *)
+          in
+          drain ())
   in
   (match trace with Some s -> Trace.close s | None -> ());
   {
-    wr_outcomes = outs;
+    wr_outcomes = !outs;
     wr_stats = eng.Engine.stats;
     wr_steps = Budget.total_steps eng.Engine.budget;
     wr_seconds = seconds;
-    wr_summaries = eng.Engine.summary_count ();
+    wr_summaries =
+      (match dyn with Some d -> Dynsum.new_summary_count d | None -> eng.Engine.summary_count ());
+    wr_steals = !steals;
     wr_snapshot = Option.map Dynsum.snapshot dyn;
   }
 
-let run ?(conf = Conf.default) ?trace_writer ?(jobs = 1) ?(rounds = 1) ~engine:engine_name pag
-    queries =
+let run ?(conf = Conf.default) ?trace_writer ?(jobs = 1) ?(rounds = 1) ?(schedule = Steal)
+    ~engine:engine_name pag queries =
   if jobs < 1 then invalid_arg "Parsolve.run: jobs must be >= 1";
   if rounds < 1 then invalid_arg "Parsolve.run: rounds must be >= 1";
   (match Engine.find engine_name with
@@ -98,32 +181,78 @@ let run ?(conf = Conf.default) ?trace_writer ?(jobs = 1) ?(rounds = 1) ~engine:e
   ignore (Pag.packed pag);
   let n = Array.length queries in
   let outcomes = Array.make n Query.Exceeded in
+  let predicted_steps =
+    Array.map (fun q -> Costmodel.predict ~prune:conf.Conf.prune pag q.node) queries
+  in
+  let actual_steps = Array.make n 0 in
   let agg_stats = Stats.create () in
   let reports = ref [] in
-  let pool = ref (Dynsum.snapshot_union []) in
+  (* Shared summary tiers. [base] holds every summary any domain has
+     computed in a {e finished} round, read by reference from all workers
+     of later rounds (grown only here, between joins). [all_snaps]
+     remembers each per-round snapshot for the final merged pool and the
+     recomputation accounting. *)
+  let base = if engine_name = "dynsum" then Some (Dynsum.base_create ()) else None in
+  let all_snaps = ref [] in
+  let produced = ref 0 in
+  let total_steals = ref 0 in
   let rounds = min rounds (max n 1) in
   let (), wall_seconds =
     Stats.time (fun () ->
         for round = 0 to rounds - 1 do
-          (* consecutive index chunk per round (batch arrival order),
-             round-robin shards within the round (load balance) *)
+          (* consecutive index chunk per round (batch arrival order) *)
           let lo = round * n / rounds and hi = (round + 1) * n / rounds in
-          let shards = Array.make jobs [] in
-          for i = hi - 1 downto lo do
-            let d = (i - lo) mod jobs in
-            shards.(d) <- (i, queries.(i)) :: shards.(d)
-          done;
-          let work d =
-            run_worker ~conf ~trace_writer ~engine_name ~pag ~pool:!pool shards.(d)
+          let feeds =
+            match schedule with
+            | Static ->
+              (* legacy shard: round-robin by index within the round *)
+              let shards = Array.make jobs [] in
+              for i = hi - 1 downto lo do
+                let d = (i - lo) mod jobs in
+                shards.(d) <- (i, queries.(i)) :: shards.(d)
+              done;
+              Array.map (fun items -> Fixed items) shards
+            | Steal ->
+              (* cost-model seeding: deal the round's queries round-robin
+                 in descending predicted cost, and push each deque's share
+                 cheapest-first so the owner pops expensive-first while
+                 thieves lift the cheap end — stragglers start earliest
+                 and migrate last *)
+              let order = Array.init (hi - lo) (fun k -> lo + k) in
+              Array.sort
+                (fun i j ->
+                  match compare predicted_steps.(j) predicted_steps.(i) with
+                  | 0 -> compare i j
+                  | c -> c)
+                order;
+              let shares = Array.make jobs [] in
+              Array.iteri
+                (fun k i -> shares.(k mod jobs) <- (i, queries.(i)) :: shares.(k mod jobs))
+                order;
+              let deques =
+                Array.map
+                  (fun share ->
+                    let dq = Wsdeque.create ~capacity:(max 16 (List.length share + 1)) () in
+                    List.iter (fun t -> Wsdeque.push dq t) share;
+                    dq)
+                  shares
+              in
+              Array.init jobs (fun d -> Deques { w_self = d; w_deques = deques })
           in
+          let work d = run_worker ~conf ~trace_writer ~engine_name ~pag ~base ~feed:feeds.(d) in
           let results =
             if jobs = 1 then [| work 0 () |]
             else Array.map Domain.join (Array.init jobs (fun d -> Domain.spawn (work d)))
           in
           Array.iteri
             (fun d wr ->
-              List.iter (fun (i, o) -> outcomes.(i) <- rebase_outcome o) wr.wr_outcomes;
+              List.iter
+                (fun (i, o, steps) ->
+                  outcomes.(i) <- rebase_outcome o;
+                  actual_steps.(i) <- steps)
+                wr.wr_outcomes;
               Stats.merge_into ~into:agg_stats wr.wr_stats;
+              total_steals := !total_steals + wr.wr_steals;
               reports :=
                 {
                   dr_round = round;
@@ -132,15 +261,24 @@ let run ?(conf = Conf.default) ?trace_writer ?(jobs = 1) ?(rounds = 1) ~engine:e
                   dr_steps = wr.wr_steps;
                   dr_seconds = wr.wr_seconds;
                   dr_summaries = wr.wr_summaries;
+                  dr_steals = wr.wr_steals;
                 }
                 :: !reports)
             results;
-          let snaps =
-            Array.to_list results |> List.filter_map (fun wr -> wr.wr_snapshot)
-          in
-          if snaps <> [] then pool := Dynsum.snapshot_union (!pool :: snaps)
+          Array.iter
+            (fun wr ->
+              match wr.wr_snapshot with
+              | None -> ()
+              | Some s ->
+                produced := !produced + Dynsum.snapshot_length s;
+                all_snaps := s :: !all_snaps;
+                match base with Some b -> ignore (Dynsum.base_add b s) | None -> ())
+            results
         done)
   in
+  if !total_steals > 0 then Stats.add agg_stats "steals" !total_steals;
+  let summaries = Dynsum.snapshot_union (List.rev !all_snaps) in
+  let to_float a = Array.map float_of_int a in
   {
     outcomes;
     reports = List.rev !reports;
@@ -148,5 +286,12 @@ let run ?(conf = Conf.default) ?trace_writer ?(jobs = 1) ?(rounds = 1) ~engine:e
     wall_seconds;
     jobs;
     rounds;
-    merged_summaries = Dynsum.snapshot_length !pool;
+    schedule;
+    steals = !total_steals;
+    predicted_steps;
+    actual_steps;
+    cost_corr = Costmodel.pearson (to_float predicted_steps) (to_float actual_steps);
+    merged_summaries = !produced;
+    unique_summaries = Dynsum.snapshot_length summaries;
+    summaries;
   }

@@ -1,20 +1,37 @@
 (** Multicore batch-query evaluation over a frozen, CSR-packed PAG.
 
-    A batch of points-to queries is sharded round-robin across [jobs]
-    worker domains. Every domain builds its {e own} engine instance from
-    the {!Engine} registry against the one shared (frozen, hence
-    immutable) {!Pag.t} — engines are single-domain state; the graph is
-    the only thing the domains share.
+    A batch of points-to queries is distributed across [jobs] worker
+    domains. Every domain builds its {e own} engine instance from the
+    {!Engine} registry against the one shared (frozen, hence immutable)
+    {!Pag.t} — engines are single-domain state; the graph, the task
+    deques and the summary base tier are the only things the domains
+    share.
 
-    For DYNSUM the per-domain summary caches are the interesting state:
-    after each round the scheduler takes a structural {!Dynsum.snapshot}
-    of every worker's cache, merges them with {!Dynsum.snapshot_union}
-    (last-writer-wins on identical keys — summaries are equal there
-    anyway, PPTA being deterministic), and seeds the next round's workers
-    with the merged pool via {!Dynsum.absorb}. Merging cannot change
-    answers: a PPTA summary is context-independent, so a summary computed
-    under one domain's query mix is valid under any other's (see
-    DESIGN.md, "Parallel batch evaluation and the packed PAG").
+    {b Scheduling.} Two policies, A/B-able via [?schedule]:
+
+    - {!Static} — the legacy shard: queries round-robined by index, each
+      domain works its fixed list. Wall-clock tracks the slowest shard.
+    - {!Steal} (default) — one {!Wsdeque} per domain, seeded longest-first
+      by the {!Costmodel} prediction (oracle row size of the query root),
+      so predicted stragglers start immediately; a domain that runs dry
+      steals the cheapest remaining task from the fullest peer. Wall-clock
+      tracks total work instead of the worst shard.
+
+    Either way each query is answered {e exactly once} by {e some}
+    single-domain engine, so the verdicts are those of a sequential run —
+    scheduling moves work, never changes it (pinned by the cross-jobs ×
+    cross-schedule set-equality tests).
+
+    {b Summary reuse.} For DYNSUM, summaries computed in round [k] are
+    published to later rounds through a shared read-only base tier
+    ({!Dynsum.base}): after all workers of a round join, their structural
+    {!Dynsum.snapshot}s are merged into the base, which round [k+1]'s
+    engines consult by reference on cache miss — no more re-absorbing
+    (and re-counting) the whole pool into every domain. Merging cannot
+    change answers: a PPTA summary is context-independent, so a summary
+    computed under one domain's query mix is valid under any other's
+    (see DESIGN.md, "Work-stealing, the cost model, and the summary base
+    tier").
 
     Hash-consed stacks never cross domains raw: snapshots carry symbol
     lists, and worker outcomes are {!Pts_util.Hstack.rebase}d into the
@@ -24,13 +41,21 @@ type query = { node : Pag.node; satisfy : (Query.Target_set.t -> bool) option }
 
 val query : ?satisfy:(Query.Target_set.t -> bool) -> Pag.node -> query
 
+type schedule = Static | Steal
+
+val schedule_name : schedule -> string
+val schedule_of_string : string -> schedule option
+
 type domain_report = {
   dr_round : int;
   dr_domain : int;
   dr_queries : int;  (** queries this domain answered in this round *)
   dr_steps : int;  (** its engine's cumulative edge traversals *)
   dr_seconds : float;  (** wall-clock inside the worker, excluding spawn/join *)
-  dr_summaries : int;  (** its engine's cached summaries at round end *)
+  dr_summaries : int;
+      (** summaries this domain {e computed itself} this round (base-tier
+          hits excluded); for non-DYNSUM engines, its engine's table size *)
+  dr_steals : int;  (** tasks this domain lifted from peers *)
 }
 
 type result = {
@@ -39,12 +64,26 @@ type result = {
           the calling domain's store and safe to compare against
           sequential results *)
   reports : domain_report list;  (** per (round, domain), in order *)
-  stats : Pts_util.Stats.t;  (** all workers' counters, merged *)
+  stats : Pts_util.Stats.t;
+      (** all workers' counters, merged; plus ["steals"] when any occurred *)
   wall_seconds : float;  (** whole batch, including spawn/join/merge *)
   jobs : int;
   rounds : int;
+  schedule : schedule;
+  steals : int;  (** total successful steals across all rounds *)
+  predicted_steps : int array;  (** {!Costmodel.predict} per query, input order *)
+  actual_steps : int array;  (** kernel steps each query actually charged *)
+  cost_corr : float;
+      (** Pearson correlation of predicted vs actual ([nan] when
+          undefined) — the cost model's audit trail *)
   merged_summaries : int;
-      (** size of the final merged DYNSUM pool (0 for other engines) *)
+      (** total DYNSUM summaries {e derived} across all domains and
+          rounds (0 for other engines); minus {!field-unique_summaries}
+          this is the cross-domain recomputation the base tier exists to
+          kill *)
+  unique_summaries : int;  (** distinct summary keys in the final pool *)
+  summaries : Dynsum.snapshot;
+      (** the final merged pool — absorb into a fresh engine to persist *)
 }
 
 val run :
@@ -52,17 +91,21 @@ val run :
   ?trace_writer:Trace.writer ->
   ?jobs:int ->
   ?rounds:int ->
+  ?schedule:schedule ->
   engine:string ->
   Pag.t ->
   query array ->
   result
 (** [run ~engine pag queries] answers the batch and returns outcomes
     positionally. [jobs] defaults to 1 (inline, no spawn — the sequential
-    baseline); [rounds] (default 1) splits the batch into consecutive
-    chunks with a cache merge between chunks, so DYNSUM summaries learned
-    early help later rounds even across domains. When [trace_writer] is
-    given, every worker traces through its own {!Trace.buffered_jsonl}
-    sink onto the shared writer — whole lines only.
+    baseline; with {!Steal} the deque machinery still runs, which is what
+    the smoke benches measure as scheduler overhead). [rounds] (default 1)
+    splits the batch into consecutive chunks with a base-tier publish
+    between chunks, so DYNSUM summaries learned early help later rounds
+    even across domains. [schedule] defaults to {!Steal}. When
+    [trace_writer] is given, every worker traces through its own
+    {!Trace.buffered_jsonl} sink onto the shared writer — whole lines
+    only — including per-steal {!Trace.Steal} and queue-depth events.
 
     @raise Invalid_argument on [jobs < 1], [rounds < 1], an unknown
     engine name, or an unfrozen PAG. *)

@@ -72,6 +72,8 @@ type event =
   | Refine_pass of { engine : string; node : int; pass : int }
   | Match_edge of { engine : string; fld : int }
   | Budget_exceeded of { engine : string; node : int; steps : int }
+  | Steal of { engine : string; thief : int; victim : int }
+  | Queue_depth of { engine : string; domain : int; depth : int }
   | Counter of { engine : string; name : string; delta : int }
 
 let event_engine = function
@@ -82,6 +84,8 @@ let event_engine = function
   | Refine_pass { engine; _ }
   | Match_edge { engine; _ }
   | Budget_exceeded { engine; _ }
+  | Steal { engine; _ }
+  | Queue_depth { engine; _ }
   | Counter { engine; _ } -> engine
 
 (* The counter a counting sink aggregates the event into. [Query_end]
@@ -94,6 +98,8 @@ let counter_name = function
   | Refine_pass _ -> Some "passes"
   | Match_edge _ -> Some "match_edges"
   | Budget_exceeded _ -> Some "exceeded"
+  | Steal _ -> Some "steals"
+  | Queue_depth _ -> None (* a gauge, not a count *)
   | Counter { name; _ } -> Some name
 
 let counter_delta = function Counter { delta; _ } -> delta | _ -> 1
@@ -113,6 +119,9 @@ let event_to_json e =
   | Match_edge { fld; _ } -> base "match_edge" [ ("fld", Int fld) ]
   | Budget_exceeded { node; steps; _ } ->
     base "budget_exceeded" [ ("node", Int node); ("steps", Int steps) ]
+  | Steal { thief; victim; _ } -> base "steal" [ ("thief", Int thief); ("victim", Int victim) ]
+  | Queue_depth { domain; depth; _ } ->
+    base "queue_depth" [ ("domain", Int domain); ("depth", Int depth) ]
   | Counter { name; delta; _ } -> base "counter" [ ("name", String name); ("delta", Int delta) ]
 
 (* ------------------------------ sinks ------------------------------ *)

@@ -41,6 +41,12 @@ type event =
   | Match_edge of { engine : string; fld : int }
       (** a field-based match edge was recorded for later refinement *)
   | Budget_exceeded of { engine : string; node : int; steps : int }
+  | Steal of { engine : string; thief : int; victim : int }
+      (** the batch scheduler moved a query from [victim]'s deque to
+          [thief] (domain indices); aggregates into ["steals"] *)
+  | Queue_depth of { engine : string; domain : int; depth : int }
+      (** deque depth sampled when a worker goes looking for work — a
+          gauge, not a count, so it feeds no counter *)
   | Counter of { engine : string; name : string; delta : int }
       (** escape hatch for engine-specific counters (e.g. DYNSUM's
           ["no_local_fastpath"]) *)

@@ -1,0 +1,97 @@
+(* Chase-Lev work-stealing deque (SPAA'05), the OCaml-5 Atomic variant.
+
+   One owner domain pushes and pops at the bottom (LIFO); any number of
+   thief domains steal from the top (FIFO). [top]/[bottom] are logical
+   indices that only ever grow modulo the owner's bottom-decrement in
+   [pop]; the circular buffer is replaced wholesale on growth, which is
+   safe for concurrent thieves because every slot in [top, bottom) of the
+   old buffer holds the same element in the new one (grow copies before
+   the owner publishes the new buffer, and thieves re-read [tab] on every
+   attempt).
+
+   OCaml's [Atomic] operations are sequentially consistent, so the
+   store-load fences of the original algorithm are implicit: the
+   bottom-decrement in [pop] is globally ordered before the [top] read,
+   which is the one ordering the single-element race depends on. *)
+
+type 'a t = {
+  top : int Atomic.t;  (* next index a thief would take *)
+  bottom : int Atomic.t;  (* next index the owner would fill *)
+  tab : 'a slot array Atomic.t;  (* circular: index i lives at i mod length *)
+}
+
+and 'a slot = Empty | Elt of 'a
+
+let create ?(capacity = 16) () =
+  let capacity = max 2 capacity in
+  {
+    top = Atomic.make 0;
+    bottom = Atomic.make 0;
+    tab = Atomic.make (Array.make capacity Empty);
+  }
+
+let size q =
+  let b = Atomic.get q.bottom and t = Atomic.get q.top in
+  max 0 (b - t)
+
+let is_empty q = size q = 0
+
+let grow q t b =
+  let old = Atomic.get q.tab in
+  let n = Array.length old in
+  let fresh = Array.make (2 * n) Empty in
+  for i = t to b - 1 do
+    fresh.(i mod (2 * n)) <- old.(i mod n)
+  done;
+  Atomic.set q.tab fresh
+
+let push q x =
+  let b = Atomic.get q.bottom and t = Atomic.get q.top in
+  let a = Atomic.get q.tab in
+  if b - t >= Array.length a - 1 then grow q t b;
+  let a = Atomic.get q.tab in
+  a.(b mod Array.length a) <- Elt x;
+  Atomic.set q.bottom (b + 1)
+
+(* Owner-only. The lone race is the last element, decided by a CAS on
+   [top] against any concurrent thief; the loser sees the winner's
+   increment and restores [bottom]. *)
+let pop q =
+  let b = Atomic.get q.bottom - 1 in
+  Atomic.set q.bottom b;
+  let t = Atomic.get q.top in
+  if b < t then begin
+    (* already empty: undo the decrement *)
+    Atomic.set q.bottom t;
+    None
+  end
+  else begin
+    let a = Atomic.get q.tab in
+    let x = a.(b mod Array.length a) in
+    if b > t then
+      match x with
+      | Elt v ->
+        a.(b mod Array.length a) <- Empty;
+        Some v
+      | Empty -> assert false
+    else begin
+      (* b = t: fight the thieves for the final element *)
+      let won = Atomic.compare_and_set q.top t (t + 1) in
+      Atomic.set q.bottom (t + 1);
+      if won then match x with Elt v -> Some v | Empty -> assert false else None
+    end
+  end
+
+(* Thief-safe. [None] means the deque looked empty {e or} the CAS lost to
+   a concurrent taker — callers treat both as "try elsewhere" and re-check
+   [size] before concluding global exhaustion. *)
+let steal q =
+  let t = Atomic.get q.top in
+  let b = Atomic.get q.bottom in
+  if t >= b then None
+  else begin
+    let a = Atomic.get q.tab in
+    match a.(t mod Array.length a) with
+    | Empty -> None (* owner raced the slot away before our CAS *)
+    | Elt v -> if Atomic.compare_and_set q.top t (t + 1) then Some v else None
+  end

@@ -501,6 +501,22 @@ let oracle_singleton t n =
     with Exit -> None
   end
 
+let popcount w =
+  let rec go w acc = if w = 0 then acc else go (w land (w - 1)) (acc + 1) in
+  go w 0
+
+let oracle_row_size t n =
+  let s = t.oracle_stride in
+  if s = 0 then 0
+  else begin
+    let base = n * s in
+    let acc = ref 0 in
+    for i = 0 to s - 1 do
+      acc := !acc + popcount t.oracle.(base + i)
+    done;
+    !acc
+  end
+
 let edge_counts t = t.counts
 
 let locality t =

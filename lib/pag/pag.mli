@@ -212,6 +212,12 @@ val oracle_disjoint : t -> node -> node -> bool
 val oracle_singleton : t -> node -> int option
 (** [Some site] iff the row is exactly one site. [None] when no oracle. *)
 
+val oracle_row_size : t -> node -> int
+(** Number of allocation sites in the node's row — the cost-model's
+    proxy for how much of the graph a query rooted here can reach.
+    [0] when no oracle is installed (indistinguishable from a genuinely
+    empty row; use {!has_oracle} to tell them apart). *)
+
 (** {2 Statistics} *)
 
 type edge_counts = {

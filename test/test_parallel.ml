@@ -37,14 +37,21 @@ let test_engine_jobs_equal engine_name () =
     List.map (fun q -> seq.Engine.points_to q.Client.q_node) (Lazy.force queries)
   in
   List.iter
-    (fun jobs ->
-      let r = Parsolve.run ~conf ~jobs ~engine:engine_name pl.Pipeline.pag (qarr ()) in
-      List.iteri
-        (fun i expect ->
-          if not (Query.equal_outcome expect r.Parsolve.outcomes.(i)) then
-            Alcotest.failf "%s: query %d differs from sequential at jobs=%d" engine_name i jobs)
-        expected)
-    [ 1; 2; 4 ]
+    (fun schedule ->
+      List.iter
+        (fun jobs ->
+          let r =
+            Parsolve.run ~conf ~jobs ~schedule ~engine:engine_name pl.Pipeline.pag (qarr ())
+          in
+          List.iteri
+            (fun i expect ->
+              if not (Query.equal_outcome expect r.Parsolve.outcomes.(i)) then
+                Alcotest.failf "%s: query %d differs from sequential at jobs=%d schedule=%s"
+                  engine_name i jobs
+                  (Parsolve.schedule_name schedule))
+            expected)
+        [ 1; 2; 4 ])
+    [ Parsolve.Static; Parsolve.Steal ]
 
 let test_rounds_equal () =
   let pl = Lazy.force pl in
@@ -60,6 +67,46 @@ let test_rounds_equal () =
       if not (Query.equal_outcome expect r.Parsolve.outcomes.(i)) then
         Alcotest.failf "dynsum: query %d differs from sequential at jobs=2 rounds=3" i)
     expected
+
+(* ----------------------- scheduler accounting ----------------------------- *)
+
+let test_steal_accounting () =
+  let pl = Lazy.force pl in
+  let n = Array.length (qarr ()) in
+  let r =
+    Parsolve.run ~conf ~jobs:4 ~rounds:2 ~schedule:Parsolve.Steal ~engine:"dynsum"
+      pl.Pipeline.pag (qarr ())
+  in
+  Alcotest.(check string) "schedule recorded" "steal" (Parsolve.schedule_name r.Parsolve.schedule);
+  Alcotest.(check int) "one prediction per query" n (Array.length r.Parsolve.predicted_steps);
+  Alcotest.(check int) "one actual cost per query" n (Array.length r.Parsolve.actual_steps);
+  Array.iter
+    (fun p ->
+      if p < Costmodel.fastpath_cost then Alcotest.failf "prediction %d below fast path" p)
+    r.Parsolve.predicted_steps;
+  let report_steals =
+    List.fold_left (fun acc d -> acc + d.Parsolve.dr_steals) 0 r.Parsolve.reports
+  in
+  Alcotest.(check int) "per-domain steals sum to the total" r.Parsolve.steals report_steals;
+  let report_queries =
+    List.fold_left (fun acc d -> acc + d.Parsolve.dr_queries) 0 r.Parsolve.reports
+  in
+  Alcotest.(check int) "every query answered exactly once" n report_queries;
+  Alcotest.(check bool) "unique summaries bounded by derivations" true
+    (r.Parsolve.unique_summaries <= r.Parsolve.merged_summaries);
+  Alcotest.(check int) "final pool length matches the count"
+    r.Parsolve.unique_summaries
+    (Dynsum.snapshot_length r.Parsolve.summaries);
+  let c = r.Parsolve.cost_corr in
+  Alcotest.(check bool) "correlation in range or undefined" true
+    (Float.is_nan c || (c >= -1.000001 && c <= 1.000001))
+
+let test_schedule_of_string () =
+  Alcotest.(check bool) "steal parses" true
+    (Parsolve.schedule_of_string "steal" = Some Parsolve.Steal);
+  Alcotest.(check bool) "static parses" true
+    (Parsolve.schedule_of_string "static" = Some Parsolve.Static);
+  Alcotest.(check bool) "garbage rejected" true (Parsolve.schedule_of_string "lifo" = None)
 
 (* --------------------- cache merging preserves answers -------------------- *)
 
@@ -93,6 +140,43 @@ let test_snapshot_union_is_idempotent () =
   Alcotest.(check int) "union with itself adds nothing"
     (Dynsum.snapshot_length (Dynsum.snapshot_union [ s ]))
     (Dynsum.snapshot_length (Dynsum.snapshot_union [ s; s; s ]))
+
+(* ------------------ cache bytes are schedule-independent ------------------ *)
+
+(* Absorb a snapshot into a fresh engine and serialise its cache;
+   snapshots are sorted and base-tier memos are never exported, so the
+   bytes must not depend on how the batch was scheduled. *)
+let save_bytes snapshot =
+  let pl = Lazy.force pl in
+  let d = Dynsum.create ~conf pl.Pipeline.pag in
+  ignore (Dynsum.absorb d snapshot);
+  let path = Filename.temp_file "ptsto_cache" ".bin" in
+  Dynsum.save_cache d path;
+  let ic = open_in_bin path in
+  let b = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove path;
+  b
+
+let test_cache_bytes_schedule_independent () =
+  let pl = Lazy.force pl in
+  let seqd = Dynsum.create ~conf pl.Pipeline.pag in
+  List.iter (fun q -> ignore (Dynsum.points_to seqd q.Client.q_node)) (Lazy.force queries);
+  let seq_bytes = save_bytes (Dynsum.snapshot seqd) in
+  Alcotest.(check bool) "sequential cache is non-trivial" true (String.length seq_bytes > 0);
+  List.iter
+    (fun schedule ->
+      let name = Parsolve.schedule_name schedule in
+      let r =
+        Parsolve.run ~conf ~jobs:2 ~rounds:2 ~schedule ~engine:"dynsum" pl.Pipeline.pag
+          (qarr ())
+      in
+      let b = save_bytes r.Parsolve.summaries in
+      Alcotest.(check int) (name ^ ": cache size matches sequential")
+        (String.length seq_bytes) (String.length b);
+      Alcotest.(check bool) (name ^ ": cache bytes identical to sequential") true
+        (String.equal seq_bytes b))
+    [ Parsolve.Static; Parsolve.Steal ]
 
 (* ------------------------- trace line integrity --------------------------- *)
 
@@ -163,10 +247,17 @@ let () =
             Alcotest.test_case (name ^ " jobs 1/2/4") `Quick (test_engine_jobs_equal name))
           (Engine.names ())
         @ [ Alcotest.test_case "dynsum jobs=2 rounds=3" `Quick test_rounds_equal ] );
+      ( "scheduler",
+        [
+          Alcotest.test_case "steal accounting" `Quick test_steal_accounting;
+          Alcotest.test_case "schedule_of_string" `Quick test_schedule_of_string;
+        ] );
       ( "snapshots",
         [
           Alcotest.test_case "merge preserves answers" `Quick test_snapshot_merge_preserves_answers;
           Alcotest.test_case "union idempotent" `Quick test_snapshot_union_is_idempotent;
+          Alcotest.test_case "cache bytes schedule-independent" `Quick
+            test_cache_bytes_schedule_independent;
         ] );
       ("trace", [ Alcotest.test_case "whole lines only" `Quick test_parallel_trace_whole_lines ]);
       ("hstack", [ Alcotest.test_case "rebase across domains" `Quick test_hstack_rebase_across_domains ]);
