@@ -3,7 +3,7 @@
 
 DUNE ?= dune
 
-.PHONY: all build test smoke smoke-parallel smoke-parallel-steal smoke-prune smoke-check smoke-minifun check bench bench-smoke bench-prune-smoke bench-taint-smoke bench-minifun verify clean
+.PHONY: all build test smoke smoke-parallel smoke-parallel-steal smoke-prune smoke-check smoke-minifun smoke-incr check bench bench-smoke bench-prune-smoke bench-taint-smoke bench-minifun bench-incr verify clean
 
 all: build
 
@@ -88,7 +88,23 @@ smoke-minifun:
 	    n=int(dv.split()[1].split("/")[0]); assert n >= 1, dv; \
 	    print("minifun smoke ok:", n, "closure calls monomorphized")'
 
-check: build test smoke smoke-parallel smoke-parallel-steal smoke-prune smoke-check smoke-minifun
+# Incremental editing end to end: seeded edit bursts applied in place,
+# each burst's query verdicts and check reports compared against a
+# from-scratch rebuild (byte-identity across engines x prune x jobs),
+# with summary retention > 0 proving the invalidation is targeted
+# rather than a cache wipe. A non-zero exit from `ptsto edit` already
+# means an equivalence failure; the python step re-asserts the blob.
+smoke-incr:
+	$(DUNE) exec bin/ptsto.exe -- edit --bench jack --bursts 2 --edits 6 --seed 7 --report-jobs 1,2 --json \
+	  | tail -n 1 \
+	  | python3 -c 'import json,sys; r=json.load(sys.stdin); \
+	    assert r["schema"].startswith("ptsto.edit/"), r; \
+	    assert r["ok"], r; \
+	    assert all(b["hash_equal"] and b["verdicts_equal"] and b["reports_equal"] for b in r["bursts"]), r; \
+	    assert r["retained"] > 0, r; \
+	    print("incr smoke ok:", len(r["bursts"]), "bursts,", r["retained"], "summaries retained, reports byte-equal")'
+
+check: build test smoke smoke-parallel smoke-parallel-steal smoke-prune smoke-check smoke-minifun smoke-incr
 
 bench:
 	$(DUNE) exec bench/main.exe
@@ -147,8 +163,24 @@ bench-minifun:
 	  assert all(r["beyond_cha"] >= 1 for r in rows), rows; \
 	  print("bench-minifun ok:", len(rows), "rows, verdicts stable, beyond-CHA rewrites everywhere")'
 
+# Incremental-vs-rebuild ratios per edit-script size (jack); writes the
+# committed artefact. Asserted: every burst's equivalence booleans, a
+# positive retention fraction on the small edit scripts, and at least
+# one burst where the incremental path beat the full rebuild.
+bench-incr:
+	$(DUNE) exec bench/main.exe -- incr \
+	  | grep '^BENCH_incr.json ' \
+	  | sed 's/^BENCH_incr.json //' > BENCH_incr.json
+	python3 -c 'import json; \
+	  rows=json.load(open("BENCH_incr.json"))["rows"]; \
+	  assert all(r["hash_equal"] and r["verdicts_equal"] and r["reports_equal"] for r in rows), rows; \
+	  small=[r for r in rows if r["edits_per_burst"] <= 8]; \
+	  assert all(r["retention_fraction"] > 0 for r in small), small; \
+	  assert any(r["wall_ratio_incr_vs_rebuild"] < 1.0 for r in rows), rows; \
+	  print("bench-incr ok:", len(rows), "rows, equivalence holds, retention > 0 on small scripts")'
+
 # Tier-1 plus the smokes in one command.
-verify: check bench-smoke bench-prune-smoke bench-taint-smoke bench-minifun
+verify: check bench-smoke bench-prune-smoke bench-taint-smoke bench-minifun bench-incr
 
 clean:
 	$(DUNE) clean

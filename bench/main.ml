@@ -6,7 +6,8 @@
      dune exec bench/main.exe -- table4  -- one artefact (table1 table2
                                             table3 table4 figure4 figure5
                                             ablation devirt minifun scale
-                                            micro)
+                                            parallel prune taint incr
+                                            micro, plus *_smoke variants)
 
    Wall-clock numbers are machine-dependent; the harness therefore also
    reports deterministic step counts (PAG edge traversals), and all
@@ -72,6 +73,38 @@ module Bm = struct
       ("unknown", Json.Int r.Client.tally.Client.unknown);
       ("summaries", Json.Int r.Client.summaries_after);
     ]
+end
+
+(* Shared wall-clock discipline for every timed target: an optional
+   untimed warm-up run (heap size, page cache — the first measured
+   configuration must not pay the process cold start), [Gc.compact]
+   before each sample when taking more than one (late configurations
+   otherwise run against a heap full of earlier configurations'
+   garbage), and min-of-N (answers and steps are deterministic; only
+   the clock is noisy). *)
+module Timing = struct
+  let warm run = ignore (run ())
+
+  (* [sample ~repeat ~wall run] returns the fastest run and its wall
+     time. [wall] projects the measurement out of [run]'s result, so
+     targets whose runner already reports seconds (Parsolve, Client,
+     Check) reuse that clock instead of wrapping a second one. *)
+  let sample ?(repeat = 1) ~wall run =
+    let run1 () =
+      if repeat > 1 then Gc.compact ();
+      run ()
+    in
+    let best = ref (run1 ()) in
+    let best_wall = ref (wall !best) in
+    for _ = 2 to repeat do
+      let r = run1 () in
+      let w = wall r in
+      if w < !best_wall then begin
+        best := r;
+        best_wall := w
+      end
+    done;
+    (!best, !best_wall)
 end
 
 let hr title =
@@ -836,10 +869,12 @@ let run_parallel_bench ~artefact ~bench ~jobs_list ~rounds ?(schedules = [ Parso
   let queries = Pts_clients.Nullderef.queries pl in
   let qarr = Array.of_list (List.map (fun q -> Parsolve.query q.Client.q_node) queries) in
   (* when repeating for a min-wall measurement, also warm the process
-     (heap size, page cache) with one untimed run so the first measured
-     configuration isn't the one paying the cold start *)
+     with one untimed run so the first measured configuration isn't the
+     one paying the cold start *)
   if repeat > 1 then
-    ignore (Parsolve.run ~conf:parallel_conf ~jobs:1 ~schedule:Parsolve.Static ~engine:"dynsum" pl.Pipeline.pag qarr);
+    Timing.warm (fun () ->
+        Parsolve.run ~conf:parallel_conf ~jobs:1 ~schedule:Parsolve.Static ~engine:"dynsum"
+          pl.Pipeline.pag qarr);
   let t =
     Table.create
       [
@@ -865,21 +900,13 @@ let run_parallel_bench ~artefact ~bench ~jobs_list ~rounds ?(schedules = [ Parso
       let sched_baseline = ref None in
       List.iter
         (fun jobs ->
-          let run1 () =
-            (* level the GC playing field: configurations late in the
-               process otherwise run against a heap full of earlier
-               configurations' garbage *)
-            if repeat > 1 then Gc.compact ();
-            Parsolve.run ~conf:parallel_conf ~jobs ~rounds ~schedule ~engine:"dynsum"
-              pl.Pipeline.pag qarr
+          let r, wall =
+            Timing.sample ~repeat
+              ~wall:(fun r -> r.Parsolve.wall_seconds)
+              (fun () ->
+                Parsolve.run ~conf:parallel_conf ~jobs ~rounds ~schedule ~engine:"dynsum"
+                  pl.Pipeline.pag qarr)
           in
-          let r = ref (run1 ()) in
-          let wall = ref !r.Parsolve.wall_seconds in
-          for _ = 2 to repeat do
-            r := run1 ();
-            wall := Float.min !wall !r.Parsolve.wall_seconds
-          done;
-          let r = !r and wall = !wall in
           let steps = List.fold_left (fun a d -> a + d.Parsolve.dr_steps) 0 r.Parsolve.reports in
           (* per-domain total steps across rounds; imbalance = max/mean —
              1.0 is a perfectly level load, the static shard's pathology
@@ -1002,7 +1029,7 @@ let parallel_smoke () =
    are the one place the demand side is coarser than Andersen), and an
    alias-pair load where disjoint oracle rows answer Must_not without
    issuing the two underlying points-to queries at all. *)
-let run_prune_bench ~artefact ~benches ~engines:engine_names () =
+let run_prune_bench ~artefact ~benches ~engines:engine_names ?(repeat = 1) () =
   hr
     (Printf.sprintf "Extension — Andersen-guided pruning (%s; NullDeref + alias pairs)"
        (String.concat ", " benches));
@@ -1031,9 +1058,15 @@ let run_prune_bench ~artefact ~benches ~engines:engine_names () =
       let queries = Pts_clients.Nullderef.queries pl in
       List.iter
         (fun ename ->
+          (* a fresh engine per sample keeps the step counts cold-cache
+             deterministic; min-of-N only de-noises the clock *)
           let run_with prune =
-            let e = Engine.create ~conf:(conf_for ename ~prune) ename pl.Pipeline.pag in
-            (Client.run e queries, e)
+            fst
+              (Timing.sample ~repeat
+                 ~wall:(fun (r, _) -> r.Client.seconds)
+                 (fun () ->
+                   let e = Engine.create ~conf:(conf_for ename ~prune) ename pl.Pipeline.pag in
+                   (Client.run e queries, e)))
           in
           let r_off, _ = run_with false in
           let r_on, e_on = run_with true in
@@ -1161,7 +1194,7 @@ let prune_smoke () =
    across engines by the central equivalence property — precision and
    recall must match per engine, and the report JSON must be byte-equal.
    The interesting engine-dependent numbers are the reuse counters. *)
-let run_taint_bench ~artefact ~benches ~flows ~clean ~jobs_list () =
+let run_taint_bench ~artefact ~benches ~flows ~clean ~jobs_list ?(repeat = 1) () =
   hr
     (Printf.sprintf "Extension — taint checker precision/recall (%d flows / %d clean per bench)"
        flows clean);
@@ -1196,7 +1229,11 @@ let run_taint_bench ~artefact ~benches ~flows ~clean ~jobs_list () =
       List.iter
         (fun (engine, jobs) ->
           let opts = { Check.default_opts with Check.o_engine = engine; o_jobs = jobs } in
-          let report = Check.run ~opts ~checkers pl in
+          let report, _ =
+            Timing.sample ~repeat
+              ~wall:(fun r -> r.Check.r_seconds)
+              (fun () -> Check.run ~opts ~checkers pl)
+          in
           let json = Bm.Json.to_string (Check.report_json report) in
           let equal =
             match !reference with
@@ -1301,6 +1338,109 @@ let taint_smoke () =
     ()
 
 (* --------------------------------------------------------------------- *)
+(* Incremental edits vs from-scratch rebuild                              *)
+(* --------------------------------------------------------------------- *)
+
+(* Per edit-script size: apply seeded bursts through the Editlab driver
+   (incremental side keeps its engines, invalidating only summaries whose
+   footprints touch the dirty nodes) and compare against a full rebuild.
+   The interesting numbers are the retention fraction (how much of the
+   summary caches a small edit leaves standing) and the wall-clock ratio
+   of incremental re-query to rebuild — plus the equivalence booleans,
+   which must all be true. *)
+let run_incr_bench ~artefact ~bench ~bursts ~edits_list ~seed ~report_jobs () =
+  hr
+    (Printf.sprintf
+       "Extension — incremental edit bursts vs from-scratch rebuild (%s, %d bursts/size)" bench
+       bursts);
+  let t =
+    Table.create
+      [
+        ("edits/burst", Table.Right);
+        ("burst", Table.Right);
+        ("dirty", Table.Right);
+        ("dropped", Table.Right);
+        ("retained", Table.Right);
+        ("retention", Table.Right);
+        ("incr s", Table.Right);
+        ("rebuild s", Table.Right);
+        ("ratio", Table.Right);
+        ("verdicts", Table.Left);
+        ("reports", Table.Left);
+      ]
+  in
+  List.iter
+    (fun edits_per_burst ->
+      let r =
+        Pts_workload.Editlab.run ~report_jobs ~bench ~bursts ~edits_per_burst ~seed ()
+      in
+      List.iter
+        (fun (b : Pts_workload.Editlab.burst_report) ->
+          let retention =
+            let total = b.b_stats.Incr.i_dropped + b.b_stats.Incr.i_retained in
+            if total = 0 then 1.0
+            else float_of_int b.b_stats.Incr.i_retained /. float_of_int total
+          in
+          let ratio = b.b_incr_seconds /. Float.max 1e-9 b.b_rebuild_seconds in
+          Bm.add artefact
+            [
+              ("bench", Bm.Json.String bench);
+              ("edits_per_burst", Bm.Json.Int edits_per_burst);
+              ("burst", Bm.Json.Int b.b_index);
+              ("edits_applied", Bm.Json.Int b.b_edits);
+              ("inserted", Bm.Json.Int b.b_stats.Incr.i_inserted);
+              ("deleted", Bm.Json.Int b.b_stats.Incr.i_deleted);
+              ("dirty_nodes", Bm.Json.Int b.b_stats.Incr.i_dirty);
+              ("oracle_rows_invalidated", Bm.Json.Int b.b_stats.Incr.i_oracle_invalidated);
+              ("summaries_dropped", Bm.Json.Int b.b_stats.Incr.i_dropped);
+              ("summaries_retained", Bm.Json.Int b.b_stats.Incr.i_retained);
+              ("retention_fraction", Bm.Json.Float retention);
+              ("incr_seconds", Bm.Json.Float b.b_incr_seconds);
+              ("rebuild_seconds", Bm.Json.Float b.b_rebuild_seconds);
+              ("wall_ratio_incr_vs_rebuild", Bm.Json.Float ratio);
+              ("hash_equal", Bm.Json.Bool b.b_hash_equal);
+              ("verdicts_equal", Bm.Json.Bool b.b_verdicts_equal);
+              ("reports_equal", Bm.Json.Bool b.b_reports_equal);
+              ("queries", Bm.Json.Int r.Pts_workload.Editlab.r_queries);
+              ("engine_confs", Bm.Json.Int r.Pts_workload.Editlab.r_engine_confs);
+              ("report_runs", Bm.Json.Int r.Pts_workload.Editlab.r_report_runs);
+            ];
+          Table.add_row t
+            [
+              string_of_int edits_per_burst;
+              string_of_int b.b_index;
+              string_of_int b.b_stats.Incr.i_dirty;
+              string_of_int b.b_stats.Incr.i_dropped;
+              string_of_int b.b_stats.Incr.i_retained;
+              Table.fmt_pct retention;
+              Printf.sprintf "%.3f" b.b_incr_seconds;
+              Printf.sprintf "%.3f" b.b_rebuild_seconds;
+              Printf.sprintf "%.3f" ratio;
+              (if b.b_verdicts_equal && b.b_hash_equal then "equal" else "DIFFER");
+              (if b.b_reports_equal then "equal" else "DIFFER");
+            ])
+        r.Pts_workload.Editlab.r_bursts)
+    edits_list;
+  Table.print t;
+  Printf.printf
+    "(incr s = edit apply + invalidation + re-answering every query on the live engines;\n\
+    \ rebuild s = recompile + Andersen + replay + fresh engines + the same queries.\n\
+    \ Verdicts and check reports are byte-compared against the rebuild each burst.)\n";
+  Bm.flush artefact
+    ~note:
+      "retention_fraction is summaries kept / (kept + dropped) across all live engine \
+       configurations after each burst; wall ratio < 1 means the incremental path beat the \
+       from-scratch rebuild"
+
+let incr () =
+  run_incr_bench ~artefact:"incr" ~bench:"jack" ~bursts:3 ~edits_list:[ 2; 8; 32 ] ~seed:11
+    ~report_jobs:[ 1; 2; 4 ] ()
+
+let incr_smoke () =
+  run_incr_bench ~artefact:"incr_smoke" ~bench:"jack" ~bursts:2 ~edits_list:[ 4 ] ~seed:11
+    ~report_jobs:[ 1; 2 ] ()
+
+(* --------------------------------------------------------------------- *)
 (* Bechamel microbenchmarks                                               *)
 (* --------------------------------------------------------------------- *)
 
@@ -1371,6 +1511,8 @@ let () =
       ("prune_smoke", prune_smoke);
       ("taint", taint);
       ("taint_smoke", taint_smoke);
+      ("incr", incr);
+      ("incr_smoke", incr_smoke);
       ("micro", micro);
     ]
   in

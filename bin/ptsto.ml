@@ -5,6 +5,7 @@
      ptsto query prog.mj -m Main.main -v s1  answer one points-to query
      ptsto client prog.mj -c safecast        run a client's query set
      ptsto compare prog.mj                   all engines x all clients
+     ptsto edit --bench soot-c               edit bursts: incremental vs rebuild
      ptsto gen soot-c -o prog.mj             emit a generated benchmark
 
    Every subcommand accepts --bench NAME instead of a file to run on a
@@ -641,6 +642,60 @@ let check_cmd lang file bench tflows tclean checker_names engine_name budget pru
   in
   exit (if fail then 1 else 0)
 
+(* Incremental editing: seeded edit bursts against live engines, each
+   burst checked for verdict- and report-equality against a from-scratch
+   rebuild. Exit status reflects the equivalence checks, so CI can gate
+   on it directly. *)
+let edit_cmd bench bursts edits seed report_jobs json =
+  let open Pts_workload.Editlab in
+  let progress = if json then fun _ -> () else fun s -> Printf.printf "%s\n%!" s in
+  let r = run ~report_jobs ~progress ~bench ~bursts ~edits_per_burst:edits ~seed () in
+  let dropped = List.fold_left (fun a b -> a + b.b_stats.Incr.i_dropped) 0 r.r_bursts in
+  let retained = List.fold_left (fun a b -> a + b.b_stats.Incr.i_retained) 0 r.r_bursts in
+  if json then begin
+    let open Trace.Json in
+    let row b =
+      Obj
+        [
+          ("burst", Int b.b_index);
+          ("edits", Int b.b_edits);
+          ("inserted", Int b.b_stats.Incr.i_inserted);
+          ("deleted", Int b.b_stats.Incr.i_deleted);
+          ("dirty", Int b.b_stats.Incr.i_dirty);
+          ("oracle_invalidated", Int b.b_stats.Incr.i_oracle_invalidated);
+          ("dropped", Int b.b_stats.Incr.i_dropped);
+          ("retained", Int b.b_stats.Incr.i_retained);
+          ("incr_seconds", Float b.b_incr_seconds);
+          ("rebuild_seconds", Float b.b_rebuild_seconds);
+          ("hash_equal", Bool b.b_hash_equal);
+          ("verdicts_equal", Bool b.b_verdicts_equal);
+          ("reports_equal", Bool b.b_reports_equal);
+        ]
+    in
+    print_endline
+      (to_string
+         (Obj
+            [
+              ("schema", String "ptsto.edit/1");
+              ("bench", String r.r_bench);
+              ("queries", Int r.r_queries);
+              ("engine_confs", Int r.r_engine_confs);
+              ("report_runs", Int r.r_report_runs);
+              ("dropped", Int dropped);
+              ("retained", Int retained);
+              ("ok", Bool r.r_ok);
+              ("bursts", List (List.map row r.r_bursts));
+            ]))
+  end
+  else
+    Printf.printf
+      "%s: %d bursts, %d queries, %d engine confs, %d report runs/burst; dropped %d retained %d; \
+       %s\n"
+      r.r_bench (List.length r.r_bursts) r.r_queries r.r_engine_confs r.r_report_runs dropped
+      retained
+      (if r.r_ok then "all equivalence checks passed" else "EQUIVALENCE FAILURE");
+  exit (if r.r_ok then 0 else 1)
+
 let gen_cmd bench out =
   let src = Pts_workload.Suite.source bench in
   match out with
@@ -716,6 +771,38 @@ let gen_t =
   in
   let out = Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output file.") in
   Cmd.v (Cmd.info "gen" ~doc:"Emit a generated benchmark program") Term.(const gen_cmd $ bench $ out)
+
+let edit_t =
+  let bench =
+    Arg.(
+      required
+      & opt (some (enum (List.map (fun n -> (n, n)) Pts_workload.Suite.names))) None
+      & info [ "bench" ] ~docv:"NAME" ~doc:"Benchmark to edit.")
+  in
+  let bursts =
+    Arg.(value & opt int 3 & info [ "bursts" ] ~docv:"N" ~doc:"Number of edit bursts to apply.")
+  in
+  let edits =
+    Arg.(value & opt int 8 & info [ "edits" ] ~docv:"N" ~doc:"Edits drawn per burst.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"S" ~doc:"Edit-script PRNG seed.") in
+  let report_jobs =
+    Arg.(
+      value & opt (list int) [ 1; 2; 4 ]
+      & info [ "report-jobs" ] ~docv:"JOBS"
+          ~doc:
+            "Comma-separated Parsolve job counts for the report byte-identity matrix (default \
+             1,2,4).")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit one machine-readable JSON line instead of text.")
+  in
+  Cmd.v
+    (Cmd.info "edit"
+       ~doc:
+         "Apply seeded edit bursts incrementally and verify verdict- and report-equality against \
+          a from-scratch rebuild")
+    Term.(const edit_cmd $ bench $ bursts $ edits $ seed $ report_jobs $ json)
 
 let alias_t =
   let meth =
@@ -819,4 +906,7 @@ let () =
     (Cmd.eval
        (Cmd.group
           (Cmd.info "ptsto" ~version:"1.0.0" ~doc)
-          [ run_t; stats_t; ir_t; query_t; client_t; check_t; compare_t; gen_t; alias_t; why_t; dot_t ]))
+          [
+            run_t; stats_t; ir_t; query_t; client_t; check_t; compare_t; edit_t; gen_t; alias_t;
+            why_t; dot_t;
+          ]))

@@ -9,7 +9,8 @@ module Cache = Kernel.Key_tbl
    domains without hash-cons rebasing. Workers never write it — the main
    domain grows it between rounds, after all workers have joined — so
    plain Hashtbl reads from many domains are safe. *)
-type base = (int * int list * int, int list * (int * int list * int) list) Hashtbl.t
+type base =
+  (int * int list * int, int list * (int * int list * int) list * int list) Hashtbl.t
 
 type t = {
   pag : Pag.t;
@@ -19,6 +20,7 @@ type t = {
   sink : Trace.sink;
   cache : Ppta.summary Cache.t;
   key_stacks : Pts_util.Hstack.t Cache.t; (* key -> its field stack, for persistence *)
+  footprints : int list Cache.t; (* key -> PAG nodes its derivation visited *)
   mutable base : base option; (* shared lower tier; overlay = cache above it *)
 }
 
@@ -40,6 +42,7 @@ let create ?(conf = Conf.default) ?(trace = Trace.null) pag =
     sink = Trace.tee (Trace.counting ~rename stats) trace;
     cache = Cache.create 4096;
     key_stacks = Cache.create 4096;
+    footprints = Cache.create 4096;
     base = None;
   }
 
@@ -54,7 +57,8 @@ let summary_points t =
 
 let clear_cache t =
   Cache.reset t.cache;
-  Cache.reset t.key_stacks
+  Cache.reset t.key_stacks;
+  Cache.reset t.footprints
 
 let budget t = t.budget
 let stats t = t.stats
@@ -62,10 +66,13 @@ let stats t = t.stats
 (* ------------------------- cache persistence ------------------------ *)
 
 (* Structural image of one cache entry: hash-cons ids are process-local,
-   so stacks travel as symbol lists. *)
-type entry_image = int * int list * int * int list * (int * int list * int) list
+   so stacks travel as symbol lists. The trailing list is the derivation
+   footprint — the PAG nodes the PPTA run visited — which targeted
+   invalidation intersects against the dirty set of an edit burst. *)
+type entry_image =
+  int * int list * int * int list * (int * int list * int) list * int list
 
-let magic = "ptsto-dynsum-cache-v1"
+let magic = "ptsto-dynsum-cache-v2"
 
 let fingerprint pag =
   let c = Pag.edge_counts pag in
@@ -98,8 +105,9 @@ let snapshot t : snapshot =
             (fun (n, f, s) -> (n, Hstack.to_list f, Ppta.state_to_int s))
             summary.Ppta.tuples
         in
+        let fp = Option.value ~default:[] (Cache.find_opt t.footprints key) in
         images :=
-          ((node, Hstack.to_list stack, state, summary.Ppta.objs, tuples) : entry_image)
+          ((node, Hstack.to_list stack, state, summary.Ppta.objs, tuples, fp) : entry_image)
           :: !images)
     t.cache;
   List.sort compare !images
@@ -114,7 +122,7 @@ let state_of_int = function 1 -> Ppta.S1 | _ -> Ppta.S2
 let absorb_images t images =
   match
     List.map
-      (fun ((node, syms, state, objs, tuples) : entry_image) ->
+      (fun ((node, syms, state, objs, tuples, fp) : entry_image) ->
         let stack = Hstack.of_list syms in
         let summary =
           {
@@ -123,18 +131,19 @@ let absorb_images t images =
               List.map (fun (tn, tf, ts) -> (tn, Hstack.of_list tf, state_of_int ts)) tuples;
           }
         in
-        ((node, Hstack.id stack, state), stack, summary))
+        ((node, Hstack.id stack, state), stack, summary, fp))
       images
   with
   | exception _ -> Error "corrupt cache payload"
   | staged ->
     let n = ref 0 in
     List.iter
-      (fun (key, stack, summary) ->
+      (fun (key, stack, summary, fp) ->
         if not (Cache.mem t.cache key) then begin
           incr n;
           Cache.add t.cache key summary;
-          Cache.add t.key_stacks key stack
+          Cache.add t.key_stacks key stack;
+          Cache.add t.footprints key fp
         end)
       staged;
     Ok !n
@@ -151,7 +160,7 @@ let snapshot_union (snaps : snapshot list) : snapshot =
      domain-count-independent result. *)
   let tbl = Hashtbl.create 256 in
   List.iter
-    (List.iter (fun ((node, syms, state, _, _) as img : entry_image) ->
+    (List.iter (fun ((node, syms, state, _, _, _) as img : entry_image) ->
          Hashtbl.replace tbl (node, syms, state) img))
     snaps;
   Hashtbl.fold (fun _ img acc -> img :: acc) tbl [] |> List.sort compare
@@ -166,11 +175,11 @@ let base_add (b : base) (s : snapshot) =
      only pins representation. Returns how many keys were new. *)
   let fresh = ref 0 in
   List.iter
-    (fun ((node, syms, state, objs, tuples) : entry_image) ->
+    (fun ((node, syms, state, objs, tuples, fp) : entry_image) ->
       let key = (node, syms, state) in
       if not (Hashtbl.mem b key) then begin
         incr fresh;
-        Hashtbl.add b key (objs, tuples)
+        Hashtbl.add b key (objs, tuples, fp)
       end)
     s;
   !fresh
@@ -183,7 +192,10 @@ let save_cache t path =
   let oc = open_out_bin path in
   Fun.protect
     ~finally:(fun () -> close_out_noerr oc)
-    (fun () -> Marshal.to_channel oc (magic, fingerprint t.pag, snapshot t) [])
+    (fun () ->
+      Marshal.to_channel oc
+        (magic, fingerprint t.pag, Pag.graph_hash t.pag, Pag.epoch t.pag, snapshot t)
+        [])
 
 let load_cache t path =
   match open_in_bin path with
@@ -192,11 +204,17 @@ let load_cache t path =
     Fun.protect
       ~finally:(fun () -> close_in_noerr ic)
       (fun () ->
-        match (Marshal.from_channel ic : string * 'a * entry_image list) with
+        match (Marshal.from_channel ic : string * 'a * int * int * entry_image list) with
         | exception _ -> Error "corrupt cache file"
-        | file_magic, fp, images ->
+        | file_magic, fp, ghash, _epoch, images ->
           if file_magic <> magic then Error "not a dynsum cache file"
           else if fp <> fingerprint t.pag then Error "cache was built for a different PAG"
+          else if ghash <> Pag.graph_hash t.pag then
+            (* counts can collide across different edge sets (e.g. one
+               assign deleted, another inserted); the order-independent
+               edge-multiset hash cannot, so a cache from a drifted build
+               of the same program is refused here *)
+            Error "cache was built for a different version of this PAG"
           else absorb_images t images)
 
 (* Summary lookup with the paper's fast path: a node without local edges
@@ -224,7 +242,7 @@ let summarise t u f s =
         | Some b -> Hashtbl.find_opt b (u, Hstack.to_list f, Ppta.state_to_int s)
       in
       (match from_base with
-      | Some (objs, tuples) ->
+      | Some (objs, tuples, fp) ->
         Trace.emit t.sink (Trace.Summary_hit { engine = name; node = u });
         Trace.emit t.sink (Trace.Counter { engine = name; name = "base_hits"; delta = 1 });
         let summary =
@@ -235,14 +253,56 @@ let summarise t u f s =
           }
         in
         Cache.add t.cache key summary;
+        Cache.add t.footprints key fp;
         summary
       | None ->
         Trace.emit t.sink (Trace.Summary_miss { engine = name; node = u });
-        let summary = Ppta.compute t.pag t.conf t.budget u f s in
+        (* record which nodes the derivation visits: the entry stays
+           valid across an edit burst iff none of them got dirty *)
+        let seen = Hashtbl.create 32 in
+        let fp = ref [] in
+        let trace v _ _ =
+          if not (Hashtbl.mem seen v) then begin
+            Hashtbl.add seen v ();
+            fp := v :: !fp
+          end
+        in
+        let summary = Ppta.compute t.pag t.conf t.budget ~trace u f s in
         Cache.add t.cache key summary;
         Cache.add t.key_stacks key f;
+        Cache.add t.footprints key (List.sort compare !fp);
         summary)
   end
+
+(* ----------------------- targeted invalidation ---------------------- *)
+
+(* Drop exactly the entries whose derivation footprint meets the dirty
+   set. Sound because the local walk only ever reads adjacency at nodes
+   it visits, and an edit burst dirties both endpoints of every changed
+   edge — so an edge change that could alter a summary always lands on a
+   footprint node. Entries with no recorded footprint (none today, but a
+   future producer might skip tracing) are dropped conservatively. *)
+let invalidate t dirty =
+  let n = Pag.node_count t.pag in
+  let dirtyb = Bytes.make (max 1 n) '\000' in
+  List.iter (fun d -> if d >= 0 && d < n then Bytes.set dirtyb d '\001') dirty;
+  let doomed = ref [] in
+  Cache.iter
+    (fun key _ ->
+      let dead =
+        match Cache.find_opt t.footprints key with
+        | None | Some [] -> true (* a real PPTA footprint at least holds the root *)
+        | Some fp -> List.exists (fun v -> Bytes.get dirtyb v = '\001') fp
+      in
+      if dead then doomed := key :: !doomed)
+    t.cache;
+  List.iter
+    (fun key ->
+      Cache.remove t.cache key;
+      Cache.remove t.key_stacks key;
+      Cache.remove t.footprints key)
+    !doomed;
+  (List.length !doomed, Cache.length t.cache)
 
 let expand t u f s =
   let summary = summarise t u f s in

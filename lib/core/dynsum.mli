@@ -56,6 +56,13 @@ val summary_points : t -> int
 
 val clear_cache : t -> unit
 
+val invalidate : t -> Pag.node list -> int * int
+(** [invalidate t dirty] drops every cached summary whose derivation
+    footprint (the PAG nodes its PPTA run visited) intersects the dirty
+    set of an edit burst ({!Pag.commit}'s [c_dirty]); all other entries
+    are provably unaffected and survive. Returns
+    [(dropped, retained)]. *)
+
 (** {2 Cache persistence}
 
     The summary cache is the analysis session's accumulated knowledge; an
@@ -131,9 +138,13 @@ val save_cache : t -> string -> unit
 
 val load_cache : t -> string -> (int, string) result
 (** Merge a saved cache into this engine; returns the number of entries
-    loaded, or an error for a missing/corrupt file or a PAG-fingerprint
-    mismatch. Failures never mutate the live cache: the payload is decoded
-    and validated in full before any entry is committed. *)
+    loaded, or an error for a missing/corrupt file, a PAG-fingerprint
+    mismatch, or a {!Pag.graph_hash} mismatch (the header records the
+    exact edge-multiset hash and epoch at save time, so a cache from a
+    drifted build of the same program — where node/edge {e counts} may
+    still collide — is refused rather than replayed). Failures never
+    mutate the live cache: the payload is decoded and validated in full
+    before any entry is committed. *)
 
 val budget : t -> Budget.t
 val stats : t -> Pts_util.Stats.t

@@ -26,6 +26,11 @@ type engine = {
   budget : Budget.t;
   stats : Pts_util.Stats.t;
   summary_count : unit -> int;
+  invalidate : Pag.node list -> int * int;
+      (* drop cached summaries whose derivation touched a dirty node;
+         (dropped, retained). Engines without a cross-query summary cache
+         answer (0, 0) — their per-query state rebuilds itself (the
+         field-based index is epoch-checked internally). *)
 }
 
 (* --------------------------- constructors -------------------------- *)
@@ -37,6 +42,7 @@ let sb ?(name = "sb") t =
     budget = Sb.budget t;
     stats = Sb.stats t;
     summary_count = (fun () -> 0);
+    invalidate = (fun _ -> (0, 0));
   }
 
 let dynsum t =
@@ -46,6 +52,7 @@ let dynsum t =
     budget = Dynsum.budget t;
     stats = Dynsum.stats t;
     summary_count = (fun () -> Dynsum.summary_count t);
+    invalidate = (fun dirty -> Dynsum.invalidate t dirty);
   }
 
 let stasum t =
@@ -55,6 +62,7 @@ let stasum t =
     budget = Stasum.budget t;
     stats = Stasum.stats t;
     summary_count = (fun () -> Stasum.summary_count t);
+    invalidate = (fun dirty -> Stasum.invalidate t dirty);
   }
 
 (* ----------------------------- registry ---------------------------- *)

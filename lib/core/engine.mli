@@ -64,6 +64,12 @@ type engine = {
   budget : Budget.t;
   stats : Pts_util.Stats.t;
   summary_count : unit -> int; (** cached summaries (0 for non-summary engines) *)
+  invalidate : Pag.node list -> int * int;
+      (** After a {!Pag.apply_edits} burst, drop cached summaries whose
+          derivation footprint intersects the commit's dirty nodes;
+          returns [(dropped, retained)]. [(0, 0)] for engines without a
+          cross-query cache — their graph-derived state (the field-based
+          index) re-solves itself on the next query via the PAG epoch. *)
 }
 
 (** {2 Wrapping a concrete engine} *)

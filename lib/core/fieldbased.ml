@@ -7,6 +7,7 @@ type t = {
   mutable reach : Bitset.t array; (* SCC component -> reachable nodes *)
   mutable comp : int array; (* node -> component *)
   mutable solved : bool;
+  mutable epoch_seen : int; (* PAG epoch the index was solved at *)
   field_pts : (int, int list) Hashtbl.t;
   field_flows : (int, int list) Hashtbl.t;
 }
@@ -18,9 +19,20 @@ let create pag =
     reach = [||];
     comp = [||];
     solved = false;
+    epoch_seen = Pag.epoch pag;
     field_pts = Hashtbl.create 16;
     field_flows = Hashtbl.create 16;
   }
+
+(* The whole index derives from the edge set; any edit burst since the
+   last solve invalidates it wholesale (it is cheap relative to the
+   demand traversals it serves, so no finer tracking here). *)
+let refresh t =
+  if t.solved && Pag.epoch t.pag <> t.epoch_seen then begin
+    t.solved <- false;
+    Hashtbl.reset t.field_pts;
+    Hashtbl.reset t.field_flows
+  end
 
 (* Field-based successors: plain copies, calls/returns without context,
    and store(f) jumping to every load of f. *)
@@ -35,8 +47,10 @@ let successors pag load_dsts n =
   @ stores
 
 let solve t =
+  refresh t;
   if not t.solved then begin
     t.solved <- true;
+    t.epoch_seen <- Pag.epoch t.pag;
     let pag = t.pag in
     let n = Pag.node_count pag in
     let load_dsts_cache = Hashtbl.create 16 in
@@ -86,6 +100,7 @@ let solve t =
   end
 
 let pts_of_field t f =
+  refresh t;
   match Hashtbl.find_opt t.field_pts f with
   | Some sites -> sites
   | None ->
@@ -99,6 +114,7 @@ let pts_of_field t f =
     sites
 
 let flows_of_field t f =
+  refresh t;
   match Hashtbl.find_opt t.field_flows f with
   | Some nodes -> nodes
   | None ->

@@ -1,0 +1,41 @@
+(* Incremental edit orchestration: one place that applies a PAG edit
+   burst and fans the resulting dirty set out to every registered
+   engine's summary cache. Engines registered here keep their retained
+   summaries across bursts — that retention is the whole point of
+   incrementality (re-querying after a small edit should not pay for the
+   summaries the edit provably did not touch). *)
+
+type stats = {
+  i_epoch : int;
+  i_dirty : int;
+  i_inserted : int;
+  i_deleted : int;
+  i_oracle_invalidated : int;
+  i_dropped : int; (* summaries invalidated across all engines *)
+  i_retained : int; (* summaries kept across all engines *)
+}
+
+type t = { pag : Pag.t; mutable engines : Engine.engine list }
+
+let create pag = { pag; engines = [] }
+
+let register t e = t.engines <- e :: t.engines
+
+let apply t edits =
+  let c = Pag.apply_edits t.pag edits in
+  let dropped = ref 0 and retained = ref 0 in
+  List.iter
+    (fun e ->
+      let d, r = e.Engine.invalidate c.Pag.c_dirty in
+      dropped := !dropped + d;
+      retained := !retained + r)
+    t.engines;
+  {
+    i_epoch = c.Pag.c_epoch;
+    i_dirty = List.length c.Pag.c_dirty;
+    i_inserted = c.Pag.c_inserted;
+    i_deleted = c.Pag.c_deleted;
+    i_oracle_invalidated = c.Pag.c_oracle_invalidated;
+    i_dropped = !dropped;
+    i_retained = !retained;
+  }

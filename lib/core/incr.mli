@@ -1,0 +1,30 @@
+(** Incremental edit orchestration.
+
+    Applies a {!Pag.apply_edits} burst and fans the commit's dirty node
+    set out to every registered engine's {!Engine.engine.invalidate},
+    so one call keeps a whole set of live engines consistent with the
+    edited graph while retaining every summary the burst provably did
+    not touch. Stateless beyond the engine list — safe to create one per
+    editing session. *)
+
+type stats = {
+  i_epoch : int;  (** PAG epoch after the burst *)
+  i_dirty : int;  (** dirty nodes (endpoints of changed edges) *)
+  i_inserted : int;
+  i_deleted : int;
+  i_oracle_invalidated : int;  (** Andersen rows flipped to conservative *)
+  i_dropped : int;  (** summaries invalidated, summed over engines *)
+  i_retained : int;  (** summaries kept, summed over engines *)
+}
+
+type t
+
+val create : Pag.t -> t
+
+val register : t -> Engine.engine -> unit
+(** Engines registered before {!apply} have their caches invalidated in
+    the same call that edits the graph; an engine that queries an edited
+    PAG without having been registered (or freshly built) may serve
+    stale summaries. *)
+
+val apply : t -> Pag.edit list -> stats

@@ -127,9 +127,8 @@ module Int_tbl = Hashtbl.Make (struct
 end)
 
 let local_walk ?observe ?prune ~policy pag conf budget v0 f0 s0 =
-  (* the packed (frozen) adjacency: all traversal below iterates the CSR
-     slabs directly — no list reconstruction on the hot path *)
-  let p = Pag.packed pag in
+  (* all traversal below goes through Pag.View: the frozen CSR slabs plus
+     any post-freeze edit overlay, still allocation-free on the hot path *)
   let visited = Visited.create 64 in
   let objs = ref [] in
   let obj_seen = Int_tbl.create 16 in
@@ -165,111 +164,87 @@ let local_walk ?observe ?prune ~policy pag conf budget v0 f0 s0 =
         (* v <-new- o: harvest the object, or flip direction to chase an
            alias of v when fields are still pending (a widened stack may
            be either, so it does both) *)
-        let nu = p.Pag.p_new_in in
-        if Pag.degree nu v > 0 then begin
+        if Pag.View.has_new_in pag v then begin
           if Fstack.may_be_empty f then
-            for k = nu.Pag.off.(v) to nu.Pag.off.(v + 1) - 1 do
-              add_obj (Pag.obj_site pag nu.Pag.dst.(k))
-            done;
+            Pag.View.iter_new_in pag v (fun o -> add_obj (Pag.obj_site pag o));
           if not (Hstack.is_empty f) then go v f S2
         end;
-        let asn = p.Pag.p_assign_in in
-        for k = asn.Pag.off.(v) to asn.Pag.off.(v + 1) - 1 do
-          go asn.Pag.dst.(k) f S1
-        done;
+        Pag.View.iter_assign_in pag v (fun u -> go u f S1);
         (* v = u.g backwards: a pending load(g)-bar, awaiting store(g)-bar *)
-        let ld = p.Pag.p_load_in in
-        for k = ld.Pag.off.(v) to ld.Pag.off.(v + 1) - 1 do
-          let g = ld.Pag.aux.(k) and u = ld.Pag.dst.(k) in
-          if policy.exact || policy.refined ~dst:v ~fld:g ~base:u then begin
-            match Fstack.push conf f (Fstack.load_sym g) with
-            | Some f' -> go u f' S1
-            | None -> ()
-          end
-          else begin
-            (* field-based match edge: the load observes anything stored
-               to g anywhere under the precomputed field-based
-               approximation, with context and field stack cleared *)
-            policy.note_match ~dst:v ~fld:g ~base:u;
-            let sites = policy.match_pts g in
-            let sites =
-              match prune with
-              | Some pr -> List.filter (fun site -> not (prune_match_site pr ~dst:v site)) sites
-              | None -> sites
-            in
-            if Fstack.may_be_empty f then List.iter add_match_obj sites;
-            if not (Hstack.is_empty f) then
-              let no = p.Pag.p_new_out in
-              List.iter
-                (fun site ->
-                  let o = Pag.obj_node pag site in
-                  for j = no.Pag.off.(o) to no.Pag.off.(o + 1) - 1 do
-                    add_jump no.Pag.dst.(j) f S2
-                  done)
-                sites
-          end
-        done;
+        Pag.View.iter_load_in pag v (fun g u ->
+            if policy.exact || policy.refined ~dst:v ~fld:g ~base:u then begin
+              match Fstack.push conf f (Fstack.load_sym g) with
+              | Some f' -> go u f' S1
+              | None -> ()
+            end
+            else begin
+              (* field-based match edge: the load observes anything stored
+                 to g anywhere under the precomputed field-based
+                 approximation, with context and field stack cleared *)
+              policy.note_match ~dst:v ~fld:g ~base:u;
+              let sites = policy.match_pts g in
+              let sites =
+                match prune with
+                | Some pr -> List.filter (fun site -> not (prune_match_site pr ~dst:v site)) sites
+                | None -> sites
+              in
+              if Fstack.may_be_empty f then List.iter add_match_obj sites;
+              if not (Hstack.is_empty f) then
+                List.iter
+                  (fun site ->
+                    let o = Pag.obj_node pag site in
+                    Pag.View.iter_new_out pag o (fun d -> add_jump d f S2))
+                  sites
+            end);
         if Pag.has_global_in pag v then add_frontier v f S1
       | S2 ->
         (* x = v.g forwards: the chased value surfaces out of field g —
            matches a pending store(g) push *)
-        let ld = p.Pag.p_load_out in
-        for k = ld.Pag.off.(v) to ld.Pag.off.(v + 1) - 1 do
-          let g = ld.Pag.aux.(k) and x = ld.Pag.dst.(k) in
-          if policy.exact || policy.refined ~dst:x ~fld:g ~base:v then
-            match Fstack.pop_match f (Fstack.store_sym g) with
-            | Some f' -> go x f' S2
-            | None -> ()
-        done;
-        let asn = p.Pag.p_assign_out in
-        for k = asn.Pag.off.(v) to asn.Pag.off.(v + 1) - 1 do
-          go asn.Pag.dst.(k) f S2
-        done;
+        Pag.View.iter_load_out pag v (fun g x ->
+            if policy.exact || policy.refined ~dst:x ~fld:g ~base:v then
+              match Fstack.pop_match f (Fstack.store_sym g) with
+              | Some f' -> go x f' S2
+              | None -> ());
+        Pag.View.iter_assign_out pag v (fun x -> go x f S2);
         (* b.g = v forwards: the chased value sinks into b.g — push
            store(g) and find aliases of the base b *)
-        let st = p.Pag.p_store_out in
-        for k = st.Pag.off.(v) to st.Pag.off.(v + 1) - 1 do
-          let g = st.Pag.aux.(k) and b = st.Pag.dst.(k) in
-          let push_store () =
-            match Fstack.push conf f (Fstack.store_sym g) with
-            | Some f' -> go b f' S1
-            | None -> ()
-          in
-          if policy.exact then push_store ()
-          else begin
-            let loads = Pag.loads_of_field pag g in
-            let refined_exists = ref false in
-            let unrefined_exists = ref false in
-            List.iter
-              (fun (lb, ldst) ->
-                if policy.refined ~dst:ldst ~fld:g ~base:lb then refined_exists := true
-                else begin
-                  unrefined_exists := true;
-                  policy.note_match ~dst:ldst ~fld:g ~base:lb
-                end)
-              loads;
-            (* unrefined loads of g: the value escapes into the
-               field-based approximation and may surface at any of them *)
-            if !unrefined_exists then
+        Pag.View.iter_store_out pag v (fun g b ->
+            let push_store () =
+              match Fstack.push conf f (Fstack.store_sym g) with
+              | Some f' -> go b f' S1
+              | None -> ()
+            in
+            if policy.exact then push_store ()
+            else begin
+              let loads = Pag.loads_of_field pag g in
+              let refined_exists = ref false in
+              let unrefined_exists = ref false in
               List.iter
-                (fun x ->
-                  let cut =
-                    match prune with Some pr -> prune_match_flow pr ~src:v x | None -> false
-                  in
-                  if not cut then add_jump x f S2)
-                (policy.match_flows g);
-            (* refined loads of g: worth the exact alias detour *)
-            if !refined_exists then push_store ()
-          end
-        done;
+                (fun (lb, ldst) ->
+                  if policy.refined ~dst:ldst ~fld:g ~base:lb then refined_exists := true
+                  else begin
+                    unrefined_exists := true;
+                    policy.note_match ~dst:ldst ~fld:g ~base:lb
+                  end)
+                loads;
+              (* unrefined loads of g: the value escapes into the
+                 field-based approximation and may surface at any of them *)
+              if !unrefined_exists then
+                List.iter
+                  (fun x ->
+                    let cut =
+                      match prune with Some pr -> prune_match_flow pr ~src:v x | None -> false
+                    in
+                    if not cut then add_jump x f S2)
+                  (policy.match_flows g);
+              (* refined loads of g: worth the exact alias detour *)
+              if !refined_exists then push_store ()
+            end);
         (* v.g = src backwards: store(g)-bar closing a pending load(g)-bar *)
-        let st = p.Pag.p_store_in in
-        for k = st.Pag.off.(v) to st.Pag.off.(v + 1) - 1 do
-          let g = st.Pag.aux.(k) and src = st.Pag.dst.(k) in
-          match Fstack.pop_match f (Fstack.load_sym g) with
-          | Some f' -> go src f' S1
-          | None -> ()
-        done;
+        Pag.View.iter_store_in pag v (fun g src ->
+            match Fstack.pop_match f (Fstack.load_sym g) with
+            | Some f' -> go src f' S1
+            | None -> ());
         if Pag.has_global_out pag v then add_frontier v f S2
       end
     end
@@ -289,7 +264,6 @@ module Seen = Hashtbl.Make (struct
 end)
 
 let solve ?stop ?prune pag budget (expand : expander) v c0 =
-  let p = Pag.packed pag in
   let results = ref Query.Target_set.empty in
   let seen = Seen.create 256 in
   let work = Queue.create () in
@@ -325,43 +299,31 @@ let solve ?stop ?prune pag budget (expand : expander) v c0 =
           | S1 ->
             (* traversing backwards: exit descends into a callee (push),
                entry returns to a caller (pop) *)
-            let ex = p.Pag.p_exit_in in
-            for k = ex.Pag.off.(x) to ex.Pag.off.(x + 1) - 1 do
-              Budget.step budget;
-              propagate ex.Pag.dst.(k) f1 S1 (push_ctx pag c ex.Pag.aux.(k))
-            done;
-            let en = p.Pag.p_entry_in in
-            for k = en.Pag.off.(x) to en.Pag.off.(x + 1) - 1 do
-              Budget.step budget;
-              match pop_ctx pag c en.Pag.aux.(k) with
-              | Some c' -> propagate en.Pag.dst.(k) f1 S1 c'
-              | None -> ()
-            done;
-            let gl = p.Pag.p_global_in in
-            for k = gl.Pag.off.(x) to gl.Pag.off.(x + 1) - 1 do
-              Budget.step budget;
-              propagate gl.Pag.dst.(k) f1 S1 Hstack.empty
-            done
+            Pag.View.iter_exit_in pag x (fun i r ->
+                Budget.step budget;
+                propagate r f1 S1 (push_ctx pag c i));
+            Pag.View.iter_entry_in pag x (fun i a ->
+                Budget.step budget;
+                match pop_ctx pag c i with
+                | Some c' -> propagate a f1 S1 c'
+                | None -> ());
+            Pag.View.iter_global_in pag x (fun u ->
+                Budget.step budget;
+                propagate u f1 S1 Hstack.empty)
           | S2 ->
             (* traversing forwards: entry enters a callee (push), exit
                returns to a caller (pop) *)
-            let ex = p.Pag.p_exit_out in
-            for k = ex.Pag.off.(x) to ex.Pag.off.(x + 1) - 1 do
-              Budget.step budget;
-              match pop_ctx pag c ex.Pag.aux.(k) with
-              | Some c' -> propagate ex.Pag.dst.(k) f1 S2 c'
-              | None -> ()
-            done;
-            let en = p.Pag.p_entry_out in
-            for k = en.Pag.off.(x) to en.Pag.off.(x + 1) - 1 do
-              Budget.step budget;
-              propagate en.Pag.dst.(k) f1 S2 (push_ctx pag c en.Pag.aux.(k))
-            done;
-            let gl = p.Pag.p_global_out in
-            for k = gl.Pag.off.(x) to gl.Pag.off.(x + 1) - 1 do
-              Budget.step budget;
-              propagate gl.Pag.dst.(k) f1 S2 Hstack.empty
-            done)
+            Pag.View.iter_exit_out pag x (fun i d ->
+                Budget.step budget;
+                match pop_ctx pag c i with
+                | Some c' -> propagate d f1 S2 c'
+                | None -> ());
+            Pag.View.iter_entry_out pag x (fun i fo ->
+                Budget.step budget;
+                propagate fo f1 S2 (push_ctx pag c i));
+            Pag.View.iter_global_out pag x (fun u ->
+                Budget.step budget;
+                propagate u f1 S2 Hstack.empty))
         r.lr_frontier;
       (* match-edge jumps clear the calling context *)
       List.iter

@@ -176,8 +176,12 @@ let run ?(conf = Conf.default) ?trace_writer ?(jobs = 1) ?(rounds = 1) ?(schedul
     invalid_arg
       (Printf.sprintf "Parsolve.run: unknown engine %S (known: %s)" engine_name
          (String.concat ", " (Engine.names ()))));
-  (* a frozen PAG is immutable and therefore shareable; [packed] raises
-     before [freeze], turning a data race into an immediate error *)
+  (* a frozen PAG is shareable: the slabs are immutable and the edit
+     overlay, if any, is only written by [Pag.apply_edits] between
+     batches — never concurrently with a run. [packed] raises before
+     [freeze], turning a data race on the build side into an immediate
+     error. The shared base tier below lives within this one call, so an
+     edit between calls can never feed it a stale summary. *)
   ignore (Pag.packed pag);
   let n = Array.length queries in
   let outcomes = Array.make n Query.Exceeded in

@@ -10,6 +10,7 @@ type t = {
   stats : Stats.t;
   sink : Trace.sink;
   cache : Ppta.summary Tbl.t;
+  footprints : int list Tbl.t; (* key -> PAG nodes its derivation visited *)
   mutable truncated : bool;
 }
 
@@ -33,6 +34,20 @@ let stats t = t.stats
 let offline_steps t = Budget.total_steps t.offline_budget
 
 let key u f s = (u, Hstack.id f, Ppta.state_to_int s)
+
+(* A PPTA run that also records which nodes it visited — the entry's
+   invalidation footprint under post-freeze edits. *)
+let traced_compute t budget u f s =
+  let seen = Hashtbl.create 32 in
+  let fp = ref [] in
+  let trace v _ _ =
+    if not (Hashtbl.mem seen v) then begin
+      Hashtbl.add seen v ();
+      fp := v :: !fp
+    end
+  in
+  let summary = Ppta.compute t.pag t.conf budget ~trace u f s in
+  (summary, List.sort compare !fp)
 
 (* Frontier expansion, context-free: the summary keys a worklist could
    request next, regardless of calling context. *)
@@ -72,9 +87,10 @@ let offline t max_summaries =
     let u, f, s = Queue.pop queue in
     if Tbl.length t.cache >= max_summaries then t.truncated <- true
     else begin
-      match Ppta.compute pag t.conf t.offline_budget u f s with
-      | summary ->
+      match traced_compute t t.offline_budget u f s with
+      | summary, fp ->
         Tbl.replace t.cache (key u f s) summary;
+        Tbl.replace t.footprints (key u f s) fp;
         List.iter
           (fun tuple -> List.iter visit (successors pag tuple))
           summary.Ppta.tuples
@@ -98,6 +114,7 @@ let create ?(conf = Conf.default) ?(trace = Trace.null) ?(max_summaries = 300_00
       stats;
       sink = Trace.tee (Trace.counting ~rename stats) trace;
       cache = Tbl.create 4096;
+      footprints = Tbl.create 4096;
       truncated = false;
     }
   in
@@ -114,9 +131,33 @@ let summarise t u f s =
       summary
     | None ->
       Trace.emit t.sink (Trace.Summary_miss { engine = name; node = u });
-      let summary = Ppta.compute t.pag t.conf t.budget u f s in
+      let summary, fp = traced_compute t t.budget u f s in
       Tbl.replace t.cache (key u f s) summary;
+      Tbl.replace t.footprints (key u f s) fp;
       summary
+
+(* Same footprint-vs-dirty cut as {!Dynsum.invalidate}; dropped offline
+   entries are recovered lazily by the online backfill above. *)
+let invalidate t dirty =
+  let n = Pag.node_count t.pag in
+  let dirtyb = Bytes.make (max 1 n) '\000' in
+  List.iter (fun d -> if d >= 0 && d < n then Bytes.set dirtyb d '\001') dirty;
+  let doomed = ref [] in
+  Tbl.iter
+    (fun key _ ->
+      let dead =
+        match Tbl.find_opt t.footprints key with
+        | None | Some [] -> true
+        | Some fp -> List.exists (fun v -> Bytes.get dirtyb v = '\001') fp
+      in
+      if dead then doomed := key :: !doomed)
+    t.cache;
+  List.iter
+    (fun key ->
+      Tbl.remove t.cache key;
+      Tbl.remove t.footprints key)
+    !doomed;
+  (List.length !doomed, Tbl.length t.cache)
 
 let expand t u f s =
   let summary = summarise t u f s in

@@ -35,6 +35,12 @@ val summary_points : t -> int
 
 val truncated : t -> bool
 
+val invalidate : t -> Pag.node list -> int * int
+(** Drop the offline/backfilled summaries whose derivation footprint
+    intersects an edit burst's dirty nodes (see {!Dynsum.invalidate});
+    dropped keys are recomputed lazily by the online phase on next use.
+    Returns [(dropped, retained)]. *)
+
 val offline_steps : t -> int
 (** PPTA steps spent in the offline phase. *)
 

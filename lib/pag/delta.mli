@@ -1,0 +1,47 @@
+(** Edit overlay over the frozen CSR slabs.
+
+    Fourteen {e sides} (one per packed slab: label × direction), each an
+    added-edge adjacency plus a tombstone set for deleted base edges.
+    Everything is plain ints — edge semantics, direction symmetry and the
+    side numbering live in {!Pag}, which is the only writer. Unlabelled
+    sides carry aux = 0.
+
+    Reads are lock-free Hashtbl lookups; during query execution no domain
+    writes the overlay (edits happen strictly between query batches, like
+    {!Pag.freeze} before them), so sharing the frozen-plus-overlay view
+    across domains stays safe. *)
+
+type t
+
+val n_sides : int
+
+val create : unit -> t
+
+val add : t -> int -> int -> int -> int -> unit
+(** [add t side node aux other] appends an overlay edge. *)
+
+val remove_added : t -> int -> int -> int -> int -> unit
+(** Remove one previously-added occurrence (caller checks {!is_added}). *)
+
+val is_added : t -> int -> int -> int -> int -> bool
+
+val mark_deleted : t -> int -> int -> int -> int -> unit
+(** Tombstone a base-slab edge; idempotent. *)
+
+val unmark_deleted : t -> int -> int -> int -> int -> unit
+
+val is_deleted : t -> int -> int -> int -> int -> bool
+
+val has_deletions : t -> int -> bool
+(** Fast guard: any tombstone on this side at all? Lets base-slab loops
+    skip the per-edge tombstone probe when nothing was ever deleted. *)
+
+val added_at : t -> int -> int -> (int * int) list
+(** Overlay edges of a node on a side, newest first. *)
+
+val iter_added : t -> int -> int -> (int -> int -> unit) -> unit
+(** Iterate a node's overlay edges in {e insertion} order ([f aux other]);
+    deterministic so replayed edit histories enqueue identically. *)
+
+val added_count : t -> int
+val deleted_count : t -> int

@@ -83,6 +83,16 @@ type t = {
      installed and every accessor answers conservatively. *)
   mutable oracle : int array;
   mutable oracle_stride : int;
+  (* Rows invalidated by post-freeze edge insertions answer conservatively
+     (an insertion can only grow true points-to sets, so the frozen rows
+     may under-approximate exactly on the forward-reachable cone of the
+     inserted value). Empty = every row still valid. *)
+  mutable oracle_valid : Bytes.t;
+  (* Post-freeze edit overlay (base slabs stay immutable), edit-batch
+     counter, and an order-independent XOR hash of the current edge set. *)
+  mutable delta : Delta.t option;
+  mutable epoch : int;
+  mutable ghash : int;
 }
 
 let fresh_adj () =
@@ -126,6 +136,10 @@ let create (prog : Ir.program) =
     stores_by_field = Hashtbl.create 64;
     oracle = [||];
     oracle_stride = 0;
+    oracle_valid = Bytes.empty;
+    delta = None;
+    epoch = 0;
+    ghash = 0;
   }
 
 let program t = t.prog
@@ -261,6 +275,43 @@ let set_recursive_site t site =
 let is_recursive_site t site =
   site >= 0 && site < Array.length t.recursive_sites && t.recursive_sites.(site)
 
+(* --------------------------- edge hashing --------------------------- *)
+
+(* Order-independent fingerprint of the logical edge set: XOR of a mixed
+   hash of each edge's canonical (tag, a, b, aux) tuple — the same tuples
+   the dedup table keys on. XOR is self-inverse, so deleting an edge
+   re-applies its hash and a delete/re-add round-trip restores the exact
+   fingerprint; it is maintained incrementally by [apply_edits] and
+   equals the from-scratch fold at [freeze] by construction. *)
+
+let mix x =
+  let x = x lxor (x lsr 30) in
+  let x = x * 0x2545F4914F6CDD1D in
+  let x = x lxor (x lsr 27) in
+  let x = x * 0x369DEA0F31A53F85 in
+  (x lxor (x lsr 31)) land max_int
+
+let edge_hash tag a b aux = mix (mix (mix (mix (tag + 1) + a) + b) + aux)
+
+(* ------------------------- overlay side ids ------------------------- *)
+
+(* One id per packed slab; [Delta] stores overlay edges per side under
+   these indices. Unlabelled sides keep aux = 0. *)
+let s_new_in = 0
+let s_new_out = 1
+let s_assign_in = 2
+let s_assign_out = 3
+let s_global_in = 4
+let s_global_out = 5
+let s_load_in = 6
+let s_load_out = 7
+let s_store_in = 8
+let s_store_out = 9
+let s_entry_in = 10
+let s_entry_out = 11
+let s_exit_in = 12
+let s_exit_out = 13
+
 (* ----------------------------- packing ------------------------------ *)
 
 let pack_nodes n_nodes adjs select =
@@ -368,49 +419,122 @@ let freeze t =
             ((b, src) :: Option.value ~default:[] (Hashtbl.find_opt t.stores_by_field f)))
         adjs.(b).store_in
     done;
+    (* graph hash: fold every logical edge once via its in-side, with the
+       same canonical (tag, a, b, aux) tuples the dedup table keys on *)
+    let gh = ref 0 in
+    for i = 0 to t.n_nodes - 1 do
+      let a = adjs.(i) in
+      List.iter (fun o -> gh := !gh lxor edge_hash 0 o i 0) a.new_in;
+      List.iter (fun src -> gh := !gh lxor edge_hash 1 src i 0) a.assign_in;
+      List.iter (fun src -> gh := !gh lxor edge_hash 2 src i 0) a.global_in;
+      List.iter (fun (f, base) -> gh := !gh lxor edge_hash 3 base i f) a.load_in;
+      List.iter (fun (f, src) -> gh := !gh lxor edge_hash 4 src i f) a.store_in;
+      List.iter (fun (site, actual) -> gh := !gh lxor edge_hash 5 actual i site) a.entry_in;
+      List.iter (fun (site, retval) -> gh := !gh lxor edge_hash 6 retval i site) a.exit_in
+    done;
+    t.ghash <- !gh;
     (* construction-only state: the dedup table and the list adjacency are
        dead weight once packed — drop them to cut resident memory *)
     Hashtbl.reset t.dedup;
     t.adjs <- [||]
   end
 
-(* Adjacency accessors: CSR views once frozen, build-side lists before. *)
-let new_in t n = match t.packed with Some p -> slab_nodes p.p_new_in n | None -> (adj t n).new_in
-let new_out t n = match t.packed with Some p -> slab_nodes p.p_new_out n | None -> (adj t n).new_out
+(* Overlay composition for the list accessors: base slab minus tombstones,
+   then overlay edges in insertion order. With no delta both helpers are
+   the identity on the slab view. *)
+let overlay_nodes t i n base =
+  match t.delta with
+  | None -> base
+  | Some d ->
+    let base =
+      if Delta.has_deletions d i then
+        List.filter (fun x -> not (Delta.is_deleted d i n 0 x)) base
+      else base
+    in
+    (match Delta.added_at d i n with [] -> base | l -> base @ List.rev_map snd l)
+
+let overlay_pairs t i n base =
+  match t.delta with
+  | None -> base
+  | Some d ->
+    let base =
+      if Delta.has_deletions d i then
+        List.filter (fun (a, o) -> not (Delta.is_deleted d i n a o)) base
+      else base
+    in
+    (match Delta.added_at d i n with [] -> base | l -> base @ List.rev l)
+
+(* Adjacency accessors: CSR views (composed with the edit overlay) once
+   frozen, build-side lists before. *)
+let new_in t n =
+  match t.packed with
+  | Some p -> overlay_nodes t s_new_in n (slab_nodes p.p_new_in n)
+  | None -> (adj t n).new_in
+
+let new_out t n =
+  match t.packed with
+  | Some p -> overlay_nodes t s_new_out n (slab_nodes p.p_new_out n)
+  | None -> (adj t n).new_out
 
 let assign_in t n =
-  match t.packed with Some p -> slab_nodes p.p_assign_in n | None -> (adj t n).assign_in
+  match t.packed with
+  | Some p -> overlay_nodes t s_assign_in n (slab_nodes p.p_assign_in n)
+  | None -> (adj t n).assign_in
 
 let assign_out t n =
-  match t.packed with Some p -> slab_nodes p.p_assign_out n | None -> (adj t n).assign_out
+  match t.packed with
+  | Some p -> overlay_nodes t s_assign_out n (slab_nodes p.p_assign_out n)
+  | None -> (adj t n).assign_out
 
 let global_in t n =
-  match t.packed with Some p -> slab_nodes p.p_global_in n | None -> (adj t n).global_in
+  match t.packed with
+  | Some p -> overlay_nodes t s_global_in n (slab_nodes p.p_global_in n)
+  | None -> (adj t n).global_in
 
 let global_out t n =
-  match t.packed with Some p -> slab_nodes p.p_global_out n | None -> (adj t n).global_out
+  match t.packed with
+  | Some p -> overlay_nodes t s_global_out n (slab_nodes p.p_global_out n)
+  | None -> (adj t n).global_out
 
-let load_in t n = match t.packed with Some p -> slab_pairs p.p_load_in n | None -> (adj t n).load_in
+let load_in t n =
+  match t.packed with
+  | Some p -> overlay_pairs t s_load_in n (slab_pairs p.p_load_in n)
+  | None -> (adj t n).load_in
 
 let load_out t n =
-  match t.packed with Some p -> slab_pairs p.p_load_out n | None -> (adj t n).load_out
+  match t.packed with
+  | Some p -> overlay_pairs t s_load_out n (slab_pairs p.p_load_out n)
+  | None -> (adj t n).load_out
 
 let store_in t n =
-  match t.packed with Some p -> slab_pairs p.p_store_in n | None -> (adj t n).store_in
+  match t.packed with
+  | Some p -> overlay_pairs t s_store_in n (slab_pairs p.p_store_in n)
+  | None -> (adj t n).store_in
 
 let store_out t n =
-  match t.packed with Some p -> slab_pairs p.p_store_out n | None -> (adj t n).store_out
+  match t.packed with
+  | Some p -> overlay_pairs t s_store_out n (slab_pairs p.p_store_out n)
+  | None -> (adj t n).store_out
 
 let entry_in t n =
-  match t.packed with Some p -> slab_pairs p.p_entry_in n | None -> (adj t n).entry_in
+  match t.packed with
+  | Some p -> overlay_pairs t s_entry_in n (slab_pairs p.p_entry_in n)
+  | None -> (adj t n).entry_in
 
 let entry_out t n =
-  match t.packed with Some p -> slab_pairs p.p_entry_out n | None -> (adj t n).entry_out
+  match t.packed with
+  | Some p -> overlay_pairs t s_entry_out n (slab_pairs p.p_entry_out n)
+  | None -> (adj t n).entry_out
 
-let exit_in t n = match t.packed with Some p -> slab_pairs p.p_exit_in n | None -> (adj t n).exit_in
+let exit_in t n =
+  match t.packed with
+  | Some p -> overlay_pairs t s_exit_in n (slab_pairs p.p_exit_in n)
+  | None -> (adj t n).exit_in
 
 let exit_out t n =
-  match t.packed with Some p -> slab_pairs p.p_exit_out n | None -> (adj t n).exit_out
+  match t.packed with
+  | Some p -> overlay_pairs t s_exit_out n (slab_pairs p.p_exit_out n)
+  | None -> (adj t n).exit_out
 
 let scan_field t f ~index ~select =
   if t.frozen then Option.value ~default:[] (Hashtbl.find_opt index f)
@@ -440,6 +564,88 @@ let has_global_out t n =
   require_frozen t "Pag.has_global_out";
   Bytes.get t.flag_gout n = '\001'
 
+(* ------------------------- unified view ----------------------------- *)
+
+let slab_of_side p = function
+  | 0 -> p.p_new_in
+  | 1 -> p.p_new_out
+  | 2 -> p.p_assign_in
+  | 3 -> p.p_assign_out
+  | 4 -> p.p_global_in
+  | 5 -> p.p_global_out
+  | 6 -> p.p_load_in
+  | 7 -> p.p_load_out
+  | 8 -> p.p_store_in
+  | 9 -> p.p_store_out
+  | 10 -> p.p_entry_in
+  | 11 -> p.p_entry_out
+  | 12 -> p.p_exit_in
+  | 13 -> p.p_exit_out
+  | _ -> invalid_arg "Pag.slab_of_side"
+
+(* The allocation-free successor view the engines traverse: base slab
+   first (skipping tombstones only when the side has any), then overlay
+   edges in insertion order. With no delta this is exactly the old direct
+   slab loop plus one branch per call. *)
+module View = struct
+  let iter_side_nodes t i n f =
+    let slab = slab_of_side (packed t) i in
+    let lo = slab.off.(n) and hi = slab.off.(n + 1) - 1 in
+    (match t.delta with
+    | Some d when Delta.has_deletions d i ->
+      for k = lo to hi do
+        let x = slab.dst.(k) in
+        if not (Delta.is_deleted d i n 0 x) then f x
+      done
+    | _ ->
+      for k = lo to hi do
+        f slab.dst.(k)
+      done);
+    match t.delta with None -> () | Some d -> Delta.iter_added d i n (fun _ x -> f x)
+
+  let iter_side_pairs t i n f =
+    let slab = slab_of_side (packed t) i in
+    let lo = slab.off.(n) and hi = slab.off.(n + 1) - 1 in
+    (match t.delta with
+    | Some d when Delta.has_deletions d i ->
+      for k = lo to hi do
+        let a = slab.aux.(k) and x = slab.dst.(k) in
+        if not (Delta.is_deleted d i n a x) then f a x
+      done
+    | _ ->
+      for k = lo to hi do
+        f slab.aux.(k) slab.dst.(k)
+      done);
+    match t.delta with None -> () | Some d -> Delta.iter_added d i n f
+
+  let iter_new_in t n f = iter_side_nodes t s_new_in n f
+  let iter_new_out t n f = iter_side_nodes t s_new_out n f
+  let iter_assign_in t n f = iter_side_nodes t s_assign_in n f
+  let iter_assign_out t n f = iter_side_nodes t s_assign_out n f
+  let iter_global_in t n f = iter_side_nodes t s_global_in n f
+  let iter_global_out t n f = iter_side_nodes t s_global_out n f
+  let iter_load_in t n f = iter_side_pairs t s_load_in n f
+  let iter_load_out t n f = iter_side_pairs t s_load_out n f
+  let iter_store_in t n f = iter_side_pairs t s_store_in n f
+  let iter_store_out t n f = iter_side_pairs t s_store_out n f
+  let iter_entry_in t n f = iter_side_pairs t s_entry_in n f
+  let iter_entry_out t n f = iter_side_pairs t s_entry_out n f
+  let iter_exit_in t n f = iter_side_pairs t s_exit_in n f
+  let iter_exit_out t n f = iter_side_pairs t s_exit_out n f
+
+  exception Found
+
+  let has_new_in t n =
+    let slab = slab_of_side (packed t) s_new_in in
+    match t.delta with
+    | None -> slab.off.(n + 1) > slab.off.(n)
+    | Some _ -> (
+      try
+        iter_new_in t n (fun _ -> raise Found);
+        false
+      with Found -> true)
+end
+
 (* ------------------------- pruning oracle --------------------------- *)
 
 let oracle_word_bits = Sys.int_size
@@ -461,9 +667,15 @@ let set_oracle t row_of =
 
 let has_oracle t = t.oracle_stride > 0
 
+(* Rows invalidated by edits (see [apply_edits]) answer conservatively:
+   membership yes, emptiness/disjointness no, singleton unknown — exactly
+   the no-oracle fallbacks, per row. *)
+let oracle_row_valid t n =
+  Bytes.length t.oracle_valid = 0 || Bytes.get t.oracle_valid n = '\001'
+
 let oracle_row_empty t n =
   let s = t.oracle_stride in
-  s > 0
+  s > 0 && oracle_row_valid t n
   &&
   let base = n * s in
   let rec go i = i >= s || (t.oracle.(base + i) = 0 && go (i + 1)) in
@@ -472,11 +684,13 @@ let oracle_row_empty t n =
 let oracle_mem t n site =
   let s = t.oracle_stride in
   s = 0
+  || (not (oracle_row_valid t n))
   || t.oracle.((n * s) + (site / oracle_word_bits)) land (1 lsl (site mod oracle_word_bits)) <> 0
 
 let oracle_disjoint t m n =
   let s = t.oracle_stride in
   s > 0
+  && oracle_row_valid t m && oracle_row_valid t n
   &&
   let bm = m * s and bn = n * s in
   let rec go i = i >= s || (t.oracle.(bm + i) land t.oracle.(bn + i) = 0 && go (i + 1)) in
@@ -484,7 +698,7 @@ let oracle_disjoint t m n =
 
 let oracle_singleton t n =
   let s = t.oracle_stride in
-  if s = 0 then None
+  if s = 0 || not (oracle_row_valid t n) then None
   else begin
     let base = n * s in
     let found = ref (-1) in
@@ -551,3 +765,268 @@ let touched_counts t =
         || a.exit_in <> [] || a.exit_out <> [])
     done);
   (!objs, !locals, !globals)
+
+(* --------------------------- post-freeze edits ----------------------- *)
+
+type ekind =
+  | Enew of { obj_ : node; dst : node }
+  | Eassign of { src : node; dst : node }
+  | Eglobal of { src : node; dst : node }
+  | Eload of { base : node; fld : fld; dst : node }
+  | Estore of { base : node; fld : fld; src : node }
+  | Eentry of { site : site; actual : node; formal : node }
+  | Eexit of { site : site; retval : node; dst : node }
+
+type edit = Eadd of ekind | Edel of ekind
+
+type commit = {
+  c_epoch : int;
+  c_dirty : node list;
+  c_inserted : int;
+  c_deleted : int;
+  c_oracle_invalidated : int;
+}
+
+let epoch t = t.epoch
+
+let graph_hash t = t.ghash
+
+let delta_counts t =
+  match t.delta with None -> (0, 0) | Some d -> (Delta.added_count d, Delta.deleted_count d)
+
+(* Canonical decomposition of a logical edge: the dedup/hash tuple plus
+   where each direction lives in the overlay. *)
+type ecanon = {
+  e_tag : int;
+  e_a : int;
+  e_b : int;
+  e_aux : int;
+  e_in_side : int;
+  e_in_node : int;
+  e_in_other : int;
+  e_out_side : int;
+  e_out_node : int;
+  e_out_other : int;
+}
+
+let canon = function
+  | Enew { obj_; dst } ->
+    { e_tag = 0; e_a = obj_; e_b = dst; e_aux = 0; e_in_side = s_new_in; e_in_node = dst;
+      e_in_other = obj_; e_out_side = s_new_out; e_out_node = obj_; e_out_other = dst }
+  | Eassign { src; dst } ->
+    { e_tag = 1; e_a = src; e_b = dst; e_aux = 0; e_in_side = s_assign_in; e_in_node = dst;
+      e_in_other = src; e_out_side = s_assign_out; e_out_node = src; e_out_other = dst }
+  | Eglobal { src; dst } ->
+    { e_tag = 2; e_a = src; e_b = dst; e_aux = 0; e_in_side = s_global_in; e_in_node = dst;
+      e_in_other = src; e_out_side = s_global_out; e_out_node = src; e_out_other = dst }
+  | Eload { base; fld; dst } ->
+    { e_tag = 3; e_a = base; e_b = dst; e_aux = fld; e_in_side = s_load_in; e_in_node = dst;
+      e_in_other = base; e_out_side = s_load_out; e_out_node = base; e_out_other = dst }
+  | Estore { base; fld; src } ->
+    { e_tag = 4; e_a = src; e_b = base; e_aux = fld; e_in_side = s_store_in; e_in_node = base;
+      e_in_other = src; e_out_side = s_store_out; e_out_node = src; e_out_other = base }
+  | Eentry { site; actual; formal } ->
+    { e_tag = 5; e_a = actual; e_b = formal; e_aux = site; e_in_side = s_entry_in;
+      e_in_node = formal; e_in_other = actual; e_out_side = s_entry_out; e_out_node = actual;
+      e_out_other = formal }
+  | Eexit { site; retval; dst } ->
+    { e_tag = 6; e_a = retval; e_b = dst; e_aux = site; e_in_side = s_exit_in; e_in_node = dst;
+      e_in_other = retval; e_out_side = s_exit_out; e_out_node = retval; e_out_other = dst }
+
+(* Does the edge exist in the current view (base minus tombstones plus
+   overlay)? Probes the in-side only — the two directions are kept in
+   lock-step by construction. *)
+let view_mem t c =
+  let in_base =
+    let slab = slab_of_side (packed t) c.e_in_side in
+    let hi = slab.off.(c.e_in_node + 1) - 1 in
+    let has_aux = Array.length slab.aux > 0 in
+    let rec scan k =
+      k <= hi
+      && ((slab.dst.(k) = c.e_in_other && ((not has_aux) || slab.aux.(k) = c.e_aux)) || scan (k + 1))
+    in
+    scan slab.off.(c.e_in_node)
+  in
+  match t.delta with
+  | None -> in_base
+  | Some d ->
+    if in_base then not (Delta.is_deleted d c.e_in_side c.e_in_node c.e_aux c.e_in_other)
+    else Delta.is_added d c.e_in_side c.e_in_node c.e_aux c.e_in_other
+
+let bump_count t tag d =
+  let c = t.counts in
+  t.counts <-
+    (match tag with
+    | 0 -> { c with n_new = c.n_new + d }
+    | 1 -> { c with n_assign = c.n_assign + d }
+    | 2 -> { c with n_assign_global = c.n_assign_global + d }
+    | 3 -> { c with n_load = c.n_load + d }
+    | 4 -> { c with n_store = c.n_store + d }
+    | 5 -> { c with n_entry = c.n_entry + d }
+    | _ -> { c with n_exit = c.n_exit + d })
+
+(* Per-field index maintenance. Appends keep the frozen prefix stable, so
+   a rebuilt graph replaying the same edit history reproduces the exact
+   same index order (traversal order must be a pure function of the
+   history for incremental-vs-rebuild byte-equality). *)
+let index_add idx f pair =
+  Hashtbl.replace idx f (Option.value ~default:[] (Hashtbl.find_opt idx f) @ [ pair ])
+
+let index_remove idx f pair =
+  match Hashtbl.find_opt idx f with
+  | None -> ()
+  | Some l ->
+    let rec drop = function [] -> [] | x :: r when x = pair -> r | x :: r -> x :: drop r in
+    Hashtbl.replace idx f (drop l)
+
+let recompute_flags t n =
+  let local =
+    new_in t n <> [] || new_out t n <> [] || assign_in t n <> [] || assign_out t n <> []
+    || load_in t n <> [] || load_out t n <> [] || store_in t n <> [] || store_out t n <> []
+  in
+  Bytes.set t.flag_local n (if local then '\001' else '\000');
+  let gin = global_in t n <> [] || entry_in t n <> [] || exit_in t n <> [] in
+  Bytes.set t.flag_gin n (if gin then '\001' else '\000');
+  let gout = global_out t n <> [] || entry_out t n <> [] || exit_out t n <> [] in
+  Bytes.set t.flag_gout n (if gout then '\001' else '\000')
+
+(* Insertions can grow true points-to sets, so the frozen Andersen rows
+   may under-approximate — unsound for pruning — on every node forward-
+   reachable from the insertion's value destination in the field-based
+   flow graph (copies, calls/returns without context, store(f) jumping to
+   every load of f: a superset of Andersen's propagation paths). Those
+   rows are flipped to conservative. Deletions only shrink true sets, so
+   existing rows stay over-approximate and remain sound untouched. *)
+let invalidate_oracle t seeds =
+  if t.oracle_stride = 0 then 0
+  else begin
+    if Bytes.length t.oracle_valid = 0 then t.oracle_valid <- Bytes.make (max 1 t.n_nodes) '\001';
+    let visited = Bytes.make (max 1 t.n_nodes) '\000' in
+    let q = Queue.create () in
+    let push n =
+      if n >= 0 && n < t.n_nodes && Bytes.get visited n = '\000' then begin
+        Bytes.set visited n '\001';
+        Queue.add n q
+      end
+    in
+    List.iter push seeds;
+    let fresh = ref 0 in
+    while not (Queue.is_empty q) do
+      let n = Queue.pop q in
+      if Bytes.get t.oracle_valid n = '\001' then begin
+        Bytes.set t.oracle_valid n '\000';
+        incr fresh
+      end;
+      List.iter push (assign_out t n);
+      List.iter push (global_out t n);
+      List.iter (fun (_, m) -> push m) (entry_out t n);
+      List.iter (fun (_, m) -> push m) (exit_out t n);
+      List.iter
+        (fun (f, _) -> List.iter (fun (_, dst) -> push dst) (loads_of_field t f))
+        (store_out t n)
+    done;
+    !fresh
+  end
+
+let apply_edits t edits =
+  require_frozen t "Pag.apply_edits";
+  let d =
+    match t.delta with
+    | Some d -> d
+    | None ->
+      let d = Delta.create () in
+      t.delta <- Some d;
+      d
+  in
+  let dirty = Hashtbl.create 16 in
+  let mark n = Hashtbl.replace dirty n () in
+  let inserted = ref 0 and deleted = ref 0 in
+  let seeds = ref [] and store_fields = ref [] in
+  let check_node n =
+    if n < 0 || n >= t.n_nodes then invalid_arg "Pag.apply_edits: node out of range"
+  in
+  List.iter
+    (fun ed ->
+      let k = match ed with Eadd k | Edel k -> k in
+      let c = canon k in
+      check_node c.e_a;
+      check_node c.e_b;
+      match ed with
+      | Eadd _ ->
+        if not (view_mem t c) then begin
+          (match k with
+          | Enew { obj_; dst = _ } ->
+            if not (is_obj t obj_) then
+              invalid_arg "Pag.apply_edits: Enew source is not an object node";
+            (match new_out t obj_ with
+            | [] -> ()
+            | existing :: _ ->
+              invalid_arg
+                (Printf.sprintf "Pag.apply_edits: allocation %s already flows to %s"
+                   (node_name t obj_) (node_name t existing)))
+          | _ -> ());
+          if Delta.is_deleted d c.e_in_side c.e_in_node c.e_aux c.e_in_other then begin
+            Delta.unmark_deleted d c.e_in_side c.e_in_node c.e_aux c.e_in_other;
+            Delta.unmark_deleted d c.e_out_side c.e_out_node c.e_aux c.e_out_other
+          end
+          else begin
+            Delta.add d c.e_in_side c.e_in_node c.e_aux c.e_in_other;
+            Delta.add d c.e_out_side c.e_out_node c.e_aux c.e_out_other
+          end;
+          t.ghash <- t.ghash lxor edge_hash c.e_tag c.e_a c.e_b c.e_aux;
+          bump_count t c.e_tag 1;
+          incr inserted;
+          mark c.e_a;
+          mark c.e_b;
+          (match k with
+          | Eload { base; fld; dst } -> index_add t.loads_by_field fld (base, dst)
+          | Estore { base; fld; src } -> index_add t.stores_by_field fld (base, src)
+          | _ -> ());
+          (* oracle seed: where the inserted value first surfaces *)
+          (match k with
+          | Enew { dst; _ } | Eassign { dst; _ } | Eglobal { dst; _ } | Eload { dst; _ }
+          | Eexit { dst; _ } ->
+            seeds := dst :: !seeds
+          | Eentry { formal; _ } -> seeds := formal :: !seeds
+          | Estore { fld; _ } -> store_fields := fld :: !store_fields)
+        end
+      | Edel _ ->
+        if view_mem t c then begin
+          if Delta.is_added d c.e_in_side c.e_in_node c.e_aux c.e_in_other then begin
+            Delta.remove_added d c.e_in_side c.e_in_node c.e_aux c.e_in_other;
+            Delta.remove_added d c.e_out_side c.e_out_node c.e_aux c.e_out_other
+          end
+          else begin
+            Delta.mark_deleted d c.e_in_side c.e_in_node c.e_aux c.e_in_other;
+            Delta.mark_deleted d c.e_out_side c.e_out_node c.e_aux c.e_out_other
+          end;
+          t.ghash <- t.ghash lxor edge_hash c.e_tag c.e_a c.e_b c.e_aux;
+          bump_count t c.e_tag (-1);
+          incr deleted;
+          mark c.e_a;
+          mark c.e_b;
+          match k with
+          | Eload { base; fld; dst } -> index_remove t.loads_by_field fld (base, dst)
+          | Estore { base; fld; src } -> index_remove t.stores_by_field fld (base, src)
+          | _ -> ()
+        end)
+    edits;
+  Hashtbl.iter (fun n () -> recompute_flags t n) dirty;
+  (* a store's value surfaces at every load of its field, under the same
+     field-based approximation the invalidation walk itself uses *)
+  let seeds =
+    !seeds
+    @ List.concat_map
+        (fun f -> List.map snd (loads_of_field t f))
+        (List.sort_uniq compare !store_fields)
+  in
+  let inv = if !inserted > 0 then invalidate_oracle t seeds else 0 in
+  t.epoch <- t.epoch + 1;
+  let dl = List.sort compare (Hashtbl.fold (fun n () acc -> n :: acc) dirty []) in
+  {
+    c_epoch = t.epoch;
+    c_dirty = dl;
+    c_inserted = !inserted;
+    c_deleted = !deleted;
+    c_oracle_invalidated = inv;
+  }

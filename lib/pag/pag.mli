@@ -238,3 +238,91 @@ val locality : t -> float
 val touched_counts : t -> int * int * int
 (** [(objs, locals, globals)] with at least one incident edge — the
     reachable part of the graph, which is what Table 3 reports. *)
+
+(** {2 Successor view (base + overlay) — requires {!freeze}}
+
+    The allocation-free adjacency the engines traverse: the frozen CSR
+    slab first (skipping deleted edges), then edges inserted after
+    {!freeze} in insertion order. With no pending edits this compiles
+    down to the old direct slab loop; hot paths go through here so every
+    engine transparently reads base+delta. *)
+
+module View : sig
+  val iter_new_in : t -> node -> (node -> unit) -> unit
+  val iter_new_out : t -> node -> (node -> unit) -> unit
+  val iter_assign_in : t -> node -> (node -> unit) -> unit
+  val iter_assign_out : t -> node -> (node -> unit) -> unit
+  val iter_global_in : t -> node -> (node -> unit) -> unit
+  val iter_global_out : t -> node -> (node -> unit) -> unit
+
+  val iter_load_in : t -> node -> (fld -> node -> unit) -> unit
+  (** [f fld base] at a load destination. Labelled iterators pass the aux
+      component (field or call-site id) first, then the other endpoint. *)
+
+  val iter_load_out : t -> node -> (fld -> node -> unit) -> unit
+  val iter_store_in : t -> node -> (fld -> node -> unit) -> unit
+  val iter_store_out : t -> node -> (fld -> node -> unit) -> unit
+  val iter_entry_in : t -> node -> (site -> node -> unit) -> unit
+  val iter_entry_out : t -> node -> (site -> node -> unit) -> unit
+  val iter_exit_in : t -> node -> (site -> node -> unit) -> unit
+  val iter_exit_out : t -> node -> (site -> node -> unit) -> unit
+
+  val has_new_in : t -> node -> bool
+  (** Any [new] edge into this variable in the current view? Constant
+      time on an unedited graph. *)
+end
+
+(** {2 Post-freeze edits}
+
+    The frozen slabs stay immutable; edits accumulate in a delta overlay
+    that every list accessor and {!View} iterator composes on the fly.
+    Each {!apply_edits} batch bumps the {!epoch} and returns the set of
+    dirty nodes so summary caches can invalidate exactly the entries
+    whose derivations touched them. Edits must happen strictly between
+    query batches (same discipline as {!freeze}): the overlay is read
+    lock-free by querying domains. *)
+
+type ekind =
+  | Enew of { obj_ : node; dst : node }
+  | Eassign of { src : node; dst : node }
+  | Eglobal of { src : node; dst : node }
+  | Eload of { base : node; fld : fld; dst : node }
+  | Estore of { base : node; fld : fld; src : node }
+  | Eentry of { site : site; actual : node; formal : node }
+  | Eexit of { site : site; retval : node; dst : node }
+
+type edit = Eadd of ekind | Edel of ekind
+
+type commit = {
+  c_epoch : int;  (** epoch after the batch *)
+  c_dirty : node list;  (** endpoints of changed edges, sorted, deduped *)
+  c_inserted : int;  (** edges actually inserted (duplicates skipped) *)
+  c_deleted : int;  (** edges actually deleted (absent edges skipped) *)
+  c_oracle_invalidated : int;  (** Andersen rows newly flipped to conservative *)
+}
+
+val apply_edits : t -> edit list -> commit
+(** Apply a batch. Inserting an edge that already exists or deleting one
+    that doesn't is a silent no-op (mirroring the builder's dedup); a
+    delete followed by a re-add restores the graph exactly, including
+    {!graph_hash}. Per-field indices, node flags, edge counts and the
+    oracle validity map are maintained; inserted values trigger a
+    forward-reachability sweep that conservatively invalidates oracle
+    rows (deletions only shrink true sets, so existing rows stay sound).
+    @raise Invalid_argument before {!freeze}, on an out-of-range node, or
+    on an [Enew] that violates the unique-destination invariant. *)
+
+val epoch : t -> int
+(** 0 until the first {!apply_edits}; +1 per batch. Engines with
+    graph-derived state (e.g. the field-based reachability index) compare
+    this against the epoch they solved at. *)
+
+val graph_hash : t -> int
+(** Order-independent XOR hash over the logical edge multiset, maintained
+    incrementally across edits. Two graphs with equal hashes almost
+    surely have identical edge sets — this is what the persisted summary
+    cache header records, so a cache can never be replayed against a
+    graph that has drifted. *)
+
+val delta_counts : t -> int * int
+(** [(added, deleted)] overlay edge records (both directions counted). *)

@@ -1,0 +1,14 @@
+(** Seeded edit scripts over a frozen PAG — the IDE/CI editing workload.
+
+    A burst mixes method-body rewrites (intra-method assign churn,
+    load/store changes on fields already in use) with added/removed call
+    edges (entry/exit on existing call sites) and deletions sampled
+    uniformly from the edges currently visible in the view. Generation
+    is a pure function of the generator state and the graph, so the
+    incremental side and a from-scratch rebuild replaying the recorded
+    scripts see bit-identical edit histories. *)
+
+val burst : Pts_util.Prng.t -> Pag.t -> n:int -> Pag.edit list
+(** [burst rng pag ~n] draws up to [n] edits (fewer only on degenerate
+    graphs with nothing to insert between). Roughly half are deletions
+    of existing edges when any exist. *)
