@@ -3,7 +3,7 @@
 
 DUNE ?= dune
 
-.PHONY: all build test smoke smoke-parallel smoke-parallel-steal smoke-prune smoke-check smoke-minifun smoke-incr check bench bench-smoke bench-prune-smoke bench-taint-smoke bench-minifun bench-incr verify clean
+.PHONY: all build test smoke smoke-parallel smoke-parallel-steal smoke-prune smoke-check smoke-minifun smoke-incr smoke-serve check bench bench-smoke bench-prune-smoke bench-taint-smoke bench-minifun bench-incr bench-serve verify clean
 
 all: build
 
@@ -104,7 +104,31 @@ smoke-incr:
 	    assert r["retained"] > 0, r; \
 	    print("incr smoke ok:", len(r["bursts"]), "bursts,", r["retained"], "summaries retained, reports byte-equal")'
 
-check: build test smoke smoke-parallel smoke-parallel-steal smoke-prune smoke-check smoke-minifun smoke-incr
+# The daemon end to end: a scripted request mix (query, full check, an
+# edit burst, the query again post-edit, stats, shutdown) piped through
+# `ptsto serve` on stdin. The embedded verdicts/report objects must
+# equal the one-shot CLI's --verdicts-json / --report-json outputs, and
+# the edit must bump the epoch every later response carries.
+smoke-serve:
+	printf '{"op":"query","client":"safecast","id":1}\n{"op":"check","id":2}\n{"op":"edit","edits":4,"seed":7,"id":3}\n{"op":"query","client":"safecast","id":4}\n{"op":"stats","id":5}\n{"op":"shutdown","id":6}\n' \
+	  | $(DUNE) exec bin/ptsto.exe -- serve --bench jack > /tmp/ptsto_serve_out.jsonl
+	$(DUNE) exec bin/ptsto.exe -- client --bench jack -c safecast -e dynsum --verdicts-json \
+	  | tail -n 1 > /tmp/ptsto_serve_ref_verdicts.json
+	$(DUNE) exec bin/ptsto.exe -- check --bench jack --fail-on never --report-json \
+	  | tail -n 1 > /tmp/ptsto_serve_ref_report.json
+	python3 -c 'import json; \
+	  resp={r["id"]: r for r in (json.loads(l) for l in open("/tmp/ptsto_serve_out.jsonl") if l.strip())}; \
+	  v=json.load(open("/tmp/ptsto_serve_ref_verdicts.json")); \
+	  r=json.load(open("/tmp/ptsto_serve_ref_report.json")); \
+	  assert resp[1]["ok"] and resp[1]["verdicts"] == v, "verdicts differ from one-shot CLI"; \
+	  assert resp[2]["ok"] and resp[2]["report"] == r, "report differs from one-shot CLI"; \
+	  assert resp[3]["ok"] and resp[3]["epoch"] == 1, resp[3]; \
+	  assert resp[4]["ok"] and resp[4]["epoch"] == 1, resp[4]; \
+	  assert resp[5]["ok"] and resp[6]["ok"], (resp[5], resp[6]); \
+	  assert resp[5]["base"]["size"] > 0, resp[5]; \
+	  print("serve smoke ok: verdicts+report match one-shot CLI, epoch", resp[4]["epoch"], "after edit")'
+
+check: build test smoke smoke-parallel smoke-parallel-steal smoke-prune smoke-check smoke-minifun smoke-incr smoke-serve
 
 bench:
 	$(DUNE) exec bench/main.exe
@@ -179,8 +203,28 @@ bench-incr:
 	  assert any(r["wall_ratio_incr_vs_rebuild"] < 1.0 for r in rows), rows; \
 	  print("bench-incr ok:", len(rows), "rows, equivalence holds, retention > 0 on small scripts")'
 
+# Daemon equivalence matrix + sustained-throughput phases (jack and
+# soot-c); writes the committed artefact. Asserted: every equivalence
+# cell byte-equal (engines x prune x pre/post-edit), qps and latency
+# percentiles in every row, and the cross-request tier buying at least
+# 1.5x warm-over-cold throughput on one suite (wall-clock, so only the
+# committed artefact's measured ratio is held to the bar; CI re-asserts
+# the deterministic columns and a ratio > 1 sanity floor).
+bench-serve:
+	$(DUNE) exec bench/main.exe -- serve \
+	  | grep '^BENCH_serve.json ' \
+	  | sed 's/^BENCH_serve.json //' > BENCH_serve.json
+	python3 -c 'import json; \
+	  rows=json.load(open("BENCH_serve.json"))["rows"]; \
+	  eq=[r for r in rows if r["phase"] == "equivalence"]; \
+	  assert eq and all(r["query_equal"] and r["check_equal"] for r in eq), eq; \
+	  assert all("qps" in r and "p50_ms" in r and "p99_ms" in r for r in rows), rows; \
+	  ratios=[r["warm_vs_cold_qps"] for r in rows if "warm_vs_cold_qps" in r]; \
+	  assert ratios and max(ratios) > 1.0, ratios; \
+	  print("bench-serve ok:", len(eq), "equivalence cells byte-equal, warm/cold", round(max(ratios), 2))'
+
 # Tier-1 plus the smokes in one command.
-verify: check bench-smoke bench-prune-smoke bench-taint-smoke bench-minifun bench-incr
+verify: check bench-smoke bench-prune-smoke bench-taint-smoke bench-minifun bench-incr bench-serve
 
 clean:
 	$(DUNE) clean

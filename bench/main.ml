@@ -73,6 +73,18 @@ module Bm = struct
       ("unknown", Json.Int r.Client.tally.Client.unknown);
       ("summaries", Json.Int r.Client.summaries_after);
     ]
+
+  (* Every per-configuration artefact row opens with the same identity
+     prefix (bench, then client/engine/jobs when they vary). Build it in
+     one place so targets can't drift on key names. *)
+  let row artefact ~bench ?client ?engine ?jobs fields =
+    add artefact
+      (("bench", Json.String bench)
+       ::
+       ((match client with None -> [] | Some c -> [ ("client", Json.String c) ])
+       @ (match engine with None -> [] | Some e -> [ ("engine", Json.String e) ])
+       @ (match jobs with None -> [] | Some j -> [ ("jobs", Json.Int j) ])
+       @ fields))
 end
 
 (* Shared wall-clock discipline for every timed target: an optional
@@ -945,12 +957,9 @@ let run_parallel_bench ~artefact ~bench ~jobs_list ~rounds ?(schedules = [ Parso
             | Parsolve.Steal, Some w -> [ ("wall_ratio_vs_static", Bm.Json.Float (wall /. Float.max 1e-9 w)) ]
             | _ -> []
           in
-          Bm.add artefact
+          Bm.row artefact ~bench ~engine:"dynsum" ~jobs
             ([
-               ("bench", Bm.Json.String bench);
-               ("engine", Bm.Json.String "dynsum");
                ("schedule", Bm.Json.String (Parsolve.schedule_name schedule));
-               ("jobs", Bm.Json.Int jobs);
                ("rounds", Bm.Json.Int r.Parsolve.rounds);
                ("queries", Bm.Json.Int (Array.length qarr));
                ("wall_seconds", Bm.Json.Float wall);
@@ -960,6 +969,10 @@ let run_parallel_bench ~artefact ~bench ~jobs_list ~rounds ?(schedules = [ Parso
                ("predicted_cost_corr", Bm.Json.Float r.Parsolve.cost_corr);
                ("merged_summaries", Bm.Json.Int r.Parsolve.merged_summaries);
                ("unique_summaries", Bm.Json.Int r.Parsolve.unique_summaries);
+               ("base_hits", Bm.Json.Int r.Parsolve.base_hits);
+               ("base_misses", Bm.Json.Int r.Parsolve.base_misses);
+               ("base_evictions", Bm.Json.Int r.Parsolve.base_evictions);
+               ("base_size", Bm.Json.Int r.Parsolve.base_size);
                ("speedup_vs_jobs1", Bm.Json.Float speedup);
                ("set_equal_vs_first", Bm.Json.Bool equal);
                ("recommended_domains", Bm.Json.Int (Domain.recommended_domain_count ()));
@@ -1074,11 +1087,8 @@ let run_prune_bench ~artefact ~benches ~engines:engine_names ?(repeat = 1) () =
           let checks = Stats.get e_on.Engine.stats "prune_checks" in
           let ratio = float_of_int r_on.Client.steps /. Float.max 1.0 (float_of_int r_off.Client.steps) in
           let same = r_on.Client.tally = r_off.Client.tally in
-          Bm.add artefact
+          Bm.row artefact ~bench:bname ~client:"NullDeref" ~engine:ename
             [
-              ("bench", Bm.Json.String bname);
-              ("client", Bm.Json.String "NullDeref");
-              ("engine", Bm.Json.String ename);
               ("steps_off", Bm.Json.Int r_off.Client.steps);
               ("steps_on", Bm.Json.Int r_on.Client.steps);
               ("step_ratio", Bm.Json.Float ratio);
@@ -1142,11 +1152,8 @@ let run_prune_bench ~artefact ~benches ~engines:engine_names ?(repeat = 1) () =
       let mustnot = List.length (List.filter (fun v -> v = Alias.Must_not) v_on) in
       let same = v_on = v_off in
       let ratio = float_of_int steps_on /. Float.max 1.0 (float_of_int steps_off) in
-      Bm.add artefact
+      Bm.row artefact ~bench:bname ~client:"alias" ~engine:"dynsum"
         [
-          ("bench", Bm.Json.String bname);
-          ("client", Bm.Json.String "alias");
-          ("engine", Bm.Json.String "dynsum");
           ("pairs", Bm.Json.Int (List.length pairs));
           ("must_not", Bm.Json.Int mustnot);
           ("fastpath_pairs", Bm.Json.Int fastpath);
@@ -1277,11 +1284,8 @@ let run_taint_bench ~artefact ~benches ~flows ~clean ~jobs_list ?(repeat = 1) ()
           let ratio a b = if a + b = 0 then 1.0 else float_of_int a /. float_of_int (a + b) in
           let precision = ratio tp fp and recall = ratio tp fn in
           let c name = Stats.get report.Check.r_stats name in
-          Bm.add artefact
+          Bm.row artefact ~bench:bname ~engine ~jobs
             [
-              ("bench", Bm.Json.String bname);
-              ("engine", Bm.Json.String engine);
-              ("jobs", Bm.Json.Int jobs);
               ("flows", Bm.Json.Int flows);
               ("clean", Bm.Json.Int clean);
               ("sources", Bm.Json.Int (c "taint_sources"));
@@ -1382,9 +1386,8 @@ let run_incr_bench ~artefact ~bench ~bursts ~edits_list ~seed ~report_jobs () =
             else float_of_int b.b_stats.Incr.i_retained /. float_of_int total
           in
           let ratio = b.b_incr_seconds /. Float.max 1e-9 b.b_rebuild_seconds in
-          Bm.add artefact
+          Bm.row artefact ~bench
             [
-              ("bench", Bm.Json.String bench);
               ("edits_per_burst", Bm.Json.Int edits_per_burst);
               ("burst", Bm.Json.Int b.b_index);
               ("edits_applied", Bm.Json.Int b.b_edits);
@@ -1439,6 +1442,295 @@ let incr () =
 let incr_smoke () =
   run_incr_bench ~artefact:"incr_smoke" ~bench:"jack" ~bursts:2 ~edits_list:[ 4 ] ~seed:11
     ~report_jobs:[ 1; 2 ] ()
+
+(* --------------------------------------------------------------------- *)
+(* Analysis-as-a-service: the serve daemon's equivalence matrix and       *)
+(* sustained-throughput measurement (BENCH_serve.json)                    *)
+(* --------------------------------------------------------------------- *)
+
+module Daemon = Pts_serve.Daemon
+module Proto = Pts_serve.Proto
+
+(* Nearest-rank percentile over per-request wall times, in milliseconds. *)
+let pctl_ms lat p =
+  let a = Array.of_list lat in
+  Array.sort compare a;
+  let n = Array.length a in
+  if n = 0 then 0.0
+  else a.(max 0 (min (n - 1) (int_of_float (ceil (p *. float_of_int n)) - 1))) *. 1000.0
+
+let serve_checkers bench =
+  Pts_taint.Registry.all ~taint:(Pts_taint.Spec.of_source ~lang:Loc.Mjava (Suite.source bench)) ()
+
+let serve_req ?(client_id = "bench") op =
+  { Proto.rq_id = Bm.Json.Null; rq_client = client_id; rq_op = op }
+
+let serve_query ?client_id ~engine ~prune client =
+  serve_req ?client_id (Proto.Query { client; engine; prune; budget = None })
+
+let serve_handle_timed d lat rq =
+  let resp, dt = Stats.time (fun () -> Daemon.handle d rq) in
+  lat := dt :: !lat;
+  resp
+
+let run_serve_equiv ~artefact ~bench () =
+  hr (Printf.sprintf "serve: daemon equivalence matrix on %s" bench);
+  let module Check = Pts_clients.Check in
+  let checkers = serve_checkers bench in
+  let mk_req = serve_req ?client_id:None in
+  let query_req = serve_query ?client_id:None in
+  let handle_timed = serve_handle_timed in
+  let member_str name resp =
+    match Bm.Json.member name resp with
+    | Some j -> Bm.Json.to_string j
+    | None -> Printf.sprintf "<missing %s in %s>" name (Bm.Json.to_string resp)
+  in
+  (* Fresh one-shot references, computed on a pipeline the daemon never
+     touches: the same canonical encoders the CLI prints, answered with
+     no cross-request tier. *)
+  let fresh_verdicts pl ~engine ~prune client_key =
+    let cname, queries_of = List.assoc client_key Daemon.clients in
+    let queries = queries_of pl in
+    let qarr =
+      Array.of_list
+        (List.map (fun q -> Parsolve.query ~satisfy:q.Client.q_pred q.Client.q_node) queries)
+    in
+    let r = Parsolve.run ~conf:(Engine.conf ~prune ()) ~engine pl.Pipeline.pag qarr in
+    let verdicts =
+      List.mapi (fun i q -> (q, Client.verdict_of q.Client.q_pred r.Parsolve.outcomes.(i))) queries
+    in
+    Bm.Json.to_string (Client.verdicts_json ~client:cname verdicts)
+  in
+  let fresh_report pl ~engine ~prune =
+    let opts =
+      {
+        Check.o_engine = engine;
+        o_conf = Engine.conf ~prune ();
+        o_jobs = 1;
+        o_rounds = 1;
+        o_schedule = Parsolve.Steal;
+        o_base = None;
+      }
+    in
+    Bm.Json.to_string (Check.report_json (Check.run ~opts ~checkers pl))
+  in
+  (* ---- phase 1: equivalence matrix, engines x prune, before and after
+     an interleaved edit burst. One daemon serves the whole matrix, so
+     later cells run against whatever the earlier ones left in the
+     shared tier — exactly the state a long-lived daemon accumulates. *)
+  let t =
+    Table.create ~title:"serve equivalence: daemon responses vs one-shot CLI (byte compare)"
+      [
+        ("engine", Table.Left);
+        ("prune", Table.Left);
+        ("epoch", Table.Right);
+        ("query", Table.Left);
+        ("check", Table.Left);
+        ("qps", Table.Right);
+        ("p99 ms", Table.Right);
+      ]
+  in
+  let daemon = Daemon.create ~checkers (Suite.pipeline bench) in
+  let reference = ref (Suite.pipeline bench) in
+  let ref_incr = ref (Incr.create !reference.Pipeline.pag) in
+  let all_equal = ref true in
+  let matrix epoch_label =
+    List.iter
+      (fun engine ->
+        List.iter
+          (fun prune ->
+            let lat = ref [] in
+            let (q_eq, c_eq), wall =
+              Stats.time (fun () ->
+                  let q_resp = handle_timed daemon lat (query_req ~engine ~prune "safecast") in
+                  let c_resp =
+                    handle_timed daemon lat
+                      (mk_req (Proto.Check { checkers = []; engine; prune; budget = None }))
+                  in
+                  ( member_str "verdicts" q_resp = fresh_verdicts !reference ~engine ~prune "safecast",
+                    member_str "report" c_resp = fresh_report !reference ~engine ~prune ))
+            in
+            if not (q_eq && c_eq) then all_equal := false;
+            let qps = 2.0 /. Float.max 1e-9 wall in
+            Bm.row artefact ~bench ~engine
+              [
+                ("phase", Bm.Json.String "equivalence");
+                ("prune", Bm.Json.Bool prune);
+                ("epoch", Bm.Json.String epoch_label);
+                ("requests", Bm.Json.Int 2);
+                ("query_equal", Bm.Json.Bool q_eq);
+                ("check_equal", Bm.Json.Bool c_eq);
+                ("qps", Bm.Json.Float qps);
+                ("p50_ms", Bm.Json.Float (pctl_ms !lat 0.50));
+                ("p99_ms", Bm.Json.Float (pctl_ms !lat 0.99));
+              ];
+            Table.add_row t
+              [
+                engine;
+                (if prune then "on" else "off");
+                epoch_label;
+                (if q_eq then "equal" else "DIFFER");
+                (if c_eq then "equal" else "DIFFER");
+                Printf.sprintf "%.0f" qps;
+                Printf.sprintf "%.2f" (pctl_ms !lat 0.99);
+              ])
+          [ false; true ])
+      (Engine.names ())
+  in
+  matrix "0";
+  (* interleaved edit burst: the daemon applies it through Incr (dropping
+     exactly the footprint-dirty tier entries); the reference pipeline
+     replays the same seeded burst through its own Incr, so both sides
+     answer on identical PAGs but only the daemon kept warm summaries. *)
+  let edit_seed = 97 in
+  let edit_resp = Daemon.handle daemon (mk_req (Proto.Edit { edits = 6; seed = edit_seed })) in
+  ignore (Incr.apply !ref_incr (Pts_workload.Editscript.burst (Pts_util.Prng.create edit_seed) !reference.Pipeline.pag ~n:6));
+  Printf.printf "edit burst: %s\n" (Bm.Json.to_string edit_resp);
+  matrix "post-edit";
+  Table.print t;
+  if not !all_equal then begin
+    Printf.printf "serve: EQUIVALENCE FAILURE — daemon responses differ from one-shot CLI\n";
+    exit 1
+  end
+
+(* Sustained throughput under a seeded mixed workload. Client skew
+   60/25/10/5 gives the tier a hot set and a long tail; the cold and
+   warm rounds replay one identical request list on the same daemon, so
+   their qps ratio isolates what the persistent tier buys. The sustained
+   pass interleaves edit bursts, forcing targeted invalidation
+   mid-stream. *)
+let run_serve_tput ~artefact ~bench ~requests ~edit_every () =
+  hr (Printf.sprintf "serve: sustained throughput on %s" bench);
+  let mk_req = serve_req ?client_id:None in
+  let handle_timed = serve_handle_timed in
+  let skew = [ (60, "safecast"); (25, "nullderef"); (10, "factorym"); (5, "devirt") ] in
+  let workload seed n =
+    let rng = Pts_util.Prng.create seed in
+    List.init n (fun i ->
+        serve_query ~engine:"dynsum" ~prune:false
+          ~client_id:(Printf.sprintf "c%d" (i mod 4))
+          (Pts_util.Prng.weighted rng skew))
+  in
+  let tput =
+    Table.create ~title:(Printf.sprintf "serve throughput on %s (dynsum, shared cross-request tier)" bench)
+      [
+        ("phase", Table.Left);
+        ("requests", Table.Right);
+        ("qps", Table.Right);
+        ("p50 ms", Table.Right);
+        ("p99 ms", Table.Right);
+        ("tier hits", Table.Right);
+        ("tier size", Table.Right);
+        ("evictions", Table.Right);
+      ]
+  in
+  let fresh () = Daemon.create ~checkers:(serve_checkers bench) (Suite.pipeline bench) in
+  let d = fresh () in
+  (* [pairs] maps each request to the daemon that answers it: the warm
+     and sustained phases route everything through the long-lived [d],
+     while the cold phase gives every request its own fresh daemon. *)
+  let phase_row name pairs ~edits =
+    let lat = ref [] in
+    let edits_done = ref 0 in
+    let (), wall =
+      Stats.time (fun () ->
+          List.iteri
+            (fun i (dmn, rq) ->
+              if edits && edit_every > 0 && i > 0 && i mod edit_every = 0 then begin
+                edits_done := !edits_done + 1;
+                ignore
+                  (Daemon.handle dmn (mk_req (Proto.Edit { edits = 4; seed = 1000 + !edits_done })))
+              end;
+              ignore (handle_timed dmn lat rq))
+            pairs)
+    in
+    let n = List.length pairs in
+    let qps = float_of_int n /. Float.max 1e-9 wall in
+    let daemons =
+      List.fold_left (fun acc (dmn, _) -> if List.memq dmn acc then acc else dmn :: acc) [] pairs
+    in
+    let sum f = List.fold_left (fun acc dmn -> acc + f (Daemon.base dmn)) 0 daemons in
+    let hits = sum Dynsum.base_hits in
+    let size = sum Dynsum.base_length in
+    let ev = sum Dynsum.base_evictions in
+    Bm.row artefact ~bench ~engine:"dynsum"
+      [
+        ("phase", Bm.Json.String name);
+        ("requests", Bm.Json.Int n);
+        ("edit_bursts", Bm.Json.Int !edits_done);
+        ("qps", Bm.Json.Float qps);
+        ("p50_ms", Bm.Json.Float (pctl_ms !lat 0.50));
+        ("p99_ms", Bm.Json.Float (pctl_ms !lat 0.99));
+        ("base_hits", Bm.Json.Int hits);
+        ("base_misses", Bm.Json.Int (sum Dynsum.base_misses));
+        ("base_evictions", Bm.Json.Int ev);
+        ("base_size", Bm.Json.Int size);
+      ];
+    Table.add_row tput
+      [
+        name;
+        string_of_int n;
+        Printf.sprintf "%.0f" qps;
+        Printf.sprintf "%.2f" (pctl_ms !lat 0.50);
+        Printf.sprintf "%.2f" (pctl_ms !lat 0.99);
+        string_of_int hits;
+        string_of_int size;
+        string_of_int ev;
+      ];
+    qps
+  in
+  (* cold vs warm: one round over every distinct query request (each
+     client, both prune modes). Cold answers each request on its own
+     fresh daemon — the derivation cost a one-shot invocation pays,
+     with no cross-request reuse (PAG load excluded, so this still
+     understates cold start). Warm replays the identical round on the
+     long-lived daemon after it has served the round once, so every
+     answer draws on the persistent tier. The sustained pass then runs
+     the mixed skewed workload with interleaved edit bursts. *)
+  let round =
+    List.concat_map
+      (fun (key, _) ->
+        [
+          serve_query ~engine:"dynsum" ~prune:false key;
+          serve_query ~engine:"dynsum" ~prune:true key;
+        ])
+      Daemon.clients
+  in
+  let cold_qps = phase_row "cold" (List.map (fun rq -> (fresh (), rq)) round) ~edits:false in
+  List.iter (fun rq -> ignore (Daemon.handle d rq)) round;
+  let warm_qps = phase_row "warm" (List.map (fun rq -> (d, rq)) round) ~edits:false in
+  let _ = phase_row "sustained" (List.map (fun rq -> (d, rq)) (workload 8 (2 * requests))) ~edits:true in
+  Bm.row artefact ~bench ~engine:"dynsum"
+    [
+      ("phase", Bm.Json.String "summary");
+      ("requests", Bm.Json.Int ((2 * List.length round) + (2 * requests)));
+      ("qps", Bm.Json.Float warm_qps);
+      ("p50_ms", Bm.Json.Float 0.0);
+      ("p99_ms", Bm.Json.Float 0.0);
+      ("warm_vs_cold_qps", Bm.Json.Float (warm_qps /. Float.max 1e-9 cold_qps));
+    ];
+  Table.print tput;
+  Printf.printf "warm/cold qps ratio on %s: %.2f (the cross-request tier's payoff)\n" bench
+    (warm_qps /. Float.max 1e-9 cold_qps)
+
+let serve_note =
+  "equivalence rows byte-compare the daemon's embedded verdicts/report objects against fresh \
+   one-shot runs with no cross-request tier, before and after an interleaved edit burst; \
+   throughput rows answer one round over every distinct query request cold (each on its own fresh \
+   daemon, as a one-shot invocation would) then replay the identical round warm on one long-lived \
+   daemon, then run a sustained pass over a seeded 60/25/10/5 client-skewed workload with edit \
+   bursts every few requests"
+
+let serve () =
+  run_serve_equiv ~artefact:"serve" ~bench:"jack" ();
+  run_serve_tput ~artefact:"serve" ~bench:"jack" ~requests:100 ~edit_every:25 ();
+  run_serve_tput ~artefact:"serve" ~bench:"soot-c" ~requests:60 ~edit_every:20 ();
+  Bm.flush "serve" ~note:serve_note
+
+let serve_smoke () =
+  run_serve_equiv ~artefact:"serve_smoke" ~bench:"jack" ();
+  run_serve_tput ~artefact:"serve_smoke" ~bench:"jack" ~requests:20 ~edit_every:8 ();
+  Bm.flush "serve_smoke" ~note:serve_note
 
 (* --------------------------------------------------------------------- *)
 (* Bechamel microbenchmarks                                               *)
@@ -1513,6 +1805,8 @@ let () =
       ("taint_smoke", taint_smoke);
       ("incr", incr);
       ("incr_smoke", incr_smoke);
+      ("serve", serve);
+      ("serve_smoke", serve_smoke);
       ("micro", micro);
     ]
   in

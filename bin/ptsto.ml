@@ -150,6 +150,7 @@ let metrics_json rows =
         List
           (List.map
              (fun (client, (e : Engine.engine)) ->
+               let base_hits, base_misses, base_evictions, base_size = e.Engine.cache_health () in
                Obj
                  ((match client with None -> [] | Some c -> [ ("client", String c) ])
                  @ [
@@ -159,6 +160,10 @@ let metrics_json rows =
                    ("summary_hits", Int (get e "summary_hits"));
                    ("summary_misses", Int (get e "summary_misses"));
                    ("summaries", Int (e.Engine.summary_count ()));
+                   ("base_hits", Int base_hits);
+                   ("base_misses", Int base_misses);
+                   ("base_evictions", Int base_evictions);
+                   ("base_size", Int base_size);
                    ( "counters",
                      Obj (List.map (fun (k, v) -> (k, Int v)) (Pts_util.Stats.to_list e.Engine.stats))
                    );
@@ -243,8 +248,8 @@ let query_cmd lang file bench meth var engine_name budget prune trace metrics =
    path below because the trace plumbing differs (a shared mutex-guarded
    writer instead of one sink) and per-domain reports replace the single
    engine's counters. *)
-let client_par_cmd lang file bench client_key engine_name budget prune cache_file trace metrics jobs rounds
-    schedule =
+let client_par_cmd lang file bench client_key engine_name budget prune cache_file trace metrics vjson jobs
+    rounds schedule =
   with_pipeline ?lang file bench (fun pl ->
       let cname, queries_of = List.assoc client_key clients in
       if cache_file <> None then
@@ -295,6 +300,8 @@ let client_par_cmd lang file bench client_key engine_name budget prune cache_fil
           | Client.Unknown -> Printf.printf "  UNKNOWN %s\n" q.Client.q_desc
           | Client.Proved -> ())
         verdicts;
+      if vjson then
+        print_endline (Trace.Json.to_string (Client.verdicts_json ~client:cname verdicts));
       if metrics then
         let open Trace.Json in
         print_endline
@@ -313,6 +320,10 @@ let client_par_cmd lang file bench client_key engine_name budget prune cache_fil
                   ("predicted_cost_corr", Float r.Parsolve.cost_corr);
                   ("merged_summaries", Int r.Parsolve.merged_summaries);
                   ("unique_summaries", Int r.Parsolve.unique_summaries);
+                  ("base_hits", Int r.Parsolve.base_hits);
+                  ("base_misses", Int r.Parsolve.base_misses);
+                  ("base_evictions", Int r.Parsolve.base_evictions);
+                  ("base_size", Int r.Parsolve.base_size);
                   ( "domains",
                     List
                       (List.map
@@ -333,11 +344,11 @@ let client_par_cmd lang file bench client_key engine_name budget prune cache_fil
                   );
                 ])))
 
-let client_cmd lang file bench client_key engine_name budget prune cache_file trace metrics jobs rounds
-    schedule =
+let client_cmd lang file bench client_key engine_name budget prune cache_file trace metrics vjson jobs
+    rounds schedule =
   if jobs <> 1 || rounds <> 1 then
-    client_par_cmd lang file bench client_key engine_name budget prune cache_file trace metrics jobs rounds
-      schedule
+    client_par_cmd lang file bench client_key engine_name budget prune cache_file trace metrics vjson jobs
+      rounds schedule
   else
   with_pipeline ?lang file bench (fun pl ->
       with_trace trace (fun sink ->
@@ -368,17 +379,25 @@ let client_cmd lang file bench client_key engine_name budget prune cache_file tr
           Printf.printf "%s with %s: %d queries in %.3fs (%d steps)\n" cname engine.Engine.name
             (List.length queries) r.Client.seconds r.Client.steps;
           Format.printf "  %a@." Client.pp_tally r.Client.tally;
-          (* list refuted/unknown queries for actionability *)
+          (* list refuted/unknown queries for actionability (the re-query
+             is answered from warm summaries) *)
+          let verdicts =
+            List.map
+              (fun q ->
+                ( q,
+                  Client.verdict_of q.Client.q_pred
+                    (engine.Engine.points_to ~satisfy:q.Client.q_pred q.Client.q_node) ))
+              queries
+          in
           List.iter
-            (fun q ->
-              match
-                Client.verdict_of q.Client.q_pred
-                  (engine.Engine.points_to ~satisfy:q.Client.q_pred q.Client.q_node)
-              with
+            (fun (q, v) ->
+              match v with
               | Client.Refuted -> Printf.printf "  REFUTED %s\n" q.Client.q_desc
               | Client.Unknown -> Printf.printf "  UNKNOWN %s\n" q.Client.q_desc
               | Client.Proved -> ())
-            queries;
+            verdicts;
+          if vjson then
+            print_endline (Trace.Json.to_string (Client.verdicts_json ~client:cname verdicts));
           (match dynsum_session with
           | Some (d, path) ->
             Dynsum.save_cache d path;
@@ -574,6 +593,7 @@ let check_cmd lang file bench tflows tclean checker_names engine_name budget pru
       o_jobs = jobs;
       o_rounds = rounds;
       o_schedule = schedule;
+      o_base = None;
     }
   in
   let report = Check.run ~opts ~checkers pl in
@@ -641,6 +661,49 @@ let check_cmd lang file bench tflows tclean checker_names engine_name budget pru
       List.exists (fun d -> Diag.severity_geq d.Diag.d_severity s) report.Check.r_diags
   in
   exit (if fail then 1 else 0)
+
+(* Analysis-as-a-service: load and freeze one PAG, then answer
+   newline-delimited JSON requests forever. Responses are the only thing
+   written to stdout (the banner goes to stderr), so
+   [printf ... | ptsto serve --bench jack] is scriptable as-is. *)
+let serve_cmd lang file bench budget max_budget jobs rounds schedule base_capacity queue_capacity
+    max_cost pipeline socket trace =
+  let module Daemon = Pts_serve.Daemon in
+  let source = check_source file bench 0 0 in
+  let lang = match bench with Some _ -> Loc.Mjava | None -> lang_of lang file in
+  let pl =
+    match Pipeline.of_source ~lang source with
+    | pl -> pl
+    | exception Frontend.Error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      exit 2
+  in
+  let spec = Pts_taint.Spec.of_source ~lang source in
+  let checkers = Pts_taint.Registry.all ~taint:spec () in
+  with_trace trace (fun sink ->
+      Trace.flush_on_signals ();
+      let config =
+        {
+          Daemon.c_jobs = jobs;
+          c_rounds = rounds;
+          c_schedule = schedule;
+          c_budget = budget;
+          c_max_budget = max_budget;
+          c_base_capacity = base_capacity;
+          c_queue_capacity = queue_capacity;
+          c_max_cost = max_cost;
+          c_pipeline = pipeline;
+        }
+      in
+      let d = Daemon.create ~config ~trace:sink ~checkers pl in
+      let o, v, g = Pag.touched_counts pl.Pipeline.pag in
+      Printf.eprintf "ptsto serve: PAG frozen (%d objects, %d locals, %d globals), %s\n%!" o v g
+        (match socket with
+        | Some path -> Printf.sprintf "listening on %s" path
+        | None -> "reading requests from stdin");
+      match socket with
+      | Some path -> Daemon.serve_socket d path
+      | None -> Daemon.serve_channel d stdin stdout)
 
 (* Incremental editing: seeded edit bursts against live engines, each
    burst checked for verdict- and report-equality against a from-scratch
@@ -753,10 +816,18 @@ let client_t =
             "Split the batch into $(docv) consecutive rounds, publishing the per-domain dynsum \
              summaries to a shared base tier between rounds.")
   in
+  let vjson =
+    Arg.(
+      value & flag
+      & info [ "verdicts-json" ]
+          ~doc:
+            "Print the canonical verdicts object as one JSON line (the same encoder the serve \
+             daemon embeds in query responses, so the two are byte-comparable).")
+  in
   Cmd.v (Cmd.info "client" ~doc:"Run a client's query set")
     Term.(
       const client_cmd $ lang_arg $ file_arg $ bench_arg $ client $ engine_arg $ budget_arg $ prune_arg
-      $ cache $ trace_arg $ metrics_arg $ jobs $ rounds $ schedule_arg)
+      $ cache $ trace_arg $ metrics_arg $ vjson $ jobs $ rounds $ schedule_arg)
 
 let compare_t =
   Cmd.v (Cmd.info "compare" ~doc:"All engines on all clients")
@@ -881,6 +952,68 @@ let check_t =
       const check_cmd $ lang_arg $ file_arg $ bench_arg $ taint_flows $ taint_clean $ checker $ engine_arg
       $ budget_arg $ prune_arg $ jobs $ rounds $ schedule_arg $ fail_on $ report_json $ metrics_arg)
 
+let serve_t =
+  let jobs = jobs_arg ~doc:"Answer each request's query batch on $(docv) worker domains." in
+  let rounds =
+    Arg.(
+      value & opt int 1
+      & info [ "rounds" ] ~docv:"N" ~doc:"Split each request's batch into $(docv) rounds.")
+  in
+  let max_budget =
+    Arg.(
+      value & opt int 0
+      & info [ "max-budget" ] ~docv:"N"
+          ~doc:
+            "Reject requests asking for a per-query budget above $(docv) with a structured \
+             $(b,budget_too_large) error (0 = no ceiling).")
+  in
+  let base_capacity =
+    Arg.(
+      value & opt int 4096
+      & info [ "base-capacity" ] ~docv:"N"
+          ~doc:
+            "Bound the cross-request summary tier to $(docv) entries, evicting with a \
+             second-chance clock (0 = unbounded).")
+  in
+  let queue_capacity =
+    Arg.(
+      value & opt int 64
+      & info [ "queue-capacity" ] ~docv:"N"
+          ~doc:
+            "Bound the admission queue to $(docv) pending requests; excess requests are rejected \
+             with $(b,overloaded) (0 = unbounded).")
+  in
+  let max_cost =
+    Arg.(
+      value & opt int 0
+      & info [ "max-cost" ] ~docv:"N"
+          ~doc:
+            "Reject requests whose predicted step cost exceeds $(docv) with $(b,oversized) (0 = \
+             off).")
+  in
+  let pipeline =
+    Arg.(
+      value & opt int 1
+      & info [ "pipeline" ] ~docv:"N"
+          ~doc:
+            "Read up to $(docv) requests before draining the admission queue in per-client \
+             fair-share order; responses carry the request $(b,id) for matching.")
+  in
+  let socket =
+    Arg.(
+      value & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:"Listen on a Unix-domain socket at $(docv) instead of stdin/stdout.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run as a long-lived daemon: freeze one PAG, answer newline-delimited JSON requests \
+          (query/check/edit/stats/shutdown) with a persistent cross-request summary tier")
+    Term.(
+      const serve_cmd $ lang_arg $ file_arg $ bench_arg $ budget_arg $ max_budget $ jobs $ rounds
+      $ schedule_arg $ base_capacity $ queue_capacity $ max_cost $ pipeline $ socket $ trace_arg)
+
 let run_t =
   Cmd.v
     (Cmd.info "run"
@@ -907,6 +1040,6 @@ let () =
        (Cmd.group
           (Cmd.info "ptsto" ~version:"1.0.0" ~doc)
           [
-            run_t; stats_t; ir_t; query_t; client_t; check_t; compare_t; edit_t; gen_t; alias_t;
-            why_t; dot_t;
+            run_t; stats_t; ir_t; query_t; client_t; check_t; serve_t; compare_t; edit_t; gen_t;
+            alias_t; why_t; dot_t;
           ]))

@@ -48,6 +48,7 @@ type opts = {
   o_jobs : int;
   o_rounds : int;
   o_schedule : Parsolve.schedule;
+  o_base : Dynsum.base option;
 }
 
 let default_opts =
@@ -57,6 +58,7 @@ let default_opts =
     o_jobs = 1;
     o_rounds = 1;
     o_schedule = Parsolve.Steal;
+    o_base = None;
   }
 
 type report = {
@@ -105,7 +107,7 @@ let run ?(opts = default_opts) ~checkers pl =
             let qs = Array.map (fun n -> Parsolve.query n) nodes in
             let res =
               Parsolve.run ~conf:opts.o_conf ~jobs:opts.o_jobs ~rounds:opts.o_rounds
-                ~schedule:opts.o_schedule ~engine:opts.o_engine pag qs
+                ~schedule:opts.o_schedule ?base:opts.o_base ~engine:opts.o_engine pag qs
             in
             Stats.merge_into ~into:stats res.Parsolve.stats;
             res.Parsolve.outcomes

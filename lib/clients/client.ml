@@ -57,3 +57,25 @@ let run_batches engine queries ~batches =
 
 let pp_tally fmt t =
   Format.fprintf fmt "proved=%d refuted=%d unknown=%d" t.proved t.refuted t.unknown
+
+(* One canonical verdict rendering, shared by [ptsto client
+   --verdicts-json] and the serve daemon's query responses so that
+   "serve answers what the CLI answers" is checkable as byte equality.
+   Engine-independent by construction, like {!Check.report_json}: no
+   engine name, no timings, no step counts. *)
+let verdicts_json ~client results =
+  let count v = List.length (List.filter (fun (_, w) -> w = v) results) in
+  let descs v =
+    List.filter_map
+      (fun (q, w) -> if w = v then Some (Trace.Json.String q.q_desc) else None)
+      results
+  in
+  Trace.Json.Obj
+    [
+      ("schema", Trace.Json.String "ptsto.verdicts/1");
+      ("client", Trace.Json.String client);
+      ("queries", Trace.Json.Int (List.length results));
+      ("proved", Trace.Json.Int (count Proved));
+      ("refuted", Trace.Json.List (descs Refuted));
+      ("unknown", Trace.Json.List (descs Unknown));
+    ]

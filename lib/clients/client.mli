@@ -40,3 +40,10 @@ val run_batches : Engine.engine -> query list -> batches:int -> run_result list
 val verdict_of : (Query.Target_set.t -> bool) -> Query.outcome -> verdict
 
 val pp_tally : Format.formatter -> tally -> unit
+
+val verdicts_json : client:string -> (query * verdict) list -> Trace.Json.t
+(** Canonical machine-readable verdicts, schema ["ptsto.verdicts/1"]:
+    query/proved counts plus the refuted and unknown descriptions in
+    query order. Engine-independent by construction — [ptsto client
+    --verdicts-json] and the serve daemon's [query] responses both
+    render through this, so cross-checking them is a byte comparison. *)

@@ -4,13 +4,56 @@ module Stats = Pts_util.Stats
 module Cache_key = Kernel.Key
 module Cache = Kernel.Key_tbl
 
-(* Shared read-only base tier: merged summaries of earlier rounds, keyed
-   structurally ((node, stack symbols, state)) so the table crosses
-   domains without hash-cons rebasing. Workers never write it — the main
-   domain grows it between rounds, after all workers have joined — so
-   plain Hashtbl reads from many domains are safe. *)
-type base =
-  (int * int list * int, int list * (int * int list * int) list * int list) Hashtbl.t
+(* Shared base tier: merged summaries of earlier rounds (and, in the
+   serve daemon, earlier requests), keyed structurally
+   ((node, stack symbols, state)) so the table crosses domains without
+   hash-cons rebasing. Workers never write the table — the main domain
+   grows and evicts between rounds, after all workers have joined — so
+   plain Hashtbl reads from many domains are safe. The two per-entry
+   mutables that workers do touch are race-tolerant by design: hit/miss
+   tallies are [Atomic.t], and the clock bit is a plain bool whose only
+   writes are [true] (a stale read merely demotes an entry one eviction
+   lap early). *)
+type base_key = int * int list * int
+
+(* The polymorphic hash only samples a prefix of the structure, and deep
+   field stacks share prefixes — under it, a large tier degenerates into
+   a few long buckets and every probe's cost grows with residency. Fold
+   the whole symbol list instead. *)
+module Base_tbl = Hashtbl.Make (struct
+  type t = base_key
+
+  let equal (a : base_key) b = a = b
+
+  let hash ((node, syms, state) : base_key) =
+    let mix h x = (h * 0x01000193) lxor x in
+    let h = List.fold_left mix (mix (mix 0x811c9dc5 node) state) syms in
+    h land max_int
+end)
+
+type base_entry = {
+  be_objs : int list;
+  be_tuples : (int * int list * int) list;
+  be_fp : int list; (* derivation footprint, for targeted invalidation *)
+  mutable be_ref : bool; (* second-chance clock bit, set on every hit *)
+  (* One-slot memo of the rematerialised summary, tagged with the domain
+     that built it. Hstack ids are domain-local, so a consumer only
+     reuses a memo its own domain produced; the field is a single
+     immutable-tuple write, so concurrent overwrites from other domains
+     are benign (last publisher wins, every reader sees a consistent
+     pair). Without this, a long-lived daemon re-interns every tuple's
+     field stack on every request that re-probes a hot entry. *)
+  mutable be_mat : (int * Ppta.summary) option;
+}
+
+type base = {
+  b_tbl : base_entry Base_tbl.t;
+  b_cap : int; (* max entries; 0 = unbounded *)
+  b_ring : base_key Queue.t; (* clock hand: insertion order, with second chances *)
+  b_hits : int Atomic.t;
+  b_misses : int Atomic.t;
+  b_evictions : int Atomic.t;
+}
 
 type t = {
   pag : Pag.t;
@@ -167,26 +210,112 @@ let snapshot_union (snaps : snapshot list) : snapshot =
 
 (* ---------------------------- base tier ----------------------------- *)
 
-let base_create () : base = Hashtbl.create 1024
+let base_create ?(capacity = 0) () : base =
+  if capacity < 0 then invalid_arg "Dynsum.base_create: capacity must be >= 0";
+  {
+    b_tbl = Base_tbl.create 1024;
+    b_cap = capacity;
+    b_ring = Queue.create ();
+    b_hits = Atomic.make 0;
+    b_misses = Atomic.make 0;
+    b_evictions = Atomic.make 0;
+  }
+
+(* Second-chance clock sweep: pop ring slots until one points at a live,
+   unreferenced entry and evict it. Slots whose key has already left the
+   table (invalidation, or a duplicate slot from re-insertion) are
+   discarded for free; a referenced entry loses its bit and goes to the
+   back of the ring. Terminates: every iteration removes a slot, clears a
+   set bit, or evicts, and all three are finite. *)
+let rec base_evict_one (b : base) =
+  match Queue.take_opt b.b_ring with
+  | None -> ()
+  | Some key -> (
+    match Base_tbl.find_opt b.b_tbl key with
+    | None -> base_evict_one b
+    | Some e ->
+      if e.be_ref then begin
+        e.be_ref <- false;
+        Queue.push key b.b_ring;
+        base_evict_one b
+      end
+      else begin
+        Base_tbl.remove b.b_tbl key;
+        Atomic.incr b.b_evictions
+      end)
 
 let base_add (b : base) (s : snapshot) =
   (* first writer wins, like [absorb_images]: summaries for the same key
      are equal sets (PPTA is deterministic), so keeping the incumbent
-     only pins representation. Returns how many keys were new. *)
+     only pins representation. Returns how many keys were new. Must only
+     run while no worker is reading the base (between rounds/requests). *)
   let fresh = ref 0 in
   List.iter
     (fun ((node, syms, state, objs, tuples, fp) : entry_image) ->
       let key = (node, syms, state) in
-      if not (Hashtbl.mem b key) then begin
+      if not (Base_tbl.mem b.b_tbl key) then begin
+        if b.b_cap > 0 then
+          while Base_tbl.length b.b_tbl >= b.b_cap do
+            base_evict_one b
+          done;
         incr fresh;
-        Hashtbl.add b key (objs, tuples, fp)
+        Base_tbl.add b.b_tbl key
+          { be_objs = objs; be_tuples = tuples; be_fp = fp; be_ref = false; be_mat = None };
+        Queue.push key b.b_ring
       end)
     s;
   !fresh
 
-let base_length (b : base) = Hashtbl.length b
+(* Drop the ring slots of keys no longer in the table once they dominate,
+   so a long-lived daemon's ring stays proportional to the live store. *)
+let base_compact_ring (b : base) =
+  if Queue.length b.b_ring > (2 * Base_tbl.length b.b_tbl) + 16 then begin
+    let live = Queue.create () in
+    let seen = Hashtbl.create (Base_tbl.length b.b_tbl) in
+    Queue.iter
+      (fun key ->
+        if Base_tbl.mem b.b_tbl key && not (Hashtbl.mem seen key) then begin
+          Hashtbl.add seen key ();
+          Queue.push key live
+        end)
+      b.b_ring;
+    Queue.clear b.b_ring;
+    Queue.transfer live b.b_ring
+  end
+
+let base_invalidate (b : base) dirty =
+  (* Same footprint discipline as the per-engine [invalidate] below: an
+     entry survives an edit burst iff its derivation never visited a
+     dirtied node. Runs on the owning thread between requests, never
+     concurrently with readers. *)
+  let dirtyt = Hashtbl.create 64 in
+  List.iter (fun d -> Hashtbl.replace dirtyt d ()) dirty;
+  let doomed = ref [] in
+  Base_tbl.iter
+    (fun key e ->
+      let dead =
+        match e.be_fp with
+        | [] -> true (* a real PPTA footprint at least holds the root *)
+        | fp -> List.exists (Hashtbl.mem dirtyt) fp
+      in
+      if dead then doomed := key :: !doomed)
+    b.b_tbl;
+  List.iter (Base_tbl.remove b.b_tbl) !doomed;
+  base_compact_ring b;
+  (List.length !doomed, Base_tbl.length b.b_tbl)
+
+let base_length (b : base) = Base_tbl.length b.b_tbl
+let base_capacity (b : base) = b.b_cap
+let base_hits (b : base) = Atomic.get b.b_hits
+let base_misses (b : base) = Atomic.get b.b_misses
+let base_evictions (b : base) = Atomic.get b.b_evictions
 
 let set_base t b = t.base <- Some b
+
+let base_health t =
+  match t.base with
+  | None -> (0, 0, 0, 0)
+  | Some b -> (base_hits b, base_misses b, base_evictions b, base_length b)
 
 let save_cache t path =
   let oc = open_out_bin path in
@@ -239,18 +368,35 @@ let summarise t u f s =
       let from_base =
         match t.base with
         | None -> None
-        | Some b -> Hashtbl.find_opt b (u, Hstack.to_list f, Ppta.state_to_int s)
+        | Some b -> (
+          match Base_tbl.find_opt b.b_tbl (u, Hstack.to_list f, Ppta.state_to_int s) with
+          | Some e ->
+            e.be_ref <- true;
+            Atomic.incr b.b_hits;
+            Some e
+          | None ->
+            Atomic.incr b.b_misses;
+            Trace.emit t.sink (Trace.Counter { engine = name; name = "base_misses"; delta = 1 });
+            None)
       in
       (match from_base with
-      | Some (objs, tuples, fp) ->
+      | Some ({ be_objs = objs; be_tuples = tuples; be_fp = fp; _ } as e) ->
         Trace.emit t.sink (Trace.Summary_hit { engine = name; node = u });
         Trace.emit t.sink (Trace.Counter { engine = name; name = "base_hits"; delta = 1 });
+        let did = (Domain.self () :> int) in
         let summary =
-          {
-            Ppta.objs;
-            tuples =
-              List.map (fun (tn, tf, ts) -> (tn, Hstack.of_list tf, state_of_int ts)) tuples;
-          }
+          match e.be_mat with
+          | Some (d, s) when d = did -> s
+          | _ ->
+            let s =
+              {
+                Ppta.objs;
+                tuples =
+                  List.map (fun (tn, tf, ts) -> (tn, Hstack.of_list tf, state_of_int ts)) tuples;
+              }
+            in
+            e.be_mat <- Some (did, s);
+            s
         in
         Cache.add t.cache key summary;
         Cache.add t.footprints key fp;

@@ -106,28 +106,67 @@ val snapshot_union : snapshot list -> snapshot
     all counted again in [merged_summaries]. Instead, the merged summaries
     of earlier rounds now live in a {!base}: a structurally-keyed table
     built once on the main domain and shared {e by reference} across
-    worker engines, read-only for its whole lifetime after {!set_base}
-    (the main domain only grows it between rounds, after every worker has
-    joined). Lookups re-intern lazily on first use and memoise into the
-    engine's local overlay cache; such borrowed entries never appear in
-    the engine's own {!snapshot}. *)
+    worker engines, structurally read-only after {!set_base} (the main
+    domain only grows or evicts between rounds, after every worker has
+    joined — the only per-entry mutables workers touch are the atomic
+    hit/miss tallies and the clock bit, both race-tolerant). Lookups
+    re-intern lazily on first use and memoise into the engine's local
+    overlay cache; such borrowed entries never appear in the engine's own
+    {!snapshot}.
+
+    The serve daemon promotes the same table to a {e cross-request} tier:
+    size-bounded with second-chance (clock) eviction, hit/miss/eviction
+    counters, and footprint-keyed invalidation so an edit burst evicts
+    exactly the dirtied summaries instead of flushing the store. *)
 
 type base
-(** Immutable-by-convention merged summary table, shareable across
-    domains because its keys and payloads are structural (no hash-cons
-    ids). *)
+(** Merged summary table, shareable across domains because its keys and
+    payloads are structural (no hash-cons ids). *)
 
-val base_create : unit -> base
+val base_create : ?capacity:int -> unit -> base
+(** [capacity] bounds the number of resident entries; [0] (the default)
+    means unbounded. @raise Invalid_argument on a negative capacity. *)
 
 val base_add : base -> snapshot -> int
 (** Merge a snapshot into the base, first-writer-wins per key; returns
-    how many keys were new. Must only be called while no domain is
-    reading the base (between parallel rounds). *)
+    how many keys were new. At capacity, each insertion first evicts the
+    next clock victim (an entry that has not been hit since its last
+    second chance). Must only be called while no domain is reading the
+    base (between parallel rounds / between serve requests). *)
+
+val base_invalidate : base -> Pag.node list -> int * int
+(** [base_invalidate b dirty] drops every entry whose derivation
+    footprint meets the dirty set of an edit burst ({!Pag.commit}'s
+    [c_dirty]), exactly like the per-engine {!invalidate}; all other
+    entries provably still describe the edited graph and survive.
+    Returns [(dropped, retained)]. Must not run concurrently with
+    readers. *)
 
 val base_length : base -> int
 
+val base_capacity : base -> int
+(** The configured bound; [0] = unbounded. *)
+
+val base_hits : base -> int
+(** Lifetime lookup hits against this base, across all attached engines
+    and rounds. *)
+
+val base_misses : base -> int
+(** Lifetime lookups that fell through to a PPTA run (counted only when
+    a base is attached). *)
+
+val base_evictions : base -> int
+(** Entries removed by the clock sweep (capacity pressure only —
+    invalidation drops are reported by {!base_invalidate}). *)
+
 val set_base : t -> base -> unit
 (** Attach a shared base tier below this engine's cache. *)
+
+val base_health : t -> int * int * int * int
+(** [(hits, misses, evictions, size)] of the attached base tier, all
+    zero when none is attached. Engines surface this through
+    [Engine.cache_health] so [--metrics-json] can report cache health
+    uniformly. *)
 
 val new_summary_count : t -> int
 (** Summaries this engine computed itself (excludes base-tier memos) —

@@ -15,11 +15,17 @@ type stats = {
   i_retained : int; (* summaries kept across all engines *)
 }
 
-type t = { pag : Pag.t; mutable engines : Engine.engine list }
+type t = {
+  pag : Pag.t;
+  mutable engines : Engine.engine list;
+  mutable bases : Dynsum.base list;
+}
 
-let create pag = { pag; engines = [] }
+let create pag = { pag; engines = []; bases = [] }
 
 let register t e = t.engines <- e :: t.engines
+
+let register_base t b = t.bases <- b :: t.bases
 
 let apply t edits =
   let c = Pag.apply_edits t.pag edits in
@@ -30,6 +36,12 @@ let apply t edits =
       dropped := !dropped + d;
       retained := !retained + r)
     t.engines;
+  List.iter
+    (fun b ->
+      let d, r = Dynsum.base_invalidate b c.Pag.c_dirty in
+      dropped := !dropped + d;
+      retained := !retained + r)
+    t.bases;
   {
     i_epoch = c.Pag.c_epoch;
     i_dirty = List.length c.Pag.c_dirty;

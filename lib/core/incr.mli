@@ -27,4 +27,12 @@ val register : t -> Engine.engine -> unit
     PAG without having been registered (or freshly built) may serve
     stale summaries. *)
 
+val register_base : t -> Dynsum.base -> unit
+(** Shared summary tiers need the same treatment as engine caches: a
+    registered {!Dynsum.base} gets {!Dynsum.base_invalidate} on every
+    burst, keeping its dropped/retained totals in {!stats}. This is how
+    the serve daemon's cross-request tier stays epoch-consistent — the
+    burst evicts exactly the footprint-dirty entries, never the whole
+    store. *)
+
 val apply : t -> Pag.edit list -> stats

@@ -39,6 +39,10 @@ type result = {
   merged_summaries : int;
   unique_summaries : int;
   summaries : Dynsum.snapshot;
+  base_hits : int;
+  base_misses : int;
+  base_evictions : int;
+  base_size : int;
 }
 
 (* What one domain hands back from one round. Everything in here is
@@ -166,7 +170,7 @@ let run_worker ~conf ~trace_writer ~engine_name ~pag ~base ~feed () =
     wr_snapshot = Option.map Dynsum.snapshot dyn;
   }
 
-let run ?(conf = Conf.default) ?trace_writer ?(jobs = 1) ?(rounds = 1) ?(schedule = Steal)
+let run ?(conf = Conf.default) ?trace_writer ?(jobs = 1) ?(rounds = 1) ?(schedule = Steal) ?base
     ~engine:engine_name pag queries =
   if jobs < 1 then invalid_arg "Parsolve.run: jobs must be >= 1";
   if rounds < 1 then invalid_arg "Parsolve.run: rounds must be >= 1";
@@ -180,8 +184,11 @@ let run ?(conf = Conf.default) ?trace_writer ?(jobs = 1) ?(rounds = 1) ?(schedul
      overlay, if any, is only written by [Pag.apply_edits] between
      batches — never concurrently with a run. [packed] raises before
      [freeze], turning a data race on the build side into an immediate
-     error. The shared base tier below lives within this one call, so an
-     edit between calls can never feed it a stale summary. *)
+     error. By default the shared base tier below lives within this one
+     call, so an edit between calls can never feed it a stale summary; a
+     caller passing [?base] owns that invariant instead — the serve
+     daemon keeps one tier across requests and runs
+     [Dynsum.base_invalidate] on every edit commit. *)
   ignore (Pag.packed pag);
   let n = Array.length queries in
   let outcomes = Array.make n Query.Exceeded in
@@ -196,7 +203,11 @@ let run ?(conf = Conf.default) ?trace_writer ?(jobs = 1) ?(rounds = 1) ?(schedul
      of later rounds (grown only here, between joins). [all_snaps]
      remembers each per-round snapshot for the final merged pool and the
      recomputation accounting. *)
-  let base = if engine_name = "dynsum" then Some (Dynsum.base_create ()) else None in
+  let base =
+    match base with
+    | Some _ as b -> if engine_name = "dynsum" then b else None
+    | None -> if engine_name = "dynsum" then Some (Dynsum.base_create ()) else None
+  in
   let all_snaps = ref [] in
   let produced = ref 0 in
   let total_steals = ref 0 in
@@ -283,6 +294,11 @@ let run ?(conf = Conf.default) ?trace_writer ?(jobs = 1) ?(rounds = 1) ?(schedul
   if !total_steals > 0 then Stats.add agg_stats "steals" !total_steals;
   let summaries = Dynsum.snapshot_union (List.rev !all_snaps) in
   let to_float a = Array.map float_of_int a in
+  let base_hits, base_misses, base_evictions, base_size =
+    match base with
+    | None -> (0, 0, 0, 0)
+    | Some b -> (Dynsum.base_hits b, Dynsum.base_misses b, Dynsum.base_evictions b, Dynsum.base_length b)
+  in
   {
     outcomes;
     reports = List.rev !reports;
@@ -298,4 +314,8 @@ let run ?(conf = Conf.default) ?trace_writer ?(jobs = 1) ?(rounds = 1) ?(schedul
     merged_summaries = !produced;
     unique_summaries = Dynsum.snapshot_length summaries;
     summaries;
+    base_hits;
+    base_misses;
+    base_evictions;
+    base_size;
   }

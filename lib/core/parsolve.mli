@@ -84,6 +84,13 @@ type result = {
   unique_summaries : int;  (** distinct summary keys in the final pool *)
   summaries : Dynsum.snapshot;
       (** the final merged pool — absorb into a fresh engine to persist *)
+  base_hits : int;
+      (** base-tier lookup hits; for a caller-supplied [?base] these are
+          its {e lifetime} tallies (delta across the call is the caller's
+          to take), for the internal tier they are per-run *)
+  base_misses : int;
+  base_evictions : int;
+  base_size : int;  (** resident entries when the run finished *)
 }
 
 val run :
@@ -92,6 +99,7 @@ val run :
   ?jobs:int ->
   ?rounds:int ->
   ?schedule:schedule ->
+  ?base:Dynsum.base ->
   engine:string ->
   Pag.t ->
   query array ->
@@ -106,6 +114,14 @@ val run :
     [trace_writer] is given, every worker traces through its own
     {!Trace.buffered_jsonl} sink onto the shared writer — whole lines
     only — including per-steal {!Trace.Steal} and queue-depth events.
+
+    [base] supplies an external (possibly size-bounded) summary tier to
+    read through and publish into, instead of the per-call tier built by
+    default; ignored for non-DYNSUM engines. The caller owns its
+    freshness: the tier must describe the PAG as currently edited
+    ({!Dynsum.base_invalidate} after every {!Pag.apply_edits}) and must
+    not be touched while the run is in flight. The serve daemon uses
+    this to make summary reuse cross-request.
 
     @raise Invalid_argument on [jobs < 1], [rounds < 1], an unknown
     engine name, or an unfrozen PAG. *)

@@ -60,6 +60,186 @@ module Json = struct
     let buf = Buffer.create 256 in
     emit buf j;
     Buffer.contents buf
+
+  (* Recursive-descent parser for the serve daemon's request lines — the
+     inverse of [emit], and like it hand-rolled because the toolchain
+     ships no JSON library. Numbers with a fraction or exponent decode to
+     [Float], the rest to [Int]; object member order is preserved. *)
+  exception Parse of string * int
+
+  let of_string s =
+    let n = String.length s in
+    let pos = ref 0 in
+    let fail msg = raise (Parse (msg, !pos)) in
+    let skip_ws () =
+      while
+        !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+      do
+        incr pos
+      done
+    in
+    let expect c =
+      if !pos < n && s.[!pos] = c then incr pos
+      else fail (Printf.sprintf "expected %C" c)
+    in
+    let keyword kw v =
+      if !pos + String.length kw <= n && String.sub s !pos (String.length kw) = kw then begin
+        pos := !pos + String.length kw;
+        v
+      end
+      else fail (Printf.sprintf "expected %s" kw)
+    in
+    let add_utf8 buf cp =
+      (* the emitter only escapes control characters, so decoding \uXXXX
+         to UTF-8 bytes round-trips everything it produces *)
+      if cp < 0x80 then Buffer.add_char buf (Char.chr cp)
+      else if cp < 0x800 then begin
+        Buffer.add_char buf (Char.chr (0xc0 lor (cp lsr 6)));
+        Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3f)))
+      end
+      else begin
+        Buffer.add_char buf (Char.chr (0xe0 lor (cp lsr 12)));
+        Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3f)));
+        Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3f)))
+      end
+    in
+    let hex4 () =
+      if !pos + 4 > n then fail "truncated \\u escape";
+      let v = int_of_string ("0x" ^ String.sub s !pos 4) in
+      pos := !pos + 4;
+      v
+    in
+    let parse_string () =
+      expect '"';
+      let buf = Buffer.create 16 in
+      let rec go () =
+        if !pos >= n then fail "unterminated string";
+        match s.[!pos] with
+        | '"' -> incr pos
+        | '\\' ->
+          incr pos;
+          if !pos >= n then fail "truncated escape";
+          let c = s.[!pos] in
+          incr pos;
+          (match c with
+          | '"' -> Buffer.add_char buf '"'
+          | '\\' -> Buffer.add_char buf '\\'
+          | '/' -> Buffer.add_char buf '/'
+          | 'b' -> Buffer.add_char buf '\b'
+          | 'f' -> Buffer.add_char buf '\012'
+          | 'n' -> Buffer.add_char buf '\n'
+          | 'r' -> Buffer.add_char buf '\r'
+          | 't' -> Buffer.add_char buf '\t'
+          | 'u' -> add_utf8 buf (hex4 ())
+          | c -> fail (Printf.sprintf "bad escape \\%c" c));
+          go ()
+        | c ->
+          Buffer.add_char buf c;
+          incr pos;
+          go ()
+      in
+      go ();
+      Buffer.contents buf
+    in
+    let parse_number () =
+      let start = !pos in
+      if !pos < n && s.[!pos] = '-' then incr pos;
+      let digits () =
+        let d0 = !pos in
+        while !pos < n && s.[!pos] >= '0' && s.[!pos] <= '9' do
+          incr pos
+        done;
+        if !pos = d0 then fail "expected digit"
+      in
+      digits ();
+      let fractional = ref false in
+      if !pos < n && s.[!pos] = '.' then begin
+        fractional := true;
+        incr pos;
+        digits ()
+      end;
+      if !pos < n && (s.[!pos] = 'e' || s.[!pos] = 'E') then begin
+        fractional := true;
+        incr pos;
+        if !pos < n && (s.[!pos] = '+' || s.[!pos] = '-') then incr pos;
+        digits ()
+      end;
+      let lit = String.sub s start (!pos - start) in
+      if !fractional then Float (float_of_string lit)
+      else match int_of_string_opt lit with Some i -> Int i | None -> Float (float_of_string lit)
+    in
+    let rec parse_value () =
+      skip_ws ();
+      if !pos >= n then fail "unexpected end of input";
+      match s.[!pos] with
+      | 'n' -> keyword "null" Null
+      | 't' -> keyword "true" (Bool true)
+      | 'f' -> keyword "false" (Bool false)
+      | '"' -> String (parse_string ())
+      | '[' ->
+        incr pos;
+        skip_ws ();
+        if !pos < n && s.[!pos] = ']' then begin
+          incr pos;
+          List []
+        end
+        else
+          let rec elems acc =
+            let v = parse_value () in
+            skip_ws ();
+            if !pos < n && s.[!pos] = ',' then begin
+              incr pos;
+              elems (v :: acc)
+            end
+            else begin
+              expect ']';
+              List.rev (v :: acc)
+            end
+          in
+          List (elems [])
+      | '{' ->
+        incr pos;
+        skip_ws ();
+        if !pos < n && s.[!pos] = '}' then begin
+          incr pos;
+          Obj []
+        end
+        else
+          let member () =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            (k, v)
+          in
+          let rec members acc =
+            let kv = member () in
+            skip_ws ();
+            if !pos < n && s.[!pos] = ',' then begin
+              incr pos;
+              members (kv :: acc)
+            end
+            else begin
+              expect '}';
+              List.rev (kv :: acc)
+            end
+          in
+          Obj (members [])
+      | '-' | '0' .. '9' -> parse_number ()
+      | c -> fail (Printf.sprintf "unexpected %C" c)
+    in
+    match
+      let v = parse_value () in
+      skip_ws ();
+      if !pos <> n then fail "trailing garbage";
+      v
+    with
+    | v -> Ok v
+    | exception Parse (msg, p) -> Error (Printf.sprintf "%s at offset %d" msg p)
+    | exception Failure _ -> Error "malformed number"
+
+  let member k = function Obj kvs -> List.assoc_opt k kvs | _ -> None
 end
 
 (* ------------------------------ events ----------------------------- *)
@@ -75,6 +255,7 @@ type event =
   | Steal of { engine : string; thief : int; victim : int }
   | Queue_depth of { engine : string; domain : int; depth : int }
   | Counter of { engine : string; name : string; delta : int }
+  | Request_latency of { engine : string; op : string; micros : int }
 
 let event_engine = function
   | Query_start { engine; _ }
@@ -86,7 +267,8 @@ let event_engine = function
   | Budget_exceeded { engine; _ }
   | Steal { engine; _ }
   | Queue_depth { engine; _ }
-  | Counter { engine; _ } -> engine
+  | Counter { engine; _ }
+  | Request_latency { engine; _ } -> engine
 
 (* The counter a counting sink aggregates the event into. [Query_end]
    carries no count of its own (its steps are already in the budget). *)
@@ -101,8 +283,12 @@ let counter_name = function
   | Steal _ -> Some "steals"
   | Queue_depth _ -> None (* a gauge, not a count *)
   | Counter { name; _ } -> Some name
+  | Request_latency _ -> Some "request_latency_micros"
 
-let counter_delta = function Counter { delta; _ } -> delta | _ -> 1
+let counter_delta = function
+  | Counter { delta; _ } -> delta
+  | Request_latency { micros; _ } -> micros
+  | _ -> 1
 
 let event_to_json e =
   let open Json in
@@ -123,6 +309,8 @@ let event_to_json e =
   | Queue_depth { domain; depth; _ } ->
     base "queue_depth" [ ("domain", Int domain); ("depth", Int depth) ]
   | Counter { name; delta; _ } -> base "counter" [ ("name", String name); ("delta", Int delta) ]
+  | Request_latency { op; micros; _ } ->
+    base "request_latency" [ ("op", String op); ("micros", Int micros) ]
 
 (* ------------------------------ sinks ------------------------------ *)
 
@@ -157,6 +345,54 @@ let counting ?rename stats =
     close = ignore;
   }
 
+(* --------------------- shutdown-flush registry --------------------- *)
+
+(* A process killed by SIGINT/SIGTERM dies without running [at_exit], so
+   whatever a trace channel has buffered is lost and the file ends
+   mid-line. Every channel-owning sink/writer registers a flush thunk
+   here; [flush_on_signals] installs handlers that drain the registry and
+   then exit with the conventional 128+signal status. *)
+let flush_mutex = Mutex.create ()
+let flush_fns : (int, unit -> unit) Hashtbl.t = Hashtbl.create 8
+let flush_next_id = ref 0
+
+let register_flush f =
+  Mutex.lock flush_mutex;
+  let id = !flush_next_id in
+  incr flush_next_id;
+  Hashtbl.replace flush_fns id f;
+  Mutex.unlock flush_mutex;
+  id
+
+let unregister_flush id =
+  Mutex.lock flush_mutex;
+  Hashtbl.remove flush_fns id;
+  Mutex.unlock flush_mutex
+
+let flush_all () =
+  (* snapshot under the lock, run outside it: a thunk may take its own
+     writer mutex, and a slow flush must not block registration *)
+  Mutex.lock flush_mutex;
+  let fns = Hashtbl.fold (fun _ f acc -> f :: acc) flush_fns [] in
+  Mutex.unlock flush_mutex;
+  List.iter (fun f -> try f () with _ -> ()) fns
+
+let signals_installed = ref false
+
+let flush_on_signals () =
+  if not !signals_installed then begin
+    signals_installed := true;
+    let handle signo =
+      flush_all ();
+      exit (if signo = Sys.sigint then 130 else if signo = Sys.sigterm then 143 else 1)
+    in
+    List.iter
+      (fun signo ->
+        try ignore (Sys.signal signo (Sys.Signal_handle handle))
+        with Invalid_argument _ | Sys_error _ -> ())
+      [ Sys.sigint; Sys.sigterm ]
+  end
+
 let jsonl oc =
   {
     emit =
@@ -169,15 +405,36 @@ let jsonl oc =
 let to_file path =
   let oc = open_out path in
   let inner = jsonl oc in
-  { emit = inner.emit; close = (fun () -> inner.close (); close_out_noerr oc) }
+  let fid = register_flush (fun () -> flush oc) in
+  {
+    emit = inner.emit;
+    close =
+      (fun () ->
+        unregister_flush fid;
+        inner.close ();
+        close_out_noerr oc);
+  }
 
 (* ----------------------- domain-safe plumbing ---------------------- *)
 
-type writer = { w_mutex : Mutex.t; w_oc : out_channel; w_owns : bool }
+type writer = { w_mutex : Mutex.t; w_oc : out_channel; w_owns : bool; w_flush_id : int }
 
-let writer oc = { w_mutex = Mutex.create (); w_oc = oc; w_owns = false }
+(* The registered thunk uses [try_lock]: if a signal lands while some
+   domain is mid-[writer_lines], skipping the flush keeps the output free
+   of torn lines (the runtime's own channel flushing still runs via
+   [exit]); the handler must never block on a mutex its interrupted
+   thread may hold. *)
+let make_writer oc owns =
+  let m = Mutex.create () in
+  let id =
+    register_flush (fun () ->
+        if Mutex.try_lock m then
+          Fun.protect ~finally:(fun () -> Mutex.unlock m) (fun () -> flush oc))
+  in
+  { w_mutex = m; w_oc = oc; w_owns = owns; w_flush_id = id }
 
-let writer_to_file path = { w_mutex = Mutex.create (); w_oc = open_out path; w_owns = true }
+let writer oc = make_writer oc false
+let writer_to_file path = make_writer (open_out path) true
 
 let with_writer w f =
   Mutex.lock w.w_mutex;
@@ -186,6 +443,7 @@ let with_writer w f =
 let writer_lines w s = if String.length s > 0 then with_writer w (fun () -> output_string w.w_oc s)
 
 let writer_close w =
+  unregister_flush w.w_flush_id;
   with_writer w (fun () ->
       flush w.w_oc;
       if w.w_owns then close_out_noerr w.w_oc)

@@ -28,6 +28,17 @@ module Json : sig
   val to_string : t -> string
   (** Compact rendering; strings are escaped, non-finite floats become
       [null]. *)
+
+  val of_string : string -> (t, string) result
+  (** Parse one JSON value (the serve daemon's request lines). Strict:
+      rejects trailing garbage; numbers with a fraction or exponent
+      decode to [Float], all others to [Int]; object member order is
+      preserved, and [\uXXXX] escapes decode to UTF-8 bytes. The error
+      string includes the byte offset. *)
+
+  val member : string -> t -> t option
+  (** [member k (Obj kvs)] is the first binding of [k]; [None] on any
+      other constructor or an absent key. *)
 end
 
 type event =
@@ -50,6 +61,11 @@ type event =
   | Counter of { engine : string; name : string; delta : int }
       (** escape hatch for engine-specific counters (e.g. DYNSUM's
           ["no_local_fastpath"]) *)
+  | Request_latency of { engine : string; op : string; micros : int }
+      (** wall-clock service time of one serve-daemon request; aggregates
+          into ["request_latency_micros"]. The one deliberately
+          timing-bearing event: daemon traces measure a live system, so
+          they trade the reproducibility guarantee above for latency. *)
 
 val event_engine : event -> string
 
@@ -80,6 +96,25 @@ val jsonl : out_channel -> sink
 
 val to_file : string -> sink
 (** [jsonl] over a fresh file; [close] closes it. *)
+
+(** {2 Shutdown flushing}
+
+    A daemon killed by SIGINT/SIGTERM dies without [at_exit], truncating
+    buffered trace files mid-line. {!to_file} sinks and {!type:writer}s
+    register themselves with a process-wide flush registry;
+    {!flush_on_signals} arranges for that registry to drain before the
+    process exits on either signal. *)
+
+val flush_all : unit -> unit
+(** Flush every registered channel now. Best-effort and non-blocking: a
+    writer whose mutex is currently held by an interrupted thread is
+    skipped (its lines are whole on disk; only its channel buffer waits
+    for the runtime's own exit flushing). Exceptions are swallowed. *)
+
+val flush_on_signals : unit -> unit
+(** Install SIGINT/SIGTERM handlers that run {!flush_all} and exit with
+    the conventional [128+signal] status. Idempotent; safe on platforms
+    without signals (installation failures are ignored). *)
 
 (** {2 Domain-safe plumbing}
 
