@@ -536,11 +536,12 @@ let dot_cmd lang file bench what out =
 (* The checker driver needs the program *text* as well as the pipeline:
    taint annotations ([// @taint-source]) live in comments the lexer
    otherwise discards. *)
-let check_source file bench tflows tclean =
+let check_source file bench tflows tclean tkill tweak =
   match (file, bench) with
   | _, Some name ->
-    if tflows > 0 || tclean > 0 then
-      Pts_workload.Genprog.generate (Pts_workload.Suite.tainted ~flows:tflows ~clean:tclean name)
+    if tflows > 0 || tclean > 0 || tkill > 0 || tweak > 0 then
+      Pts_workload.Genprog.generate
+        (Pts_workload.Suite.tainted ~flows:tflows ~clean:tclean ~kill:tkill ~weak:tweak name)
     else Pts_workload.Suite.source name
   | Some path, None -> (
     try
@@ -555,11 +556,11 @@ let check_source file bench tflows tclean =
     Printf.eprintf "error: either FILE or --bench NAME is required\n";
     exit 2
 
-let check_cmd lang file bench tflows tclean checker_names engine_name budget prune jobs rounds schedule
-    fail_on report_json metrics =
+let check_cmd lang file bench tflows tclean tkill tweak checker_names engine_name budget prune jobs
+    rounds schedule fail_on report_json metrics =
   let module Check = Pts_clients.Check in
   let module Diag = Pts_clients.Diag in
-  let source = check_source file bench tflows tclean in
+  let source = check_source file bench tflows tclean tkill tweak in
   (* benches are always MiniJava; for files --lang wins over the extension *)
   let lang = match bench with Some _ -> Loc.Mjava | None -> lang_of lang file in
   let pl =
@@ -669,7 +670,7 @@ let check_cmd lang file bench tflows tclean checker_names engine_name budget pru
 let serve_cmd lang file bench budget max_budget jobs rounds schedule base_capacity queue_capacity
     max_cost pipeline socket trace =
   let module Daemon = Pts_serve.Daemon in
-  let source = check_source file bench 0 0 in
+  let source = check_source file bench 0 0 0 0 in
   let lang = match bench with Some _ -> Loc.Mjava | None -> lang_of lang file in
   let pl =
     match Pipeline.of_source ~lang source with
@@ -916,6 +917,23 @@ let check_t =
       & info [ "taint-clean" ] ~docv:"N"
           ~doc:"With $(b,--bench): seed $(docv) known-clean taint look-alikes.")
   in
+  let taint_kill =
+    Arg.(
+      value & opt int 0
+      & info [ "taint-kill" ] ~docv:"N"
+          ~doc:
+            "With $(b,--bench): seed $(docv) overwrite-kill taint shapes — the secret is \
+             unconditionally overwritten before the sink, so only a strong-update engine \
+             ($(b,--engine supa)) proves them clean.")
+  in
+  let taint_weak =
+    Arg.(
+      value & opt int 0
+      & info [ "taint-weak" ] ~docv:"N"
+          ~doc:
+            "With $(b,--bench): seed $(docv) weak-update control shapes — conditional, \
+             aliased or loop-carried overwrites that every sound engine must still flag.")
+  in
   let jobs = jobs_arg ~doc:"Answer the checker query batch on $(docv) worker domains." in
   let rounds =
     Arg.(
@@ -949,8 +967,9 @@ let check_t =
   in
   Cmd.v (Cmd.info "check" ~doc:"Run the demand-driven checkers and report diagnostics")
     Term.(
-      const check_cmd $ lang_arg $ file_arg $ bench_arg $ taint_flows $ taint_clean $ checker $ engine_arg
-      $ budget_arg $ prune_arg $ jobs $ rounds $ schedule_arg $ fail_on $ report_json $ metrics_arg)
+      const check_cmd $ lang_arg $ file_arg $ bench_arg $ taint_flows $ taint_clean $ taint_kill
+      $ taint_weak $ checker $ engine_arg $ budget_arg $ prune_arg $ jobs $ rounds $ schedule_arg
+      $ fail_on $ report_json $ metrics_arg)
 
 let serve_t =
   let jobs = jobs_arg ~doc:"Answer each request's query batch on $(docv) worker domains." in

@@ -115,3 +115,70 @@ let run ?conf ~engine:engine_name (pl : Pipeline.t) =
 (* How many rewrites needed the points-to analysis, i.e. CHA alone left
    the site polymorphic. This is the number the bench reports per engine. *)
 let analysis_rewrites r = List.length (List.filter (fun rw -> rw.rw_cha_targets >= 2) r.dv_rewrites)
+
+(* ------------------------- fixpoint iteration ------------------------ *)
+
+type fixpoint = {
+  fp_first : result;  (* iteration 1's pass output — the headline numbers *)
+  fp_final : result;  (* last iteration's output; [dv_prog] is the fixed point *)
+  fp_pipeline : Pipeline.t;  (* pipeline of the final program *)
+  fp_iterations : int;
+  fp_converged : bool;
+  fp_reachable : int list;  (* reachable methods per pipeline state, input first *)
+  fp_pag_edges : int list;  (* total PAG edges per pipeline state, input first *)
+}
+
+let measure (pl : Pipeline.t) =
+  let reachable = ref 0 in
+  Array.iter
+    (fun (m : Ir.meth) ->
+      if Pts_andersen.Solver.is_reachable pl.Pipeline.solver m.Ir.id then incr reachable)
+    pl.Pipeline.prog.Ir.methods;
+  let c = Pag.edge_counts pl.Pipeline.pag in
+  let edges =
+    c.Pag.n_new + c.Pag.n_assign + c.Pag.n_load + c.Pag.n_store + c.Pag.n_entry + c.Pag.n_exit
+    + c.Pag.n_assign_global
+  in
+  (!reachable, edges)
+
+(* Devirtualizing monomorphic sites tightens the call graph, which can
+   strand whole methods (fewer dispatch targets => fewer reachable
+   bodies => smaller PAG) and in turn prove further receivers
+   monomorphic. Iterate the pass on its own output until it rewrites
+   nothing or [max_iters] passes ran; each pipeline state's
+   reachable-method and PAG-edge counts record the shrinkage. *)
+let run_fixpoint ?conf ?(max_iters = 5) ~engine (pl : Pipeline.t) =
+  if max_iters < 1 then invalid_arg "Devirtopt.run_fixpoint: max_iters must be >= 1";
+  let r0, e0 = measure pl in
+  let rec go iter pl reachable edges first =
+    let dv = run ?conf ~engine pl in
+    let first = match first with Some f -> Some f | None -> Some dv in
+    if dv.dv_rewrites = [] || iter >= max_iters then
+      ( dv,
+        (match first with Some f -> f | None -> dv),
+        pl,
+        iter,
+        dv.dv_rewrites = [],
+        List.rev reachable,
+        List.rev edges )
+    else begin
+      let pl' = Pipeline.of_program dv.dv_prog in
+      let r, e = measure pl' in
+      go (iter + 1) pl' (r :: reachable) (e :: edges) first
+    end
+  in
+  let final, first, last_pl, iterations, converged, reachable, edges =
+    go 1 pl [ r0 ] [ e0 ] None
+  in
+  (* the final program either equals the last pipeline's (converged) or
+     carries the cap iteration's rewrites; expose the matching pipeline *)
+  let fp_pipeline = if final.dv_rewrites = [] then last_pl else Pipeline.of_program final.dv_prog in
+  {
+    fp_first = first;
+    fp_final = final;
+    fp_pipeline;
+    fp_iterations = iterations;
+    fp_converged = converged;
+    fp_reachable = reachable;
+    fp_pag_edges = edges;
+  }

@@ -35,4 +35,27 @@ val analysis_rewrites : result -> int
 (** Rewrites CHA could not justify alone ([rw_cha_targets >= 2]) — the
     sites where the points-to engine earned its keep. *)
 
+type fixpoint = {
+  fp_first : result;  (** iteration 1's pass output — the headline numbers *)
+  fp_final : result;
+      (** last iteration's output; when [fp_converged] its [dv_prog] is
+          the fixed point (no rewrites left) *)
+  fp_pipeline : Pipeline.t;  (** analysed pipeline of the final program *)
+  fp_iterations : int;  (** passes actually run, [>= 1] *)
+  fp_converged : bool;  (** last pass rewrote nothing *)
+  fp_reachable : int list;
+      (** reachable-method count per pipeline state, input program first —
+          length [fp_iterations] when converged in one pass, one entry per
+          re-analysis otherwise *)
+  fp_pag_edges : int list;  (** total PAG edge count per pipeline state *)
+}
+
+val run_fixpoint : ?conf:Engine.conf -> ?max_iters:int -> engine:string -> Pipeline.t -> fixpoint
+(** Iterate {!run} on its own output until a pass rewrites nothing or
+    [max_iters] (default 5, must be [>= 1]) passes ran. Devirtualizing
+    monomorphic sites tightens the call graph, which can strand whole
+    method bodies and in turn prove further receivers monomorphic; the
+    per-state [fp_reachable] / [fp_pag_edges] lists record that
+    shrinkage. *)
+
 val pp_rewrite : Format.formatter -> rewrite -> unit

@@ -72,6 +72,17 @@ let stasum t =
     cache_health = (fun () -> (0, 0, 0, 0));
   }
 
+let supa t =
+  {
+    name = "supa";
+    points_to = (fun ?satisfy v -> Supa.points_to t ?satisfy v);
+    budget = Supa.budget t;
+    stats = Supa.stats t;
+    summary_count = (fun () -> 0);
+    invalidate = (fun _ -> (0, 0));
+    cache_health = (fun () -> (0, 0, 0, 0));
+  }
+
 (* ----------------------------- registry ---------------------------- *)
 
 type builder = ?conf:conf -> ?trace:Trace.sink -> Pag.t -> engine
@@ -99,6 +110,11 @@ let registry =
       spec_name = "stasum";
       spec_doc = "static whole-program summarisation baseline (eager offline phase)";
       build = (fun ?conf ?trace pag -> stasum (Stasum.create ?conf ?trace pag));
+    };
+    {
+      spec_name = "supa";
+      spec_doc = "flow-sensitive strong updates via value-flow refinement (Sui-Xue SUPA)";
+      build = (fun ?conf ?trace pag -> supa (Supa.create ?conf ?trace pag));
     };
   ]
 

@@ -82,6 +82,7 @@ type engine = {
 val sb : ?name:string -> Sb.t -> engine
 val dynsum : Dynsum.t -> engine
 val stasum : Stasum.t -> engine
+val supa : Supa.t -> engine
 
 (** {2 The registry} *)
 
@@ -90,8 +91,9 @@ type builder = ?conf:conf -> ?trace:Trace.sink -> Pag.t -> engine
 type spec = { spec_name : string; spec_doc : string; build : builder }
 
 val registry : spec list
-(** [norefine], [refinepts], [dynsum], [stasum] — in the paper's
-    presentation order, which the pipeline and benches rely on. *)
+(** [norefine], [refinepts], [dynsum], [stasum] in the paper's
+    presentation order — which the pipeline and benches rely on —
+    followed by [supa], the flow-sensitive strong-update engine. *)
 
 val names : unit -> string list
 val find : string -> spec option

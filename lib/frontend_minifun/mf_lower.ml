@@ -62,6 +62,8 @@ type menv = {
   mutable names : string list; (* reversed *)
   mutable typs : Ityp.typ list; (* reversed *)
   mutable code : Ir.instr list; (* reversed *)
+  mutable depths : int list; (* reversed, parallel to code *)
+  mutable cond_depth : int;
 }
 
 let fresh_var env name typ =
@@ -73,7 +75,19 @@ let fresh_var env name typ =
 
 let fresh_tmp env typ = fresh_var env (Printf.sprintf "$t%d" env.nvars) typ
 
-let emit env instr = env.code <- instr :: env.code
+let emit env instr =
+  env.code <- instr :: env.code;
+  env.depths <- Ir.depth_pack ~loop:0 ~cond:env.cond_depth :: env.depths
+
+(* [if]/[match] lower both branches into straight-line code; marking each
+   branch conditional is what stops a flow-sensitive consumer treating the
+   second branch's merge move as killing the first's. MiniFun has no
+   loops (recursion only), so loop depth stays 0. *)
+let in_branch env f =
+  env.cond_depth <- env.cond_depth + 1;
+  let r = f () in
+  env.cond_depth <- env.cond_depth - 1;
+  r
 
 let fresh_alloc_site env cls pos =
   let site = env.ctx.n_allocs in
@@ -124,10 +138,12 @@ let finish_method env ~param_vars ~this_var =
     nvars = env.nvars;
     var_names = Array.of_list (List.rev env.names);
     var_types = Array.of_list (List.rev env.typs);
+    depths = Array.of_list (List.rev env.depths);
   }
 
 let make_menv ctx msig ~this_var =
-  { ctx; msig; this_var; scopes = []; nvars = 0; names = []; typs = []; code = [] }
+  { ctx; msig; this_var; scopes = []; nvars = 0; names = []; typs = []; code = [];
+    depths = []; cond_depth = 0 }
 
 (* MiniFun allows shadowing: resolution walks the binding stack innermost
    first, then the top-level globals. *)
@@ -202,10 +218,11 @@ let rec lower_expr env (e : Mf_ast.expr) : Ir.var =
     let vs = lower_expr env scrut in
     let res = fresh_tmp env t_object in
     let branch name body =
-      let bound = fresh_var env name t_object in
-      emit env (Ir.Load { dst = bound; base = vs; fld = env.ctx.result_fld.Types.fld_id });
-      let v = in_scope env [ (name, bound) ] (fun () -> lower_expr env body) in
-      emit env (Ir.Move { dst = res; src = v })
+      in_branch env (fun () ->
+          let bound = fresh_var env name t_object in
+          emit env (Ir.Load { dst = bound; base = vs; fld = env.ctx.result_fld.Types.fld_id });
+          let v = in_scope env [ (name, bound) ] (fun () -> lower_expr env body) in
+          emit env (Ir.Move { dst = res; src = v }))
     in
     branch ok_name ok_body;
     branch err_name err_body;
@@ -213,10 +230,12 @@ let rec lower_expr env (e : Mf_ast.expr) : Ir.var =
   | Mf_ast.If (c, t, f) ->
     let _ = lower_expr env c in
     let res = fresh_tmp env t_object in
-    let vt = lower_expr env t in
-    emit env (Ir.Move { dst = res; src = vt });
-    let vf = lower_expr env f in
-    emit env (Ir.Move { dst = res; src = vf });
+    in_branch env (fun () ->
+        let vt = lower_expr env t in
+        emit env (Ir.Move { dst = res; src = vt }));
+    in_branch env (fun () ->
+        let vf = lower_expr env f in
+        emit env (Ir.Move { dst = res; src = vf }));
     res
   | Mf_ast.Binop (_, a, b) ->
     let _ = lower_expr env a in

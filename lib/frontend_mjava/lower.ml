@@ -30,6 +30,9 @@ type menv = {
   mutable names : string list; (* reversed *)
   mutable typs : Ast.typ list; (* reversed *)
   mutable code : Ir.instr list; (* reversed *)
+  mutable depths : int list; (* reversed, parallel to code *)
+  mutable loop_depth : int;
+  mutable cond_depth : int;
 }
 
 let ctable env = env.ctx.ctable
@@ -43,7 +46,24 @@ let fresh_var env name typ =
 
 let fresh_tmp env typ = fresh_var env (Printf.sprintf "$t%d" env.nvars) typ
 
-let emit env instr = env.code <- instr :: env.code
+let emit env instr =
+  env.code <- instr :: env.code;
+  env.depths <- Ir.depth_pack ~loop:env.loop_depth ~cond:env.cond_depth :: env.depths
+
+(* Statements under a loop (or branch) may run many times (or not at all);
+   the recorded depth is what lets flow-sensitive consumers refuse to
+   treat their definitions as killing ones. *)
+let in_loop env f =
+  env.loop_depth <- env.loop_depth + 1;
+  let r = f () in
+  env.loop_depth <- env.loop_depth - 1;
+  r
+
+let in_branch env f =
+  env.cond_depth <- env.cond_depth + 1;
+  let r = f () in
+  env.cond_depth <- env.cond_depth - 1;
+  r
 
 let fresh_alloc_site env cls pos ~is_null =
   let site = env.ctx.n_allocs in
@@ -442,23 +462,28 @@ let rec lower_stmt env (s : Ast.stmt) =
   | Ast.If (cond, then_, else_, pos) ->
     let _, t = lower_expr env cond in
     if not (Ast.typ_equal t Ast.Tbool) then err "condition must be boolean" pos;
-    in_new_scope env (fun () -> List.iter (lower_stmt env) then_);
-    in_new_scope env (fun () -> List.iter (lower_stmt env) else_)
+    in_branch env (fun () ->
+        in_new_scope env (fun () -> List.iter (lower_stmt env) then_);
+        in_new_scope env (fun () -> List.iter (lower_stmt env) else_))
   | Ast.While (cond, body, pos) ->
-    let _, t = lower_expr env cond in
-    if not (Ast.typ_equal t Ast.Tbool) then err "condition must be boolean" pos;
-    in_new_scope env (fun () -> List.iter (lower_stmt env) body)
+    (* the condition re-executes each iteration, so its lowered
+       instructions carry loop depth too *)
+    in_loop env (fun () ->
+        let _, t = lower_expr env cond in
+        if not (Ast.typ_equal t Ast.Tbool) then err "condition must be boolean" pos;
+        in_new_scope env (fun () -> List.iter (lower_stmt env) body))
   | Ast.For { init; cond; step; body; pos } ->
     (* the init declaration scopes over condition, step and body *)
     in_new_scope env (fun () ->
         (match init with Some s -> lower_stmt env s | None -> ());
-        (match cond with
-        | Some c ->
-          let _, t = lower_expr env c in
-          if not (Ast.typ_equal t Ast.Tbool) then err "for condition must be boolean" pos
-        | None -> ());
-        in_new_scope env (fun () -> List.iter (lower_stmt env) body);
-        match step with Some s -> lower_stmt env s | None -> ())
+        in_loop env (fun () ->
+            (match cond with
+            | Some c ->
+              let _, t = lower_expr env c in
+              if not (Ast.typ_equal t Ast.Tbool) then err "for condition must be boolean" pos
+            | None -> ());
+            in_new_scope env (fun () -> List.iter (lower_stmt env) body);
+            match step with Some s -> lower_stmt env s | None -> ()))
   | Ast.Block body -> in_new_scope env (fun () -> List.iter (lower_stmt env) body)
 
 and lower_assign env lhs rhs pos =
@@ -587,7 +612,7 @@ let declare_program ctable (prog : Ast.program) =
 let make_menv ctx cls (msig : Types.method_sig) =
   let env =
     { ctx; cls; msig; this_var = None; scopes = [ Hashtbl.create 8 ]; nvars = 0; names = [];
-      typs = []; code = [] }
+      typs = []; code = []; depths = []; loop_depth = 0; cond_depth = 0 }
   in
   env
 
@@ -604,6 +629,7 @@ let finish_method env ~param_vars ~this_var : Ir.meth =
     nvars = env.nvars;
     var_names = names;
     var_types = typs;
+    depths = Array.of_list (List.rev env.depths);
   }
 
 (* Constructor prologue: implicit zero-argument superclass constructor

@@ -42,7 +42,31 @@ type meth = {
   nvars : int;
   var_names : string array;
   var_types : Ityp.typ array;
+  depths : int array;
+      (** control depth per instruction, parallel to [body] (see
+          {!depth_pack}). Bodies are flattened, so this is the only record
+          of whether an instruction sits under a loop or branch; [[||]]
+          means unknown and flow-sensitive consumers must treat every
+          instruction as conditional. *)
 }
+
+(** Loop nesting depth and branch nesting depth of an instruction, packed
+    into one int (loop in the high bits). An instruction with both depths
+    zero executes exactly once per method invocation, in body order —
+    the precondition for treating its definition as a strong (killing)
+    one. *)
+let depth_pack ~loop ~cond = (min loop 0xff lsl 8) lor min cond 0xff
+
+let depth_loop d = d lsr 8
+let depth_cond d = d land 0xff
+
+(** Depth of instruction [i] of [m], conservatively [(max, max)] when the
+    frontend recorded no metadata. *)
+let instr_depth (m : meth) i =
+  if i >= 0 && i < Array.length m.depths then
+    let d = m.depths.(i) in
+    (depth_loop d, depth_cond d)
+  else (0xff, 0xff)
 
 type alloc_site = {
   site_id : int;

@@ -93,7 +93,48 @@ type t = {
   mutable delta : Delta.t option;
   mutable epoch : int;
   mutable ghash : int;
+  (* Allocation sites whose abstract object conflates several runtime
+     objects (arrays, null pseudo-allocations, loop allocations): never
+     admissible for a strong update. *)
+  site_summary : Bytes.t;
+  (* Nodes that were an endpoint of any applied edit, cumulatively.
+     Flow-sensitive reasoning derived from the IR is only valid at nodes
+     the overlay never touched. *)
+  mutable overlay_dirty : Bytes.t;
+  (* Fields that gained or lost a store edge through the overlay,
+     cumulatively. Overlay store edges are flow-insensitive — they could
+     execute between any IR store and a later load — so a flow-sensitive
+     kill on such a field is unsound even when every scanned node is
+     overlay-clean. *)
+  overlay_fields : (fld, unit) Hashtbl.t;
 }
+
+(* A site is a summary object when one abstract object stands for several
+   runtime objects at once: array objects (all elements collapse onto one
+   field), null pseudo-allocations, and allocations under a loop (one per
+   iteration). Methods lowered without depth metadata report every
+   instruction as maximally nested, so their sites are conservatively
+   summary too. *)
+let compute_site_summary (prog : Ir.program) =
+  let n_sites = Array.length prog.Ir.allocs in
+  let b = Bytes.make (max 1 n_sites) '\000' in
+  Array.iteri
+    (fun site (a : Ir.alloc_site) ->
+      if a.Ir.alloc_is_null || Types.is_array_class prog.Ir.ctable a.Ir.alloc_cls then
+        Bytes.set b site '\001')
+    prog.Ir.allocs;
+  Array.iter
+    (fun (m : Ir.meth) ->
+      List.iteri
+        (fun i instr ->
+          match instr with
+          | Ir.Alloc { site; _ } ->
+            let loop, _ = Ir.instr_depth m i in
+            if loop > 0 && site >= 0 && site < n_sites then Bytes.set b site '\001'
+          | _ -> ())
+        m.Ir.body)
+    prog.Ir.methods;
+  b
 
 let fresh_adj () =
   {
@@ -140,6 +181,9 @@ let create (prog : Ir.program) =
     delta = None;
     epoch = 0;
     ghash = 0;
+    site_summary = compute_site_summary prog;
+    overlay_dirty = Bytes.empty;
+    overlay_fields = Hashtbl.create 8;
   }
 
 let program t = t.prog
@@ -696,6 +740,9 @@ let oracle_disjoint t m n =
   let rec go i = i >= s || (t.oracle.(bm + i) land t.oracle.(bn + i) = 0 && go (i + 1)) in
   go 0
 
+let site_is_summary t site =
+  site < 0 || site >= Bytes.length t.site_summary || Bytes.get t.site_summary site = '\001'
+
 let oracle_singleton t n =
   let s = t.oracle_stride in
   if s = 0 || not (oracle_row_valid t n) then None
@@ -711,7 +758,10 @@ let oracle_singleton t n =
           found := (i * oracle_word_bits) + bit_index w 0
         end
       done;
-      if !found >= 0 then Some !found else None
+      (* A summary object is one abstract object for many runtime objects:
+         a row of exactly one such site still gives no strong-update
+         licence, so it is not reported as a singleton. *)
+      if !found >= 0 && not (site_is_summary t !found) then Some !found else None
     with Exit -> None
   end
 
@@ -788,6 +838,11 @@ type commit = {
 }
 
 let epoch t = t.epoch
+
+let node_overlay_clean t n =
+  Bytes.length t.overlay_dirty = 0 || Bytes.get t.overlay_dirty n = '\000'
+
+let field_overlay_clean t fld = not (Hashtbl.mem t.overlay_fields fld)
 
 let graph_hash t = t.ghash
 
@@ -980,7 +1035,9 @@ let apply_edits t edits =
           mark c.e_b;
           (match k with
           | Eload { base; fld; dst } -> index_add t.loads_by_field fld (base, dst)
-          | Estore { base; fld; src } -> index_add t.stores_by_field fld (base, src)
+          | Estore { base; fld; src } ->
+            index_add t.stores_by_field fld (base, src);
+            Hashtbl.replace t.overlay_fields fld ()
           | _ -> ());
           (* oracle seed: where the inserted value first surfaces *)
           (match k with
@@ -1007,11 +1064,16 @@ let apply_edits t edits =
           mark c.e_b;
           match k with
           | Eload { base; fld; dst } -> index_remove t.loads_by_field fld (base, dst)
-          | Estore { base; fld; src } -> index_remove t.stores_by_field fld (base, src)
+          | Estore { base; fld; src } ->
+            index_remove t.stores_by_field fld (base, src);
+            Hashtbl.replace t.overlay_fields fld ()
           | _ -> ()
         end)
     edits;
   Hashtbl.iter (fun n () -> recompute_flags t n) dirty;
+  if Hashtbl.length dirty > 0 && Bytes.length t.overlay_dirty = 0 then
+    t.overlay_dirty <- Bytes.make (max 1 t.n_nodes) '\000';
+  Hashtbl.iter (fun n () -> Bytes.set t.overlay_dirty n '\001') dirty;
   (* a store's value surfaces at every load of its field, under the same
      field-based approximation the invalidation walk itself uses *)
   let seeds =

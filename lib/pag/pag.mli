@@ -210,7 +210,19 @@ val oracle_disjoint : t -> node -> node -> bool
     [false] when no oracle. *)
 
 val oracle_singleton : t -> node -> int option
-(** [Some site] iff the row is exactly one site. [None] when no oracle. *)
+(** [Some site] iff the row is exactly one site {e and} that site is not a
+    summary object ({!site_is_summary}): the strong-update admission test.
+    A singleton row over a summary site proves nothing — one abstract
+    array, null or loop allocation stands for many runtime objects — so
+    it answers [None], as it does when no oracle is installed. *)
+
+val site_is_summary : t -> int -> bool
+(** Does allocation site [site] conflate several runtime objects — an
+    array object (every element collapses onto one field), a null
+    pseudo-allocation, or an allocation under a loop (one object per
+    iteration)? Sites of methods lowered without {!Ir.meth.depths}
+    metadata are conservatively summary. Out-of-range sites answer
+    [true]. *)
 
 val oracle_row_size : t -> node -> int
 (** Number of allocation sites in the node's row — the cost-model's
@@ -316,6 +328,19 @@ val epoch : t -> int
 (** 0 until the first {!apply_edits}; +1 per batch. Engines with
     graph-derived state (e.g. the field-based reachability index) compare
     this against the epoch they solved at. *)
+
+val node_overlay_clean : t -> node -> bool
+(** Has [n] never been an endpoint of an applied edit? Reasoning derived
+    from the lowered IR (SUPA's value-flow chains) is only valid at nodes
+    the overlay never touched; a delete/re-add round-trip leaves the node
+    dirty, conservatively. [true] for every node before the first edit. *)
+
+val field_overlay_clean : t -> fld -> bool
+(** Has no applied edit ever added or deleted a store edge on [fld]?
+    Overlay store edges carry no program point — they may execute between
+    any IR store and a later load — so a flow-sensitive kill on a dirty
+    field is unsound even when every node along the scanned chains is
+    {!node_overlay_clean}. Cumulative, like the node predicate. *)
 
 val graph_hash : t -> int
 (** Order-independent XOR hash over the logical edge multiset, maintained

@@ -127,9 +127,14 @@ let budget_of t = function
         Printf.sprintf "budget %d exceeds the per-request ceiling %d" b t.cfg.c_max_budget )
   | Some b -> Ok b
 
+(* Derived from the registry so a newly registered engine (e.g. supa) is
+   accepted — and listed in rejections — without touching the daemon. *)
 let check_engine name =
   if Engine.find name = None then
-    Error ("bad_request", Printf.sprintf "unknown engine %S" name)
+    Error
+      ( "bad_request",
+        Printf.sprintf "unknown engine %S (registered: %s)" name
+          (String.concat ", " (Engine.names ())) )
   else Ok ()
 
 let ( let* ) r f = match r with Error (c, m) -> Error (c, m) | Ok v -> f v

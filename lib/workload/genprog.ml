@@ -19,6 +19,8 @@ type config = {
   interact_rate : float;
   n_taint_flows : int;
   n_taint_clean : int;
+  n_taint_kill : int;
+  n_taint_weak : int;
 }
 
 let default =
@@ -41,13 +43,15 @@ let default =
     interact_rate = 0.25;
     n_taint_flows = 0;
     n_taint_clean = 0;
+    n_taint_kill = 0;
+    n_taint_weak = 0;
   }
 
 let describe c =
   Printf.sprintf
-    "%s(seed=%d elems=%d containers=%d boxes=%d lists=%d factories=%d utils=%dx%d apps=%d globals=%d taint=%d/%d)"
+    "%s(seed=%d elems=%d containers=%d boxes=%d lists=%d factories=%d utils=%dx%d apps=%d globals=%d taint=%d/%d kill=%d weak=%d)"
     c.name c.seed c.n_elem_classes c.n_containers c.n_boxes c.n_lists c.n_factories c.n_utils
-    c.util_chain c.n_apps c.n_globals c.n_taint_flows c.n_taint_clean
+    c.util_chain c.n_apps c.n_globals c.n_taint_flows c.n_taint_clean c.n_taint_kill c.n_taint_weak
 
 (* ------------------------------------------------------------------ *)
 (* Emission helpers                                                    *)
@@ -419,7 +423,8 @@ let emit_app st a =
    with any precision loss across these carriers shows up as a false
    positive against the ground-truth labels. *)
 let emit_taint_lib st ~flows ~clean =
-  if flows + clean > 0 then begin
+  let kills = st.cfg.n_taint_kill and weaks = st.cfg.n_taint_weak in
+  if flows + clean + kills + weaks > 0 then begin
     line st "class Secret {";
     line st "  int token;";
     line st "  Secret() { this.token = 41; }";
@@ -428,6 +433,12 @@ let emit_taint_lib st ~flows ~clean =
     line st "  TaintKit() {}";
     for i = 0 to flows - 1 do
       line st "  static Object getSecret%d() { return new Secret(); }" i
+    done;
+    for k = 0 to kills - 1 do
+      line st "  static Object getSecretK%d() { return new Secret(); }" k
+    done;
+    for k = 0 to weaks - 1 do
+      line st "  static Object getSecretW%d() { return new Secret(); }" k
     done;
     line st "  static void send(Object x) { int h = x.hashCode(); }";
     line st "  static void log(Object x) { int h = x.hashCode(); }";
@@ -439,7 +450,19 @@ let emit_taint_lib st ~flows ~clean =
     for j = 0 to clean - 1 do
       line st "  static Object cslot%d;" j
     done;
-    line st "}"
+    line st "}";
+    for k = 0 to kills - 1 do
+      line st "class KillBox%d {" k;
+      line st "  Object slot;";
+      line st "  KillBox%d() {}" k;
+      line st "}"
+    done;
+    for k = 0 to weaks - 1 do
+      line st "class WeakBox%d {" k;
+      line st "  Object slot;";
+      line st "  WeakBox%d() {}" k;
+      line st "}"
+    done
   end
 
 let taint_variant st i = match i mod 5 with 3 when st.cfg.n_utils = 0 -> 0 | v -> v
@@ -517,6 +540,80 @@ let emit_taint_clean st ~flows j =
   line st "  }";
   line st "}"
 
+(* Overwrite-kill shapes: the secret is stored into a dedicated box and
+   unconditionally overwritten with a benign object before the load that
+   feeds the sink, so at runtime the sink only ever receives the clean
+   value — labelled [tainted:false]. A flow-insensitive engine reports
+   the dead store's secret anyway (a false positive); a strong-update
+   engine proves the kill. Variants cycle: overwrite through the box
+   variable itself, overwrite through a must-alias copy of it. *)
+let emit_taint_kill st k =
+  let meth = Printf.sprintf "TaintKill%d.go" k in
+  line st "class TaintKill%d {" k;
+  line st "  static void go() {";
+  line st "    Object s = TaintKit.getSecretK%d();" k;
+  line st "    KillBox%d b = new KillBox%d();" k k;
+  (match k mod 2 with
+  | 0 ->
+    line st "    b.slot = s;";
+    line st "    Object c = new Item0();";
+    line st "    b.slot = c;"
+  | _ ->
+    line st "    KillBox%d same = b;" k;
+    line st "    b.slot = s;";
+    line st "    Object c = new Item0();";
+    line st "    same.slot = c;");
+  line st "    Object out = b.slot;";
+  add_label st ~meth ~tainted:false;
+  line st "    TaintKit.send(out);";
+  line st "  }";
+  line st "}"
+
+(* Weak-update controls: the same overwrite dance, but through a channel
+   no sound engine may treat as a kill — a conditional store (whose
+   branch is dead at runtime), a store through an alias that at runtime
+   targets a different box, or boxes allocated under a loop (a summary
+   site: the overwrite hits the last box, the load reads the first). In
+   every variant the secret genuinely reaches the sink at runtime, so
+   the label is [tainted:true] and an engine that strong-updates here is
+   unsound (recall < 1). *)
+let emit_taint_weak st k =
+  let meth = Printf.sprintf "TaintWeak%d.go" k in
+  line st "class TaintWeak%d {" k;
+  line st "  static void go() {";
+  line st "    Object s = TaintKit.getSecretW%d();" k;
+  (match k mod 3 with
+  | 0 ->
+    line st "    WeakBox%d b = new WeakBox%d();" k k;
+    line st "    b.slot = s;";
+    line st "    Object c = new Item0();";
+    line st "    if (1 > 2) { b.slot = c; }";
+    line st "    Object out = b.slot;"
+  | 1 ->
+    line st "    WeakBox%d b1 = new WeakBox%d();" k k;
+    line st "    WeakBox%d b2 = new WeakBox%d();" k k;
+    line st "    b1.slot = s;";
+    line st "    WeakBox%d w = b1;" k;
+    line st "    if (1 < 2) { w = b2; }";
+    line st "    Object c = new Item0();";
+    line st "    w.slot = c;";
+    line st "    Object out = b1.slot;"
+  | _ ->
+    line st "    WeakBox%d b = null;" k;
+    line st "    WeakBox%d keep = null;" k;
+    line st "    for (int i = 0; i < 2; i = i + 1) {";
+    line st "      b = new WeakBox%d();" k;
+    line st "      if (keep == null) { keep = b; }";
+    line st "      b.slot = s;";
+    line st "    }";
+    line st "    Object c = new Item0();";
+    line st "    b.slot = c;";
+    line st "    Object out = keep.slot;");
+  add_label st ~meth ~tainted:true;
+  line st "    TaintKit.send(out);";
+  line st "  }";
+  line st "}"
+
 let emit_main st app_containers =
   let cfg = st.cfg in
   let rng = st.rng in
@@ -531,6 +628,12 @@ let emit_main st app_containers =
   done;
   for j = 0 to cfg.n_taint_clean - 1 do
     line st "    TaintClean%d.go();" j
+  done;
+  for k = 0 to cfg.n_taint_kill - 1 do
+    line st "    TaintKill%d.go();" k
+  done;
+  for k = 0 to cfg.n_taint_weak - 1 do
+    line st "    TaintWeak%d.go();" k
   done;
   (* cross-app pollution through shared containers *)
   for a = 0 to cfg.n_apps - 1 do
@@ -551,8 +654,8 @@ let generate_with_truth cfg =
     invalid_arg
       "Genprog.generate: element, container, box, list, factory, global and app counts must be \
        positive (only n_utils may be 0)";
-  if cfg.n_taint_flows < 0 || cfg.n_taint_clean < 0 then
-    invalid_arg "Genprog.generate: taint counts must be non-negative";
+  if cfg.n_taint_flows < 0 || cfg.n_taint_clean < 0 || cfg.n_taint_kill < 0 || cfg.n_taint_weak < 0
+  then invalid_arg "Genprog.generate: taint counts must be non-negative";
   let st = { buf = Buffer.create 65536; cfg; rng = Prng.create cfg.seed; lineno = 1; labels = [] } in
   emit_elements st;
   emit_containers st;
@@ -568,6 +671,12 @@ let generate_with_truth cfg =
   done;
   for j = 0 to cfg.n_taint_clean - 1 do
     emit_taint_clean st ~flows:cfg.n_taint_flows j
+  done;
+  for k = 0 to cfg.n_taint_kill - 1 do
+    emit_taint_kill st k
+  done;
+  for k = 0 to cfg.n_taint_weak - 1 do
+    emit_taint_weak st k
   done;
   emit_main st app_containers;
   (Buffer.contents st.buf, List.rev st.labels)

@@ -46,6 +46,17 @@ type config = {
           taint classes draw nothing from the RNG, so [0] (the default)
           generates exactly the pre-seeding program text *)
   n_taint_clean : int; (** known-clean taint look-alikes, also labelled *)
+  n_taint_kill : int;
+      (** overwrite-kill shapes: the secret is unconditionally
+          overwritten in a dedicated box before the sink load, so the
+          sink is clean at runtime ([tainted:false]) — flow-insensitive
+          engines report it anyway, a strong-update engine proves the
+          kill. RNG-neutral like the other taint counts. *)
+  n_taint_weak : int;
+      (** weak-update controls: the overwrite goes through a conditional
+          store, an ambiguous alias, or loop-allocated (summary) boxes,
+          and the secret genuinely reaches the sink ([tainted:true]) —
+          an engine that strong-updates here is unsound *)
 }
 
 val default : config

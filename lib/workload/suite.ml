@@ -19,6 +19,8 @@ let mk name seed ~elems ~containers ~boxes ~lists ~factories ~utils ~chain ~apps
     interact_rate = interact;
     n_taint_flows = 0;
     n_taint_clean = 0;
+    n_taint_kill = 0;
+    n_taint_weak = 0;
   }
 
 (* Sizes scale with the paper's relative ordering (soot-c/bloat/jython
@@ -69,15 +71,18 @@ let scaled name k =
 
 (* The seeded-defect variant of a benchmark: same generator state (the
    taint classes draw nothing from the RNG), plus [flows] known
-   source->sink flows and [clean] known-clean look-alikes with
+   source->sink flows, [clean] known-clean look-alikes, [kill]
+   overwrite-kill shapes and [weak] weak-update controls, all with
    ground-truth labels. *)
-let tainted ?(flows = 6) ?(clean = 6) name =
+let tainted ?(flows = 6) ?(clean = 6) ?(kill = 0) ?(weak = 0) name =
   let c = config name in
   {
     c with
-    Genprog.name = Printf.sprintf "%s+taint%d/%d" c.Genprog.name flows clean;
+    Genprog.name = Printf.sprintf "%s+taint%d/%d/%d/%d" c.Genprog.name flows clean kill weak;
     n_taint_flows = flows;
     n_taint_clean = clean;
+    n_taint_kill = kill;
+    n_taint_weak = weak;
   }
 
 let source_cache : (string, string) Hashtbl.t = Hashtbl.create 9

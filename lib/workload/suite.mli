@@ -17,10 +17,11 @@ val scaled : string -> int -> Genprog.config
     element diversity) by [k], for scalability studies beyond the default
     laptop-sized suite. [scaled name 1 = config name]. *)
 
-val tainted : ?flows:int -> ?clean:int -> string -> Genprog.config
+val tainted : ?flows:int -> ?clean:int -> ?kill:int -> ?weak:int -> string -> Genprog.config
 (** [tainted name] is [config name] with [flows] (default 6) seeded
-    source->sink taint flows and [clean] (default 6) known-clean
-    variants added; ground truth comes from
+    source->sink taint flows, [clean] (default 6) known-clean variants,
+    [kill] (default 0) overwrite-kill shapes and [weak] (default 0)
+    weak-update controls added; ground truth comes from
     {!Genprog.generate_with_truth}. The added classes draw nothing from
     the generator's RNG, so the rest of the program is byte-identical to
     the unseeded benchmark. *)

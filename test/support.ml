@@ -49,6 +49,8 @@ let small_config ~name =
       interact_rate = interact;
       n_taint_flows = 0;
       n_taint_clean = 0;
+      n_taint_kill = 0;
+      n_taint_weak = 0;
     }
 
 let config_arbitrary ~name = QCheck.make ~print:G.describe (small_config ~name)

@@ -49,6 +49,11 @@ let tainted_config =
       interact_rate = 0.3;
       n_taint_flows = flows;
       n_taint_clean = clean;
+      (* kill/weak shapes deliberately absent: the properties below pin
+         the flow-insensitive engines, which report kill shapes as
+         (labelled) false positives — test_supa covers those. *)
+      n_taint_kill = 0;
+      n_taint_weak = 0;
     }
 
 let config_arbitrary = QCheck.make ~print:G.describe tainted_config

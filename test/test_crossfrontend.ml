@@ -37,6 +37,16 @@ let verdict_name = function
 
 let expected q = if q.Genpair.q_mono then Client.Proved else Client.Refuted
 
+(* The Cell/poly scenario overwrites the cell unconditionally before the
+   load, so at runtime the query variable holds exactly one site: the
+   "poly" label records the flow-insensitive engines' false positive.
+   SUPA's strong update kills the dead store and proves it — pin that
+   precision win instead of the shared FP. *)
+let expected_for engine_name q =
+  if engine_name = "supa" && q.Genpair.q_kind = Genpair.Cell && not q.Genpair.q_mono then
+    Client.Proved
+  else expected q
+
 let vt = Alcotest.testable (Fmt.of_to_string verdict_name) ( = )
 
 (* ------------------------- sequential engines ------------------------ *)
@@ -61,8 +71,8 @@ let test_pair_seq name () =
               in
               let v lang = verdict_seq (Suite.pair_pipeline name lang) engine_name prune q in
               let vmj = v Loc.Mjava and vmf = v Loc.Minifun in
-              check vt (label Loc.Mjava) (expected q) vmj;
-              check vt (label Loc.Minifun) (expected q) vmf)
+              check vt (label Loc.Mjava) (expected_for engine_name q) vmj;
+              check vt (label Loc.Minifun) (expected_for engine_name q) vmf)
             pair.Genpair.p_queries)
         [ false; true ])
     engine_names
@@ -83,9 +93,9 @@ let verdicts_par pl engine_name prune jobs (queries : Genpair.query_spec list) =
 
 let test_pair_par name () =
   let pair = Suite.pair name in
-  let expected_all = List.map expected pair.Genpair.p_queries in
   List.iter
     (fun engine_name ->
+      let expected_all = List.map (expected_for engine_name) pair.Genpair.p_queries in
       List.iter
         (fun prune ->
           List.iter
@@ -163,7 +173,7 @@ let test_devirtopt_pair name lang () =
           check vt
             (Printf.sprintf "%s %s %s %s after rewrite" name (Loc.lang_name lang) engine_name
                q.Genpair.q_var)
-            (expected q) v)
+            (expected_for engine_name q) v)
         pair.Genpair.p_queries;
       check_client_stability
         (Printf.sprintf "%s %s %s" name (Loc.lang_name lang) engine_name)

@@ -46,15 +46,23 @@ let prop_oracle_matches_solver =
       for n = 0 to Pag.node_count pag - 1 do
         let row = Pts_andersen.Solver.points_to solver n in
         let card = ref 0 in
+        let only = ref (-1) in
         for site = 0 to sites - 1 do
           let expect = Pts_util.Bitset.mem row site in
-          if expect then incr card;
+          if expect then begin
+            incr card;
+            only := site
+          end;
           if Pag.oracle_mem pag n site <> expect then ok := false
         done;
         if Pag.oracle_row_empty pag n <> (!card = 0) then ok := false;
         (match Pag.oracle_singleton pag n with
-        | Some s -> if not (!card = 1 && Pts_util.Bitset.mem row s) then ok := false
-        | None -> if !card = 1 then ok := false)
+        | Some s ->
+          if not (!card = 1 && Pts_util.Bitset.mem row s && not (Pag.site_is_summary pag s)) then
+            ok := false
+        | None ->
+          (* a singleton row must only be withheld for summary sites *)
+          if !card = 1 && not (Pag.site_is_summary pag !only) then ok := false)
       done;
       !ok)
 

@@ -33,6 +33,8 @@ let cfg =
     interact_rate = 0.4;
     n_taint_flows = 0;
     n_taint_clean = 0;
+    n_taint_kill = 0;
+    n_taint_weak = 0;
   }
 
 (* Fresh pipeline per call — edit tests mutate the PAG in place, so the
@@ -164,6 +166,21 @@ let test_bad_requests () =
   let code rq = error_code (Daemon.handle d rq) in
   Alcotest.(check string) "unknown client" "bad_request" (code (query "nosuchclient"));
   Alcotest.(check string) "unknown engine" "bad_request" (code (query ~engine:"nosuch" "safecast"));
+  (* the rejection must carry the registry-derived list, so a newly
+     registered engine shows up without touching the daemon *)
+  (match J.member "error" (Daemon.handle d (query ~engine:"nosuch" "safecast")) with
+  | Some e ->
+    let msg = match J.member "msg" e with Some (J.String m) -> m | _ -> "" in
+    let contains s sub =
+      let n = String.length s and m = String.length sub in
+      let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+      m = 0 || go 0
+    in
+    List.iter
+      (fun n ->
+        Alcotest.(check bool) (Printf.sprintf "lists %s" n) true (contains msg n))
+      (Pts_core.Engine.names ())
+  | None -> Alcotest.fail "unknown engine must produce an error object");
   Alcotest.(check string) "bad budget" "bad_request" (code (query ~budget:0 "safecast"));
   let capped = { Daemon.default_config with Daemon.c_max_budget = 100 } in
   let d2 = daemon ~config:capped () in

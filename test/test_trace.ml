@@ -112,7 +112,7 @@ let test_registry_names () =
   check
     Alcotest.(list string)
     "paper presentation order"
-    [ "norefine"; "refinepts"; "dynsum"; "stasum" ]
+    [ "norefine"; "refinepts"; "dynsum"; "stasum"; "supa" ]
     (Engine.names ())
 
 let test_registry_find () =
